@@ -1,0 +1,62 @@
+"""Shared helpers for the figure benchmarks.
+
+Every ``bench_figXX_*.py`` regenerates one figure of the paper's
+evaluation: it runs the simulated experiment at a configurable scale,
+prints the same rows/series the figure reports (paper value vs measured),
+asserts the *shape* (who wins, by roughly what factor, where the knees
+fall), and stores the measured series in ``benchmark.extra_info`` plus a
+text report under ``benchmarks/results/``.
+
+Scale: the environment variable ``REPRO_BENCH_SCALE`` selects ``quick``
+(default; minutes for the whole directory) or ``full`` (the paper's VM
+counts everywhere).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import typing
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+FULL = os.environ.get("REPRO_BENCH_SCALE", "quick") == "full"
+
+
+def scaled(full_value: int, quick_value: int) -> int:
+    """Pick the experiment size for the current scale."""
+    return full_value if FULL else quick_value
+
+
+def report(figure: str, text: str) -> None:
+    """Print a figure report and persist it under
+    ``benchmarks/results/<scale>/`` (so a quick run never clobbers the
+    committed full-scale series)."""
+    scale = "full" if FULL else "quick"
+    banner = "=" * 72
+    body = "%s\n%s  [scale: %s]\n%s\n%s\n" % (banner, figure, scale,
+                                              banner, text)
+    print("\n" + body)
+    directory = RESULTS_DIR / scale
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / ("%s.txt" % figure.split(" ")[0].lower())
+    path.write_text(body)
+
+
+def run_once(benchmark, fn: typing.Callable):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def paper_vs_measured(rows: typing.Sequence[typing.Tuple[str, object,
+                                                         object]]) -> str:
+    """Format '(quantity, paper, measured)' rows."""
+    lines = ["%-44s %16s %16s" % ("quantity", "paper", "measured")]
+    for name, paper, measured in rows:
+        lines.append("%-44s %16s %16s" % (name, paper, measured))
+    return "\n".join(lines)
+
+
+def fmt(value: float, digits: int = 1) -> str:
+    """Compact float formatting for report rows."""
+    return ("%." + str(digits) + "f") % value

@@ -1,0 +1,68 @@
+"""Ablations on the XenStore daemon itself.
+
+Three design points the paper touches but does not plot:
+
+* §4.2 footnote 3: the experiments "already use oxenstored, the faster of
+  the two available implementations ... Results with cxenstored show much
+  higher overheads."
+* §4.2: disabling the access log "would remove the spikes [but] would not
+  help in improving the overall creation times".
+* The watch registry scan is the dominant superlinear term: guests with
+  more xenbus watches degrade creation more.
+"""
+
+import dataclasses
+
+from repro.core import Host
+from repro.core.metrics import mean
+from repro.guests import DAYTIME_UNIKERNEL
+
+from _support import fmt, paper_vs_measured, report, run_once, scaled
+
+COUNT = scaled(600, 300)
+
+
+def storm(xenstore_impl="oxenstored", xenstore_log=True, watches=None):
+    host = Host(variant="chaos+xs", xenstore_impl=xenstore_impl,
+                xenstore_log=xenstore_log)
+    image = DAYTIME_UNIKERNEL
+    if watches is not None:
+        image = dataclasses.replace(image, xenbus_watches=watches)
+    return [host.create_vm(image).create_ms for _ in range(COUNT)]
+
+
+def run_experiment():
+    return {
+        "oxenstored": storm(),
+        "cxenstored": storm(xenstore_impl="cxenstored"),
+        "no-log": storm(xenstore_log=False),
+        "watchless-guests": storm(watches=0),
+    }
+
+
+def test_ablation_xenstore(benchmark):
+    results = run_once(benchmark, run_experiment)
+
+    base = results["oxenstored"]
+    rows = [
+        ("oxenstored %dth create (ms)" % COUNT, "baseline",
+         fmt(base[-1])),
+        ("cxenstored %dth (ms)" % COUNT, "much higher",
+         fmt(results["cxenstored"][-1])),
+        ("log disabled %dth (ms)" % COUNT, "~same (no spikes)",
+         fmt(results["no-log"][-1])),
+        ("watchless guests %dth (ms)" % COUNT, "much lower",
+         fmt(results["watchless-guests"][-1])),
+    ]
+    report("ABLATION-XENSTORE daemon design points",
+           paper_vs_measured(rows))
+
+    # cxenstored: strictly worse, by a large factor at scale.
+    assert results["cxenstored"][-1] > base[-1] * 1.8
+    # Disabling logging removes spikes but not the trend (§4.2).  Spikes
+    # only appear once enough ops have accumulated to rotate the logs
+    # (13,215 lines), so at quick scale the curves coincide.
+    assert abs(results["no-log"][-1] - base[-1]) / base[-1] < 0.25
+    assert max(results["no-log"]) <= max(base)
+    # Watch registry growth is the main superlinear term.
+    assert results["watchless-guests"][-1] < base[-1] * 0.6

@@ -1,0 +1,31 @@
+"""Figure 1 — the unrelenting growth of the Linux syscall API.
+
+Regenerates the motivation series: x86_32 syscall count per Linux release
+year, 2002-2018, growing from roughly 240 to roughly 400.
+"""
+
+from repro.data import counts_by_year, growth_per_year
+
+from _support import paper_vs_measured, report, run_once
+
+
+def test_fig01_syscall_growth(benchmark):
+    series = run_once(benchmark, counts_by_year)
+
+    years = [y for y, _c in series]
+    counts = [c for _y, c in series]
+    lines = ["%6d  %4d" % (y, c) for y, c in series]
+    rows = [
+        ("first-year count (~2002)", "~240", counts[0]),
+        ("last-year count (~2017)", "~390", counts[-1]),
+        ("growth per year", "~9", "%.1f" % growth_per_year()),
+    ]
+    report("FIG01 syscall API growth",
+           paper_vs_measured(rows) + "\n\nyear   syscalls\n"
+           + "\n".join(lines))
+    benchmark.extra_info["series"] = series
+
+    # Shape: monotone growth across the figure's axis span.
+    assert counts == sorted(counts)
+    assert years[0] == 2002
+    assert counts[-1] - counts[0] > 100

@@ -1,0 +1,45 @@
+"""Figure 2 — boot times grow linearly with VM image size.
+
+The paper inflates the daytime unikernel's uncompressed image with binary
+objects (all stored on a ramdisk) and boots it: the time to read, parse
+and lay out the image in memory grows linearly, reaching ≈1 s at 1 GB.
+"""
+
+from repro.core import Host
+from repro.guests import DAYTIME_UNIKERNEL
+
+from _support import fmt, paper_vs_measured, report, run_once
+
+SIZES_MB = (1, 128, 256, 512, 768, 1024)
+
+
+def boot_time_ms(size_mb: int) -> float:
+    host = Host(variant="xl")
+    image = DAYTIME_UNIKERNEL.with_kernel_size(size_mb * 1024)
+    record = host.create_vm(image)
+    return record.total_ms
+
+
+def test_fig02_boot_vs_image_size(benchmark):
+    results = run_once(benchmark,
+                       lambda: [(s, boot_time_ms(s)) for s in SIZES_MB])
+
+    baseline = results[0][1]
+    deltas = [(size, total - baseline) for size, total in results]
+    per_mb = deltas[-1][1] / (SIZES_MB[-1] - SIZES_MB[0])
+    rows = [
+        ("extra boot time at 1 GB (ms)", "~1000", fmt(deltas[-1][1])),
+        ("slope (ms per MB)", "~1", fmt(per_mb, 2)),
+    ]
+    table = "\n".join("%6d MB  %10.1f ms" % (s, t) for s, t in results)
+    report("FIG02 boot time vs image size",
+           paper_vs_measured(rows) + "\n\n" + table)
+    benchmark.extra_info["series"] = results
+
+    # Shape: linear growth — the slope between consecutive points is
+    # roughly constant.
+    slopes = [(results[i + 1][1] - results[i][1])
+              / (results[i + 1][0] - results[i][0])
+              for i in range(1, len(results) - 1)]
+    assert max(slopes) / min(slopes) < 1.3
+    assert 700 <= deltas[-1][1] <= 1500

@@ -1,0 +1,120 @@
+"""Figure 4 — domain instantiation and boot times, xl vs containers.
+
+Sequentially starts guests of three sizes (Debian, Tinyx, the daytime
+unikernel) under stock Xen (xl), plus Docker containers and processes,
+and reports create/boot times as the host fills up.
+
+Paper anchors: Debian 500 ms create / 1.5 s boot at first, 42 s create at
+the 1000th; Tinyx 360 ms / 180 ms, 10 s at the 1000th; unikernel
+80 ms / 3 ms, 700 ms at the 1000th; Docker ≈200 ms flat; processes
+≈3.5 ms flat.
+"""
+
+from repro.containers import DockerEngine, ProcessSpawner
+from repro.core import Host
+from repro.core.metrics import mean, sample_indices
+from repro.guests import DAYTIME_UNIKERNEL, DEBIAN, TINYX
+from repro.sim import RngStream, Simulator
+
+from _support import fmt, paper_vs_measured, report, run_once, scaled
+
+COUNTS = {
+    "debian": scaled(1000, 200),
+    "tinyx": scaled(1000, 400),
+    "daytime": scaled(1000, 1000),
+}
+
+
+def vm_storm(image, count):
+    host = Host(variant="xl")
+    creates, boots = [], []
+    for _ in range(count):
+        record = host.create_vm(image)
+        creates.append(record.create_ms)
+        boots.append(record.boot_ms)
+    return creates, boots
+
+
+def docker_storm(count):
+    sim = Simulator()
+    engine = DockerEngine(sim, RngStream(0, "docker"), 128 * 1024)
+    times = []
+    for _ in range(count):
+        before = sim.now
+
+        def one():
+            yield from engine.start_container()
+        proc = sim.process(one())
+        sim.run(until=proc)
+        times.append(sim.now - before)
+    return times
+
+
+def process_storm(count):
+    sim = Simulator()
+    spawner = ProcessSpawner(sim, RngStream(0, "proc"))
+    times = []
+    for _ in range(count):
+        before = sim.now
+
+        def one():
+            yield from spawner.spawn()
+        proc = sim.process(one())
+        sim.run(until=proc)
+        times.append(sim.now - before)
+    return times
+
+
+def run_experiment():
+    out = {}
+    for name, image in (("debian", DEBIAN), ("tinyx", TINYX),
+                        ("daytime", DAYTIME_UNIKERNEL)):
+        out[name] = vm_storm(image, COUNTS[name])
+    out["docker"] = (docker_storm(scaled(1000, 500)), None)
+    out["process"] = (process_storm(1000), None)
+    return out
+
+
+def test_fig04_instantiation_and_boot(benchmark):
+    data = run_once(benchmark, run_experiment)
+
+    deb_c, deb_b = data["debian"]
+    tin_c, tin_b = data["tinyx"]
+    uni_c, uni_b = data["daytime"]
+    docker = data["docker"][0]
+    procs = data["process"][0]
+
+    rows = [
+        ("debian first create (ms)", 500, fmt(deb_c[0])),
+        ("debian first boot (ms)", 1500, fmt(deb_b[0])),
+        ("debian %dth create (ms)" % len(deb_c), "(42000 @1000)",
+         fmt(deb_c[-1])),
+        ("tinyx first create (ms)", 360, fmt(tin_c[0])),
+        ("tinyx first boot (ms)", 180, fmt(tin_b[0])),
+        ("tinyx %dth create (ms)" % len(tin_c), "(10000 @1000)",
+         fmt(tin_c[-1])),
+        ("unikernel first create (ms)", 80, fmt(uni_c[0])),
+        ("unikernel first boot (ms)", 3, fmt(uni_b[0])),
+        ("unikernel %dth create (ms)" % len(uni_c), "(700 @1000)",
+         fmt(uni_c[-1])),
+        ("docker start, mean (ms)", "~200", fmt(mean(docker))),
+        ("process fork/exec, mean (ms)", 3.5, fmt(mean(procs), 2)),
+    ]
+    samples = sample_indices(len(uni_c), 6)
+    series = "\n".join(
+        "n=%4d  uni create=%9.1f boot=%8.1f" % (i + 1, uni_c[i], uni_b[i])
+        for i in samples)
+    report("FIG04 instantiation and boot times",
+           paper_vs_measured(rows) + "\n\n" + series)
+    benchmark.extra_info["unikernel_create"] = [uni_c[i] for i in samples]
+
+    # Shape assertions.
+    assert deb_c[0] > tin_c[0] > uni_c[0]          # size ordering
+    assert deb_b[0] > tin_b[0] > uni_b[0]
+    assert uni_c[-1] > uni_c[0] * 3                # growth with N
+    assert tin_c[-1] > tin_c[0] * 3
+    # Docker and processes do not depend on instance count.
+    assert mean(docker[-50:]) < mean(docker[:50]) * 4
+    assert abs(mean(procs[-200:]) - mean(procs[:200])) < 2.0
+    # With small guests, creation dominates total bring-up time.
+    assert uni_c[-1] > uni_b[-1]

@@ -1,0 +1,79 @@
+"""Figure 9 — creation times for every LightVM mechanism combination.
+
+1000 daytime unikernels on the 4-core machine under: stock xl,
+chaos+XenStore, chaos+XenStore+split toolstack, chaos+noxs, and full
+LightVM (chaos + noxs + split).  Paper anchors: xl ≈100 ms → just under
+1 s; chaos[XS] 15→80 ms; +split ≤ ~25 ms; chaos[noxs] 8-15 ms flat;
+LightVM ~4 ms flat (creation+boot), 2.3 ms floor for a no-device noop.
+"""
+
+from repro.core import Host, VARIANTS
+from repro.core.metrics import sample_indices
+from repro.guests import DAYTIME_UNIKERNEL, NOOP_UNIKERNEL
+
+from _support import fmt, paper_vs_measured, report, run_once, scaled
+
+COUNT = scaled(1000, 500)
+
+PAPER_ANCHORS = {
+    "xl": (100, 950),
+    "chaos+xs": (15, 80),
+    "chaos+xs+split": (None, 25),
+    "chaos+noxs": (10, 15),
+    "lightvm": (4, 4.1),
+}
+
+
+def storm(variant, count=COUNT, image=DAYTIME_UNIKERNEL):
+    host = Host(variant=variant, pool_target=count + 64,
+                shell_memory_kb=image.memory_kb)
+    host.warmup(20.0 * (count + 64))
+    creates, totals = [], []
+    for _ in range(count):
+        record = host.create_vm(image)
+        creates.append(record.create_ms)
+        totals.append(record.total_ms)
+    return creates, totals
+
+
+def run_experiment():
+    results = {variant: storm(variant) for variant in VARIANTS}
+    noop = storm("lightvm", count=10, image=NOOP_UNIKERNEL)
+    return results, noop
+
+
+def test_fig09_toolstack_variants(benchmark):
+    results, noop = run_once(benchmark, run_experiment)
+
+    rows = []
+    for variant in VARIANTS:
+        creates, totals = results[variant]
+        first_paper, last_paper = PAPER_ANCHORS[variant]
+        rows.append(("%s first create (ms)" % variant,
+                     first_paper or "-", fmt(creates[0])))
+        rows.append(("%s %dth (ms)" % (variant, COUNT),
+                     "%s @1000" % last_paper, fmt(creates[-1])))
+    rows.append(("lightvm create+boot (ms)", "~4 flat",
+                 fmt(results["lightvm"][1][-1])))
+    rows.append(("noop floor create+boot (ms)", 2.3, fmt(noop[1][-1], 2)))
+
+    samples = sample_indices(COUNT, 6)
+    lines = ["n      " + "".join("%16s" % v for v in VARIANTS)]
+    for index in samples:
+        lines.append("%-6d" % (index + 1)
+                     + "".join("%16.2f" % results[v][0][index]
+                               for v in VARIANTS))
+    report("FIG09 creation times across mechanisms",
+           paper_vs_measured(rows) + "\n\n" + "\n".join(lines))
+    benchmark.extra_info["last_create"] = {
+        v: results[v][0][-1] for v in VARIANTS}
+
+    # Shape: strict ordering at the tail, and flatness of the noxs paths.
+    tail = {v: results[v][0][-1] for v in VARIANTS}
+    assert tail["xl"] > tail["chaos+xs"] > tail["chaos+xs+split"] \
+        > tail["chaos+noxs"] > tail["lightvm"]
+    for variant in ("chaos+noxs", "lightvm"):
+        creates, _totals = results[variant]
+        assert max(creates) < min(creates) * 1.6, variant  # flat
+    assert tail["xl"] / tail["lightvm"] > 50
+    assert noop[1][-1] < 3.0

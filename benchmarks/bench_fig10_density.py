@@ -1,0 +1,81 @@
+"""Figure 10 — LightVM vs Docker at very high density (64-core host).
+
+LightVM boots thousands of noop unikernels with near-constant latency up
+to 8000 guests; Docker starts at ~150 ms, ramps to ~1 s by the 3000th
+container, shows latency spikes coinciding with large memory-allocation
+jumps, and dies when the next large allocation exhausts host memory.
+"""
+
+from repro.containers import DockerEngine, DockerOOMError
+from repro.core import AMD_OPTERON_64, Host
+from repro.core.metrics import sample_indices
+from repro.guests import NOOP_UNIKERNEL
+from repro.sim import RngStream, Simulator
+
+from _support import fmt, paper_vs_measured, report, run_once, scaled
+
+LIGHTVM_COUNT = scaled(8000, 2000)
+DOCKER_LIMIT = scaled(8000, 4000)
+
+
+def lightvm_storm():
+    host = Host(spec=AMD_OPTERON_64, variant="lightvm",
+                pool_target=LIGHTVM_COUNT + 64,
+                shell_memory_kb=NOOP_UNIKERNEL.memory_kb)
+    host.warmup(12.0 * (LIGHTVM_COUNT + 64))
+    totals = []
+    for _ in range(LIGHTVM_COUNT):
+        totals.append(host.create_vm(NOOP_UNIKERNEL).total_ms)
+    return totals, host
+
+
+def docker_storm():
+    sim = Simulator()
+    engine = DockerEngine(sim, RngStream(0, "docker"),
+                          AMD_OPTERON_64.memory_gb * 1024)
+    times = []
+    died_at = None
+    for index in range(DOCKER_LIMIT):
+        before = sim.now
+
+        def one():
+            yield from engine.start_container()
+        try:
+            proc = sim.process(one())
+            sim.run(until=proc)
+        except DockerOOMError:
+            died_at = index
+            break
+        times.append(sim.now - before)
+    return times, died_at
+
+
+def test_fig10_density(benchmark):
+    (lightvm, host), (docker, died_at) = run_once(
+        benchmark, lambda: (lightvm_storm(), docker_storm()))
+
+    rows = [
+        ("lightvm guests booted", 8000, len(lightvm)),
+        ("lightvm first boot (ms)", "~4", fmt(lightvm[0])),
+        ("lightvm %dth boot (ms)" % len(lightvm), "~ms, flat",
+         fmt(lightvm[-1])),
+        ("docker first start (ms)", "~150", fmt(docker[0])),
+        ("docker 3000th start (ms)", "~1000",
+         fmt(docker[min(2999, len(docker) - 1)])),
+        ("docker dies at", "~3000",
+         died_at if died_at is not None else "survived"),
+    ]
+    samples = sample_indices(len(lightvm), 6)
+    lines = ["n=%5d  lightvm=%8.2f ms" % (i + 1, lightvm[i])
+             for i in samples]
+    report("FIG10 density: LightVM vs Docker",
+           paper_vs_measured(rows) + "\n\n" + "\n".join(lines))
+    benchmark.extra_info["docker_died_at"] = died_at
+
+    # Shape: LightVM flat into the thousands; Docker ramps and dies.
+    assert max(lightvm) < 20.0
+    assert max(lightvm) < min(lightvm) * 2.0
+    assert host.running_guests == len(lightvm)
+    assert died_at is not None
+    assert 2500 <= died_at <= 4000
+    assert docker[-1] > docker[0] * 2  # the ramp

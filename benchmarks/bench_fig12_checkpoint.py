@@ -1,0 +1,86 @@
+"""Figure 12 — checkpointing (save/restore) vs number of running guests.
+
+At each load point N, the experiment has N daytime unikernels running and
+checkpoints 10 of them (12a: save; 12b: restore).  Paper anchors:
+LightVM ≈30 ms save / ≈20 ms restore, flat in N; stock Xen needs ≈128 ms
+and ≈550 ms, growing with N.
+"""
+
+from repro.core import Host, XEON_E5_1630_2DOM0
+from repro.core.metrics import mean
+from repro.guests import DAYTIME_UNIKERNEL
+
+from _support import fmt, paper_vs_measured, report, run_once, scaled
+
+POINTS = ((10, 100, 300, 600, 1000) if scaled(1, 0)
+          else (10, 100, 200, 300))
+VARIANTS = ("xl", "chaos+xs", "lightvm")
+SAVES_PER_POINT = 10
+
+
+def checkpoint_times(variant):
+    """One growing host per variant; sample 10 save/restores at each N."""
+    host = Host(spec=XEON_E5_1630_2DOM0, variant=variant,
+                pool_target=max(POINTS) + 64,
+                shell_memory_kb=DAYTIME_UNIKERNEL.memory_kb)
+    host.warmup(25.0 * (max(POINTS) + 64))
+    pick_rng = host.rng.stream("checkpoint-picks")
+    running = []  # (domain, config)
+    save_series, restore_series = [], []
+    for target in POINTS:
+        while host.running_guests < target:
+            config = host.config_for(DAYTIME_UNIKERNEL)
+            record = host.create_vm(config)
+            running.append((record.domain, config))
+        saves, restores = [], []
+        for _ in range(SAVES_PER_POINT):
+            index = pick_rng.randrange(len(running))
+            domain, config = running.pop(index)
+            start = host.sim.now
+            saved = host.save_vm(domain, config)
+            saves.append(host.sim.now - start)
+            start = host.sim.now
+            new_domain = host.restore_vm(saved)
+            restores.append(host.sim.now - start)
+            running.append((new_domain, config))
+        save_series.append(mean(saves))
+        restore_series.append(mean(restores))
+    return save_series, restore_series
+
+
+def test_fig12_save_restore(benchmark):
+    results = run_once(benchmark, lambda: {v: checkpoint_times(v)
+                                           for v in VARIANTS})
+
+    lv_save, lv_restore = results["lightvm"]
+    xl_save, xl_restore = results["xl"]
+    rows = [
+        ("lightvm save (ms, flat)", 30, fmt(mean(lv_save))),
+        ("lightvm restore (ms, flat)", 20, fmt(mean(lv_restore))),
+        ("xl save at low N (ms)", 128, fmt(xl_save[0])),
+        ("xl restore at low N (ms)", 550, fmt(xl_restore[0])),
+        ("xl save growth over points", "grows",
+         fmt(xl_save[-1] / xl_save[0], 2)),
+    ]
+    lines = ["N      " + "".join("%14s-save%11s-rst" % (v, v)
+                                 for v in VARIANTS)]
+    for row, n in enumerate(POINTS):
+        cells = "".join("%19.1f%15.1f" % (results[v][0][row],
+                                          results[v][1][row])
+                        for v in VARIANTS)
+        lines.append("%-7d%s" % (n, cells))
+    report("FIG12 checkpoint (save/restore) times",
+           paper_vs_measured(rows) + "\n\n" + "\n".join(lines))
+
+    # Shape: LightVM flat and fast in both directions; xl slow, restore
+    # slowest, and growing with N.
+    assert max(lv_save) < min(lv_save) * 1.5
+    assert max(lv_restore) < min(lv_restore) * 1.5
+    assert mean(lv_save) < 60
+    assert mean(lv_restore) < 40
+    assert xl_save[0] > mean(lv_save) * 2.5
+    assert xl_restore[0] > xl_save[0]
+    assert xl_save[-1] > xl_save[0]
+    # chaos+xs sits between xl and LightVM.
+    cx_save, _cx_restore = results["chaos+xs"]
+    assert mean(lv_save) <= mean(cx_save) <= mean(xl_save)

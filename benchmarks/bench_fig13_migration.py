@@ -1,0 +1,87 @@
+"""Figure 13 — migration times vs number of running guests.
+
+10 random guests are migrated at each load point.  Paper anchors: full
+LightVM ≈60 ms regardless of load; chaos+XenStore slightly *outperforms*
+LightVM at low VM counts because noxs device destruction is the one path
+the authors had not optimized; xl grows into the hundreds of ms/seconds.
+"""
+
+from repro.core import Host, XEON_E5_1630_2DOM0
+from repro.core.metrics import mean
+from repro.guests import DAYTIME_UNIKERNEL
+from repro.net import Link
+from repro.sim import Simulator
+from repro.toolstack import migrate
+
+from _support import fmt, paper_vs_measured, report, run_once, scaled
+
+POINTS = ((10, 100, 300, 600, 1000) if scaled(1, 0)
+          else (10, 100, 200, 300))
+VARIANTS = ("xl", "chaos+xs", "lightvm")
+MIGRATIONS_PER_POINT = 10
+
+
+def migration_times(variant):
+    sim = Simulator()
+    src = Host(spec=XEON_E5_1630_2DOM0, variant=variant, sim=sim,
+               pool_target=max(POINTS) + 64,
+               shell_memory_kb=DAYTIME_UNIKERNEL.memory_kb)
+    dst = Host(spec=XEON_E5_1630_2DOM0, variant=variant, sim=sim,
+               pool_target=max(POINTS) + 64,
+               shell_memory_kb=DAYTIME_UNIKERNEL.memory_kb)
+    src.warmup(30.0 * (max(POINTS) + 64))
+    link = Link(sim, latency_ms=0.1, bandwidth_mbps=1000.0)
+    pick_rng = src.rng.stream("migration-picks")
+    running = []
+    series = []
+    for target in POINTS:
+        while src.running_guests < target:
+            config = src.config_for(DAYTIME_UNIKERNEL)
+            record = src.create_vm(config)
+            running.append((record.domain, config))
+        durations = []
+        for _ in range(MIGRATIONS_PER_POINT):
+            index = pick_rng.randrange(len(running))
+            domain, config = running.pop(index)
+            start = sim.now
+            proc = sim.process(migrate(src.checkpointer, dst.checkpointer,
+                                       domain, config, link))
+            sim.run(until=proc)
+            durations.append(sim.now - start)
+            # Keep the source population constant for the next round.
+            replacement = src.config_for(DAYTIME_UNIKERNEL)
+            record = src.create_vm(replacement)
+            running.append((record.domain, replacement))
+        series.append(mean(durations))
+    return series
+
+
+def test_fig13_migration(benchmark):
+    results = run_once(benchmark, lambda: {v: migration_times(v)
+                                           for v in VARIANTS})
+
+    rows = [
+        ("lightvm migration (ms, flat)", 60,
+         fmt(mean(results["lightvm"]))),
+        ("chaos+xs at low N (ms)", "< lightvm",
+         fmt(results["chaos+xs"][0])),
+        ("xl at low N (ms)", "hundreds", fmt(results["xl"][0])),
+        ("xl growth over points", "grows",
+         fmt(results["xl"][-1] / results["xl"][0], 2)),
+    ]
+    lines = ["N      " + "".join("%16s" % v for v in VARIANTS)]
+    for row, n in enumerate(POINTS):
+        lines.append("%-7d" % n + "".join("%16.1f" % results[v][row]
+                                          for v in VARIANTS))
+    report("FIG13 migration times",
+           paper_vs_measured(rows) + "\n\n" + "\n".join(lines))
+
+    lightvm = results["lightvm"]
+    # Shape: LightVM flat around 60 ms; chaos+XS wins at low N (the
+    # unoptimized noxs device destruction); xl slowest and growing.
+    assert max(lightvm) < min(lightvm) * 1.4
+    assert 30 <= mean(lightvm) <= 110
+    assert results["chaos+xs"][0] < lightvm[0]
+    assert results["chaos+xs"][-1] > lightvm[-1]  # XS catches up with N
+    assert results["xl"][0] > lightvm[0] * 2
+    assert results["xl"][-1] > results["xl"][0]

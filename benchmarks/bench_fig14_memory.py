@@ -1,0 +1,90 @@
+"""Figure 14 — memory-usage scalability.
+
+Host memory used by 1000 guests of each type: Debian+Micropython
+(~114 GB, 111 MB each), Tinyx+Micropython (~27 GB), the Minipython
+unikernel (close to Docker), Docker+Micropython containers (~5 GB), and
+plain Micropython processes (lowest).
+"""
+
+from repro.containers import DockerEngine, ProcessSpawner
+from repro.core import Host
+from repro.guests import DEBIAN, MINIPYTHON_UNIKERNEL, TINYX_MICROPYTHON
+from repro.sim import RngStream, Simulator
+
+from _support import fmt, paper_vs_measured, report, run_once, scaled
+
+COUNT = scaled(1000, 400)
+
+
+def vm_memory_gb(image):
+    # chaos+noxs: no shell pool, so the ledger holds exactly the guests
+    # (and a Debian-sized pool cannot crowd out the fleet itself).
+    host = Host(variant="chaos+noxs")
+    for _ in range(COUNT):
+        host.create_vm(image, boot=False)
+    used_kb = host.hypervisor.memory.used_kb - host.spec.dom0_memory_kb
+    return used_kb / 1024.0 / 1024.0
+
+
+def docker_memory_gb():
+    sim = Simulator()
+    engine = DockerEngine(sim, RngStream(0, "docker"), 128 * 1024)
+    for _ in range(COUNT):
+        def one():
+            yield from engine.start_container()
+        proc = sim.process(one())
+        sim.run(until=proc)
+    return engine.memory_usage_mb() / 1024.0
+
+
+def process_memory_gb():
+    sim = Simulator()
+    spawner = ProcessSpawner(sim, RngStream(0, "proc"))
+    for _ in range(COUNT):
+        def one():
+            yield from spawner.spawn()
+        proc = sim.process(one())
+        sim.run(until=proc)
+    return spawner.memory_usage_mb() / 1024.0
+
+
+def run_experiment():
+    return {
+        "debian": vm_memory_gb(DEBIAN),
+        "tinyx": vm_memory_gb(TINYX_MICROPYTHON),
+        "minipython": vm_memory_gb(MINIPYTHON_UNIKERNEL),
+        "docker": docker_memory_gb(),
+        "process": process_memory_gb(),
+    }
+
+
+def test_fig14_memory_scalability(benchmark):
+    usage = run_once(benchmark, run_experiment)
+    scale = COUNT / 1000.0
+
+    rows = [
+        ("debian @%d (GB)" % COUNT, fmt(114 * scale, 1),
+         fmt(usage["debian"])),
+        ("tinyx @%d (GB)" % COUNT, fmt(27 * scale, 1),
+         fmt(usage["tinyx"])),
+        ("minipython unikernel (GB)", "close to docker",
+         fmt(usage["minipython"])),
+        ("docker @%d (GB)" % COUNT, fmt(5 * scale, 1),
+         fmt(usage["docker"])),
+        ("process (GB)", "lowest", fmt(usage["process"], 2)),
+    ]
+    report("FIG14 memory usage at %d guests" % COUNT,
+           paper_vs_measured(rows))
+    benchmark.extra_info["usage_gb"] = usage
+
+    # Shape: strict ordering debian >> tinyx >> unikernel/docker > proc,
+    # and the paper's magnitudes (scaled to the point count).
+    assert usage["debian"] > usage["tinyx"] > usage["minipython"]
+    assert usage["minipython"] > usage["docker"] > usage["process"]
+    assert usage["debian"] / usage["tinyx"] > 3
+    assert usage["tinyx"] / usage["docker"] > 3
+    # The paper's takeaway: the unikernel is "fairly close" to Docker
+    # (same order of magnitude), unlike the Linux-based VMs.
+    assert usage["minipython"] / usage["docker"] < 3
+    assert abs(usage["debian"] - 114 * scale) / (114 * scale) < 0.15
+    assert abs(usage["tinyx"] - 27 * scale) / (27 * scale) < 0.5

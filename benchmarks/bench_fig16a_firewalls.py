@@ -1,0 +1,47 @@
+"""Figure 16a — personal firewalls for 1000 mobile users (§7.1).
+
+1000 ClickOS firewall VMs on the 14-core machine, each serving one
+10 Mb/s client.  Paper anchors: linear throughput to 2.5 Gb/s at 250
+clients; 6.5 Mb/s per user at 500; 4 Mb/s at 1000; RTT negligible at low
+counts, ~60 ms at 1000; one firewall boots in ~10 ms; a single machine
+covers an LTE cell (3.3 Gb/s max theoretical).
+"""
+
+from repro.core.usecases import run_personal_firewalls
+
+from _support import fmt, paper_vs_measured, report, run_once, scaled
+
+
+def test_fig16a_personal_firewalls(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_personal_firewalls(boot_fleet=scaled(1000, 300)))
+
+    by_n = {p.clients: p for p in result.points}
+    rows = [
+        ("firewall boot on loaded host (ms)", "~10",
+         fmt(result.boot_sample_ms)),
+        ("throughput @250 (Gb/s)", 2.5, fmt(by_n[250].total_gbps, 2)),
+        ("per-user @500 (Mb/s)", 6.5, fmt(by_n[500].per_client_mbps)),
+        ("per-user @1000 (Mb/s)", 4.0, fmt(by_n[1000].per_client_mbps)),
+        ("RTT @1000 (ms)", "~60", fmt(by_n[1000].rtt_ms)),
+        ("ClickOS migration, 1Gb/s 10ms link (ms)", "~150",
+         fmt(result.migration_ms)),
+    ]
+    series = "\n".join(
+        "n=%5d  total=%5.2f Gb/s  per-user=%5.1f Mb/s  rtt=%5.1f ms"
+        % (p.clients, p.total_gbps, p.per_client_mbps, p.rtt_ms)
+        for p in result.points)
+    report("FIG16a personal firewalls", paper_vs_measured(rows)
+           + "\n\n" + series)
+
+    assert not by_n[100].saturated
+    assert by_n[500].saturated
+    assert by_n[1000].total_gbps > by_n[500].total_gbps > \
+        by_n[250].total_gbps
+    assert 5.0 <= by_n[500].per_client_mbps <= 8.0
+    assert 3.3 <= by_n[1000].per_client_mbps <= 5.0
+    assert 45 <= by_n[1000].rtt_ms <= 75
+    assert by_n[100].rtt_ms < 5
+    # One machine handles an LTE cell sector (3.3 Gb/s theoretical max).
+    assert by_n[1000].total_gbps > 3.3

@@ -1,0 +1,54 @@
+"""Figure 16b — just-in-time service instantiation (§7.2).
+
+CDFs of client-perceived ping RTT for open-loop arrivals at 10/25/50/
+100 ms.  Paper anchors: with a client every 25 ms, median 13 ms and
+p90 20 ms; at 10 ms the bridge overloads, drops ARP, and some pings time
+out, giving the curve a long tail.
+"""
+
+from repro.core.metrics import cdf_points, median, percentile
+from repro.core.usecases import run_jit_service
+
+from _support import fmt, paper_vs_measured, report, run_once, scaled
+
+RATES_MS = (10.0, 25.0, 50.0, 100.0)
+CLIENTS = scaled(1000, 250)
+
+
+def run_experiment():
+    return {rate: run_jit_service(rate, clients=CLIENTS)
+            for rate in RATES_MS}
+
+
+def test_fig16b_jit_instantiation(benchmark):
+    results = run_once(benchmark, run_experiment)
+
+    r25 = results[25.0]
+    r10 = results[10.0]
+    rows = [
+        ("median @25ms inter-arrival (ms)", 13, fmt(median(r25.rtts))),
+        ("p90 @25ms (ms)", 20, fmt(percentile(r25.rtts, 90))),
+        ("@10ms: ARP drops", ">0 (overload)", r10.bridge_drops),
+        ("@10ms: pings with timeouts", "long tail", r10.retried),
+        ("@10ms p99 (ms)", ">> 100", fmt(percentile(r10.rtts, 99))),
+    ]
+    cdf_lines = []
+    for rate in RATES_MS:
+        pts = cdf_points(results[rate].rtts, points=6)
+        cdf_lines.append("inter-arrival %4.0f ms: "
+                         % rate + "  ".join("%.0fms:%.2f" % (v, f)
+                                            for v, f in pts))
+    report("FIG16b JIT instantiation ping CDFs",
+           paper_vs_measured(rows) + "\n\n" + "\n".join(cdf_lines))
+
+    # Shape: clean sub-40ms curves at 25/50/100 ms; long tail at 10 ms.
+    for rate in (25.0, 50.0, 100.0):
+        result = results[rate]
+        assert result.retried == 0
+        assert percentile(result.rtts, 99) < 40
+        assert 9 <= median(result.rtts) <= 18
+    assert r10.bridge_drops > 0
+    assert r10.retried > 0
+    assert percentile(r10.rtts, 99) > 500
+    # Most pings still complete promptly even under overload.
+    assert median(r10.rtts) < 40

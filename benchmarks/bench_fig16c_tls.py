@@ -1,0 +1,45 @@
+"""Figure 16c — high-density TLS termination (§7.3).
+
+Throughput of N TLS proxies on the 14-core machine.  Paper anchors:
+Tinyx ≈ bare-metal processes (~1400 req/s with RSA-1024); the unikernel
+reaches only a fifth of that (lwip); the TLS unikernel boots in 6 ms with
+16 MB of RAM, the Tinyx proxy in ~190 ms with 40 MB.
+"""
+
+from repro.core.usecases import run_tls_termination
+
+from _support import fmt, paper_vs_measured, report, run_once
+
+
+def test_fig16c_tls_termination(benchmark):
+    result = run_once(benchmark, run_tls_termination)
+
+    bare = result.series["bare-metal"]
+    tinyx = result.series["tinyx"]
+    uni = result.series["unikernel"]
+    rows = [
+        ("unikernel boot (ms)", 6, fmt(result.unikernel_boot_ms)),
+        ("tinyx boot (ms)", 190, fmt(result.tinyx_boot_ms)),
+        ("bare-metal @1000 (req/s)", "~1400", fmt(bare[-1].requests_per_s)),
+        ("tinyx @1000 (req/s)", "~1400", fmt(tinyx[-1].requests_per_s)),
+        ("unikernel @1000 (req/s)", "~1/5 of tinyx",
+         fmt(uni[-1].requests_per_s)),
+    ]
+    lines = ["n      bare-metal       tinyx   unikernel"]
+    for i, point in enumerate(bare):
+        lines.append("%-6d %10.0f  %10.0f  %10.0f"
+                     % (point.instances, bare[i].requests_per_s,
+                        tinyx[i].requests_per_s, uni[i].requests_per_s))
+    report("FIG16c TLS termination throughput",
+           paper_vs_measured(rows) + "\n\n" + "\n".join(lines))
+
+    # Shape: throughput grows with N then saturates; Tinyx ≈ bare metal;
+    # unikernel ≈ 1/5.
+    assert tinyx[-1].requests_per_s > tinyx[0].requests_per_s
+    assert abs(tinyx[-1].requests_per_s - bare[-1].requests_per_s) \
+        / bare[-1].requests_per_s < 0.1
+    ratio = tinyx[-1].requests_per_s / uni[-1].requests_per_s
+    assert 4.0 <= ratio <= 6.0
+    assert 1100 <= tinyx[-1].requests_per_s <= 1700
+    assert result.unikernel_boot_ms < 10
+    assert 150 <= result.tinyx_boot_ms <= 230

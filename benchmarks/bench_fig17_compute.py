@@ -1,0 +1,68 @@
+"""Figure 17 — lightweight compute service completion times (§7.4).
+
+1000 Minipython compute requests arrive every 250 ms on the 4-core
+machine; each runs ~0.8 s of CPU on the three guest cores (full
+utilization would need 266 ms inter-arrivals), so the system is slightly
+overloaded and completion times drift upward with the backlog.
+
+Paper anchors: split-toolstack creations ≈1.3 ms flat; plain noxs
+creations 2.8→3.5 ms; the noxs-based stack completes requests several
+times faster than chaos+XenStore once 100-200 VMs are backlogged.
+"""
+
+from repro.core.metrics import mean, sample_indices
+from repro.core.usecases import run_compute_service
+
+from _support import fmt, paper_vs_measured, report, run_once, scaled
+
+REQUESTS = scaled(1000, 400)
+
+
+def run_experiment():
+    return {
+        "lightvm": run_compute_service("lightvm", requests=REQUESTS),
+        "chaos+noxs": run_compute_service("chaos+noxs", requests=REQUESTS),
+        "chaos+xs": run_compute_service("chaos+xs", requests=REQUESTS),
+    }
+
+
+def test_fig17_compute_service(benchmark):
+    results = run_once(benchmark, run_experiment)
+
+    lightvm = results["lightvm"]
+    noxs = results["chaos+noxs"]
+    chaos_xs = results["chaos+xs"]
+    rows = [
+        ("split-toolstack create (ms, flat)", 1.3,
+         fmt(mean(lightvm.create_ms), 2)),
+        ("noxs create first/last (ms)", "2.8 / 3.5",
+         "%s / %s" % (fmt(noxs.create_ms[0], 2),
+                      fmt(noxs.create_ms[-1], 2))),
+        ("lightvm completion @last (s)", "rising",
+         fmt(lightvm.service_ms[-1] / 1000.0, 2)),
+        ("chaos+xs completion @last (s)", "~5x lightvm @100-200 backlog",
+         fmt(chaos_xs.service_ms[-1] / 1000.0, 2)),
+    ]
+    samples = sample_indices(REQUESTS, 6)
+    lines = ["req    lightvm(s)   chaos+xs(s)"]
+    for i in samples:
+        lines.append("%-6d %10.2f  %12.2f"
+                     % (i + 1, lightvm.service_ms[i] / 1000.0,
+                        chaos_xs.service_ms[i] / 1000.0))
+    report("FIG17 compute service completion times",
+           paper_vs_measured(rows) + "\n\n" + "\n".join(lines))
+
+    # Shape: split creations tiny and flat; noxs creations small with a
+    # slight upward drift; completions rise with the backlog; the
+    # XenStore-based stack is strictly worse.
+    assert mean(lightvm.create_ms) < 3.0
+    assert max(lightvm.create_ms) < 8.0
+    assert noxs.create_ms[0] < 25.0
+    assert lightvm.service_ms[-1] > lightvm.service_ms[0] * 2
+    # Known deviation (EXPERIMENTS.md): our model charges XenStore costs
+    # to Dom0's dedicated core, so the paper's 5x completion gap shrinks
+    # to "no better than LightVM, within noise"; the creation-time gap
+    # below is where the difference survives.
+    assert (mean(chaos_xs.service_ms[REQUESTS // 2:])
+            >= mean(lightvm.service_ms[REQUESTS // 2:]) * 0.99)
+    assert mean(chaos_xs.create_ms) > mean(lightvm.create_ms) * 2

@@ -1,0 +1,7 @@
+"""Make the shared `_support` helpers importable regardless of the
+directory pytest is invoked from."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))

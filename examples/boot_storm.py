@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Boot storm: reproduce the headline Figure 9 curves at the console.
+
+Boots N daytime unikernels under every toolstack combination and prints
+the creation-time series, showing stock Xen's superlinear growth against
+LightVM's flat microsecond-scale curve.
+
+Run:  python examples/boot_storm.py [N]
+"""
+
+import sys
+
+from repro.core import Host, VARIANTS
+from repro.core.metrics import sample_indices
+from repro.guests import DAYTIME_UNIKERNEL
+
+
+def storm(variant: str, count: int):
+    host = Host(variant=variant, pool_target=count + 64,
+                shell_memory_kb=DAYTIME_UNIKERNEL.memory_kb)
+    host.warmup(20.0 * (count + 64))
+    return [host.create_vm(DAYTIME_UNIKERNEL).create_ms
+            for _ in range(count)]
+
+
+def main():
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    results = {}
+    for variant in VARIANTS:
+        print("booting %d unikernels under %s..." % (count, variant))
+        results[variant] = storm(variant, count)
+
+    print("\ncreation time (ms) by number of already-running guests:")
+    print("n      " + "".join("%16s" % v for v in VARIANTS))
+    for index in sample_indices(count, 8):
+        row = "".join("%16.2f" % results[v][index] for v in VARIANTS)
+        print("%-7d%s" % (index + 1, row))
+
+    xl_last = results["xl"][-1]
+    lightvm_last = results["lightvm"][-1]
+    print("\nxl is %.0fx slower than LightVM at guest #%d"
+          % (xl_last / lightvm_last, count))
+
+    from repro.core.asciiplot import render
+    xs = list(range(1, count + 1))
+    print()
+    print(render(xs, results, width=68, height=18, logy=True,
+                 title="Figure 9: creation time vs running guests"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Personal firewalls on a mobile-edge machine (§7.1).
+
+Boots a fleet of ClickOS firewall VMs — one per mobile user — on a
+14-core MEC server, then reports cumulative throughput, per-user
+bandwidth and scheduler-added RTT as the active-user count grows, plus
+the cost of migrating one user's firewall to a neighbouring cell.
+
+Run:  python examples/mec_firewalls.py [fleet_size]
+"""
+
+import sys
+
+from repro.core.usecases import run_personal_firewalls
+
+
+def main():
+    fleet = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    print("booting %d ClickOS personal firewalls..." % fleet)
+    result = run_personal_firewalls(boot_fleet=fleet)
+
+    print("fleet of %d booted; one instance boots in %.1f ms"
+          % (result.booted, result.boot_sample_ms))
+    print("\nactive users -> forwarding behaviour (10 Mb/s per user cap):")
+    for point in result.points:
+        marker = "  <-- CPU saturated" if point.saturated else ""
+        print("  %5d users: %5.2f Gb/s total, %5.1f Mb/s each, "
+              "+%5.1f ms RTT%s"
+              % (point.clients, point.total_gbps, point.per_client_mbps,
+                 point.rtt_ms, marker))
+
+    print("\nLTE-Advanced tops out at 3.3 Gb/s per sector: one machine "
+          "covers the cell.")
+    print("following a user to the next cell: firewall migrates in "
+          "%.0f ms over a 1 Gb/s, 10 ms link" % result.migration_ms)
+
+
+if __name__ == "__main__":
+    main()

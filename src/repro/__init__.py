@@ -1,0 +1,21 @@
+"""repro — a reproduction of "My VM is Lighter (and Safer) than your
+Container" (Manco et al., SOSP 2017) as a discrete-event simulation of a
+Xen-style virtualization host.
+
+Quickstart::
+
+    from repro.core import Host, XEON_E5_1630
+    from repro.guests import DAYTIME_UNIKERNEL
+
+    host = Host(spec=XEON_E5_1630, variant="lightvm")
+    record = host.create_vm(DAYTIME_UNIKERNEL)
+    print("created in %.2f ms, booted in %.2f ms"
+          % (record.create_ms, record.boot_ms))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every figure.
+"""
+
+__version__ = "1.0.0"
+
+from .core import Host  # noqa: F401  (re-exported convenience)

@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library a downstream-usable front end:
+
+* ``images`` — list the guest catalogue with the paper's footprints;
+* ``create`` — run a boot storm under any toolstack variant;
+* ``checkpoint`` — save/restore round-trip timings;
+* ``tinyx-build`` — run the Tinyx pipeline for an application;
+* ``usecase`` — run one of the §7 use cases;
+* ``syscalls`` — print the Fig 1 dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from .core import Host, VARIANTS
+from .core.metrics import mean, median, percentile, sample_indices
+from .data import counts_by_year
+from .guests import CATALOG, lookup
+
+
+def _cmd_images(_args) -> int:
+    print("%-20s %-10s %10s %10s %8s" % ("name", "kind", "kernel",
+                                         "memory", "vifs"))
+    for name in sorted(CATALOG):
+        image = CATALOG[name]
+        print("%-20s %-10s %8.1fMB %8.1fMB %8d"
+              % (name, image.kind.value, image.kernel_size_kb / 1024.0,
+                 image.memory_kb / 1024.0, image.vifs))
+    return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _lookup_or_exit(parser_error, name: str):
+    try:
+        return lookup(name)
+    except KeyError as exc:
+        parser_error(str(exc).strip('"'))
+
+
+def _cmd_create(args) -> int:
+    image = _lookup_or_exit(args.parser_error, args.image)
+    host = Host(variant=args.variant, seed=args.seed,
+                pool_target=args.count + 32,
+                shell_memory_kb=image.memory_kb)
+    host.warmup(20.0 * (args.count + 32))
+    creates, boots = [], []
+    for _ in range(args.count):
+        record = host.create_vm(image)
+        creates.append(record.create_ms)
+        boots.append(record.boot_ms)
+    print("booted %d x %s under %s" % (args.count, args.image,
+                                       args.variant))
+    print("%-8s %12s %12s" % ("n", "create(ms)", "boot(ms)"))
+    for index in sample_indices(args.count, min(10, args.count)):
+        print("%-8d %12.2f %12.2f" % (index + 1, creates[index],
+                                      boots[index]))
+    print("create: mean=%.2f median=%.2f p90=%.2f"
+          % (mean(creates), median(creates), percentile(creates, 90)))
+    if args.stats:
+        from .core.stats import snapshot
+        print()
+        print(snapshot(host).render())
+    if args.plot:
+        from .core.asciiplot import render
+        print()
+        print(render(list(range(1, args.count + 1)),
+                     {"create": creates, "boot": boots},
+                     logy=True,
+                     title="%s on %s" % (args.image, args.variant)))
+    return 0
+
+
+def _cmd_checkpoint(args) -> int:
+    image = _lookup_or_exit(args.parser_error, args.image)
+    host = Host(variant=args.variant, seed=args.seed)
+    host.warmup(500)
+    config = host.config_for(image)
+    record = host.create_vm(config)
+    domain = record.domain
+    saves, restores = [], []
+    for _ in range(args.cycles):
+        t0 = host.sim.now
+        saved = host.save_vm(domain, config)
+        saves.append(host.sim.now - t0)
+        t0 = host.sim.now
+        domain = host.restore_vm(saved)
+        restores.append(host.sim.now - t0)
+    print("%d checkpoint cycles of %s under %s" % (args.cycles,
+                                                   args.image,
+                                                   args.variant))
+    print("save:    mean %.1f ms" % mean(saves))
+    print("restore: mean %.1f ms" % mean(restores))
+    return 0
+
+
+def _cmd_tinyx_build(args) -> int:
+    from .tinyx import DEFAULT_TRIM_CANDIDATES, TinyxBuilder
+    build = TinyxBuilder().build(
+        args.app, platform=args.platform,
+        trim_candidates=DEFAULT_TRIM_CANDIDATES if args.trim else None)
+    print("packages: %s" % ", ".join(build.packages))
+    print("initramfs: %.1f MB" % (build.initramfs_kb / 1024.0))
+    print("kernel: %.1f MB" % (build.kernel_kb / 1024.0))
+    if build.trim_report:
+        print("trim: %d options removed in %d rebuilds"
+              % (len(build.trim_report.removed),
+                 build.trim_report.builds))
+    print("image: %.1f MB, %.0f MB RAM"
+          % (build.image.kernel_size_kb / 1024.0,
+             build.image.memory_kb / 1024.0))
+    return 0
+
+
+def _cmd_usecase(args) -> int:
+    from .core import usecases
+    if args.name == "firewalls":
+        result = usecases.run_personal_firewalls(boot_fleet=args.scale)
+        for point in result.points:
+            print("%5d users: %5.2f Gb/s, %5.1f Mb/s each, +%5.1f ms"
+                  % (point.clients, point.total_gbps,
+                     point.per_client_mbps, point.rtt_ms))
+    elif args.name == "jit":
+        result = usecases.run_jit_service(25.0, clients=args.scale)
+        print("median %.1f ms, p90 %.1f ms, %d retried"
+              % (median(result.rtts), percentile(result.rtts, 90),
+                 result.retried))
+    elif args.name == "tls":
+        result = usecases.run_tls_termination()
+        for kind, points in result.series.items():
+            print("%-12s %8.0f req/s at saturation"
+                  % (kind, points[-1].requests_per_s))
+    elif args.name == "compute":
+        result = usecases.run_compute_service("lightvm",
+                                              requests=args.scale)
+        print("create mean %.2f ms; completion %0.2f s -> %0.2f s"
+              % (mean(result.create_ms),
+                 result.service_ms[0] / 1000.0,
+                 result.service_ms[-1] / 1000.0))
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.name)
+    return 0
+
+
+def _cmd_unikernel_build(args) -> int:
+    from .unikernel import APPLICATIONS, build, size_report
+    if args.app == "all":
+        names = sorted(APPLICATIONS)
+    else:
+        names = [args.app]
+    builds = [build(name) for name in names]
+    print(size_report(builds))
+    if len(builds) == 1:
+        result = builds[0].link_result
+        print("\nlink map:")
+        for obj in result.objects:
+            print("  %-18s %5d KB" % (obj.name, obj.size_kb))
+    return 0
+
+
+def _cmd_syscalls(_args) -> int:
+    for year, count in counts_by_year():
+        print("%d  %d" % (year, count))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LightVM (SOSP 2017) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("images", help="list the guest image catalogue") \
+        .set_defaults(fn=_cmd_images)
+
+    create = sub.add_parser("create", help="run a boot storm")
+    create.add_argument("--variant", choices=VARIANTS, default="lightvm")
+    create.add_argument("--image", default="daytime")
+    create.add_argument("--count", type=_positive_int, default=10)
+    create.add_argument("--seed", type=int, default=0)
+    create.add_argument("--plot", action="store_true",
+                        help="render an ASCII chart of the series")
+    create.add_argument("--stats", action="store_true",
+                        help="print a host-wide stats snapshot at the end")
+    create.set_defaults(fn=_cmd_create)
+
+    checkpoint = sub.add_parser("checkpoint",
+                                help="save/restore round trips")
+    checkpoint.add_argument("--variant", choices=VARIANTS,
+                            default="lightvm")
+    checkpoint.add_argument("--image", default="daytime")
+    checkpoint.add_argument("--cycles", type=_positive_int, default=3)
+    checkpoint.add_argument("--seed", type=int, default=0)
+    checkpoint.set_defaults(fn=_cmd_checkpoint)
+
+    tinyx = sub.add_parser("tinyx-build", help="build a Tinyx image")
+    tinyx.add_argument("app")
+    tinyx.add_argument("--platform", choices=("xen", "kvm"),
+                       default="xen")
+    tinyx.add_argument("--no-trim", dest="trim", action="store_false")
+    tinyx.set_defaults(fn=_cmd_tinyx_build)
+
+    unikernel = sub.add_parser("unikernel-build",
+                               help="link a Mini-OS unikernel")
+    unikernel.add_argument("app", nargs="?", default="all")
+    unikernel.set_defaults(fn=_cmd_unikernel_build)
+
+    usecase = sub.add_parser("usecase", help="run a §7 use case")
+    usecase.add_argument("name", choices=("firewalls", "jit", "tls",
+                                          "compute"))
+    usecase.add_argument("--scale", type=int, default=100)
+    usecase.set_defaults(fn=_cmd_usecase)
+
+    sub.add_parser("syscalls", help="print the Fig 1 dataset") \
+        .set_defaults(fn=_cmd_syscalls)
+    return parser
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.parser_error = parser.error  # clean exits for runtime lookups
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""OS-level virtualization baselines: Docker containers and processes."""
+
+from .docker import Container, DockerCosts, DockerEngine, DockerOOMError
+from .process import OsProcess, ProcessCosts, ProcessSpawner
+
+__all__ = [
+    "Container",
+    "DockerCosts",
+    "DockerEngine",
+    "DockerOOMError",
+    "OsProcess",
+    "ProcessCosts",
+    "ProcessSpawner",
+]

@@ -1,0 +1,164 @@
+"""Docker engine model (the paper's container baseline, Docker 1.13).
+
+Docker is not the paper's contribution — it is the yardstick — so this is
+an honest behavioural model of what the paper *measures* about it:
+
+* starts take ~150 ms with no dependence on how many other containers are
+  already running at low counts, ramping to ~1 s by the 3000th container
+  (Fig 4, Fig 10);
+* memory use is low (≈5 GB for 1000 Micropython containers, Fig 14)
+  because containers share the kernel and image layers;
+* the Fig 10 curve shows latency spikes that "coincide with large jumps in
+  memory consumption", and at about 3000 containers "the next large memory
+  allocation consumes all available memory and the system becomes
+  unresponsive" — modeled as geometrically growing engine arena
+  allocations that eventually exhaust host memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.engine import Simulator
+    from ..sim.rng import RngStream
+
+
+class DockerOOMError(MemoryError):
+    """The engine's next large allocation exceeded host memory."""
+
+
+@dataclasses.dataclass
+class DockerCosts:
+    """Calibrated Docker 1.13 behaviour."""
+
+    #: Base container start latency (ms): image layers, namespaces,
+    #: cgroups, veth plumbing.
+    base_start_ms: float = 145.0
+    #: Linear latency growth per existing container (ms).
+    linear_ms: float = 0.028
+    #: Quadratic latency growth (daemon bookkeeping), ms per container².
+    quadratic_ms: float = 8e-5
+    #: Start-time jitter (lognormal sigma).
+    jitter_sigma: float = 0.08
+    #: Engine daemon resident memory (MB).
+    engine_base_mb: float = 300.0
+    #: Per-container unique memory (MB): writable layer + process RSS.
+    per_container_mb: float = 4.8
+    #: The engine grabs a large arena every ``arena_period`` containers;
+    #: each is ``arena_ratio`` times bigger than the last, starting at
+    #: ``arena_initial_mb``.  These are the Fig 10 spikes and, eventually,
+    #: the fatal allocation.
+    arena_initial_mb: float = 256.0
+    arena_ratio: float = 3.0
+    arena_period: int = 500
+    #: Latency penalty per GB of arena allocated (page faults, zeroing).
+    arena_ms_per_gb: float = 110.0
+    #: Stop latency.
+    stop_ms: float = 45.0
+    #: Pause/unpause (cgroup freezer) latency.
+    pause_ms: float = 12.0
+
+
+@dataclasses.dataclass
+class Container:
+    """One running container."""
+
+    container_id: int
+    image: str
+    started_at: float
+    paused: bool = False
+
+
+class DockerEngine:
+    """The Docker daemon on one host."""
+
+    def __init__(self, sim: "Simulator", rng: "RngStream",
+                 host_memory_mb: float,
+                 costs: typing.Optional[DockerCosts] = None):
+        self.sim = sim
+        self.rng = rng
+        self.host_memory_mb = host_memory_mb
+        self.costs = costs or DockerCosts()
+        self.containers: typing.Dict[int, Container] = {}
+        self._next_id = 1
+        self._started_total = 0
+        self._arena_mb_total = 0.0
+        self._next_arena_mb = self.costs.arena_initial_mb
+        self.dead = False
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> int:
+        return len(self.containers)
+
+    def memory_usage_mb(self) -> float:
+        """Engine + containers + arenas, MB."""
+        return (self.costs.engine_base_mb
+                + self.running * self.costs.per_container_mb
+                + self._arena_mb_total)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _start_latency_ms(self) -> float:
+        n = self._started_total
+        latency = (self.costs.base_start_ms + n * self.costs.linear_ms
+                   + n * n * self.costs.quadratic_ms)
+        jitter = self.rng.lognormvariate(0.0, self.costs.jitter_sigma)
+        return latency * jitter
+
+    def start_container(self, image: str = "micropython"):
+        """Generator: ``docker run``; returns the Container.
+
+        Raises :class:`DockerOOMError` when the engine's next large
+        allocation would exhaust host memory (after which the engine is
+        unusable, matching the paper's "system becomes unresponsive").
+        """
+        if self.dead:
+            raise DockerOOMError("docker engine is dead (earlier OOM)")
+        latency = self._start_latency_ms()
+
+        # Periodic large arena allocation (the Fig 10 spikes).
+        if self._started_total and \
+                self._started_total % self.costs.arena_period == 0:
+            needed = self._next_arena_mb
+            if self.memory_usage_mb() + needed > self.host_memory_mb:
+                self.dead = True
+                raise DockerOOMError(
+                    "arena allocation of %.0f MB exceeds host memory "
+                    "(%.0f MB used of %.0f MB)"
+                    % (needed, self.memory_usage_mb(), self.host_memory_mb))
+            self._arena_mb_total += needed
+            self._next_arena_mb *= self.costs.arena_ratio
+            latency += needed / 1024.0 * self.costs.arena_ms_per_gb
+
+        if self.memory_usage_mb() + self.costs.per_container_mb \
+                > self.host_memory_mb:
+            self.dead = True
+            raise DockerOOMError("per-container memory exhausted host RAM")
+
+        yield self.sim.timeout(latency)
+        container = Container(self._next_id, image, self.sim.now)
+        self.containers[container.container_id] = container
+        self._next_id += 1
+        self._started_total += 1
+        return container
+
+    def stop_container(self, container: Container):
+        """Generator: ``docker stop``."""
+        yield self.sim.timeout(self.costs.stop_ms)
+        self.containers.pop(container.container_id, None)
+
+    def pause(self, container: Container):
+        """Generator: ``docker pause`` (cgroup freezer)."""
+        yield self.sim.timeout(self.costs.pause_ms)
+        container.paused = True
+
+    def unpause(self, container: Container):
+        """Generator: ``docker unpause``."""
+        yield self.sim.timeout(self.costs.pause_ms)
+        container.paused = False

@@ -1,0 +1,97 @@
+"""Terminal plots for benchmark series — no plotting dependency needed.
+
+Renders multi-series scatter/line charts as text, with optional log-y
+(most of the paper's figures are log-scale).  Used by the examples and
+the CLI to show the regenerated curves directly in the console.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+#: Per-series glyphs, in assignment order.
+GLYPHS = "*+ox#%@&"
+
+
+def _nice_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return "%.0f" % value
+    if abs(value) >= 10:
+        return "%.1f" % value
+    return "%.2f" % value
+
+
+def render(xs: typing.Sequence[float],
+           series: typing.Dict[str, typing.Sequence[float]],
+           width: int = 64, height: int = 16,
+           logy: bool = False,
+           title: str = "",
+           y_label: str = "ms") -> str:
+    """Render ``series`` (name -> y values over ``xs``) as an ASCII chart.
+
+    All series must have ``len(xs)`` points.  With ``logy`` the y axis is
+    log10 (zero/negative values are clamped to the smallest positive
+    point).
+    """
+    if not xs:
+        raise ValueError("need at least one x value")
+    if not series:
+        raise ValueError("need at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError("series %r has %d points for %d xs"
+                             % (name, len(ys), len(xs)))
+    if width < 16 or height < 4:
+        raise ValueError("plot area too small")
+
+    all_ys = [y for ys in series.values() for y in ys]
+    positive = [y for y in all_ys if y > 0]
+    floor = min(positive) if positive else 1.0
+
+    def transform(y: float) -> float:
+        if logy:
+            return math.log10(max(y, floor))
+        return y
+
+    t_min = min(transform(y) for y in all_ys)
+    t_max = max(transform(y) for y in all_ys)
+    if t_max == t_min:
+        t_max = t_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        for x, y in zip(xs, ys):
+            column = int((x - x_min) / x_span * (width - 1))
+            rank = (transform(y) - t_min) / (t_max - t_min)
+            row = height - 1 - int(rank * (height - 1))
+            grid[row][column] = glyph
+
+    top = 10 ** t_max if logy else t_max
+    bottom = 10 ** t_min if logy else t_min
+    lines = []
+    if title:
+        lines.append(title)
+    axis_width = max(len(_nice_number(top)), len(_nice_number(bottom)))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = _nice_number(top)
+        elif row_index == height - 1:
+            label = _nice_number(bottom)
+        else:
+            label = ""
+        lines.append("%*s |%s" % (axis_width, label, "".join(row)))
+    lines.append("%*s +%s" % (axis_width, "", "-" * width))
+    lines.append("%*s  %-8s%*s" % (axis_width, "",
+                                   _nice_number(x_min),
+                                   width - 8, _nice_number(x_max)))
+    legend = "   ".join("%s %s" % (GLYPHS[i % len(GLYPHS)], name)
+                        for i, name in enumerate(series))
+    lines.append("(%s, y in %s%s)" % (legend, y_label,
+                                      ", log scale" if logy else ""))
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Measurement helpers: percentiles, CDFs, series formatting.
+
+Small, dependency-free statistics used by the benchmarks to print the
+same rows/series the paper's figures report.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+
+def percentile(values: typing.Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) with linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def median(values: typing.Sequence[float]) -> float:
+    """The 50th percentile."""
+    return percentile(values, 50)
+
+
+def mean(values: typing.Sequence[float]) -> float:
+    """Arithmetic mean."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def cdf_points(values: typing.Sequence[float],
+               points: int = 50) -> typing.List[typing.Tuple[float, float]]:
+    """(value, cumulative fraction) pairs suitable for plotting a CDF."""
+    if not values:
+        raise ValueError("cdf of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    step = max(1, n // points)
+    out = []
+    for index in range(0, n, step):
+        out.append((ordered[index], (index + 1) / n))
+    # The CDF must terminate at (max value, 1.0) even when the subsampling
+    # step skipped the tail or the maximum duplicates an earlier value.
+    if out[-1] != (ordered[-1], 1.0):
+        out.append((ordered[-1], 1.0))
+    return out
+
+
+def sample_indices(total: int, samples: int) -> typing.List[int]:
+    """Evenly spaced indices (always including first and last)."""
+    if total <= 0:
+        raise ValueError("total must be positive")
+    if samples >= total:
+        return list(range(total))
+    step = (total - 1) / (samples - 1)
+    return sorted({round(i * step) for i in range(samples)})
+
+
+def format_series(title: str, xs: typing.Sequence[float],
+                  series: typing.Dict[str, typing.Sequence[float]],
+                  x_label: str = "x", unit: str = "ms") -> str:
+    """Render aligned columns: one row per x, one column per series."""
+    names = list(series)
+    header = "%-10s" % x_label + "".join("%18s" % n for n in names)
+    lines = [title, header]
+    for row_index, x in enumerate(xs):
+        cells = "".join("%18.3f" % series[name][row_index]
+                        for name in names)
+        lines.append("%-10g" % x + cells)
+    lines.append("(values in %s)" % unit)
+    return "\n".join(lines)

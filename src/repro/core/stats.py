@@ -1,0 +1,92 @@
+"""Host-wide statistics snapshots (the xentop view).
+
+One call gathers every counter the subsystems keep — domains by state,
+memory, CPU, hypercall counts, XenStore traffic, noxs activity — into a
+single comparable, printable snapshot.  Useful for examples, debugging
+and regression checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..hypervisor.domain import DomainState
+from .host import Host
+
+
+@dataclasses.dataclass
+class HostStats:
+    """A point-in-time summary of a host."""
+
+    sim_time_ms: float
+    domains_by_state: typing.Dict[str, int]
+    guest_memory_mb: float
+    free_memory_mb: float
+    cpu_utilization_pct: float
+    hypercalls: typing.Dict[str, int]
+    xenstore_ops: int
+    xenstore_conflicts: int
+    xenstore_watches: int
+    xenstore_nodes: int
+    noxs_devices_created: int
+    event_channels_dom0: int
+    grants_dom0: int
+
+    def render(self) -> str:
+        """A human-readable summary block."""
+        states = ", ".join("%s=%d" % (state, count) for state, count
+                           in sorted(self.domains_by_state.items()))
+        lines = [
+            "t=%.1f ms" % self.sim_time_ms,
+            "domains: %s" % (states or "none"),
+            "memory: %.1f MB guests, %.1f MB free"
+            % (self.guest_memory_mb, self.free_memory_mb),
+            "cpu: %.2f%%" % self.cpu_utilization_pct,
+            "hypercalls: %d total"
+            % sum(self.hypercalls.values()),
+        ]
+        if self.xenstore_ops or self.xenstore_nodes:
+            lines.append(
+                "xenstore: %d ops, %d conflicts, %d watches, %d nodes"
+                % (self.xenstore_ops, self.xenstore_conflicts,
+                   self.xenstore_watches, self.xenstore_nodes))
+        if self.noxs_devices_created:
+            lines.append("noxs: %d devices created"
+                         % self.noxs_devices_created)
+        lines.append("dom0: %d event channels, %d grants"
+                     % (self.event_channels_dom0, self.grants_dom0))
+        return "\n".join(lines)
+
+
+def snapshot(host: Host) -> HostStats:
+    """Collect a :class:`HostStats` from a live host."""
+    by_state: typing.Dict[str, int] = {}
+    for domain in host.hypervisor.domains.values():
+        if domain.domid == 0:
+            continue
+        key = domain.state.value
+        by_state[key] = by_state.get(key, 0) + 1
+
+    shell_kb = sum(d.memory_kb for d in host.hypervisor.domains.values()
+                   if d.state is DomainState.SHELL)
+    guest_kb = (host.hypervisor.memory.used_kb
+                - host.spec.dom0_memory_kb - shell_kb)
+
+    xs = host.xenstore
+    return HostStats(
+        sim_time_ms=host.sim.now,
+        domains_by_state=by_state,
+        guest_memory_mb=guest_kb / 1024.0,
+        free_memory_mb=host.hypervisor.memory.free_kb / 1024.0,
+        cpu_utilization_pct=host.cpu_utilization() * 100.0,
+        hypercalls=dict(host.hypervisor.hypercall_counts),
+        xenstore_ops=xs.stats["ops"] if xs else 0,
+        xenstore_conflicts=xs.stats["conflicts"] if xs else 0,
+        xenstore_watches=len(xs.watches) if xs else 0,
+        xenstore_nodes=xs.tree.count_nodes() if xs else 0,
+        noxs_devices_created=(host.noxs.stats["devices_created"]
+                              if host.noxs else 0),
+        event_channels_dom0=host.hypervisor.event_channels.count_for(0),
+        grants_dom0=host.hypervisor.grants.count_for(0),
+    )

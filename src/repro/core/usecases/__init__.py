@@ -1,0 +1,19 @@
+"""The four §7 use cases of the paper."""
+
+from .compute import ComputeServiceResult, run_compute_service
+from .firewall import (FirewallUseCase, estimate_migration_ms,
+                       run_personal_firewalls)
+from .jit import JitResult, run_jit_service
+from .tlsterm import TlsUseCase, run_tls_termination
+
+__all__ = [
+    "ComputeServiceResult",
+    "FirewallUseCase",
+    "JitResult",
+    "TlsUseCase",
+    "estimate_migration_ms",
+    "run_compute_service",
+    "run_jit_service",
+    "run_personal_firewalls",
+    "run_tls_termination",
+]

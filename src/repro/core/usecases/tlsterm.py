@@ -1,0 +1,47 @@
+"""§7.3 — High-density TLS termination (Fig 16c).
+
+N apachebench clients request an empty file over HTTPS from N isolated
+TLS proxies (one per CDN customer).  Three server kinds: bare-metal Linux
+processes, Tinyx VMs (axtls), and the lwip-based TLS unikernel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ...guests.catalog import TINYX_TLS, TLS_UNIKERNEL
+from ...net.tls import TlsResult, tls_throughput
+from ..host import Host
+from ..hostspec import XEON_E5_2690, HostSpec
+
+
+@dataclasses.dataclass
+class TlsUseCase:
+    """Results for the TLS termination experiment."""
+
+    #: Boot times for one instance of each kind (paper: 6 ms / 190 ms).
+    unikernel_boot_ms: float
+    tinyx_boot_ms: float
+    #: kind -> list of TlsResult per instance-count point.
+    series: typing.Dict[str, typing.List[TlsResult]]
+
+
+def run_tls_termination(
+        instance_counts: typing.Sequence[int] = (1, 100, 250, 500, 750,
+                                                 1000),
+        spec: HostSpec = XEON_E5_2690) -> TlsUseCase:
+    """Boot a sample of each proxy kind, then sweep the load points."""
+    host = Host(spec=spec, variant="lightvm", pool_target=8,
+                shell_memory_kb=TLS_UNIKERNEL.memory_kb)
+    host.warmup(1000)
+    unikernel_boot = host.create_vm(TLS_UNIKERNEL).boot_ms
+    tinyx_boot = host.create_vm(TINYX_TLS).boot_ms
+
+    series: typing.Dict[str, typing.List[TlsResult]] = {}
+    for kind in ("bare-metal", "tinyx", "unikernel"):
+        series[kind] = [tls_throughput(kind, count, spec.guest_cores)
+                        for count in instance_counts]
+    return TlsUseCase(unikernel_boot_ms=unikernel_boot,
+                      tinyx_boot_ms=tinyx_boot,
+                      series=series)

@@ -1,0 +1,137 @@
+"""Reusable experiment drivers.
+
+The same few workload shapes recur across the paper's evaluation: boot a
+storm of guests and watch per-creation latency; checkpoint a sample of a
+running fleet; pause part of a fleet to free CPU.  These drivers wrap
+them behind one call each so examples, the CLI and downstream scripts do
+not re-implement the loops.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..guests.images import GuestImage
+from .host import Host
+from .hostspec import HostSpec, XEON_E5_1630
+
+
+@dataclasses.dataclass
+class StormResult:
+    """Outcome of a boot storm."""
+
+    variant: str
+    image: str
+    create_ms: typing.List[float]
+    boot_ms: typing.List[float]
+    host: Host
+
+    @property
+    def total_ms(self) -> typing.List[float]:
+        return [c + b for c, b in zip(self.create_ms, self.boot_ms)]
+
+
+def boot_storm(variant: str, image: GuestImage, count: int,
+               spec: HostSpec = XEON_E5_1630, seed: int = 0,
+               boot: bool = True,
+               warmup_ms_per_shell: float = 20.0) -> StormResult:
+    """Sequentially create ``count`` guests; returns per-VM timings.
+
+    For split-toolstack variants the shell pool is sized to cover the
+    storm and pre-filled during warmup (the paper's steady-state
+    assumption); pass ``warmup_ms_per_shell=0`` to start cold.
+    """
+    host = Host(spec=spec, variant=variant, seed=seed,
+                pool_target=count + 32, shell_memory_kb=image.memory_kb)
+    if warmup_ms_per_shell:
+        host.warmup(warmup_ms_per_shell * (count + 32))
+    creates, boots = [], []
+    for _ in range(count):
+        record = host.create_vm(image, boot=boot)
+        creates.append(record.create_ms)
+        boots.append(record.boot_ms)
+    return StormResult(variant=variant, image=image.name,
+                       create_ms=creates, boot_ms=boots, host=host)
+
+
+@dataclasses.dataclass
+class CheckpointSweepResult:
+    """Mean save/restore times at each fleet-size point."""
+
+    variant: str
+    points: typing.List[int]
+    save_ms: typing.List[float]
+    restore_ms: typing.List[float]
+
+
+def checkpoint_sweep(variant: str, image: GuestImage,
+                     points: typing.Sequence[int],
+                     samples_per_point: int = 10,
+                     spec: HostSpec = XEON_E5_1630,
+                     seed: int = 0) -> CheckpointSweepResult:
+    """Grow a fleet to each point and checkpoint a random sample (the
+    Fig 12 procedure)."""
+    host = Host(spec=spec, variant=variant, seed=seed,
+                pool_target=max(points) + 32,
+                shell_memory_kb=image.memory_kb)
+    host.warmup(25.0 * (max(points) + 32))
+    pick = host.rng.stream("checkpoint-sweep")
+    fleet = []
+    save_series, restore_series = [], []
+    for target in points:
+        while host.running_guests < target:
+            config = host.config_for(image)
+            fleet.append((host.create_vm(config).domain, config))
+        saves, restores = [], []
+        for _ in range(samples_per_point):
+            domain, config = fleet.pop(pick.randrange(len(fleet)))
+            t0 = host.sim.now
+            saved = host.save_vm(domain, config)
+            saves.append(host.sim.now - t0)
+            t0 = host.sim.now
+            fleet.append((host.restore_vm(saved), config))
+            restores.append(host.sim.now - t0)
+        save_series.append(sum(saves) / len(saves))
+        restore_series.append(sum(restores) / len(restores))
+    return CheckpointSweepResult(variant=variant, points=list(points),
+                                 save_ms=save_series,
+                                 restore_ms=restore_series)
+
+
+@dataclasses.dataclass
+class PauseDensityResult:
+    """Effect of freezing part of a fleet (§2's pause requirement)."""
+
+    fleet: int
+    paused: int
+    utilization_before: float
+    utilization_after: float
+    boot_before_ms: float
+    boot_after_ms: float
+
+
+def pause_density(image: GuestImage, fleet: int, pause_fraction: float,
+                  spec: HostSpec = XEON_E5_1630,
+                  seed: int = 0) -> PauseDensityResult:
+    """Boot a fleet, freeze a fraction of it, and measure what that buys:
+    lower host CPU utilization and faster boots for newcomers."""
+    if not 0.0 <= pause_fraction <= 1.0:
+        raise ValueError("pause_fraction must be in [0, 1]")
+    host = Host(spec=spec, variant="lightvm", seed=seed,
+                pool_target=fleet + 8, shell_memory_kb=image.memory_kb)
+    host.warmup(20.0 * (fleet + 8))
+    domains = [host.create_vm(image).domain for _ in range(fleet)]
+    utilization_before = host.cpu_utilization()
+    boot_before = host.create_vm(image).boot_ms
+
+    to_pause = domains[:int(fleet * pause_fraction)]
+    for domain in to_pause:
+        host.pause_vm(domain)
+    utilization_after = host.cpu_utilization()
+    boot_after = host.create_vm(image).boot_ms
+    return PauseDensityResult(fleet=fleet, paused=len(to_pause),
+                              utilization_before=utilization_before,
+                              utilization_after=utilization_after,
+                              boot_before_ms=boot_before,
+                              boot_after_ms=boot_after)

@@ -1,0 +1,5 @@
+"""Static datasets referenced by the paper's motivation figures."""
+
+from .syscalls import SYSCALL_HISTORY, counts_by_year, growth_per_year
+
+__all__ = ["SYSCALL_HISTORY", "counts_by_year", "growth_per_year"]

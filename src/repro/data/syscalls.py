@@ -1,0 +1,43 @@
+"""Linux x86_32 syscall counts over time (Figure 1).
+
+"The unrelenting growth of the Linux syscall API over the years (x86_32)
+underlines the difficulty of securing containers."  One data point per
+kernel release year, following the i386 syscall table's growth from the
+2.5 series (~240 entries) to the 4.x series (~380+).
+"""
+
+from __future__ import annotations
+
+import typing
+
+#: (year, release, syscall count on x86_32).
+SYSCALL_HISTORY: typing.List[typing.Tuple[int, str, int]] = [
+    (2002, "2.5.40", 237),
+    (2003, "2.6.0", 256),
+    (2004, "2.6.9", 283),
+    (2005, "2.6.14", 294),
+    (2006, "2.6.19", 312),
+    (2007, "2.6.23", 322),
+    (2008, "2.6.27", 327),
+    (2009, "2.6.31", 333),
+    (2010, "2.6.36", 338),
+    (2011, "3.1", 345),
+    (2012, "3.7", 348),
+    (2013, "3.12", 350),
+    (2014, "3.17", 354),
+    (2015, "4.3", 364),
+    (2016, "4.9", 376),
+    (2017, "4.14", 384),
+]
+
+
+def counts_by_year() -> typing.List[typing.Tuple[int, int]]:
+    """(year, syscall count) pairs — the Figure 1 series."""
+    return [(year, count) for year, _release, count in SYSCALL_HISTORY]
+
+
+def growth_per_year() -> float:
+    """Mean syscalls added per year over the covered span."""
+    first_year, _r, first = SYSCALL_HISTORY[0]
+    last_year, _r2, last = SYSCALL_HISTORY[-1]
+    return (last - first) / (last_year - first_year)

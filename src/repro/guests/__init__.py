@@ -1,0 +1,34 @@
+"""Guest images and guest-side boot behaviour.
+
+The catalogue (:mod:`repro.guests.catalog`) carries the paper's named
+images (daytime/noop/Minipython unikernels, Tinyx variants, Debian); the
+boot model (:mod:`repro.guests.boot`) runs a guest's front-end device
+bring-up — via the XenStore or via noxs device pages — and its kernel boot
+work under CPU contention.
+"""
+
+from .boot import BootReport, GuestBootError, GuestCosts, boot_guest
+from .catalog import (CATALOG, CLICKOS_FIREWALL, DAYTIME_UNIKERNEL, DEBIAN,
+                      MINIPYTHON_UNIKERNEL, NOOP_UNIKERNEL, TINYX,
+                      TINYX_MICROPYTHON, TINYX_TLS, TLS_UNIKERNEL, lookup)
+from .images import GuestImage, GuestKind
+
+__all__ = [
+    "BootReport",
+    "CATALOG",
+    "CLICKOS_FIREWALL",
+    "DAYTIME_UNIKERNEL",
+    "DEBIAN",
+    "GuestBootError",
+    "GuestCosts",
+    "GuestImage",
+    "GuestKind",
+    "MINIPYTHON_UNIKERNEL",
+    "NOOP_UNIKERNEL",
+    "TINYX",
+    "TINYX_MICROPYTHON",
+    "TINYX_TLS",
+    "TLS_UNIKERNEL",
+    "boot_guest",
+    "lookup",
+]

@@ -1,0 +1,209 @@
+"""Guest-side boot: front-end device bring-up plus kernel boot work.
+
+Two control-plane paths exist, matching Figure 7:
+
+* **XenStore path** (7a): the guest's xenbus contacts the XenStore to read
+  the connection details the back-end published (event channel, grant
+  reference), then binds and maps them — several protocol round-trips per
+  device.
+* **noxs path** (7b): the guest issues one hypercall to map its device
+  page, parses the packed entries, and connects to the back-end directly —
+  no XenStore involved.
+
+After device bring-up the kernel's boot work runs on the guest's vCPU.
+Idle co-resident guests slow it down (their periodic wakeups steal
+timeslices), which is what bends the Tinyx curve in Fig 11.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..hypervisor.devicepage import DevicePage, STATE_CONNECTED
+from ..hypervisor.domain import Domain, DomainState
+from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
+from .images import GuestImage
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.engine import Simulator
+    from ..xenstore.daemon import XenStoreDaemon
+
+
+@dataclasses.dataclass
+class GuestCosts:
+    """Guest-side cost constants (µs unless noted)."""
+
+    #: Binding an event channel (hypercall).
+    evtchn_bind_us: float = 4.0
+    #: Mapping a granted page (hypercall + page-table update).
+    grant_map_us: float = 6.0
+    #: Front-end driver initialization per device (ring setup etc.).
+    frontend_init_us: float = 40.0
+    #: Mapping + parsing the noxs device page (one hypercall).
+    devpage_map_us: float = 8.0
+    #: Connecting the guest's xenbus to the XenStore at boot.
+    xenbus_connect_us: float = 30.0
+
+
+@dataclasses.dataclass
+class BootReport:
+    """Timing breakdown of one guest boot."""
+
+    device_ms: float
+    cpu_ms: float
+    total_ms: float
+
+
+class GuestBootError(RuntimeError):
+    """The guest could not bring up its devices (missing entries etc.)."""
+
+
+#: Fluid Dom0 CPU weight per connected device: netback/blkback polling and
+#: interrupt handling for an otherwise idle guest.  This is why Fig 15's
+#: unikernel CPU utilisation sits "only a fraction of a percentage point
+#: higher" than Docker's.
+NETBACK_DOM0_WEIGHT_PER_DEVICE = 1.5e-5
+
+
+def _contention_multiplier(hypervisor: Hypervisor, domain: Domain,
+                           image: GuestImage) -> float:
+    """Boot slowdown from idle co-residents on the boot vCPU's core."""
+    if not image.sched_contention or not domain.vcpu_cores:
+        return 1.0
+    core = domain.vcpu_cores[0]
+    co_residents = max(0, hypervisor.scheduler.residents_on(core) - 1)
+    excess = max(0, co_residents - image.sched_contention_threshold)
+    return 1.0 + excess * image.sched_contention
+
+
+def _bring_up_noxs_devices(sim: "Simulator", hypervisor: Hypervisor,
+                           domain: Domain, costs: GuestCosts):
+    """Generator: the Fig 7b guest path — map page, parse, connect."""
+    view = hypervisor.devpage_map(domain.domid)
+    yield sim.timeout(costs.devpage_map_us / 1000.0)
+    entries = DevicePage.parse(view)
+    for entry in entries:
+        grant = hypervisor.grants.entry(entry.backend_domid,
+                                        entry.grant_ref)
+        if grant.mapped_by == domain.domid:
+            # Reboot fast path: the control page is still mapped and the
+            # channel bound from the previous life; just re-init.
+            yield sim.timeout(costs.frontend_init_us / 1000.0)
+            continue
+        # Bind to the back-end's unbound event channel.
+        hypervisor.event_channels.bind_interdomain(
+            domain.domid, entry.backend_domid, entry.evtchn_port)
+        yield sim.timeout(costs.evtchn_bind_us / 1000.0)
+        # Map the device control page by grant reference.
+        hypervisor.grants.map_ref(domain.domid, entry.backend_domid,
+                                  entry.grant_ref)
+        yield sim.timeout(costs.grant_map_us / 1000.0)
+        yield sim.timeout(costs.frontend_init_us / 1000.0)
+    # Mark each entry connected (hypervisor-side state page update).
+    if domain.device_page is not None:
+        for index, _entry in domain.device_page.entries():
+            domain.device_page.update_state(index, STATE_CONNECTED)
+    return len(entries)
+
+
+def _bring_up_xenstore_devices(sim: "Simulator", hypervisor: Hypervisor,
+                               domain: Domain, image: GuestImage,
+                               xenstore: "XenStoreDaemon",
+                               costs: GuestCosts):
+    """Generator: the Fig 7a guest path — read back-end info via XenStore."""
+    yield sim.timeout(costs.xenbus_connect_us / 1000.0)
+    # Register the guest's persistent xenbus watches (frontend state,
+    # shutdown control, console...).  These live for the VM's lifetime and
+    # make every later XenStore mutation's scan a little more expensive —
+    # the root of §4.2's superlinear growth.
+    registered = []
+    for index in range(image.xenbus_watches):
+        watch = yield from xenstore.op_watch(
+            domain.domid, "/local/domain/%d/watch/%d"
+            % (domain.domid, index), "guest", lambda _p, _t: None)
+        registered.append(watch)
+    domain.notes["xenbus_watches"] = registered
+    connected = 0
+    for kind, count in (("vif", image.vifs), ("vbd", image.vbds)):
+        for index in range(count):
+            base = "/local/domain/%d/backend/%s/%d/%d" % (
+                DOM0_ID, kind, domain.domid, index)
+            try:
+                port = int((yield from xenstore.op_read(
+                    domain.domid, base + "/event-channel")))
+                ref = int((yield from xenstore.op_read(
+                    domain.domid, base + "/grant-ref")))
+            except Exception as exc:
+                raise GuestBootError(
+                    "domain %d: back-end never published %s/%d: %s"
+                    % (domain.domid, kind, index, exc)) from exc
+            backend_channel = hypervisor.event_channels.channel(DOM0_ID,
+                                                                port)
+            if backend_channel.state == "interdomain" and \
+                    backend_channel.remote_domid == domain.domid:
+                # Reboot fast path: still bound from the previous life.
+                yield sim.timeout(costs.frontend_init_us / 1000.0)
+            else:
+                hypervisor.event_channels.bind_interdomain(
+                    domain.domid, DOM0_ID, port)
+                yield sim.timeout(costs.evtchn_bind_us / 1000.0)
+                hypervisor.grants.map_ref(domain.domid, DOM0_ID, ref)
+                yield sim.timeout(costs.grant_map_us / 1000.0)
+                yield sim.timeout(costs.frontend_init_us / 1000.0)
+            # Announce the front-end is connected (fires back-end watches).
+            front = "/local/domain/%d/device/%s/%d/state" % (
+                domain.domid, kind, index)
+            yield from xenstore.op_write(domain.domid, front, "connected")
+            connected += 1
+    return connected
+
+
+def boot_guest(sim: "Simulator", hypervisor: Hypervisor, domain: Domain,
+               image: GuestImage,
+               xenstore: typing.Optional["XenStoreDaemon"] = None,
+               costs: typing.Optional[GuestCosts] = None):
+    """Generator: run the guest's boot sequence; returns a BootReport.
+
+    The control plane is chosen by the domain's configuration: a domain
+    with a noxs device page boots via the device-page path; otherwise it
+    needs ``xenstore``.
+    """
+    costs = costs or GuestCosts()
+    start = sim.now
+    domain.require_state(DomainState.RUNNING)
+
+    if domain.device_page is not None:
+        yield from _bring_up_noxs_devices(sim, hypervisor, domain, costs)
+    elif image.device_count:
+        if xenstore is None:
+            raise GuestBootError(
+                "domain %d has devices but neither a device page nor a "
+                "XenStore" % domain.domid)
+        yield from _bring_up_xenstore_devices(
+            sim, hypervisor, domain, image, xenstore, costs)
+    device_ms = sim.now - start
+
+    multiplier = _contention_multiplier(hypervisor, domain, image)
+    cpu_start = sim.now
+    done = hypervisor.scheduler.run_on_domain(
+        domain, image.boot_cpu_ms * multiplier)
+    yield done
+    if image.boot_fixed_ms:
+        yield sim.timeout(image.boot_fixed_ms)
+    cpu_ms = sim.now - cpu_start
+
+    # The guest is now up: it exerts its idle profile and, on the XenStore
+    # path, keeps a live xenbus connection (ambient daemon load).
+    if image.idle_cpu_weight:
+        hypervisor.scheduler.set_idle_load(domain, image.idle_cpu_weight)
+    if image.device_count:
+        netback_weight = NETBACK_DOM0_WEIGHT_PER_DEVICE * image.device_count
+        hypervisor.scheduler.dom0_cores[0].add_background(netback_weight)
+        domain.notes["netback_weight"] = netback_weight
+    if domain.device_page is None and xenstore is not None:
+        xenstore.register_client(image.ambient_weight)
+        domain.notes["xenstore_client"] = image.ambient_weight
+
+    return BootReport(device_ms=device_ms, cpu_ms=cpu_ms,
+                      total_ms=sim.now - start)

@@ -1,0 +1,188 @@
+"""The catalogue of guest images used throughout the paper's evaluation.
+
+Sizes and footprints come straight from the text:
+
+* §3.1: the daytime unikernel is 480 KB on disk and runs in 3.6 MB of RAM
+  (with the toolstack patch that lifts the 4 MB minimum); the TLS and
+  Minipython unikernels are ~1 MB images running in 8 MB.
+* §3.2: Tinyx images are "a few tens of MBs" and "need around 30MBs of RAM
+  to boot"; the Fig 4 Tinyx image is 9.5 MB.
+* §4.2: the Debian jessie VM image is 1.1 GB; §6.3 gives 111 MB as the
+  minimum RAM for Debian to run.
+* §7.1: the ClickOS firewall image is 1.7 MB and needs 8 MB of RAM.
+* §7.3: the TLS unikernel boots in 6 ms with 16 MB of RAM; the Tinyx TLS
+  image uses 40 MB and boots in 190 ms.
+
+Boot CPU work and contention parameters are calibrated against Figs 4 and
+11 (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from .images import GuestImage, GuestKind
+
+#: Minimal MiniOS unikernel with no devices: the 2.3 ms boot floor of §6.1.
+NOOP_UNIKERNEL = GuestImage(
+    name="noop",
+    kind=GuestKind.UNIKERNEL,
+    kernel_size_kb=300,
+    rootfs_size_kb=0,
+    memory_kb=3584,
+    boot_cpu_ms=0.8,
+    boot_fixed_ms=0.1,
+    vifs=0,
+)
+
+#: §3.1's daytime unikernel: MiniOS + lwip TCP server, 480 KB / 3.6 MB.
+DAYTIME_UNIKERNEL = GuestImage(
+    name="daytime",
+    kind=GuestKind.UNIKERNEL,
+    kernel_size_kb=480,
+    rootfs_size_kb=0,
+    memory_kb=3686,
+    boot_cpu_ms=2.4,
+    boot_fixed_ms=0.2,
+    vifs=1,
+    xenbus_watches=3,
+)
+
+#: Micropython-based unikernel for the lightweight compute service (§7.4).
+MINIPYTHON_UNIKERNEL = GuestImage(
+    name="minipython",
+    kind=GuestKind.UNIKERNEL,
+    kernel_size_kb=1024,
+    rootfs_size_kb=0,
+    memory_kb=8192,
+    boot_cpu_ms=2.2,
+    boot_fixed_ms=0.2,
+    vifs=1,
+    xenbus_watches=3,
+)
+
+#: ClickOS running the personal-firewall configuration (§7.1).
+CLICKOS_FIREWALL = GuestImage(
+    name="clickos-firewall",
+    kind=GuestKind.UNIKERNEL,
+    kernel_size_kb=1740,
+    rootfs_size_kb=0,
+    memory_kb=8192,
+    boot_cpu_ms=4.5,
+    boot_fixed_ms=0.3,
+    vifs=1,
+    xenbus_watches=3,
+)
+
+#: axtls-based TLS termination unikernel (§7.3): boots in 6 ms, 16 MB RAM.
+TLS_UNIKERNEL = GuestImage(
+    name="tls-unikernel",
+    kind=GuestKind.UNIKERNEL,
+    kernel_size_kb=1100,
+    rootfs_size_kb=0,
+    memory_kb=16384,
+    boot_cpu_ms=3.2,
+    boot_fixed_ms=0.3,
+    vifs=1,
+    xenbus_watches=3,
+)
+
+#: Tinyx with no applications installed (Fig 4's Tinyx): 9.5 MB image,
+#: distribution bundled into the kernel as an initramfs.
+TINYX = GuestImage(
+    name="tinyx",
+    kind=GuestKind.TINYX,
+    kernel_size_kb=9728,
+    rootfs_size_kb=0,
+    memory_kb=30720,
+    boot_cpu_ms=165.0,
+    boot_fixed_ms=8.0,
+    vifs=1,
+    idle_cpu_weight=4e-5,
+    sched_contention=0.018,
+    sched_contention_threshold=230,
+    extra_xenstore_entries=6,
+    xenbus_watches=8,
+    ambient_weight=2.0,
+    toolstack_build_ms=185.0,
+)
+
+#: Tinyx with Micropython installed (§6.3 memory-footprint experiment).
+TINYX_MICROPYTHON = GuestImage(
+    name="tinyx-micropython",
+    kind=GuestKind.TINYX,
+    kernel_size_kb=12288,
+    rootfs_size_kb=0,
+    memory_kb=35840,
+    boot_cpu_ms=172.0,
+    boot_fixed_ms=8.0,
+    vifs=1,
+    idle_cpu_weight=4e-5,
+    sched_contention=0.018,
+    sched_contention_threshold=230,
+    extra_xenstore_entries=6,
+    xenbus_watches=8,
+    ambient_weight=2.0,
+    toolstack_build_ms=185.0,
+)
+
+#: Tinyx with the axtls TLS proxy (§7.3): 40 MB RAM, boots in ~190 ms.
+TINYX_TLS = GuestImage(
+    name="tinyx-tls",
+    kind=GuestKind.TINYX,
+    kernel_size_kb=11264,
+    rootfs_size_kb=0,
+    memory_kb=40960,
+    boot_cpu_ms=175.0,
+    boot_fixed_ms=8.0,
+    vifs=1,
+    idle_cpu_weight=4e-5,
+    sched_contention=0.018,
+    sched_contention_threshold=230,
+    extra_xenstore_entries=6,
+    xenbus_watches=8,
+    ambient_weight=2.0,
+    toolstack_build_ms=185.0,
+)
+
+#: Minimal install of Debian jessie: the "typical VM used in practice".
+DEBIAN = GuestImage(
+    name="debian",
+    kind=GuestKind.DISTRO,
+    kernel_size_kb=35840,          # kernel + initrd actually loaded
+    rootfs_size_kb=1126400 - 35840,  # 1.1 GB total on disk
+    memory_kb=113664,              # 111 MB minimum to run (§6.3)
+    boot_cpu_ms=1350.0,
+    boot_fixed_ms=60.0,
+    vifs=1,
+    vbds=1,
+    idle_cpu_weight=1e-3,
+    sched_contention=0.012,
+    extra_xenstore_entries=40,
+    xenbus_watches=25,
+    ambient_weight=6.0,
+    toolstack_build_ms=120.0,
+)
+
+#: Everything above, by name.
+CATALOG = {
+    image.name: image
+    for image in (
+        NOOP_UNIKERNEL,
+        DAYTIME_UNIKERNEL,
+        MINIPYTHON_UNIKERNEL,
+        CLICKOS_FIREWALL,
+        TLS_UNIKERNEL,
+        TINYX,
+        TINYX_MICROPYTHON,
+        TINYX_TLS,
+        DEBIAN,
+    )
+}
+
+
+def lookup(name: str) -> GuestImage:
+    """Find a catalogue image by name."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise KeyError("unknown guest image %r; known: %s"
+                       % (name, ", ".join(sorted(CATALOG)))) from None

@@ -1,0 +1,92 @@
+"""Guest image descriptions.
+
+A :class:`GuestImage` carries everything the virtualization platform needs
+to know about a VM image: on-disk sizes (kernel vs root filesystem — the
+distinction matters because only the kernel+initrd is parsed and loaded at
+creation time, which is what makes Fig 2 linear in *kernel* image size),
+runtime memory footprint, and the guest-side boot behaviour parameters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class GuestKind(enum.Enum):
+    """The three VM families the paper evaluates, §6."""
+
+    UNIKERNEL = "unikernel"   # MiniOS-based, single address space
+    TINYX = "tinyx"           # trimmed Linux built by the Tinyx system
+    DISTRO = "distro"         # full distribution (Debian jessie)
+
+
+@dataclasses.dataclass(frozen=True)
+class GuestImage:
+    """An immutable VM image description."""
+
+    name: str
+    kind: GuestKind
+    #: Kernel (+ bundled initramfs) size: parsed/loaded at creation (KiB).
+    kernel_size_kb: int
+    #: Root filesystem size (KiB); 0 for unikernels/Tinyx-initramfs images.
+    rootfs_size_kb: int
+    #: Runtime memory the VM needs (KiB).
+    memory_kb: int
+    #: Guest-side CPU work to boot, in cpu-ms on an uncontended core.
+    boot_cpu_ms: float
+    #: Fixed non-CPU boot latency (device waits, timers), ms.
+    boot_fixed_ms: float = 0.0
+    #: Number of virtual network interfaces the image expects.
+    vifs: int = 0
+    #: Number of virtual block devices the image expects.
+    vbds: int = 0
+    #: Fluid background CPU weight an *idle* instance exerts (Fig 15):
+    #: Debian runs services; Tinyx runs occasional housekeeping;
+    #: unikernels are perfectly idle.
+    idle_cpu_weight: float = 0.0
+    #: Boot slow-down per co-resident guest on the same core (Fig 11):
+    #: idle guests' periodic wakeups delay a booting guest's timeslices.
+    sched_contention: float = 0.0
+    #: Co-residents per core before contention starts to bite: below this,
+    #: the background tasks' duty cycles fit into the core's idle time
+    #: (Fig 11: Tinyx tracks Docker until ~250 guests per core).
+    sched_contention_threshold: int = 0
+    #: Extra XenStore nodes this image's configuration writes beyond the
+    #: common set (consoles, features, platform flags...).
+    extra_xenstore_entries: int = 0
+    #: Persistent watches the guest's xenbus registers while running
+    #: (frontend state watches, shutdown control, console...).  oxenstored
+    #: scans all of them on every mutation, so these drive the superlinear
+    #: XenStore cost of §4.2.
+    xenbus_watches: int = 0
+    #: How much ambient XenStore traffic a running instance generates,
+    #: relative to a single-purpose unikernel (consoles, daemons, udev...).
+    ambient_weight: float = 1.0
+    #: Fixed toolstack-side image build cost beyond the size-linear load
+    #: (bzImage/initramfs processing for Linux guests vs a plain ELF for
+    #: unikernels), ms.
+    toolstack_build_ms: float = 0.0
+
+    @property
+    def disk_size_kb(self) -> int:
+        """Total on-disk footprint (kernel + root filesystem)."""
+        return self.kernel_size_kb + self.rootfs_size_kb
+
+    def with_kernel_size(self, kernel_size_kb: int) -> "GuestImage":
+        """Clone with an inflated kernel image (the Fig 2 methodology:
+        "injecting binary objects into the uncompressed image file")."""
+        return dataclasses.replace(self, kernel_size_kb=kernel_size_kb)
+
+    def with_name(self, name: str) -> "GuestImage":
+        """Clone under a different name."""
+        return dataclasses.replace(self, name=name)
+
+    def with_memory(self, memory_kb: int) -> "GuestImage":
+        """Clone with a different runtime memory reservation."""
+        return dataclasses.replace(self, memory_kb=memory_kb)
+
+    @property
+    def device_count(self) -> int:
+        """Total virtual devices to set up at creation."""
+        return self.vifs + self.vbds

@@ -1,0 +1,51 @@
+"""Xen-like hypervisor substrate: domains, memory, event channels, grants,
+noxs device pages and vCPU scheduling."""
+
+from .devicepage import (DEV_CONSOLE, DEV_SYSCTL, DEV_VBD, DEV_VIF,
+                         MAX_ENTRIES, PAGE_SIZE, STATE_CLOSED,
+                         STATE_CONNECTED, STATE_INITIALISING, DeviceEntry,
+                         DevicePage, DevicePageError)
+from .domain import Domain, DomainState, DomainStateError, ShutdownReason
+from .events import Channel, EventChannelError, EventChannelTable
+from .grants import GrantError, GrantTable
+from .hypervisor import DOM0_ID, Hypervisor, HypervisorError
+from .memory import Extent, MemoryAllocator, OutOfMemoryError
+from .pagesharing import SharedImagePool, SharingPolicy
+from .rings import RingFullError, RingPair, SharedRing
+from .scheduler import HostScheduler
+
+__all__ = [
+    "Channel",
+    "DEV_CONSOLE",
+    "DEV_SYSCTL",
+    "DEV_VBD",
+    "DEV_VIF",
+    "DOM0_ID",
+    "DeviceEntry",
+    "DevicePage",
+    "DevicePageError",
+    "Domain",
+    "DomainState",
+    "DomainStateError",
+    "EventChannelError",
+    "EventChannelTable",
+    "Extent",
+    "GrantError",
+    "GrantTable",
+    "HostScheduler",
+    "Hypervisor",
+    "HypervisorError",
+    "MAX_ENTRIES",
+    "MemoryAllocator",
+    "OutOfMemoryError",
+    "PAGE_SIZE",
+    "STATE_CLOSED",
+    "STATE_CONNECTED",
+    "STATE_INITIALISING",
+    "RingFullError",
+    "RingPair",
+    "SharedRing",
+    "SharedImagePool",
+    "SharingPolicy",
+    "ShutdownReason",
+]

@@ -1,0 +1,171 @@
+"""noxs device memory pages.
+
+The core noxs mechanism (§5.1): the hypervisor keeps, for each VM, one
+special 4 KiB memory page recording the VM's devices — backend domain,
+event channel, grant reference — so the guest can bootstrap its front-end
+drivers *without* talking to the XenStore.  The page is shared read-only
+with the guest; only Dom0 may request modifications (via hypercall).
+
+We implement the page as a real packed binary structure so that the
+reproduction exercises the same serialize/deserialize path a C guest would:
+
+* header: ``magic u32 | version u16 | count u16`` + 8 bytes reserved;
+* entries: 32-byte records,
+  ``type u8 | state u8 | backend_domid u16 | evtchn_port u32 |
+  grant_ref u32 | mac 6s`` + 14 bytes reserved.
+"""
+
+from __future__ import annotations
+
+import struct
+import typing
+
+PAGE_SIZE = 4096
+MAGIC = 0x4E4F5853  # "NOXS"
+VERSION = 1
+
+_HEADER_FMT = "<IHH8x"
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+_ENTRY_FMT = "<BBHII6s14x"
+_ENTRY_SIZE = struct.calcsize(_ENTRY_FMT)
+MAX_ENTRIES = (PAGE_SIZE - _HEADER_SIZE) // _ENTRY_SIZE
+
+#: Device type codes stored in the page.
+DEV_NONE = 0
+DEV_VIF = 1
+DEV_VBD = 2
+DEV_SYSCTL = 3
+DEV_CONSOLE = 4
+
+#: Device states (mirrors XenbusState, collapsed).
+STATE_INITIALISING = 1
+STATE_CONNECTED = 4
+STATE_CLOSED = 6
+
+
+class DevicePageError(RuntimeError):
+    """Malformed page access (bad index, full page, bad magic...)."""
+
+
+class DeviceEntry(typing.NamedTuple):
+    """One decoded device record."""
+
+    dev_type: int
+    state: int
+    backend_domid: int
+    evtchn_port: int
+    grant_ref: int
+    mac: bytes  # 6 bytes; zeros for non-network devices
+
+    def pack(self) -> bytes:
+        """Encode to the 32-byte on-page format."""
+        if len(self.mac) != 6:
+            raise DevicePageError("mac must be exactly 6 bytes")
+        return struct.pack(_ENTRY_FMT, self.dev_type, self.state,
+                           self.backend_domid, self.evtchn_port,
+                           self.grant_ref, self.mac)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "DeviceEntry":
+        """Decode from the 32-byte on-page format."""
+        return cls(*struct.unpack(_ENTRY_FMT, raw))
+
+
+class DevicePage:
+    """A 4 KiB packed device page owned by the hypervisor."""
+
+    def __init__(self):
+        self._buf = bytearray(PAGE_SIZE)
+        struct.pack_into(_HEADER_FMT, self._buf, 0, MAGIC, VERSION, 0)
+        #: Hypervisor-side write counter (hypercalls issued against page).
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # Header
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of live entries."""
+        _magic, _version, count = struct.unpack_from(_HEADER_FMT, self._buf, 0)
+        return count
+
+    def _set_count(self, count: int) -> None:
+        struct.pack_into(_HEADER_FMT, self._buf, 0, MAGIC, VERSION, count)
+
+    # ------------------------------------------------------------------
+    # Entry access
+    # ------------------------------------------------------------------
+    def _offset(self, index: int) -> int:
+        if not 0 <= index < MAX_ENTRIES:
+            raise DevicePageError("entry index %d out of range" % index)
+        return _HEADER_SIZE + index * _ENTRY_SIZE
+
+    def add(self, entry: DeviceEntry) -> int:
+        """Append a device entry; returns its index."""
+        for index in range(MAX_ENTRIES):
+            offset = self._offset(index)
+            if self._buf[offset] == DEV_NONE:
+                self._buf[offset:offset + _ENTRY_SIZE] = entry.pack()
+                self._set_count(self.count + 1)
+                self.writes += 1
+                return index
+        raise DevicePageError("device page full (%d entries)" % MAX_ENTRIES)
+
+    def read(self, index: int) -> DeviceEntry:
+        """Decode the entry at ``index``."""
+        offset = self._offset(index)
+        entry = DeviceEntry.unpack(bytes(self._buf[offset:offset +
+                                                   _ENTRY_SIZE]))
+        if entry.dev_type == DEV_NONE:
+            raise DevicePageError("entry %d is empty" % index)
+        return entry
+
+    def update_state(self, index: int, state: int) -> None:
+        """Rewrite just the state byte of an entry."""
+        self.read(index)  # validates occupancy
+        self._buf[self._offset(index) + 1] = state
+        self.writes += 1
+
+    def remove(self, index: int) -> None:
+        """Clear an entry (device destruction)."""
+        self.read(index)  # validates occupancy
+        offset = self._offset(index)
+        self._buf[offset:offset + _ENTRY_SIZE] = bytes(_ENTRY_SIZE)
+        self._set_count(self.count - 1)
+        self.writes += 1
+
+    def entries(self) -> typing.List[typing.Tuple[int, DeviceEntry]]:
+        """All live entries as ``(index, entry)`` pairs."""
+        found = []
+        for index in range(MAX_ENTRIES):
+            offset = self._offset(index)
+            if self._buf[offset] != DEV_NONE:
+                found.append((index, DeviceEntry.unpack(
+                    bytes(self._buf[offset:offset + _ENTRY_SIZE]))))
+        return found
+
+    def readonly_view(self) -> bytes:
+        """The guest-visible mapping: an immutable snapshot of the page."""
+        return bytes(self._buf)
+
+    @staticmethod
+    def parse(view: bytes) -> typing.List[DeviceEntry]:
+        """Guest-side parser: decode all live entries from a mapped page."""
+        if len(view) != PAGE_SIZE:
+            raise DevicePageError("device page must be %d bytes" % PAGE_SIZE)
+        magic, version, count = struct.unpack_from(_HEADER_FMT, view, 0)
+        if magic != MAGIC:
+            raise DevicePageError("bad magic %#x" % magic)
+        if version != VERSION:
+            raise DevicePageError("unsupported version %d" % version)
+        entries = []
+        for index in range(MAX_ENTRIES):
+            offset = _HEADER_SIZE + index * _ENTRY_SIZE
+            if view[offset] != DEV_NONE:
+                entries.append(DeviceEntry.unpack(
+                    view[offset:offset + _ENTRY_SIZE]))
+        if len(entries) != count:
+            raise DevicePageError(
+                "header count %d does not match %d live entries"
+                % (count, len(entries)))
+        return entries

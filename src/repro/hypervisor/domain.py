@@ -1,0 +1,92 @@
+"""Domain (virtual machine) control structures.
+
+A :class:`Domain` mirrors Xen's ``struct domain``: the hypervisor-side
+record of a guest.  It deliberately holds only what the hypervisor knows —
+id, memory reservation, vCPU placement, device page — not guest-internal
+state (that lives in :mod:`repro.guests`).  The paper's noxs design exploits
+exactly this split: "most of the necessary information about a VM is
+already kept by the hypervisor".
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+
+class DomainState(enum.Enum):
+    """Lifecycle states of a domain, a superset of Xen's.
+
+    ``SHELL`` is LightVM-specific: a pre-created domain produced by the
+    split toolstack's prepare phase, waiting in the chaos daemon's pool for
+    an image and devices.
+    """
+
+    SHELL = "shell"
+    CREATED = "created"      # resources reserved, image not yet loaded
+    PAUSED = "paused"
+    RUNNING = "running"
+    SUSPENDED = "suspended"
+    SHUTDOWN = "shutdown"
+    DEAD = "dead"
+
+
+class ShutdownReason(enum.Enum):
+    """Why a guest shut down (mirrors Xen's SHUTDOWN_* codes)."""
+
+    POWEROFF = "poweroff"
+    REBOOT = "reboot"
+    SUSPEND = "suspend"
+    CRASH = "crash"
+
+
+class Domain:
+    """Hypervisor-side record for one guest."""
+
+    def __init__(self, domid: int, name: str = "", memory_kb: int = 0,
+                 vcpus: int = 1):
+        self.domid = domid
+        #: Human name.  Note: Xen keeps the name in the XenStore, not here;
+        #: noxs-based stacks leave it empty (it is not needed to boot).
+        self.name = name
+        self.memory_kb = memory_kb
+        self.vcpus = vcpus
+        self.state = DomainState.CREATED
+        self.shutdown_reason: typing.Optional[ShutdownReason] = None
+        #: Physical-memory extents allocated to this domain
+        #: (set by the hypervisor's memory allocator).
+        self.extents: list = []
+        #: Core (PSCore) each vCPU is pinned to; set at placement time.
+        self.vcpu_cores: list = []
+        #: The noxs device memory page (None unless noxs is enabled).
+        self.device_page = None
+        #: Kernel image loaded into the domain's memory (guests module).
+        self.image = None
+        #: Fluid background CPU weight this domain currently exerts
+        #: (idle daemons etc.); used to tear it down on destroy.
+        self.background_weight = 0.0
+        #: Whether the scheduler currently counts this domain as runnable.
+        self.sched_counted = False
+        #: Arbitrary per-domain annotations used by toolstacks.
+        self.notes: dict = {}
+
+    @property
+    def is_alive(self) -> bool:
+        """True for any state in which the domain holds resources."""
+        return self.state not in (DomainState.SHUTDOWN, DomainState.DEAD)
+
+    def require_state(self, *allowed: DomainState) -> None:
+        """Raise if the domain is not in one of ``allowed`` states."""
+        if self.state not in allowed:
+            raise DomainStateError(
+                "domain %d is %s; operation requires %s"
+                % (self.domid, self.state.value,
+                   "/".join(s.value for s in allowed)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<Domain %d %r %s %dKB>" % (
+            self.domid, self.name, self.state.value, self.memory_kb)
+
+
+class DomainStateError(RuntimeError):
+    """An operation was attempted in an incompatible domain state."""

@@ -1,0 +1,106 @@
+"""Grant tables — Xen's page-sharing mechanism.
+
+A domain grants a peer access to one of its frames by filling a grant-table
+entry; the peer maps the frame by grant reference.  The split-driver model
+moves all device data through granted pages, and noxs's device control
+pages are communicated as grant references, so this table is exercised on
+every device setup in both toolstacks.
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+class GrantError(RuntimeError):
+    """Invalid grant operation (bad ref, busy entry, wrong peer...)."""
+
+
+class GrantEntry:
+    """One grant-table slot."""
+
+    __slots__ = ("ref", "granter_domid", "grantee_domid", "frame",
+                 "readonly", "mapped_by")
+
+    def __init__(self, ref: int, granter_domid: int, grantee_domid: int,
+                 frame: int, readonly: bool):
+        self.ref = ref
+        self.granter_domid = granter_domid
+        self.grantee_domid = grantee_domid
+        self.frame = frame
+        self.readonly = readonly
+        self.mapped_by: typing.Optional[int] = None
+
+
+class GrantTable:
+    """All grant entries on the host, keyed by (granter domid, ref)."""
+
+    def __init__(self):
+        self._entries: typing.Dict[typing.Tuple[int, int], GrantEntry] = {}
+        self._next_ref: typing.Dict[int, int] = {}
+
+    def entry(self, granter_domid: int, ref: int) -> GrantEntry:
+        """Look up an entry; raises on a dangling reference."""
+        try:
+            return self._entries[(granter_domid, ref)]
+        except KeyError:
+            raise GrantError("no grant (domid=%d, ref=%d)"
+                             % (granter_domid, ref)) from None
+
+    def grant_access(self, granter_domid: int, grantee_domid: int,
+                     frame: int, readonly: bool = False) -> int:
+        """Create a grant; returns the grant reference."""
+        ref = self._next_ref.get(granter_domid, 1)
+        self._next_ref[granter_domid] = ref + 1
+        self._entries[(granter_domid, ref)] = GrantEntry(
+            ref, granter_domid, grantee_domid, frame, readonly)
+        return ref
+
+    def map_ref(self, mapper_domid: int, granter_domid: int,
+                ref: int) -> int:
+        """Map a granted frame into ``mapper_domid``; returns the frame."""
+        entry = self.entry(granter_domid, ref)
+        if entry.grantee_domid != mapper_domid:
+            raise GrantError(
+                "grant %d is for domain %d, not %d"
+                % (ref, entry.grantee_domid, mapper_domid))
+        if entry.mapped_by is not None:
+            raise GrantError("grant %d already mapped" % ref)
+        entry.mapped_by = mapper_domid
+        return entry.frame
+
+    def unmap_ref(self, mapper_domid: int, granter_domid: int,
+                  ref: int) -> None:
+        """Release a mapping created by :meth:`map_ref`."""
+        entry = self.entry(granter_domid, ref)
+        if entry.mapped_by != mapper_domid:
+            raise GrantError("grant %d not mapped by domain %d"
+                             % (ref, mapper_domid))
+        entry.mapped_by = None
+
+    def end_access(self, granter_domid: int, ref: int) -> None:
+        """Revoke a grant.  Fails while the peer still has it mapped."""
+        entry = self.entry(granter_domid, ref)
+        if entry.mapped_by is not None:
+            raise GrantError("grant %d still mapped by domain %d"
+                             % (ref, entry.mapped_by))
+        del self._entries[(granter_domid, ref)]
+
+    def revoke_all_for(self, domid: int, force: bool = False) -> int:
+        """Drop every grant issued by ``domid`` (domain teardown).
+
+        With ``force`` the entries are removed even if mapped, mirroring
+        how Xen handles a dying domain.  Returns the number revoked.
+        """
+        refs = [(granter, ref) for (granter, ref), entry
+                in self._entries.items() if granter == domid]
+        for granter, ref in refs:
+            entry = self._entries[(granter, ref)]
+            if entry.mapped_by is not None and not force:
+                raise GrantError("grant %d still mapped" % ref)
+            del self._entries[(granter, ref)]
+        return len(refs)
+
+    def count_for(self, domid: int) -> int:
+        """Number of active grants issued by ``domid``."""
+        return sum(1 for (granter, _r) in self._entries if granter == domid)

@@ -1,0 +1,234 @@
+"""The hypervisor: domain table, hypercall surface, resource ownership.
+
+This is the Xen analogue: it owns basic resources (CPUs, memory), the
+domain table, event channels, grant tables and — for noxs — the per-domain
+device pages.  All operations here are *state transitions*; their simulated
+time costs are charged by the calling toolstack from the cost model
+(:mod:`repro.core.costs`), because the paper measures toolstack-side
+latency, not hypervisor-internal time.  Every hypercall is counted in
+:attr:`Hypervisor.hypercall_counts` so benchmarks can report interaction
+volume (the noxs claim is precisely that these interactions drop to a
+handful).
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from .devicepage import DevicePage, DeviceEntry, DevicePageError
+from .domain import Domain, DomainState, DomainStateError, ShutdownReason
+from .events import EventChannelTable
+from .grants import GrantTable
+from .memory import MemoryAllocator, OutOfMemoryError
+from .scheduler import HostScheduler
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.engine import Simulator
+
+DOM0_ID = 0
+
+
+class HypervisorError(RuntimeError):
+    """Invalid hypercall (unknown domain, permission denied...)."""
+
+
+class Hypervisor:
+    """A type-1 hypervisor model in the style of Xen 4.8."""
+
+    def __init__(self, sim: "Simulator", memory_kb: int, total_cores: int,
+                 dom0_cores: int = 1, dom0_memory_kb: int = 1024 * 1024):
+        self.sim = sim
+        self.memory = MemoryAllocator(memory_kb)
+        self.scheduler = HostScheduler(sim, total_cores, dom0_cores)
+        self.event_channels = EventChannelTable()
+        self.grants = GrantTable()
+        self.domains: typing.Dict[int, Domain] = {}
+        self.hypercall_counts: typing.Counter = collections.Counter()
+        self._next_domid = 1
+
+        # Xen creates Dom0 automatically when it finishes booting.
+        dom0 = Domain(DOM0_ID, name="Domain-0", memory_kb=dom0_memory_kb,
+                      vcpus=dom0_cores)
+        dom0.extents = self.memory.allocate(DOM0_ID, dom0_memory_kb)
+        dom0.vcpu_cores = list(self.scheduler.dom0_cores)
+        dom0.state = DomainState.RUNNING
+        self.domains[DOM0_ID] = dom0
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def domain(self, domid: int) -> Domain:
+        """Look up a domain by id; raises for unknown ids."""
+        try:
+            return self.domains[domid]
+        except KeyError:
+            raise HypervisorError("no domain %d" % domid) from None
+
+    def domain_count(self, include_dom0: bool = False) -> int:
+        """Number of existing guest domains."""
+        count = len(self.domains)
+        return count if include_dom0 else count - 1
+
+    def _count(self, op: str) -> None:
+        self.hypercall_counts[op] += 1
+
+    # ------------------------------------------------------------------
+    # Domain lifecycle hypercalls
+    # ------------------------------------------------------------------
+    def domctl_create(self, name: str = "", memory_kb: int = 4096,
+                      vcpus: int = 1, shell: bool = False) -> Domain:
+        """DOMCTL_createdomain: reserve id, memory and vCPUs.
+
+        ``shell=True`` creates a LightVM pre-created shell (no image, no
+        name) for the split toolstack's pool.
+        """
+        self._count("domctl_create")
+        domid = self._next_domid
+        self._next_domid += 1
+        domain = Domain(domid, name=name, memory_kb=memory_kb, vcpus=vcpus)
+        try:
+            domain.extents = self.memory.allocate(domid, memory_kb)
+        except OutOfMemoryError:
+            raise
+        self.scheduler.place(domain)
+        if shell:
+            domain.state = DomainState.SHELL
+        self.domains[domid] = domain
+        return domain
+
+    def domctl_resize_shell(self, domain: Domain, memory_kb: int) -> None:
+        """Adjust a shell's memory reservation to the requested config."""
+        self._count("domctl_resize_shell")
+        domain.require_state(DomainState.SHELL)
+        if memory_kb == domain.memory_kb:
+            return
+        self.memory.free(domain.domid)
+        try:
+            domain.extents = self.memory.allocate(domain.domid, memory_kb)
+        except OutOfMemoryError:
+            # Roll back to the original reservation so the shell stays
+            # consistent (its old size must fit: we just released it).
+            domain.extents = self.memory.allocate(domain.domid,
+                                                  domain.memory_kb)
+            raise
+        domain.memory_kb = memory_kb
+
+    def domctl_claim_shell(self, domain: Domain, name: str = "") -> None:
+        """Promote a pooled shell into a concrete (not yet booted) domain."""
+        self._count("domctl_claim_shell")
+        domain.require_state(DomainState.SHELL)
+        domain.name = name
+        domain.state = DomainState.CREATED
+
+    def domctl_unpause(self, domain: Domain) -> None:
+        """DOMCTL_unpausedomain: start executing the guest."""
+        self._count("domctl_unpause")
+        domain.require_state(DomainState.CREATED, DomainState.PAUSED,
+                             DomainState.SUSPENDED)
+        domain.state = DomainState.RUNNING
+        self.scheduler.mark_running(domain)
+
+    def domctl_pause(self, domain: Domain) -> None:
+        """DOMCTL_pausedomain: stop scheduling the guest."""
+        self._count("domctl_pause")
+        domain.require_state(DomainState.RUNNING)
+        self.scheduler.clear_idle_load(domain)
+        self.scheduler.mark_stopped(domain)
+        domain.state = DomainState.PAUSED
+
+    def domctl_shutdown(self, domain: Domain,
+                        reason: ShutdownReason) -> None:
+        """Record a guest-initiated shutdown."""
+        self._count("domctl_shutdown")
+        domain.require_state(DomainState.RUNNING, DomainState.PAUSED)
+        self.scheduler.clear_idle_load(domain)
+        self.scheduler.mark_stopped(domain)
+        domain.shutdown_reason = reason
+        domain.state = (DomainState.SUSPENDED
+                        if reason is ShutdownReason.SUSPEND
+                        else DomainState.SHUTDOWN)
+
+    def domctl_destroy(self, domain: Domain) -> None:
+        """DOMCTL_destroydomain: release every resource the domain holds."""
+        self._count("domctl_destroy")
+        if domain.domid == DOM0_ID:
+            raise HypervisorError("cannot destroy Dom0")
+        if domain.domid not in self.domains:
+            raise HypervisorError("domain %d already gone" % domain.domid)
+        self.scheduler.clear_idle_load(domain)
+        netback_weight = domain.notes.pop("netback_weight", 0.0)
+        if netback_weight:
+            self.scheduler.dom0_cores[0].remove_background(netback_weight)
+        self.scheduler.unplace(domain)
+        self.memory.free(domain.domid)
+        self.event_channels.close_all_for(domain.domid)
+        self.grants.revoke_all_for(domain.domid, force=True)
+        domain.device_page = None
+        domain.state = DomainState.DEAD
+        del self.domains[domain.domid]
+
+    # ------------------------------------------------------------------
+    # noxs device-page hypercalls (the paper's §5.1 additions)
+    # ------------------------------------------------------------------
+    def devpage_create(self, domain: Domain) -> DevicePage:
+        """Allocate the special device memory page for a new VM."""
+        self._count("devpage_create")
+        if domain.device_page is not None:
+            raise HypervisorError("domain %d already has a device page"
+                                  % domain.domid)
+        domain.device_page = DevicePage()
+        return domain.device_page
+
+    def devpage_write(self, caller_domid: int, domain: Domain,
+                      entry: DeviceEntry) -> int:
+        """Add a device entry.  Only Dom0 may write (security: the page is
+        shared read-only with the guest)."""
+        self._count("devpage_write")
+        if caller_domid != DOM0_ID:
+            raise HypervisorError(
+                "domain %d may not write device pages" % caller_domid)
+        if domain.device_page is None:
+            raise HypervisorError("domain %d has no device page"
+                                  % domain.domid)
+        return domain.device_page.add(entry)
+
+    def devpage_remove(self, caller_domid: int, domain: Domain,
+                       index: int) -> None:
+        """Remove a device entry (device destruction)."""
+        self._count("devpage_remove")
+        if caller_domid != DOM0_ID:
+            raise HypervisorError(
+                "domain %d may not write device pages" % caller_domid)
+        if domain.device_page is None:
+            raise HypervisorError("domain %d has no device page"
+                                  % domain.domid)
+        domain.device_page.remove(index)
+
+    def devpage_map(self, caller_domid: int) -> bytes:
+        """Guest hypercall: map one's own device page (read-only view)."""
+        self._count("devpage_map")
+        domain = self.domain(caller_domid)
+        if domain.device_page is None:
+            raise HypervisorError("domain %d has no device page"
+                                  % caller_domid)
+        return domain.device_page.readonly_view()
+
+
+__all__ = [
+    "DOM0_ID",
+    "DeviceEntry",
+    "DevicePage",
+    "DevicePageError",
+    "Domain",
+    "DomainState",
+    "DomainStateError",
+    "EventChannelTable",
+    "GrantTable",
+    "HostScheduler",
+    "Hypervisor",
+    "HypervisorError",
+    "MemoryAllocator",
+    "OutOfMemoryError",
+    "ShutdownReason",
+]

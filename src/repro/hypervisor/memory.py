@@ -1,0 +1,136 @@
+"""Physical-memory allocator.
+
+An extent-based first-fit allocator over the host's machine memory.  It
+gives the evaluation two things the paper depends on:
+
+* a hard memory ceiling — Fig 10's Docker run dies at ~3000 containers when
+  "the next large memory allocation consumes all available memory", and
+  Fig 14's density numbers are direct reads of this accounting;
+* per-domain reservations that must be returned exactly on destroy
+  (property-tested: alloc/free round-trips conserve free memory).
+
+Extents are ``(start_kb, size_kb)`` ranges.  An allocation may span several
+extents (Xen guests do not need machine-contiguous memory), but the
+allocator prefers a single extent and splits only under fragmentation.
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+class OutOfMemoryError(MemoryError):
+    """The host cannot satisfy a reservation."""
+
+
+class Extent(typing.NamedTuple):
+    """A contiguous physical range, in KiB."""
+
+    start_kb: int
+    size_kb: int
+
+    @property
+    def end_kb(self) -> int:
+        return self.start_kb + self.size_kb
+
+
+class MemoryAllocator:
+    """First-fit extent allocator with per-owner accounting."""
+
+    def __init__(self, total_kb: int):
+        if total_kb <= 0:
+            raise ValueError("total memory must be positive")
+        self.total_kb = total_kb
+        self._free: typing.List[Extent] = [Extent(0, total_kb)]
+        self._owned: typing.Dict[object, typing.List[Extent]] = {}
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def free_kb(self) -> int:
+        """KiB currently unallocated."""
+        return sum(e.size_kb for e in self._free)
+
+    @property
+    def used_kb(self) -> int:
+        """KiB currently allocated."""
+        return self.total_kb - self.free_kb
+
+    def owned_kb(self, owner: object) -> int:
+        """KiB held by ``owner`` (0 if unknown)."""
+        return sum(e.size_kb for e in self._owned.get(owner, ()))
+
+    def fragments(self) -> int:
+        """Number of free extents (1 = fully defragmented)."""
+        return len(self._free)
+
+    def owners(self) -> typing.List[object]:
+        """All owners currently holding memory."""
+        return list(self._owned)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, owner: object, size_kb: int) -> typing.List[Extent]:
+        """Reserve ``size_kb`` for ``owner``; raises OutOfMemoryError."""
+        if size_kb <= 0:
+            raise ValueError("allocation size must be positive")
+        if size_kb > self.free_kb:
+            raise OutOfMemoryError(
+                "need %d KiB but only %d KiB free" % (size_kb, self.free_kb))
+
+        taken: typing.List[Extent] = []
+        remaining = size_kb
+        # Pass 1: a single extent large enough (first fit).
+        for index, extent in enumerate(self._free):
+            if extent.size_kb >= remaining:
+                taken.append(Extent(extent.start_kb, remaining))
+                leftover = extent.size_kb - remaining
+                if leftover:
+                    self._free[index] = Extent(
+                        extent.start_kb + remaining, leftover)
+                else:
+                    del self._free[index]
+                remaining = 0
+                break
+        # Pass 2: gather smaller extents until satisfied.
+        while remaining > 0:
+            extent = self._free[0]
+            take = min(extent.size_kb, remaining)
+            taken.append(Extent(extent.start_kb, take))
+            if take == extent.size_kb:
+                del self._free[0]
+            else:
+                self._free[0] = Extent(extent.start_kb + take,
+                                       extent.size_kb - take)
+            remaining -= take
+
+        self._owned.setdefault(owner, []).extend(taken)
+        return taken
+
+    def free(self, owner: object) -> int:
+        """Return everything ``owner`` holds; returns the KiB released."""
+        extents = self._owned.pop(owner, [])
+        released = 0
+        for extent in extents:
+            self._insert_free(extent)
+            released += extent.size_kb
+        return released
+
+    def _insert_free(self, extent: Extent) -> None:
+        """Insert an extent into the sorted free list, coalescing."""
+        self._free.append(extent)
+        self._free.sort(key=lambda e: e.start_kb)
+        merged: typing.List[Extent] = []
+        for ext in self._free:
+            if merged and merged[-1].end_kb == ext.start_kb:
+                prev = merged.pop()
+                merged.append(Extent(prev.start_kb,
+                                     prev.size_kb + ext.size_kb))
+            elif merged and merged[-1].end_kb > ext.start_kb:
+                raise AssertionError(
+                    "overlapping free extents: %r, %r" % (merged[-1], ext))
+            else:
+                merged.append(ext)
+        self._free = merged

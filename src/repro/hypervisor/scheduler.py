@@ -1,0 +1,143 @@
+"""vCPU placement and CPU accounting.
+
+The paper's experiments pin Dom0 to dedicated cores and assign guest vCPUs
+to the remaining cores round-robin (§6.1: "one core assigned to Dom0 and
+the remaining three cores assigned to the VMs in a round-robin fashion").
+:class:`HostScheduler` reproduces that split and owns the mapping from
+domains to :class:`~repro.sim.cpu.PSCore` instances.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..sim.cpu import PSCore
+from .domain import Domain
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.engine import Simulator
+
+
+class HostScheduler:
+    """Splits physical cores between Dom0 and guests; places vCPUs."""
+
+    def __init__(self, sim: "Simulator", total_cores: int, dom0_cores: int,
+                 rate: float = 1.0):
+        if total_cores < 2:
+            raise ValueError("need at least 2 cores (Dom0 + guests)")
+        if not 1 <= dom0_cores < total_cores:
+            raise ValueError("dom0_cores must leave at least one guest core")
+        self.sim = sim
+        self.dom0_cores = [PSCore(sim, rate=rate, name="dom0-cpu%d" % i)
+                           for i in range(dom0_cores)]
+        self.guest_cores = [PSCore(sim, rate=rate, name="guest-cpu%d" % i)
+                            for i in range(total_cores - dom0_cores)]
+        self._next_guest_core = 0
+        self._next_dom0_core = 0
+        self._residents: typing.Dict[PSCore, int] = {}
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def place(self, domain: Domain) -> None:
+        """Assign the domain's vCPUs to guest cores round-robin."""
+        domain.vcpu_cores = []
+        for _ in range(domain.vcpus):
+            core = self.guest_cores[self._next_guest_core
+                                    % len(self.guest_cores)]
+            self._next_guest_core += 1
+            domain.vcpu_cores.append(core)
+
+    def unplace(self, domain: Domain) -> None:
+        """Release the domain's vCPU placements (on destroy)."""
+        self.mark_stopped(domain)
+        domain.vcpu_cores = []
+
+    def mark_running(self, domain: Domain) -> None:
+        """Count the domain's vCPUs as schedulable on their cores.
+
+        Only *running* domains contend for timeslices; paused domains and
+        pooled shells do not.
+        """
+        if domain.sched_counted:
+            return
+        domain.sched_counted = True
+        for core in domain.vcpu_cores:
+            self._residents[core] = self._residents.get(core, 0) + 1
+
+    def mark_stopped(self, domain: Domain) -> None:
+        """Remove the domain's vCPUs from the runnable population."""
+        if not domain.sched_counted:
+            return
+        domain.sched_counted = False
+        for core in domain.vcpu_cores:
+            count = self._residents.get(core, 0)
+            if count:
+                self._residents[core] = count - 1
+
+    def residents_on(self, core: PSCore) -> int:
+        """Number of running domains with a vCPU on ``core``."""
+        return self._residents.get(core, 0)
+
+    def dom0_core(self) -> PSCore:
+        """Pick a Dom0 core round-robin (for toolstack work)."""
+        core = self.dom0_cores[self._next_dom0_core % len(self.dom0_cores)]
+        self._next_dom0_core += 1
+        return core
+
+    # ------------------------------------------------------------------
+    # Guest CPU demand
+    # ------------------------------------------------------------------
+    def run_on_domain(self, domain: Domain, work_ms: float):
+        """Execute ``work_ms`` of guest CPU work on the domain's first vCPU.
+
+        Returns the completion event.  Used for guest boot work, compute
+        jobs, and similar in-guest activity.
+        """
+        if not domain.vcpu_cores:
+            raise RuntimeError("domain %d has no placed vCPUs" % domain.domid)
+        return domain.vcpu_cores[0].execute(work_ms)
+
+    def set_idle_load(self, domain: Domain, weight: float) -> None:
+        """Set the fluid background CPU weight this domain exerts.
+
+        Idle Debian guests run services; idle Tinyx guests run occasional
+        background tasks; unikernels and paused domains exert none.  The
+        weight is spread over the domain's vCPU cores.
+        """
+        if not domain.vcpu_cores:
+            raise RuntimeError("domain %d has no placed vCPUs" % domain.domid)
+        per_core_old = domain.background_weight / len(domain.vcpu_cores)
+        per_core_new = weight / len(domain.vcpu_cores)
+        for core in domain.vcpu_cores:
+            if per_core_old:
+                core.remove_background(per_core_old)
+            if per_core_new:
+                core.add_background(per_core_new)
+        domain.background_weight = weight
+
+    def clear_idle_load(self, domain: Domain) -> None:
+        """Remove any background weight (on pause/suspend/destroy)."""
+        if domain.background_weight and domain.vcpu_cores:
+            per_core = domain.background_weight / len(domain.vcpu_cores)
+            for core in domain.vcpu_cores:
+                core.remove_background(per_core)
+        domain.background_weight = 0.0
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Mean instantaneous utilization over *all* cores, in [0, 1]."""
+        cores = self.dom0_cores + self.guest_cores
+        return sum(core.utilization() for core in cores) / len(cores)
+
+    def guest_utilization(self) -> float:
+        """Mean instantaneous utilization of the guest cores."""
+        return (sum(core.utilization() for core in self.guest_cores)
+                / len(self.guest_cores))
+
+    def busy_time(self) -> float:
+        """Total busy ms across all cores."""
+        return sum(core.busy_time()
+                   for core in self.dom0_cores + self.guest_cores)

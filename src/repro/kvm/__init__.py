@@ -1,0 +1,5 @@
+"""KVM-side comparison point: ukvm-style unikernel monitors (§9)."""
+
+from .monitor import UkvmCosts, UkvmHost, UkvmInstance
+
+__all__ = ["UkvmCosts", "UkvmHost", "UkvmInstance"]

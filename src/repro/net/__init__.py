@@ -1,0 +1,5 @@
+"""Network substrate: links, the software switch, flows and TLS serving."""
+
+from .links import Link
+
+__all__ = ["Link"]

@@ -1,0 +1,41 @@
+"""Network links: bandwidth/latency pipes used for migration and clients.
+
+A :class:`Link` models a point-to-point path with a propagation latency
+and a serialization bandwidth; ``transfer`` charges the simulated time a
+payload needs to cross it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.engine import Simulator
+
+
+@dataclasses.dataclass
+class Link:
+    """A point-to-point network path."""
+
+    sim: "Simulator"
+    #: One-way propagation latency, ms.
+    latency_ms: float = 0.1
+    #: Bandwidth in megabits per second.
+    bandwidth_mbps: float = 1000.0
+    #: Total bytes moved (accounting).
+    bytes_transferred: int = 0
+
+    def transfer_ms(self, size_kb: float) -> float:
+        """Time for ``size_kb`` KiB to cross the link (one way)."""
+        bits = size_kb * 1024 * 8
+        return self.latency_ms + bits / (self.bandwidth_mbps * 1000.0)
+
+    def transfer(self, size_kb: float):
+        """Generator: move a payload across the link."""
+        yield self.sim.timeout(self.transfer_ms(size_kb))
+        self.bytes_transferred += int(size_kb * 1024)
+
+    def round_trip(self):
+        """Generator: one RTT (e.g. a TCP handshake leg)."""
+        yield self.sim.timeout(2 * self.latency_ms)

@@ -1,0 +1,83 @@
+"""The Dom0 software switch (Linux bridge / Open vSwitch stand-in).
+
+Dom0 "hosts a software switch ... to mux/demux packets between NICs and
+the VMs" (§4.1).  For the use cases we need two behaviours:
+
+* port membership — hotplug attaches each vif (it implements the
+  :class:`repro.toolstack.hotplug.Bridge` protocol);
+* overload — §7.2: "our Linux bridge is overloaded and starts dropping
+  packets (mostly ARP packets)" once the broadcast/flood load exceeds its
+  capacity.  ARP resolution failures are what produce the long tail in
+  Fig 16b.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.engine import Simulator
+    from ..sim.rng import RngStream
+
+
+class SoftwareBridge:
+    """A software switch with a broadcast-processing capacity."""
+
+    def __init__(self, sim: "Simulator", rng: "RngStream",
+                 capacity_events_per_ms: float = 1.2,
+                 window_ms: float = 100.0):
+        self.sim = sim
+        self.rng = rng
+        #: Broadcast-ish control events (ARP, flooding for unknown MACs)
+        #: the bridge can process per ms before dropping.
+        self.capacity_events_per_ms = capacity_events_per_ms
+        #: Sliding window for load estimation.
+        self.window_ms = window_ms
+        self.ports: typing.Dict[str, int] = {}
+        self._events: typing.List[float] = []
+        self.drops = 0
+        self.arp_requests = 0
+
+    # ------------------------------------------------------------------
+    # Bridge protocol (hotplug)
+    # ------------------------------------------------------------------
+    def attach(self, domid: int, devname: str) -> None:
+        self.ports[devname] = domid
+        self._note_event()  # port attach floods the learning tables
+
+    def detach(self, domid: int, devname: str) -> None:
+        self.ports.pop(devname, None)
+
+    # ------------------------------------------------------------------
+    # Load and drops
+    # ------------------------------------------------------------------
+    def _note_event(self) -> None:
+        now = self.sim.now
+        self._events.append(now)
+        cutoff = now - self.window_ms
+        while self._events and self._events[0] < cutoff:
+            self._events.pop(0)
+
+    def load(self) -> float:
+        """Control events per ms over the sliding window."""
+        if not self._events:
+            return 0.0
+        return len(self._events) / self.window_ms
+
+    def arp_resolve(self) -> bool:
+        """One ARP resolution attempt; False means the request was dropped.
+
+        Every new-VM ping triggers ARP broadcasts; a port attach also
+        floods.  Above capacity the drop probability rises with the
+        overload ratio.
+        """
+        self.arp_requests += 1
+        self._note_event()
+        load = self.load()
+        if load <= self.capacity_events_per_ms:
+            return True
+        overload = (load - self.capacity_events_per_ms) / load
+        if self.rng.random() < overload:
+            self.drops += 1
+            return False
+        return True

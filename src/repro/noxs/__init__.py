@@ -1,0 +1,21 @@
+"""noxs — the paper's XenStore replacement (§5.1).
+
+Device information lives in hypervisor-held device pages; back-end setup
+goes through ioctls to the noxs kernel module; power operations (suspend/
+resume for migration) go through the sysctl split pseudo-device.
+"""
+
+from .devctrl import CTRL_SIZE, ControlPageError, DeviceControlPage
+from .module import NoxsCosts, NoxsModule
+from .sysctl import SysctlBackend, SysctlCosts, SysctlError
+
+__all__ = [
+    "CTRL_SIZE",
+    "ControlPageError",
+    "DeviceControlPage",
+    "NoxsCosts",
+    "NoxsModule",
+    "SysctlBackend",
+    "SysctlCosts",
+    "SysctlError",
+]

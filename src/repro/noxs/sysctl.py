@@ -1,0 +1,96 @@
+"""The sysctl pseudo-device: power operations without a XenStore.
+
+§5.1: "To support migration without a XenStore, we create a new
+pseudo-device called sysctl to handle power-related operations and
+implement it following Xen's split driver model ... These two drivers
+share a device page through which communication happens and an event
+channel."
+
+The back-end (Dom0) sets the shutdown reason in the shared page and
+triggers the event channel; the front-end (guest) saves its state, unbinds
+its noxs resources, and reports shutdown to the hypervisor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..hypervisor.devicepage import DEV_SYSCTL
+from ..hypervisor.domain import Domain, DomainState, ShutdownReason
+from ..hypervisor.hypervisor import Hypervisor
+from .module import NoxsModule
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.engine import Simulator
+
+
+@dataclasses.dataclass
+class SysctlCosts:
+    """Cost constants for sysctl power operations (µs unless noted)."""
+
+    #: The Dom0 ioctl + shared-page write + event-channel trigger.
+    request_us: float = 15.0
+    #: Guest-side suspend work: quiesce, save internal state, unbind noxs
+    #: channels and device pages (ms).
+    guest_suspend_ms: float = 1.2
+    #: Guest-side resume work: rebind and restore (ms).
+    guest_resume_ms: float = 0.8
+
+
+class SysctlError(RuntimeError):
+    """Power operation attempted without a sysctl device."""
+
+
+class SysctlBackend:
+    """Dom0 side of the sysctl split driver."""
+
+    NOTE_KEY = "sysctl_entry"
+
+    def __init__(self, sim: "Simulator", hypervisor: Hypervisor,
+                 noxs: NoxsModule,
+                 costs: typing.Optional[SysctlCosts] = None):
+        self.sim = sim
+        self.hypervisor = hypervisor
+        self.noxs = noxs
+        self.costs = costs or SysctlCosts()
+
+    def attach(self, domain: Domain):
+        """Generator: create the sysctl device pair for a new noxs VM."""
+        entry = yield from self.noxs.ioctl_create_device(domain, DEV_SYSCTL)
+        index = yield from self.noxs.write_devpage(domain, entry)
+        domain.notes[self.NOTE_KEY] = entry
+        return index
+
+    def _entry_for(self, domain: Domain):
+        entry = domain.notes.get(self.NOTE_KEY)
+        if entry is None:
+            raise SysctlError("domain %d has no sysctl device"
+                              % domain.domid)
+        return entry
+
+    def request_suspend(self, domain: Domain):
+        """Generator: suspend ``domain`` through the sysctl channel.
+
+        Returns when the guest has acknowledged and entered SUSPENDED.
+        """
+        entry = self._entry_for(domain)
+        domain.require_state(DomainState.RUNNING)
+        # Back-end: write the shutdown reason into the shared control page
+        # and trigger the event channel.
+        grant = self.hypervisor.grants.entry(0, entry.grant_ref)
+        page = self.noxs.control_pages.get(grant.frame)
+        if page is not None:
+            page.feature_bits = 1  # shutdown_reason = suspend
+        yield self.sim.timeout(self.costs.request_us / 1000.0)
+        # Front-end: the guest saves internal state and unbinds noxs
+        # event channels and device pages.
+        yield self.sim.timeout(self.costs.guest_suspend_ms)
+        self.hypervisor.domctl_shutdown(domain, ShutdownReason.SUSPEND)
+
+    def complete_resume(self, domain: Domain):
+        """Generator: guest-side rebind after a restore/migration."""
+        self._entry_for(domain)
+        domain.require_state(DomainState.SUSPENDED, DomainState.CREATED)
+        yield self.sim.timeout(self.costs.guest_resume_ms)
+        self.hypervisor.domctl_unpause(domain)

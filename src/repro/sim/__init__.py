@@ -1,0 +1,38 @@
+"""Discrete-event simulation kernel used by every LightVM subsystem.
+
+Public surface:
+
+* :class:`Simulator` — event queue + millisecond clock.
+* :class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf`,
+  :class:`Interrupt` — event primitives.
+* :class:`Process` — generator-based processes.
+* :class:`Resource`, :class:`Store` — contended resources and FIFO stores.
+* :class:`PSCore`, :class:`CpuPool` — processor-sharing CPU model.
+* :class:`RngStream`, :class:`RngRegistry` — deterministic random streams.
+"""
+
+from .engine import Simulator
+from .events import AllOf, AnyOf, Event, Interrupt, SimulationError, Timeout
+from .process import Process
+from .resources import Request, Resource, Store
+from .cpu import CpuPool, CpuTask, PSCore
+from .rng import RngRegistry, RngStream
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CpuPool",
+    "CpuTask",
+    "Event",
+    "Interrupt",
+    "Process",
+    "PSCore",
+    "Request",
+    "Resource",
+    "RngRegistry",
+    "RngStream",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,200 @@
+"""Processor-sharing CPU model.
+
+The LightVM evaluation repeatedly hinges on CPU contention: Tinyx boot times
+grow once hundreds of idle guests run background tasks (Fig 11), firewall
+VMs see rising RTTs as the scheduler round-robins over them (Fig 16a), and
+the compute service backlog in Fig 17/18 is a queueing effect on three
+cores.  We model each physical core as a **generalized processor-sharing
+(GPS) server**:
+
+* *Discrete tasks* (a guest booting, a compute job, a TLS handshake batch)
+  carry an amount of work in cpu-milliseconds and complete when it drains.
+* *Fluid background load* models large populations of idle guests cheaply:
+  each idle Tinyx/Debian guest contributes a small demand weight instead of
+  scheduling thousands of tiny wakeup events.
+
+With ``n`` discrete tasks and aggregate background weight ``b`` on a core,
+every unit-weight claimant receives ``1 / (n + b)`` of the core, so a task
+with ``w`` cpu-ms of work completes in ``w * (n + b)`` ms (while the mix
+stays constant).  The implementation re-evaluates lazily at every state
+change, so time complexity is O(tasks) per change, independent of the
+background population size.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Simulator
+
+
+class CpuTask:
+    """A discrete unit of CPU work executing on a :class:`PSCore`."""
+
+    __slots__ = ("remaining", "done", "weight")
+
+    def __init__(self, sim: "Simulator", work: float, weight: float = 1.0):
+        self.remaining = float(work)
+        self.weight = float(weight)
+        #: Event that fires (with the completion time) when the work drains.
+        self.done = Event(sim)
+
+
+class PSCore:
+    """One physical core as a processor-sharing server."""
+
+    def __init__(self, sim: "Simulator", rate: float = 1.0,
+                 name: str = "cpu"):
+        if rate <= 0:
+            raise ValueError("core rate must be positive")
+        self.sim = sim
+        self.rate = float(rate)
+        self.name = name
+        self._tasks: typing.List[CpuTask] = []
+        self._background = 0.0
+        self._last_update = sim.now
+        self._busy_ms = 0.0
+        self._timer_generation = 0
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def active_tasks(self) -> int:
+        """Number of discrete tasks currently on the core."""
+        return len(self._tasks)
+
+    @property
+    def background_weight(self) -> float:
+        """Aggregate fluid background demand weight on this core."""
+        return self._background
+
+    def utilization(self) -> float:
+        """Instantaneous utilization in [0, 1]."""
+        if self._tasks:
+            return 1.0
+        return min(self._background, 1.0)
+
+    def busy_time(self) -> float:
+        """Accumulated busy milliseconds (integral of utilization)."""
+        self._advance()
+        return self._busy_ms
+
+    def _divisor(self) -> float:
+        weights = sum(task.weight for task in self._tasks)
+        return max(weights + self._background, 1e-12)
+
+    # ------------------------------------------------------------------
+    # Work submission
+    # ------------------------------------------------------------------
+    def execute(self, work: float, weight: float = 1.0) -> Event:
+        """Submit ``work`` cpu-ms; the returned event fires on completion."""
+        if work < 0:
+            raise ValueError("work must be >= 0")
+        self._advance()
+        task = CpuTask(self.sim, work, weight)
+        if work == 0:
+            task.done.succeed(self.sim.now)
+            return task.done
+        self._tasks.append(task)
+        self._reschedule()
+        return task.done
+
+    def add_background(self, weight: float) -> None:
+        """Add fluid background demand (e.g. one idle guest's share)."""
+        if weight < 0:
+            raise ValueError("background weight must be >= 0")
+        self._advance()
+        self._background += weight
+        self._reschedule()
+
+    def remove_background(self, weight: float) -> None:
+        """Remove previously-added background demand."""
+        self._advance()
+        self._background = max(0.0, self._background - weight)
+        self._reschedule()
+
+    # ------------------------------------------------------------------
+    # Internal bookkeeping
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Account for progress since the last state change."""
+        now = self.sim.now
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            self._busy_ms += elapsed * self.utilization()
+            if self._tasks:
+                divisor = self._divisor()
+                progress = elapsed * self.rate / divisor
+                for task in self._tasks:
+                    task.remaining -= progress * task.weight
+        self._last_update = now
+        # Completion check runs even for zero elapsed time: floating-point
+        # cancellation can leave a task with residual work after an exact
+        # finish-time wakeup, and it must complete *now*, not spin the
+        # timer at the same timestamp.  The epsilon (1 ns of CPU time) is
+        # far below the model's resolution.
+        finished = [task for task in self._tasks
+                    if task.remaining <= 1e-6]
+        for task in finished:
+            self._tasks.remove(task)
+            task.done.succeed(now)
+
+    def _reschedule(self) -> None:
+        """Arm a wakeup at the earliest possible task completion."""
+        self._timer_generation += 1
+        if not self._tasks:
+            return
+        generation = self._timer_generation
+        divisor = self._divisor()
+        earliest = min(task.remaining / task.weight for task in self._tasks)
+        delay = earliest * divisor / self.rate
+        # The delay must actually advance the clock: late in a long
+        # simulation the double-precision ULP of `now` exceeds tiny
+        # delays, which would freeze time and spin the timer forever.
+        # Overshooting by a few ULPs is harmless (work goes negative and
+        # the completion check catches it).
+        minimum = max(1e-9, abs(self.sim.now) * 1e-12)
+        self.sim.schedule(max(delay, minimum), self._on_timer, generation)
+
+    def _on_timer(self, generation: int) -> None:
+        if generation != self._timer_generation:
+            return  # superseded by a newer state change
+        self._advance()
+        self._reschedule()
+
+
+class CpuPool:
+    """A set of cores with round-robin placement, as Xen's toolstack uses.
+
+    The paper pins Dom0 to dedicated cores and assigns guest vCPUs to the
+    remaining cores round-robin; :meth:`place` reproduces that policy.
+    """
+
+    def __init__(self, sim: "Simulator", cores: int, rate: float = 1.0):
+        if cores < 1:
+            raise ValueError("need at least one core")
+        self.sim = sim
+        self.cores = [PSCore(sim, rate=rate, name="cpu%d" % i)
+                      for i in range(cores)]
+        self._next = 0
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def place(self) -> PSCore:
+        """Pick the next core round-robin."""
+        core = self.cores[self._next % len(self.cores)]
+        self._next += 1
+        return core
+
+    def utilization(self) -> float:
+        """Mean instantaneous utilization across the pool, in [0, 1]."""
+        return sum(core.utilization() for core in self.cores) / len(self.cores)
+
+    def busy_time(self) -> float:
+        """Total busy ms across all cores."""
+        return sum(core.busy_time() for core in self.cores)

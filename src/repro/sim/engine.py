@@ -1,0 +1,136 @@
+"""The discrete-event simulation core.
+
+:class:`Simulator` owns the event queue and the simulated clock.  All times
+in the library are **milliseconds of simulated time** expressed as floats;
+this matches the units the LightVM paper reports (boot times of 2.3 ms,
+migration times of 60 ms, and so on).
+
+The kernel is a compact SimPy-style design: events are pushed onto a heap
+keyed by (time, insertion order); :meth:`Simulator.run` pops them in order
+and invokes their callbacks.  Processes (see :mod:`repro.sim.process`) are
+generators that yield events and are resumed by callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing
+
+from .events import AllOf, AnyOf, Event, SimulationError, Timeout
+from .process import Process
+
+
+class Simulator:
+    """A discrete-event simulator with a millisecond float clock."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._queue: list = []
+        self._order = itertools.count()
+        #: Number of events processed so far (for diagnostics/tests).
+        self.processed_events = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that fires ``delay`` ms from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: typing.Generator) -> Process:
+        """Start a new :class:`Process` driving ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        """Event that succeeds when all ``events`` succeed."""
+        return AllOf(self, events)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        """Event that succeeds when any of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    def schedule(self, delay: float, callback, *args) -> Event:
+        """Run ``callback(*args)`` after ``delay`` ms; returns the event."""
+        event = self.timeout(delay)
+        event.add_callback(lambda _evt: callback(*args))
+        return event
+
+    # ------------------------------------------------------------------
+    # Queue management
+    # ------------------------------------------------------------------
+    def _push(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._order),
+                                     event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("no more events to process")
+        when, _order, event = heapq.heappop(self._queue)
+        self._now = when
+        self.processed_events += 1
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            # A failure nobody handled: escalate to the run() caller so
+            # broken models do not fail silently.
+            raise typing.cast(BaseException, event._value)
+
+    def run(self, until: typing.Union[float, Event, None] = None) -> object:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the queue drains;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until it triggers, returning its value
+          (re-raising its exception if it failed).
+        """
+        stop_event: typing.Optional[Event] = None
+        stop_processed = [False]
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            stop_event.defused = True
+            stop_event.add_callback(
+                lambda _evt: stop_processed.__setitem__(0, True))
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError("until=%r is in the past (now=%r)"
+                                 % (until, self._now))
+
+        while self._queue:
+            if stop_processed[0]:
+                break
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "simulation ran out of events before the awaited event "
+                    "triggered")
+            if not stop_event.ok:
+                raise typing.cast(BaseException, stop_event.value)
+            return stop_event.value
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

@@ -1,0 +1,177 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` is a one-shot occurrence with an optional value.  Other
+entities (processes, resources) register callbacks on an event; when the
+event is *triggered* (via :meth:`Event.succeed` or :meth:`Event.fail`) it is
+placed on the simulator queue and its callbacks run when the simulator
+reaches it.  The design intentionally mirrors the well-known SimPy kernel so
+that toolstack code reads like straight-line prose with ``yield`` points.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Simulator
+
+#: Sentinel for "this event has not been triggered yet".
+PENDING = object()
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The interrupt ``cause`` is available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events start *pending*; calling :meth:`succeed` or :meth:`fail` triggers
+    them, after which ``value`` holds the result (or the exception).
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: typing.Optional[list] = []
+        self._value: object = PENDING
+        self._ok: typing.Optional[bool] = None
+        #: Set to True by a handler to mark a failure as dealt with, which
+        #: stops the simulator from escalating it to the caller of ``run``.
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled for processing."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event is not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The event's value (or failure exception) once triggered."""
+        if self._value is PENDING:
+            raise SimulationError("event is not yet triggered")
+        return self._value
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._push(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._value is not PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._push(self)
+        return self
+
+    def add_callback(self, callback) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event was already processed the callback runs immediately;
+        this keeps late subscribers (e.g. joining a finished process) safe.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending" if self._value is PENDING else (
+            "ok" if self._ok else "failed")
+        return "<{} {} at {:#x}>".format(type(self).__name__, state, id(self))
+
+
+class Timeout(Event):
+    """An event that succeeds automatically after a fixed delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: object = None):
+        if delay < 0:
+            raise ValueError("timeout delay must be >= 0, got %r" % delay)
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._push(self, delay=delay)
+
+
+class Condition(Event):
+    """Base for composite events over a list of child events."""
+
+    def __init__(self, sim: "Simulator", events: typing.Sequence[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        self._remaining = len(self.events)
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        """Map each finished child event to its value."""
+        return {
+            event: event._value
+            for event in self.events
+            if event.processed and event._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Succeeds when every child event has succeeded."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(typing.cast(BaseException, event._value))
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Succeeds as soon as one child event succeeds."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(typing.cast(BaseException, event._value))
+            return
+        self.succeed(self._collect())

@@ -1,0 +1,104 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields *wait targets*:
+
+* an :class:`~repro.sim.events.Event` — the process resumes when the event
+  triggers, receiving its value (or having its exception thrown in);
+* another :class:`Process` — the process joins it;
+* a number — shorthand for ``sim.timeout(number)``.
+
+A process is itself an event: it triggers when the generator returns (the
+return value becomes the event value) or raises.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .events import Event, Interrupt, PENDING
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Simulator
+
+
+class Process(Event):
+    """Drives a generator through the simulation, acting as its own event."""
+
+    def __init__(self, sim: "Simulator", generator: typing.Generator,
+                 name: typing.Optional[str] = None):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError("Process requires a generator, got %r"
+                            % (generator,))
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: typing.Optional[Event] = None
+        # Kick off on the next queue step so creation order is respected.
+        bootstrap = Event(sim)
+        bootstrap._ok = True
+        bootstrap._value = None
+        sim._push(bootstrap)
+        bootstrap.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise RuntimeError("cannot interrupt a finished process")
+        # Detach from whatever the process was waiting on; the stale event's
+        # callback becomes a no-op via the generation check below.
+        kick = Event(self.sim)
+        kick._ok = False
+        kick._value = Interrupt(cause)
+        kick.defused = True
+        self._waiting_on = kick
+        self.sim._push(kick)
+        kick.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        if self._waiting_on is not None and event is not self._waiting_on:
+            return  # stale wakeup from an event we stopped waiting on
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                event.defused = True
+                target = self._generator.throw(
+                    typing.cast(BaseException, event._value))
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, target: object) -> None:
+        if isinstance(target, (int, float)):
+            try:
+                target = self.sim.timeout(target)
+            except ValueError as exc:
+                # A negative delay is the *process's* bug: fail it rather
+                # than crashing the whole simulation run loop.
+                self._generator.close()
+                self.fail(exc)
+                return
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(TypeError(
+                "process %r yielded %r; expected an Event, Process or a "
+                "numeric delay" % (self.name, target)))
+            return
+        if target.sim is not self.sim:
+            self.fail(ValueError("yielded event belongs to another "
+                                 "simulator"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)

@@ -1,0 +1,37 @@
+"""Deterministic, named random streams.
+
+Every stochastic component (XenStore transaction jitter, Docker start-time
+noise, client arrival processes, ...) draws from its own named stream so
+that adding randomness to one subsystem never perturbs another and every
+experiment is bit-reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RngStream(random.Random):
+    """A ``random.Random`` seeded from ``(seed, name)`` via SHA-256."""
+
+    def __init__(self, seed: int, name: str):
+        digest = hashlib.sha256(
+            ("%d/%s" % (seed, name)).encode("utf-8")).digest()
+        super().__init__(int.from_bytes(digest[:8], "big"))
+        self.name = name
+        self.base_seed = seed
+
+
+class RngRegistry:
+    """Factory handing out one :class:`RngStream` per component name."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._streams: dict = {}
+
+    def stream(self, name: str) -> RngStream:
+        """Return the stream for ``name``, creating it on first use."""
+        if name not in self._streams:
+            self._streams[name] = RngStream(self.seed, name)
+        return self._streams[name]

@@ -1,0 +1,42 @@
+"""Tinyx — the automated minimal-Linux-VM build system of §3.2."""
+
+from .build import (DEFAULT_TRIM_CANDIDATES, TinyxBuild, TinyxBuilder,
+                    debian_kernel_size_kb)
+from .depresolve import (DependencyError, discover_library_packages,
+                         plan_install, resolve_closure)
+from .kernelconfig import (KERNEL_OPTIONS, KernelConfig, KernelOption,
+                           TrimReport, UnknownOptionError,
+                           default_boot_test, trim)
+from .overlay import Filesystem, OverlayResult, assemble, busybox_underlay
+from .packages import (APP_BINARIES, DEFAULT_BLACKLIST, AppBinary, Package,
+                       PackageUniverse, UnknownPackageError,
+                       debian_universe)
+
+__all__ = [
+    "APP_BINARIES",
+    "AppBinary",
+    "DEFAULT_BLACKLIST",
+    "DEFAULT_TRIM_CANDIDATES",
+    "DependencyError",
+    "Filesystem",
+    "KERNEL_OPTIONS",
+    "KernelConfig",
+    "KernelOption",
+    "OverlayResult",
+    "Package",
+    "PackageUniverse",
+    "TinyxBuild",
+    "TinyxBuilder",
+    "TrimReport",
+    "UnknownOptionError",
+    "UnknownPackageError",
+    "assemble",
+    "busybox_underlay",
+    "debian_kernel_size_kb",
+    "debian_universe",
+    "default_boot_test",
+    "discover_library_packages",
+    "plan_install",
+    "resolve_closure",
+    "trim",
+]

@@ -1,0 +1,131 @@
+"""The Tinyx builder: application + platform → a bootable GuestImage.
+
+Ties the pipeline together: objdump dependency discovery → package
+closure minus blacklist plus whitelist → OverlayFS assembly → tinyconfig
+kernel + platform built-ins + optional trim loop → a
+:class:`~repro.guests.images.GuestImage` whose kernel bundles the
+distribution as an initramfs (how the Fig 4 Tinyx image is built).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..guests.images import GuestImage, GuestKind
+from .depresolve import plan_install
+from .kernelconfig import (DISTRO_EXTRA, KernelConfig, PLATFORM_OPTIONS,
+                           TrimReport, default_boot_test, trim)
+from .overlay import OverlayResult, assemble
+from .packages import (APP_BINARIES, DEFAULT_BLACKLIST, AppBinary,
+                       PackageUniverse, debian_universe)
+
+#: Runtime memory model: kernel working set (§3.2: "1.6MB for Tinyx vs.
+#: 8MB for the Debian we tested") + BusyBox/init + the application's RSS
+#: headroom, rounded up to what Fig 4's Tinyx guests were given.
+TINYX_KERNEL_RUNTIME_KB = 1638
+DEFAULT_GUEST_MEMORY_KB = 30720
+
+
+@dataclasses.dataclass
+class TinyxBuild:
+    """Everything the build produced, for inspection and reporting."""
+
+    image: GuestImage
+    packages: typing.List[str]
+    overlay: OverlayResult
+    kernel_config: KernelConfig
+    trim_report: typing.Optional[TrimReport]
+
+    @property
+    def kernel_kb(self) -> int:
+        return self.kernel_config.size_kb()
+
+    @property
+    def initramfs_kb(self) -> int:
+        return self.overlay.filesystem.total_kb
+
+
+class TinyxBuilder:
+    """The automated build system of §3.2."""
+
+    def __init__(self, universe: typing.Optional[PackageUniverse] = None):
+        self.universe = universe or debian_universe()
+
+    def build(self, app: str, platform: str = "xen",
+              blacklist: typing.Iterable[str] = DEFAULT_BLACKLIST,
+              whitelist: typing.Iterable[str] = (),
+              trim_candidates: typing.Optional[typing.Sequence[str]] = None,
+              boot_test: typing.Optional[typing.Callable] = None,
+              memory_kb: int = DEFAULT_GUEST_MEMORY_KB,
+              needs_block: bool = False) -> TinyxBuild:
+        """Build a Tinyx image for ``app`` targeting ``platform``.
+
+        ``trim_candidates`` is the §3.2 "set of user-provided kernel
+        options" to try disabling; ``boot_test`` overrides the default
+        boot-and-probe oracle.
+        """
+        binary = self._binary(app)
+        packages = plan_install(binary, self.universe,
+                                blacklist=blacklist, whitelist=whitelist)
+        overlay = assemble(packages, self.universe, app_name=app)
+
+        config = KernelConfig.tinyconfig()
+        if platform not in PLATFORM_OPTIONS:
+            raise ValueError("unknown platform %r; known: %s"
+                             % (platform,
+                                ", ".join(sorted(PLATFORM_OPTIONS))))
+        for option in PLATFORM_OPTIONS[platform]:
+            config.enable(option)
+
+        trim_report = None
+        if trim_candidates is not None:
+            test = boot_test or default_boot_test(
+                platform, needs_network=True, needs_block=needs_block)
+            # Make sure the candidates exist in the config so that the
+            # trim loop has something to try (a distro-ish starting set).
+            for option in trim_candidates:
+                config.enable(option)
+            trim_report = trim(config, trim_candidates, test)
+
+        kernel_kb = config.size_kb() + overlay.filesystem.total_kb
+        image = GuestImage(
+            name="tinyx-%s" % app,
+            kind=GuestKind.TINYX,
+            kernel_size_kb=kernel_kb,
+            rootfs_size_kb=0,  # the distribution rides in the initramfs
+            memory_kb=memory_kb,
+            boot_cpu_ms=165.0,
+            boot_fixed_ms=8.0,
+            vifs=1,
+            vbds=1 if needs_block else 0,
+            idle_cpu_weight=4e-5,
+            sched_contention=0.018,
+            sched_contention_threshold=230,
+            extra_xenstore_entries=6,
+            xenbus_watches=8,
+            ambient_weight=2.0,
+            toolstack_build_ms=185.0,
+        )
+        return TinyxBuild(image=image,
+                          packages=[p.name for p in packages],
+                          overlay=overlay, kernel_config=config,
+                          trim_report=trim_report)
+
+    def _binary(self, app: str) -> AppBinary:
+        try:
+            return APP_BINARIES[app]
+        except KeyError:
+            raise KeyError("no objdump manifest for %r; known apps: %s"
+                           % (app, ", ".join(sorted(APP_BINARIES)))) \
+                from None
+
+
+def debian_kernel_size_kb(platform: str = "xen") -> int:
+    """Size of the everything-on distro kernel (the Tinyx comparison
+    point: Tinyx kernels are about half this)."""
+    return KernelConfig.distro(platform).size_kb()
+
+
+#: Candidates Tinyx users typically hand to the trim loop: the distro fat.
+DEFAULT_TRIM_CANDIDATES = tuple(DISTRO_EXTRA)

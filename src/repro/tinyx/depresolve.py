@@ -1,0 +1,117 @@
+"""Tinyx dependency discovery and closure resolution.
+
+§3.2: "To derive dependencies, Tinyx uses (1) objdump to generate a list
+of libraries and (2) the Debian package manager.  To optimize the latter,
+Tinyx includes a blacklist of packages that are marked as required (mostly
+for installation, e.g., dpkg) but not strictly needed for running the
+application.  In addition, we include a whitelist of packages that the
+user might want to include irrespective of dependency analysis."
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .packages import (AppBinary, Package, PackageUniverse,
+                       UnknownPackageError)
+
+
+class DependencyError(RuntimeError):
+    """The closure cannot be satisfied (missing package/library)."""
+
+
+def discover_library_packages(binary: AppBinary,
+                              universe: PackageUniverse
+                              ) -> typing.List[Package]:
+    """The objdump step: map NEEDED sonames to the packages shipping them.
+
+    Returns the direct library providers (unsorted closure comes later).
+    """
+    providers: typing.List[Package] = []
+    seen: typing.Set[str] = set()
+    for soname in binary.needed_sonames:
+        try:
+            provider = universe.provider_of_lib(soname)
+        except UnknownPackageError:
+            raise DependencyError(
+                "%s needs %s but no package provides it"
+                % (binary.name, soname)) from None
+        if provider.name not in seen:
+            seen.add(provider.name)
+            providers.append(provider)
+    return providers
+
+
+def resolve_closure(roots: typing.Iterable[str],
+                    universe: PackageUniverse,
+                    blacklist: typing.Iterable[str] = (),
+                    whitelist: typing.Iterable[str] = ()
+                    ) -> typing.List[Package]:
+    """Compute the install set: roots + whitelist, transitively closed
+    over Depends, minus the blacklist.
+
+    The result is topologically ordered (dependencies before dependents),
+    matching dpkg's unpack order.  Blacklisted packages are skipped along
+    with the dependency edges into them — the whole point of the blacklist
+    is to cut those edges.
+
+    Raises :class:`DependencyError` for unknown packages or dependency
+    cycles (a malformed universe).
+    """
+    blacklist_set = set(blacklist)
+    wanted: typing.List[str] = []
+    for name in list(roots) + list(whitelist):
+        if name not in wanted:
+            wanted.append(name)
+
+    # BFS the Depends graph, skipping blacklisted nodes.
+    closure: typing.Dict[str, Package] = {}
+    queue = [name for name in wanted if name not in blacklist_set]
+    while queue:
+        name = queue.pop(0)
+        if name in closure:
+            continue
+        try:
+            package = universe.get(name)
+        except UnknownPackageError:
+            raise DependencyError("unknown package %r" % name) from None
+        closure[name] = package
+        for dep in package.depends:
+            if dep not in blacklist_set and dep not in closure:
+                queue.append(dep)
+
+    # Topological sort (Kahn) over the subgraph.
+    in_closure = set(closure)
+    indegree = {name: 0 for name in closure}
+    for package in closure.values():
+        for dep in package.depends:
+            if dep in in_closure:
+                indegree[package.name] += 1
+    ready = sorted(name for name, deg in indegree.items() if deg == 0)
+    ordered: typing.List[Package] = []
+    while ready:
+        name = ready.pop(0)
+        ordered.append(closure[name])
+        for other in sorted(in_closure):
+            package = closure[other]
+            if name in package.depends:
+                indegree[other] -= 1
+                if indegree[other] == 0:
+                    ready.append(other)
+        ready.sort()
+    if len(ordered) != len(closure):
+        cyclic = sorted(in_closure - {p.name for p in ordered})
+        raise DependencyError("dependency cycle among: %s"
+                              % ", ".join(cyclic))
+    return ordered
+
+
+def plan_install(app: AppBinary, universe: PackageUniverse,
+                 blacklist: typing.Iterable[str] = (),
+                 whitelist: typing.Iterable[str] = ()
+                 ) -> typing.List[Package]:
+    """The full Tinyx discovery pipeline for one application binary."""
+    roots = [app.package]
+    roots.extend(p.name for p in discover_library_packages(app, universe))
+    return resolve_closure(roots, universe, blacklist=blacklist,
+                           whitelist=whitelist)

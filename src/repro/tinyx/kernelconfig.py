@@ -1,0 +1,267 @@
+"""Kernel configuration trimming — the Tinyx kernel build (§3.2).
+
+"To build the kernel, Tinyx begins with the 'tinyconfig' Linux kernel
+build target as a baseline, and adds a set of built-in options depending
+on the target system (e.g., Xen or KVM support) ... Optionally, the build
+system can take a set of user-provided kernel options, disable each one in
+turn, rebuild the kernel with the olddefconfig target, boot the Tinyx
+image, and run a user-provided test to see if the system still works ...
+if the test fails, the option is re-enabled, otherwise it is left out."
+
+We model a kernel as a dependency graph of options with size
+contributions, implement ``olddefconfig`` as dependency fix-point
+resolution, and run the real disable→rebuild→test→revert loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelOption:
+    """One CONFIG_* option."""
+
+    name: str
+    #: Kernel image size contribution, KiB.
+    size_kb: int
+    #: Options this one needs (select/depends collapsed).
+    requires: typing.Tuple[str, ...] = ()
+
+
+#: The modelled option universe (a representative slice).
+KERNEL_OPTIONS: typing.Dict[str, KernelOption] = {
+    opt.name: opt for opt in [
+        # tinyconfig core.
+        KernelOption("CONFIG_64BIT", 220),
+        KernelOption("CONFIG_PRINTK", 90),
+        KernelOption("CONFIG_BINFMT_ELF", 60),
+        KernelOption("CONFIG_MULTIUSER", 40),
+        KernelOption("CONFIG_FUTEX", 35),
+        KernelOption("CONFIG_EPOLL", 25),
+        KernelOption("CONFIG_PROC_FS", 70),
+        KernelOption("CONFIG_SYSFS", 65),
+        KernelOption("CONFIG_TMPFS", 45),
+        # Paravirtualization.
+        KernelOption("CONFIG_PARAVIRT", 110),
+        KernelOption("CONFIG_XEN", 260, requires=("CONFIG_PARAVIRT",)),
+        KernelOption("CONFIG_XEN_NETFRONT", 95,
+                     requires=("CONFIG_XEN", "CONFIG_NET")),
+        KernelOption("CONFIG_XEN_BLKFRONT", 85, requires=("CONFIG_XEN",)),
+        KernelOption("CONFIG_HVC_XEN", 30, requires=("CONFIG_XEN",)),
+        KernelOption("CONFIG_KVM_GUEST", 180,
+                     requires=("CONFIG_PARAVIRT",)),
+        KernelOption("CONFIG_VIRTIO", 80),
+        KernelOption("CONFIG_VIRTIO_NET", 90,
+                     requires=("CONFIG_VIRTIO", "CONFIG_NET")),
+        KernelOption("CONFIG_VIRTIO_BLK", 80, requires=("CONFIG_VIRTIO",)),
+        # Networking.
+        KernelOption("CONFIG_NET", 420),
+        KernelOption("CONFIG_INET", 510, requires=("CONFIG_NET",)),
+        KernelOption("CONFIG_UNIX", 90, requires=("CONFIG_NET",)),
+        KernelOption("CONFIG_PACKET", 60, requires=("CONFIG_NET",)),
+        KernelOption("CONFIG_IPV6", 480, requires=("CONFIG_INET",)),
+        KernelOption("CONFIG_NETFILTER", 380, requires=("CONFIG_NET",)),
+        # Filesystems.
+        KernelOption("CONFIG_BLOCK", 260),
+        KernelOption("CONFIG_EXT4_FS", 540, requires=("CONFIG_BLOCK",)),
+        KernelOption("CONFIG_VFAT_FS", 130, requires=("CONFIG_BLOCK",)),
+        KernelOption("CONFIG_NFS_FS", 420,
+                     requires=("CONFIG_INET", "CONFIG_BLOCK")),
+        # Bare-metal drivers Tinyx disables for virtual machines.
+        KernelOption("CONFIG_PCI", 320),
+        KernelOption("CONFIG_E1000", 190,
+                     requires=("CONFIG_PCI", "CONFIG_NET")),
+        KernelOption("CONFIG_SATA_AHCI", 210,
+                     requires=("CONFIG_PCI", "CONFIG_BLOCK")),
+        KernelOption("CONFIG_USB", 480, requires=("CONFIG_PCI",)),
+        KernelOption("CONFIG_DRM", 900, requires=("CONFIG_PCI",)),
+        KernelOption("CONFIG_SOUND", 620, requires=("CONFIG_PCI",)),
+        KernelOption("CONFIG_WLAN", 700, requires=("CONFIG_NET",)),
+        # Generic fat to trim.
+        KernelOption("CONFIG_MODULES", 150),
+        KernelOption("CONFIG_SWAP", 120, requires=("CONFIG_BLOCK",)),
+        KernelOption("CONFIG_NUMA", 240),
+        KernelOption("CONFIG_DEBUG_INFO", 1500),
+        KernelOption("CONFIG_KALLSYMS", 350),
+        KernelOption("CONFIG_MAGIC_SYSRQ", 40),
+        KernelOption("CONFIG_AUDIT", 180),
+        KernelOption("CONFIG_SECURITY_SELINUX", 420,
+                     requires=("CONFIG_AUDIT",)),
+        KernelOption("CONFIG_CGROUPS", 260),
+        KernelOption("CONFIG_NAMESPACES", 190),
+    ]
+}
+
+#: Compressed-image bytes independent of options (head code, decompressor).
+BASE_KERNEL_KB = 600
+
+#: What `make tinyconfig` turns on.
+TINYCONFIG = ("CONFIG_64BIT", "CONFIG_PRINTK", "CONFIG_BINFMT_ELF",
+              "CONFIG_MULTIUSER", "CONFIG_FUTEX", "CONFIG_EPOLL")
+
+#: Built-ins Tinyx adds per target platform.
+PLATFORM_OPTIONS = {
+    "xen": ("CONFIG_XEN", "CONFIG_XEN_NETFRONT", "CONFIG_XEN_BLKFRONT",
+            "CONFIG_HVC_XEN", "CONFIG_PROC_FS", "CONFIG_SYSFS",
+            "CONFIG_TMPFS", "CONFIG_NET", "CONFIG_INET", "CONFIG_UNIX",
+            "CONFIG_BLOCK"),
+    "kvm": ("CONFIG_KVM_GUEST", "CONFIG_VIRTIO", "CONFIG_VIRTIO_NET",
+            "CONFIG_VIRTIO_BLK", "CONFIG_PROC_FS", "CONFIG_SYSFS",
+            "CONFIG_TMPFS", "CONFIG_NET", "CONFIG_INET", "CONFIG_UNIX",
+            "CONFIG_BLOCK"),
+}
+
+#: A typical distribution kernel config (what Debian ships) — everything.
+DISTRO_EXTRA = ("CONFIG_IPV6", "CONFIG_NETFILTER", "CONFIG_EXT4_FS",
+                "CONFIG_VFAT_FS", "CONFIG_NFS_FS", "CONFIG_PCI",
+                "CONFIG_E1000", "CONFIG_SATA_AHCI", "CONFIG_USB",
+                "CONFIG_DRM", "CONFIG_SOUND", "CONFIG_WLAN",
+                "CONFIG_MODULES", "CONFIG_SWAP", "CONFIG_NUMA",
+                "CONFIG_KALLSYMS", "CONFIG_MAGIC_SYSRQ", "CONFIG_AUDIT",
+                "CONFIG_SECURITY_SELINUX", "CONFIG_CGROUPS",
+                "CONFIG_NAMESPACES", "CONFIG_DEBUG_INFO")
+
+
+class UnknownOptionError(KeyError):
+    """Referenced a CONFIG_* option the model does not know."""
+
+
+class KernelConfig:
+    """A mutable kernel configuration."""
+
+    def __init__(self, enabled: typing.Iterable[str] = ()):
+        self.enabled: typing.Set[str] = set()
+        for name in enabled:
+            self.enable(name)
+
+    @classmethod
+    def tinyconfig(cls) -> "KernelConfig":
+        """`make tinyconfig`."""
+        return cls(TINYCONFIG)
+
+    @classmethod
+    def distro(cls, platform: str = "xen") -> "KernelConfig":
+        """A Debian-style everything-on kernel for comparison."""
+        config = cls.tinyconfig()
+        for name in PLATFORM_OPTIONS[platform] + DISTRO_EXTRA:
+            config.enable(name)
+        return config
+
+    @staticmethod
+    def _option(name: str) -> KernelOption:
+        try:
+            return KERNEL_OPTIONS[name]
+        except KeyError:
+            raise UnknownOptionError(name) from None
+
+    def enable(self, name: str) -> None:
+        """Enable an option and (recursively) its requirements."""
+        option = self._option(name)
+        if name in self.enabled:
+            return
+        self.enabled.add(name)
+        for requirement in option.requires:
+            self.enable(requirement)
+
+    def disable(self, name: str) -> None:
+        """Turn an option off (dependents are fixed by olddefconfig)."""
+        self._option(name)
+        self.enabled.discard(name)
+
+    def olddefconfig(self) -> typing.List[str]:
+        """Drop options whose requirements are no longer satisfiable;
+        iterate to a fix point (what `make olddefconfig` effectively does
+        after a dependency was switched off).  Returns what was dropped."""
+        dropped: typing.List[str] = []
+        changed = True
+        while changed:
+            changed = False
+            for name in sorted(self.enabled):
+                option = self._option(name)
+                if any(req not in self.enabled for req in option.requires):
+                    self.enabled.discard(name)
+                    dropped.append(name)
+                    changed = True
+        return dropped
+
+    def is_enabled(self, name: str) -> bool:
+        return name in self.enabled
+
+    def size_kb(self) -> int:
+        """Compressed kernel image size."""
+        return BASE_KERNEL_KB + sum(self._option(name).size_kb
+                                    for name in self.enabled)
+
+    def copy(self) -> "KernelConfig":
+        clone = KernelConfig()
+        clone.enabled = set(self.enabled)
+        return clone
+
+
+def default_boot_test(platform: str,
+                      needs_network: bool = True,
+                      needs_block: bool = False):
+    """A boot-test oracle: does a Tinyx image with this config come up and
+    pass the user's check (e.g. wget a file from nginx)?"""
+    base = ["CONFIG_64BIT", "CONFIG_BINFMT_ELF", "CONFIG_PROC_FS",
+            "CONFIG_SYSFS", "CONFIG_TMPFS"]
+    if platform == "xen":
+        base += ["CONFIG_XEN", "CONFIG_HVC_XEN"]
+        if needs_network:
+            base += ["CONFIG_XEN_NETFRONT", "CONFIG_NET", "CONFIG_INET"]
+        if needs_block:
+            base += ["CONFIG_XEN_BLKFRONT", "CONFIG_BLOCK"]
+    elif platform == "kvm":
+        base += ["CONFIG_KVM_GUEST"]
+        if needs_network:
+            base += ["CONFIG_VIRTIO_NET", "CONFIG_NET", "CONFIG_INET"]
+        if needs_block:
+            base += ["CONFIG_VIRTIO_BLK", "CONFIG_BLOCK"]
+    else:
+        raise ValueError("unknown platform %r" % platform)
+    required = tuple(base)
+
+    def test(config: KernelConfig) -> bool:
+        return all(config.is_enabled(name) for name in required)
+
+    return test
+
+
+@dataclasses.dataclass
+class TrimReport:
+    """Outcome of the trim loop."""
+
+    removed: typing.List[str]
+    retained: typing.List[str]
+    #: Kernel rebuilds performed (each candidate costs one).
+    builds: int
+    size_before_kb: int
+    size_after_kb: int
+
+
+def trim(config: KernelConfig, candidates: typing.Sequence[str],
+         boot_test: typing.Callable[[KernelConfig], bool]) -> TrimReport:
+    """The §3.2 loop: disable each candidate in turn, olddefconfig,
+    boot-test, and keep the option out only if the test still passes."""
+    size_before = config.size_kb()
+    removed: typing.List[str] = []
+    retained: typing.List[str] = []
+    builds = 0
+    for name in candidates:
+        if not config.is_enabled(name):
+            continue
+        trial = config.copy()
+        trial.disable(name)
+        dropped = trial.olddefconfig()
+        builds += 1
+        if boot_test(trial):
+            config.enabled = trial.enabled
+            removed.append(name)
+            removed.extend(dropped)
+        else:
+            retained.append(name)
+    return TrimReport(removed=removed, retained=retained, builds=builds,
+                      size_before_kb=size_before,
+                      size_after_kb=config.size_kb())

@@ -1,0 +1,121 @@
+"""OverlayFS assembly of the Tinyx filesystem.
+
+§3.2's procedure, reproduced step for step: mount an empty OverlayFS
+directory over a minimal debootstrap system, install the resolved packages
+into the overlay (so maintainer scripts find the utilities they expect),
+strip caches and dpkg/apt state, unmount, then overlay the result on top
+of a BusyBox underlay and take the merged contents.  A final init glue
+script runs the application from BusyBox's init.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from .packages import Package, PackageUniverse
+
+
+@dataclasses.dataclass
+class Filesystem:
+    """A set of files: path -> size in KiB."""
+
+    files: typing.Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def total_kb(self) -> int:
+        return sum(self.files.values())
+
+    def add(self, path: str, size_kb: int) -> None:
+        self.files[path] = size_kb
+
+    def remove_prefix(self, prefix: str) -> int:
+        """Delete everything under ``prefix``; returns KiB removed."""
+        doomed = [p for p in self.files if p.startswith(prefix)]
+        removed = 0
+        for path in doomed:
+            removed += self.files.pop(path)
+        return removed
+
+    def merge_under(self, underlay: "Filesystem") -> "Filesystem":
+        """Overlay self on top of ``underlay`` (self wins on conflicts)."""
+        merged = dict(underlay.files)
+        merged.update(self.files)
+        return Filesystem(files=merged)
+
+
+def package_files(package: Package) -> typing.Dict[str, int]:
+    """The file manifest a package unpacks (deterministic synthesis)."""
+    files: typing.Dict[str, int] = {}
+    payload = package.size_kb - package.strippable_kb
+    units = (list(package.provides_bins)
+             + list(package.provides_libs)) or [package.name]
+    per_unit = max(1, payload // len(units))
+    for binary in package.provides_bins:
+        files["usr/bin/%s" % binary] = per_unit
+    for soname in package.provides_libs:
+        files["usr/lib/%s" % soname] = per_unit
+    if not package.provides_bins and not package.provides_libs:
+        files["usr/share/%s/data" % package.name] = per_unit
+    # Strippable material: caches, docs, dpkg bookkeeping.
+    if package.strippable_kb:
+        files["usr/share/doc/%s/changelog.gz" % package.name] = \
+            package.strippable_kb // 2
+        files["var/cache/apt/archives/%s.deb" % package.name] = \
+            package.strippable_kb - package.strippable_kb // 2
+    files["var/lib/dpkg/info/%s.list" % package.name] = 1
+    return files
+
+
+#: The debootstrap base (what the overlay is mounted over).  Mounted
+#: read-only underneath — it is *not* part of the final image.
+DEBOOTSTRAP_BASE_KB = 190_000
+
+#: BusyBox underlay: the static binary plus its applet links and the
+#: minimal /etc skeleton (§3.2: BusyBox provides "basic functionality").
+def busybox_underlay() -> Filesystem:
+    fs = Filesystem()
+    fs.add("bin/busybox", 1800)
+    fs.add("etc/inittab", 1)
+    fs.add("etc/init.d/rcS", 1)
+    for applet in ("sh", "mount", "ifconfig", "ip", "udhcpc", "syslogd"):
+        fs.add("bin/%s" % applet, 0)  # symlinks to busybox
+    return fs
+
+
+@dataclasses.dataclass
+class OverlayResult:
+    """Outcome of the overlay assembly."""
+
+    filesystem: Filesystem
+    stripped_kb: int
+    installed_packages: typing.List[str]
+
+
+def assemble(packages: typing.Sequence[Package],
+             universe: PackageUniverse,
+             app_name: str) -> OverlayResult:
+    """Run the §3.2 overlay procedure; returns the merged minimal fs."""
+    del universe  # the manifest synthesis needs only the packages
+    overlay = Filesystem()
+    for package in packages:
+        for path, size_kb in package_files(package).items():
+            overlay.add(path, size_kb)
+
+    # "Before unmounting, we remove all cache files, any dpkg/apt related
+    # files, and other unnecessary directories."
+    stripped = 0
+    for prefix in ("var/cache/", "var/lib/dpkg/", "var/lib/apt/",
+                   "usr/share/doc/"):
+        stripped += overlay.remove_prefix(prefix)
+
+    # "we overlay this directory on top of a BusyBox image as an underlay
+    # and take the contents of the merged directory"
+    merged = overlay.merge_under(busybox_underlay())
+
+    # "the system adds a small glue to run the application from BusyBox's
+    # init"
+    merged.add("etc/init.d/S99%s" % app_name, 1)
+
+    return OverlayResult(filesystem=merged, stripped_kb=stripped,
+                         installed_packages=[p.name for p in packages])

@@ -1,0 +1,211 @@
+"""A synthetic Debian package universe for the Tinyx build system.
+
+Tinyx (§3.2) derives an application's dependencies with objdump and the
+Debian package manager.  Since the reproduction has no network or dpkg, we
+model a self-consistent slice of the Debian jessie archive: packages with
+versions, sizes, dependency lists, provided shared libraries (sonames),
+and the metadata Tinyx's heuristics key on (``required`` packages that are
+only needed for installation, maintainer scripts, cache files).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class Package:
+    """One Debian package."""
+
+    name: str
+    version: str
+    #: Installed size, KiB.
+    size_kb: int
+    #: Names of packages this one depends on.
+    depends: typing.Tuple[str, ...] = ()
+    #: Sonames of shared libraries this package ships.
+    provides_libs: typing.Tuple[str, ...] = ()
+    #: Binaries under /usr/bin this package ships.
+    provides_bins: typing.Tuple[str, ...] = ()
+    #: dpkg priority "required": needed to *install* a Debian system but
+    #: usually not to *run* one application (Tinyx blacklists most).
+    required: bool = False
+    #: Whether the package has maintainer scripts (which expect utilities
+    #: a minimal system lacks — the reason Tinyx installs via an overlay).
+    has_scripts: bool = False
+    #: KiB of cache/doc files that Tinyx strips before the merge.
+    strippable_kb: int = 0
+
+
+class UnknownPackageError(KeyError):
+    """A dependency references a package not in the universe."""
+
+
+class PackageUniverse:
+    """An indexed set of packages."""
+
+    def __init__(self, packages: typing.Iterable[Package] = ()):
+        self._by_name: typing.Dict[str, Package] = {}
+        self._by_lib: typing.Dict[str, str] = {}
+        self._by_bin: typing.Dict[str, str] = {}
+        for package in packages:
+            self.add(package)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def add(self, package: Package) -> None:
+        """Register a package (latest add wins for lib/bin providers)."""
+        if package.name in self._by_name:
+            raise ValueError("duplicate package %r" % package.name)
+        self._by_name[package.name] = package
+        for soname in package.provides_libs:
+            self._by_lib[soname] = package.name
+        for binary in package.provides_bins:
+            self._by_bin[binary] = package.name
+
+    def get(self, name: str) -> Package:
+        """Look up a package by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownPackageError(name) from None
+
+    def provider_of_lib(self, soname: str) -> Package:
+        """Which package ships ``soname``."""
+        try:
+            return self._by_name[self._by_lib[soname]]
+        except KeyError:
+            raise UnknownPackageError("no package provides %r"
+                                      % soname) from None
+
+    def provider_of_bin(self, binary: str) -> Package:
+        """Which package ships ``/usr/bin/<binary>``."""
+        try:
+            return self._by_name[self._by_bin[binary]]
+        except KeyError:
+            raise UnknownPackageError("no package provides binary %r"
+                                      % binary) from None
+
+    def names(self) -> typing.List[str]:
+        return sorted(self._by_name)
+
+
+@dataclasses.dataclass(frozen=True)
+class AppBinary:
+    """What objdump would tell Tinyx about an application binary."""
+
+    name: str
+    #: NEEDED entries from the ELF dynamic section.
+    needed_sonames: typing.Tuple[str, ...]
+    #: The package shipping the application itself.
+    package: str
+
+
+def debian_universe() -> PackageUniverse:
+    """The synthetic jessie slice the examples and tests build against."""
+    return PackageUniverse([
+        # -- the C runtime and friends -------------------------------------
+        Package("libc6", "2.19-18", 10240,
+                provides_libs=("libc.so.6", "libm.so.6", "libdl.so.2",
+                               "libpthread.so.0", "librt.so.1"),
+                required=True, strippable_kb=1400),
+        Package("zlib1g", "1.2.8-1", 160, depends=("libc6",),
+                provides_libs=("libz.so.1",)),
+        Package("libpcre3", "8.35-3", 420, depends=("libc6",),
+                provides_libs=("libpcre.so.3",)),
+        Package("libssl1.0.0", "1.0.1t-1", 2200, depends=("libc6",),
+                provides_libs=("libssl.so.1.0.0", "libcrypto.so.1.0.0"),
+                strippable_kb=250),
+        Package("libexpat1", "2.1.0-6", 220, depends=("libc6",),
+                provides_libs=("libexpat.so.1",)),
+        Package("libffi6", "3.1-2", 80, depends=("libc6",),
+                provides_libs=("libffi.so.6",)),
+        Package("libbz2", "1.0.6-7", 90, depends=("libc6",),
+                provides_libs=("libbz2.so.1.0",)),
+        Package("libsqlite3", "3.8.7-1", 800, depends=("libc6",),
+                provides_libs=("libsqlite3.so.0",)),
+        Package("libreadline6", "6.3-8", 300, depends=("libc6",),
+                provides_libs=("libreadline.so.6",)),
+        Package("libncurses5", "5.9-10", 400, depends=("libc6",),
+                provides_libs=("libncurses.so.5", "libtinfo.so.5")),
+        # -- applications ---------------------------------------------------
+        Package("nginx", "1.6.2-5", 1200,
+                depends=("libc6", "libpcre3", "zlib1g", "libssl1.0.0"),
+                provides_bins=("nginx",), has_scripts=True,
+                strippable_kb=300),
+        Package("micropython", "1.8-1", 450, depends=("libc6", "libffi6"),
+                provides_bins=("micropython",)),
+        Package("python3.4-minimal", "3.4.2-1", 3900,
+                depends=("libc6", "libexpat1", "zlib1g", "libssl1.0.0",
+                         "libsqlite3", "libffi6", "libbz2"),
+                provides_bins=("python3",), has_scripts=True,
+                strippable_kb=900),
+        Package("redis-server", "2.8.17-1", 1100, depends=("libc6",),
+                provides_bins=("redis-server",), has_scripts=True,
+                strippable_kb=120),
+        Package("openssl", "1.0.1t-1", 1100,
+                depends=("libc6", "libssl1.0.0"),
+                provides_bins=("openssl",), strippable_kb=150),
+        Package("iperf", "2.0.5-1", 140, depends=("libc6",),
+                provides_bins=("iperf",)),
+        Package("stunnel4", "5.06-2", 500,
+                depends=("libc6", "libssl1.0.0"),
+                provides_bins=("stunnel4",), has_scripts=True),
+        # -- the BusyBox underlay -------------------------------------------
+        Package("busybox-static", "1.22.0-9", 1800,
+                provides_bins=("busybox", "sh", "init")),
+        # -- installation-only machinery (Tinyx's default blacklist) --------
+        Package("dpkg", "1.17.26", 6600, depends=("libc6",),
+                provides_bins=("dpkg",), required=True, has_scripts=True,
+                strippable_kb=2200),
+        Package("apt", "1.0.9", 3600, depends=("libc6", "dpkg"),
+                provides_bins=("apt-get",), required=True,
+                has_scripts=True, strippable_kb=1100),
+        Package("perl-base", "5.20.2", 5300, depends=("libc6",),
+                provides_bins=("perl",), required=True,
+                strippable_kb=1600),
+        Package("bash", "4.3-11", 5100,
+                depends=("libc6", "libncurses5"),
+                provides_bins=("bash",), required=True,
+                strippable_kb=1500),
+        Package("coreutils", "8.23-4", 14000, depends=("libc6",),
+                provides_bins=("ls", "cp", "cat"), required=True,
+                strippable_kb=4200),
+        Package("debconf", "1.5.56", 700, depends=("perl-base",),
+                required=True, has_scripts=True, strippable_kb=250),
+        Package("init-system-helpers", "1.22", 130,
+                depends=("perl-base",), required=True),
+    ])
+
+
+#: The binaries Tinyx knows how to objdump in the examples.
+APP_BINARIES = {
+    "nginx": AppBinary("nginx",
+                       ("libc.so.6", "libpcre.so.3", "libz.so.1",
+                        "libssl.so.1.0.0", "libcrypto.so.1.0.0"),
+                       package="nginx"),
+    "micropython": AppBinary("micropython",
+                             ("libc.so.6", "libm.so.6", "libffi.so.6"),
+                             package="micropython"),
+    "redis-server": AppBinary("redis-server",
+                              ("libc.so.6", "libm.so.6",
+                               "libpthread.so.0"),
+                              package="redis-server"),
+    "iperf": AppBinary("iperf", ("libc.so.6", "libpthread.so.0"),
+                       package="iperf"),
+    "stunnel4": AppBinary("stunnel4",
+                          ("libc.so.6", "libssl.so.1.0.0",
+                           "libcrypto.so.1.0.0"),
+                          package="stunnel4"),
+}
+
+#: Tinyx's default blacklist: dpkg-"required" packages that are "mostly
+#: for installation ... but not strictly needed for running the
+#: application" (§3.2).
+DEFAULT_BLACKLIST = ("dpkg", "apt", "perl-base", "bash", "coreutils",
+                     "debconf", "init-system-helpers")

@@ -1,0 +1,208 @@
+"""Virtual device creation — the XenStore path (Figure 7a).
+
+The three-step dance the paper describes:
+
+1. the toolstack writes an entry into the back-end's XenStore directory,
+   "essentially announcing the existence of a new VM in need of a network
+   device";
+2. the back-end — which had a watch on that directory — assigns an event
+   channel and grant references and writes them back to the XenStore;
+3. the guest, when it boots, reads that information from the XenStore
+   (that part lives in :func:`repro.guests.boot.boot_guest`).
+
+The toolstack's entries are written inside a transaction (retried on
+conflict, with back-off); the back-end's response runs as its own
+simulation process, so its writes genuinely contend with whatever the
+toolstack does next.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..hypervisor.domain import Domain
+from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
+from ..xenstore.daemon import XenStoreDaemon
+from ..xenstore.permissions import NodePerms, PERM_BOTH, PERM_READ
+from ..xenstore.transaction import TransactionConflict
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.engine import Simulator
+
+
+class DeviceSetupError(RuntimeError):
+    """Device creation failed permanently (retries exhausted)."""
+
+
+#: Transaction retry budget; xenstored clients retry EAGAIN indefinitely,
+#: but a bound keeps broken models loud instead of livelocked.  With the
+#: conflict-probability ceiling of 0.75 the chance of a legitimate run
+#: exhausting 50 retries is ~1e-6.
+MAX_TX_RETRIES = 50
+
+
+class XsDeviceManager:
+    """Creates and destroys split-driver devices through the XenStore."""
+
+    def __init__(self, sim: "Simulator", hypervisor: Hypervisor,
+                 xenstore: XenStoreDaemon, hotplug,
+                 frontend_entries: int = 4, backend_entries: int = 5):
+        self.sim = sim
+        self.hypervisor = hypervisor
+        self.xenstore = xenstore
+        self.hotplug = hotplug
+        #: How many nodes the toolstack writes per device on each side;
+        #: xl writes more than chaos (part of chaos's §5 streamlining).
+        self.frontend_entries = frontend_entries
+        self.backend_entries = backend_entries
+        self.retries_total = 0
+        self._backend_watch_installed = False
+        #: (domid, kind, index) -> event fired when back-end has responded.
+        self._pending: typing.Dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    # Back-end side
+    # ------------------------------------------------------------------
+    def install_backend_watch(self):
+        """Generator: netback/blkback place their directory watch (once)."""
+        if self._backend_watch_installed:
+            return
+        self._backend_watch_installed = True
+        yield from self.xenstore.op_watch(
+            DOM0_ID, "/local/domain/%d/backend" % DOM0_ID, "backend",
+            self._on_backend_event)
+
+    def _on_backend_event(self, path: str, _token: str) -> None:
+        # Fires for every write under the backend tree; react only to the
+        # announcement node ("...///<index>/frontend") that step 1 writes.
+        parts = path.strip("/").split("/")
+        if len(parts) != 8 or parts[-1] != "frontend":
+            return
+        kind, domid_text, index_text = parts[4], parts[5], parts[6]
+        key = (int(domid_text), kind, int(index_text))
+        if key in self._pending and not self._pending[key].triggered:
+            self.sim.process(self._backend_respond(key))
+
+    def _backend_respond(self, key: tuple):
+        """Process: step 2 — the back-end allocates and publishes."""
+        domid, kind, index = key
+        port = self.hypervisor.event_channels.alloc_unbound(DOM0_ID, domid)
+        frame = 0x800000 + (domid << 8) + index
+        ref = self.hypervisor.grants.grant_access(DOM0_ID, domid, frame)
+        base = "/local/domain/%d/backend/%s/%d/%d" % (DOM0_ID, kind, domid,
+                                                      index)
+        yield from self.xenstore.op_write(DOM0_ID, base + "/event-channel",
+                                          str(port))
+        yield from self.xenstore.op_write(DOM0_ID, base + "/grant-ref",
+                                          str(ref))
+        yield from self.xenstore.op_write(DOM0_ID, base + "/state",
+                                          "initialised")
+        event = self._pending.get(key)
+        if event is not None and not event.triggered:
+            event.succeed((port, ref))
+
+    # ------------------------------------------------------------------
+    # Toolstack side
+    # ------------------------------------------------------------------
+    def create_device(self, domain: Domain, kind: str, index: int,
+                      params: typing.Optional[dict] = None):
+        """Generator: steps 1-2 plus hotplug; returns (port, grant_ref)."""
+        yield from self.install_backend_watch()
+        params = params or {}
+        key = (domain.domid, kind, index)
+        response = self.sim.event()
+        self._pending[key] = response
+
+        front_base = "/local/domain/%d/device/%s/%d" % (domain.domid, kind,
+                                                        index)
+        back_base = "/local/domain/%d/backend/%s/%d/%d" % (
+            DOM0_ID, kind, domain.domid, index)
+
+        # Step 1: announce front+back entries in one transaction.
+        retries = 0
+        while True:
+            tx = yield from self.xenstore.transaction_start(DOM0_ID)
+            try:
+                yield from self.xenstore.tx_write(
+                    tx, front_base + "/backend", back_base)
+                yield from self.xenstore.tx_write(
+                    tx, front_base + "/backend-id", str(DOM0_ID))
+                yield from self.xenstore.tx_write(
+                    tx, front_base + "/state", "initialising")
+                for extra in range(max(0, self.frontend_entries - 3)):
+                    yield from self.xenstore.tx_write(
+                        tx, front_base + "/feature-%d" % extra, "1")
+                yield from self.xenstore.tx_write(
+                    tx, back_base + "/frontend", front_base)
+                yield from self.xenstore.tx_write(
+                    tx, back_base + "/frontend-id", str(domain.domid))
+                yield from self.xenstore.tx_write(
+                    tx, back_base + "/online", "1")
+                if kind == "vif" and "mac" in params:
+                    yield from self.xenstore.tx_write(
+                        tx, back_base + "/mac", params["mac"])
+                for extra in range(max(0, self.backend_entries - 4)):
+                    yield from self.xenstore.tx_write(
+                        tx, back_base + "/param-%d" % extra, "x")
+                yield from self.xenstore.transaction_commit(tx)
+                break
+            except TransactionConflict:
+                retries += 1
+                self.retries_total += 1
+                if retries > MAX_TX_RETRIES:
+                    raise DeviceSetupError(
+                        "device %s/%d for domain %d: transaction retries "
+                        "exhausted" % (kind, index, domain.domid))
+                yield self.sim.timeout(
+                    self.xenstore.costs.conflict_backoff_ms * retries)
+
+        # The front-end domain needs read access to its back-end
+        # directory (to fetch the connection details at boot) and full
+        # access to its own front-end directory (to drive its state).
+        back_perms = NodePerms.owned_by(DOM0_ID).grant(domain.domid,
+                                                       PERM_READ)
+        yield from self.xenstore.op_set_perms(DOM0_ID, back_base,
+                                              back_perms)
+        front_perms = NodePerms.owned_by(DOM0_ID).grant(domain.domid,
+                                                        PERM_BOTH)
+        yield from self.xenstore.op_set_perms(DOM0_ID, front_base,
+                                              front_perms)
+
+        # The commit's watch firing triggered _backend_respond; note that
+        # the "frontend" announcement node is what the back-end keys on.
+        result = yield response
+        self._pending.pop(key, None)
+
+        # User-space plumbing (bridge attach) via the hotplug mechanism.
+        if kind == "vif":
+            devname = "vif%d.%d" % (domain.domid, index)
+            yield from self.hotplug.attach(domain.domid, devname)
+        return result
+
+    def destroy_device(self, domain: Domain, kind: str, index: int):
+        """Generator: release back-end resources, remove front/back
+        entries, and detach the user-space plumbing."""
+        front_base = "/local/domain/%d/device/%s/%d" % (domain.domid, kind,
+                                                        index)
+        back_base = "/local/domain/%d/backend/%s/%d/%d" % (
+            DOM0_ID, kind, domain.domid, index)
+        # Back-end teardown: close its event channel and revoke the grant
+        # it published (force-unmapping if the guest is still attached).
+        tree = self.xenstore.tree
+        try:
+            port = int(tree.read(back_base + "/event-channel"))
+            self.hypervisor.event_channels.close(DOM0_ID, port)
+        except Exception:
+            pass  # never connected, or already closed by the guest side
+        try:
+            ref = int(tree.read(back_base + "/grant-ref"))
+            entry = self.hypervisor.grants.entry(DOM0_ID, ref)
+            entry.mapped_by = None
+            self.hypervisor.grants.end_access(DOM0_ID, ref)
+        except Exception:
+            pass
+        yield from self.xenstore.op_rm(DOM0_ID, front_base)
+        yield from self.xenstore.op_rm(DOM0_ID, back_base)
+        if kind == "vif":
+            devname = "vif%d.%d" % (domain.domid, index)
+            yield from self.hotplug.detach(domain.domid, devname)

@@ -1,0 +1,257 @@
+"""Checkpointing (save/restore) and live migration (§5.1, §6.2).
+
+Two families of implementations share this module:
+
+* the **xl path**: suspend via the XenStore control node, serialize with
+  libxc, and re-create the domain — including full XenStore device setup
+  with bash hotplug — on restore.  Restore is the expensive direction
+  (Fig 12b: ~550 ms) and both directions degrade as the XenStore loads up.
+* the **LightVM path**: suspend through the noxs sysctl device, serialize
+  with libxc, and re-create through chaos's noxs path.  Save ≈ 30 ms and
+  restore ≈ 20 ms, flat in the number of running guests (Fig 12).
+
+Migration (Fig 13) composes the two: chaos "open[s] a TCP connection to a
+migration daemon running on the remote host and ... send[s] the guest's
+configuration so that the daemon pre-creates the domain and creates the
+devices", then suspends the guest and streams its memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..hypervisor.domain import Domain
+from ..net.links import Link
+from .config import VMConfig
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.engine import Simulator
+
+
+@dataclasses.dataclass
+class MigrationCosts:
+    """Cost constants for checkpoint/migration (ms unless noted)."""
+
+    #: libxc memory serialization rate to/from the ramdisk, MB per ms
+    #: (0.125 MB/ms = 125 MB/s; calibrated so a 3.6 MB daytime guest saves
+    #: in ≈30 ms including control-plane work).
+    ramdisk_mb_per_ms: float = 0.14
+    #: Reading a checkpoint back is faster than writing one (sequential
+    #: ramdisk read + batched mapping), MB per ms.
+    restore_mb_per_ms: float = 0.24
+    #: Fixed libxc setup per save/restore (context, fd plumbing).
+    libxc_fixed_ms: float = 1.5
+    #: xl's extra toolstack overhead around save (QEMU state, XS records).
+    xl_save_overhead_ms: float = 50.0
+    #: xl's extra toolstack overhead around restore: QEMU device-model
+    #: restore, front/back-end reconnection waits, console re-plumbing.
+    #: Restore is xl's slowest direction (Fig 12b: ≈550 ms vs 128 ms).
+    xl_restore_overhead_ms: float = 390.0
+    #: chaos's overhead around save/restore (lean binary).
+    chaos_overhead_ms: float = 1.0
+
+
+@dataclasses.dataclass
+class SavedImage:
+    """A checkpoint on disk (or in flight during migration)."""
+
+    config: VMConfig
+    memory_kb: int
+    #: Simulated time the save finished.
+    saved_at: float = 0.0
+
+
+class Checkpointer:
+    """save/restore on top of a toolstack instance."""
+
+    def __init__(self, toolstack,
+                 costs: typing.Optional[MigrationCosts] = None):
+        self.toolstack = toolstack
+        self.sim: "Simulator" = toolstack.sim
+        self.costs = costs or MigrationCosts()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _is_xl(self) -> bool:
+        return getattr(self.toolstack, "name", "") == "xl"
+
+    def _uses_noxs(self) -> bool:
+        return getattr(self.toolstack, "uses_noxs", False)
+
+    def _dump_ms(self, memory_kb: int) -> float:
+        return (self.costs.libxc_fixed_ms
+                + memory_kb / 1024.0 / self.costs.ramdisk_mb_per_ms)
+
+    def _load_ms(self, memory_kb: int) -> float:
+        return (self.costs.libxc_fixed_ms
+                + memory_kb / 1024.0 / self.costs.restore_mb_per_ms)
+
+    # ------------------------------------------------------------------
+    # Save
+    # ------------------------------------------------------------------
+    def save(self, domain: Domain, config: VMConfig):
+        """Generator: checkpoint ``domain`` and destroy it.
+
+        Returns a :class:`SavedImage`.
+        """
+        ts = self.toolstack
+        if self._is_xl():
+            yield self.sim.timeout(self.costs.xl_save_overhead_ms)
+            yield from ts.suspend_guest(domain)
+        elif self._uses_noxs():
+            yield self.sim.timeout(self.costs.chaos_overhead_ms)
+            yield from ts.sysctl.request_suspend(domain)
+        else:
+            # chaos on the XenStore plane: control-node suspend, but with
+            # chaos's lean tooling around it.
+            yield self.sim.timeout(self.costs.chaos_overhead_ms)
+            yield from ts.xenstore.op_write(
+                0, "/local/domain/%d/control/shutdown" % domain.domid,
+                "suspend")
+            yield self.sim.timeout(3.0)
+            weight = domain.notes.pop("xenstore_client", None)
+            if weight:
+                ts.xenstore.unregister_client(weight)
+            from ..hypervisor.domain import ShutdownReason
+            ts.hypervisor.domctl_shutdown(domain, ShutdownReason.SUSPEND)
+
+        # libxc: stream guest memory to the ramdisk.
+        memory_kb = domain.memory_kb
+        yield self.sim.timeout(self._dump_ms(memory_kb))
+        if self._uses_noxs() and not self._is_xl():
+            # The checkpoint is durable now; noxs back-end device
+            # destruction (the unoptimized path) proceeds asynchronously
+            # so it does not inflate the reported save time.  Migration,
+            # by contrast, waits for it (Fig 13's low-N crossover).
+            entries = list(domain.notes.get("noxs_devices", []))
+            from ..noxs.sysctl import SysctlBackend
+            sysctl_entry = domain.notes.get(SysctlBackend.NOTE_KEY)
+            ts = self.toolstack
+            ts.hypervisor.domctl_destroy(domain)
+            self.sim.process(self._async_noxs_teardown(domain, entries,
+                                                       sysctl_entry))
+        else:
+            yield from self._teardown_saved(domain)
+        return SavedImage(config=config, memory_kb=memory_kb,
+                          saved_at=self.sim.now)
+
+    def _async_noxs_teardown(self, domain: Domain, entries, sysctl_entry):
+        """Process: back-end device destruction after an async save."""
+        ts = self.toolstack
+        for _index, entry in entries:
+            yield from ts.noxs.ioctl_destroy_device(domain, entry)
+        if sysctl_entry is not None:
+            yield from ts.noxs.ioctl_destroy_device(domain, sysctl_entry)
+
+    def _teardown_saved(self, domain: Domain):
+        """Generator: release the suspended domain's local resources."""
+        ts = self.toolstack
+        if self._is_xl() or not self._uses_noxs():
+            # XenStore cleanup (device dirs, domain dir).
+            if domain.image is not None:
+                for index in range(domain.image.vifs):
+                    yield from ts.devices.destroy_device(domain, "vif",
+                                                         index)
+                for index in range(domain.image.vbds):
+                    yield from ts.devices.destroy_device(domain, "vbd",
+                                                         index)
+            yield from ts.xenstore.op_rm(
+                0, "/local/domain/%d" % domain.domid)
+            ts.xenstore.watches.remove_for_domain(domain.domid)
+        else:
+            for _index, entry in domain.notes.get("noxs_devices", []):
+                yield from ts.noxs.ioctl_destroy_device(domain, entry)
+            from ..noxs.sysctl import SysctlBackend
+            sysctl_entry = domain.notes.get(SysctlBackend.NOTE_KEY)
+            if sysctl_entry is not None:
+                yield from ts.noxs.ioctl_destroy_device(domain,
+                                                        sysctl_entry)
+        ts.hypervisor.domctl_destroy(domain)
+
+    # ------------------------------------------------------------------
+    # Restore
+    # ------------------------------------------------------------------
+    def restore(self, saved: SavedImage):
+        """Generator: bring a checkpoint back; returns the new Domain.
+
+        Restores re-run domain and device creation (which is why xl's
+        restore is its slowest operation), then load memory and resume —
+        no guest kernel boot.
+        """
+        ts = self.toolstack
+        if self._is_xl():
+            yield self.sim.timeout(self.costs.xl_restore_overhead_ms)
+        else:
+            yield self.sim.timeout(self.costs.chaos_overhead_ms)
+        record = yield from ts.create_vm(saved.config, boot=False)
+        domain = record.domain
+        # libxc: load the memory image back.
+        yield self.sim.timeout(self._load_ms(saved.memory_kb))
+        domain.image = saved.config.image
+        # Resume (no kernel boot: the guest continues where it stopped).
+        if self._uses_noxs():
+            yield from ts.sysctl.complete_resume(domain)
+        else:
+            ts.hypervisor.domctl_unpause(domain)
+            yield self.sim.timeout(1.0)  # guest-side reconnect
+            ts.xenstore.register_client(saved.config.image.ambient_weight)
+            domain.notes["xenstore_client"] = \
+                saved.config.image.ambient_weight
+        return domain
+
+
+def migrate(source: Checkpointer, destination: Checkpointer,
+            domain: Domain, config: VMConfig, link: Link):
+    """Generator: live-migrate ``domain`` from source to destination host.
+
+    Follows §5.1's flow: connect to the remote migration daemon, send the
+    configuration so the remote side pre-creates the domain and devices,
+    suspend the guest, stream its memory, and resume remotely.  Returns
+    the new Domain on the destination.
+    """
+    sim = source.sim
+    start = sim.now
+
+    # TCP connection + configuration exchange.
+    yield from link.round_trip()
+    yield from link.transfer(max(1, len(config.text) // 1024))
+
+    # Remote pre-creation of the domain and its devices.
+    record = yield from destination.toolstack.create_vm(config, boot=False)
+    remote_domain = record.domain
+
+    # Suspend the source guest.
+    ts = source.toolstack
+    if source._is_xl():
+        yield from ts.suspend_guest(domain)
+    elif source._uses_noxs():
+        yield from ts.sysctl.request_suspend(domain)
+    else:
+        yield from ts.xenstore.op_write(
+            0, "/local/domain/%d/control/shutdown" % domain.domid,
+            "suspend")
+        yield sim.timeout(3.0)
+        weight = domain.notes.pop("xenstore_client", None)
+        if weight:
+            ts.xenstore.unregister_client(weight)
+        from ..hypervisor.domain import ShutdownReason
+        ts.hypervisor.domctl_shutdown(domain, ShutdownReason.SUSPEND)
+
+    # Stream the guest memory over the wire (libxc send path).
+    memory_kb = domain.memory_kb
+    yield sim.timeout(source.costs.libxc_fixed_ms)
+    yield from link.transfer(memory_kb)
+
+    # Tear down on the source, resume on the destination.
+    yield from source._teardown_saved(domain)
+    yield sim.timeout(destination.costs.libxc_fixed_ms)
+    if destination._uses_noxs():
+        yield from destination.toolstack.sysctl.complete_resume(
+            remote_domain)
+    else:
+        destination.toolstack.hypervisor.domctl_unpause(remote_domain)
+        yield sim.timeout(1.0)
+    remote_domain.notes["migrated_in_ms"] = sim.now - start
+    return remote_domain

@@ -1,0 +1,71 @@
+"""Per-phase timing of VM creation (the Figure 5 categories).
+
+The paper instruments ``xl``/``libxl`` and buckets creation work into six
+categories: config parsing, hypervisor interaction, XenStore writes,
+device creation, kernel image parsing/loading, and toolstack-internal
+bookkeeping.  :class:`PhaseRecorder` reproduces that instrumentation for
+our simulated toolstacks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..hypervisor.domain import Domain
+    from ..sim.engine import Simulator
+
+#: The Figure 5 categories, in the paper's plot order.
+PHASES = ("toolstack", "load", "devices", "xenstore", "hypervisor", "config")
+
+
+class PhaseRecorder:
+    """Accumulates simulated time per creation phase."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.totals: typing.Dict[str, float] = {phase: 0.0
+                                                for phase in PHASES}
+        self._open: typing.Optional[typing.Tuple[str, float]] = None
+
+    def start(self, phase: str) -> None:
+        """Begin attributing time to ``phase`` (closing any open phase)."""
+        if phase not in self.totals:
+            raise ValueError("unknown phase %r; expected one of %s"
+                             % (phase, ", ".join(PHASES)))
+        self.stop()
+        self._open = (phase, self.sim.now)
+
+    def stop(self) -> None:
+        """Close the currently open phase, if any."""
+        if self._open is not None:
+            phase, started = self._open
+            self.totals[phase] += self.sim.now - started
+            self._open = None
+
+    @property
+    def total_ms(self) -> float:
+        """Sum over all phases."""
+        return sum(self.totals.values())
+
+
+@dataclasses.dataclass
+class CreationRecord:
+    """The outcome of one VM creation: timings plus the domain."""
+
+    domain: "Domain"
+    config_name: str
+    #: Phase name -> ms (Figure 5 breakdown) for the create step.
+    phases: typing.Dict[str, float]
+    #: Toolstack-side creation latency, ms (Figure 4 "Create").
+    create_ms: float
+    #: Guest boot latency, ms (Figure 4 "Boot"); 0 until boot completes.
+    boot_ms: float = 0.0
+    #: XenStore transaction retries incurred.
+    xenstore_retries: int = 0
+
+    @property
+    def total_ms(self) -> float:
+        """Creation plus boot."""
+        return self.create_ms + self.boot_ms

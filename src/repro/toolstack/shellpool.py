@@ -1,0 +1,175 @@
+"""The split toolstack: the chaos daemon and its pool of VM shells.
+
+§5.2 / Figure 8: "The prepare phase is responsible for functionality
+common to all VMs such as having the hypervisor generate an ID and other
+management information and allocating CPU resources to the VM.  We offload
+this functionality to the chaos daemon, which generates a number of VM
+shells and places them in a pool.  The daemon ensures that there is always
+a certain (configurable) number of shells available in the system."
+
+A shell is a real (hypervisor-registered) domain in the SHELL state with
+its memory reserved and prepared, its device page allocated (noxs mode) or
+its XenStore skeleton written (XS mode), and its devices pre-created.  The
+execute phase (:meth:`ChaosToolstack.create_vm`) claims a shell, finalizes
+it for the concrete config, loads the image and boots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..hypervisor.devicepage import DEV_VIF
+from ..hypervisor.domain import Domain
+from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
+from ..noxs.module import NoxsModule
+from ..sim.resources import Store
+from ..xenstore.daemon import XenStoreDaemon
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.engine import Simulator
+    from .config import VMConfig
+
+
+@dataclasses.dataclass
+class ShellPoolCosts:
+    """Prepare-phase cost constants (ms unless noted)."""
+
+    #: Hypervisor reservation + compute allocation for one shell.
+    hypervisor_fixed_ms: float = 1.0
+    #: Memory reservation + preparation, µs per MiB.
+    mem_prep_us_per_mb: float = 2200.0
+    #: Pause between pool top-up checks when the pool is full.
+    poll_interval_ms: float = 50.0
+
+
+@dataclasses.dataclass
+class Shell:
+    """One pre-created VM shell waiting in the pool."""
+
+    domain: Domain
+    #: Pre-created device entries (noxs mode: DeviceEntry objects ready to
+    #: be written into the device page at execute time).
+    prepared_devices: typing.List[object] = dataclasses.field(
+        default_factory=list)
+
+
+class ChaosDaemon:
+    """Background daemon keeping the shell pool topped up."""
+
+    def __init__(self, sim: "Simulator", hypervisor: Hypervisor,
+                 noxs: typing.Optional[NoxsModule] = None,
+                 xenstore: typing.Optional[XenStoreDaemon] = None,
+                 pool_target: int = 8,
+                 shell_memory_kb: int = 4096,
+                 shell_vifs: int = 1,
+                 costs: typing.Optional[ShellPoolCosts] = None):
+        if (xenstore is None) == (noxs is None):
+            raise ValueError("the daemon prepares shells for exactly one "
+                             "control plane")
+        if pool_target < 1:
+            raise ValueError("pool_target must be >= 1")
+        self.sim = sim
+        self.hypervisor = hypervisor
+        self.noxs = noxs
+        self.xenstore = xenstore
+        self.pool_target = pool_target
+        self.shell_memory_kb = shell_memory_kb
+        self.shell_vifs = shell_vifs
+        self.costs = costs or ShellPoolCosts()
+        self.pool: Store = Store(sim)
+        self.shells_prepared = 0
+        self._replenish_signal = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Daemon lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the background replenishment process."""
+        if self._running:
+            return
+        self._running = True
+        self.sim.process(self._replenisher())
+
+    def _replenisher(self):
+        while self._running:
+            if len(self.pool) < self.pool_target:
+                shell = yield from self.prepare_shell()
+                self.pool.put(shell)
+            else:
+                self._replenish_signal = self.sim.event()
+                yield self.sim.any_of([
+                    self._replenish_signal,
+                    self.sim.timeout(self.costs.poll_interval_ms)])
+                self._replenish_signal = None
+
+    def _kick(self) -> None:
+        if self._replenish_signal is not None and \
+                not self._replenish_signal.triggered:
+            self._replenish_signal.succeed()
+
+    def stop(self) -> None:
+        """Stop replenishing (existing shells remain usable)."""
+        self._running = False
+        self._kick()
+
+    # ------------------------------------------------------------------
+    # Prepare phase
+    # ------------------------------------------------------------------
+    def prepare_shell(self):
+        """Generator: run the prepare phase for one shell."""
+        domain = self.hypervisor.domctl_create(
+            memory_kb=self.shell_memory_kb, shell=True)
+        yield self.sim.timeout(self.costs.hypervisor_fixed_ms)
+        yield self.sim.timeout(self.shell_memory_kb / 1024.0
+                               * self.costs.mem_prep_us_per_mb / 1000.0)
+        shell = Shell(domain=domain)
+        if self.noxs is not None:
+            self.hypervisor.devpage_create(domain)
+            for _ in range(self.shell_vifs):
+                entry = yield from self.noxs.ioctl_create_device(
+                    domain, DEV_VIF)
+                shell.prepared_devices.append(entry)
+        else:
+            yield from self._prepare_xenstore_skeleton(domain)
+        self.shells_prepared += 1
+        return shell
+
+    def _prepare_xenstore_skeleton(self, domain: Domain):
+        """Generator: pre-write the per-domain XenStore state, including
+        the device handshake, so the execute phase only finalizes."""
+        base = "/local/domain/%d" % domain.domid
+        yield from self.xenstore.op_write(DOM0_ID, base + "/shell", "1")
+        for index in range(self.shell_vifs):
+            front_base = "%s/device/vif/%d" % (base, index)
+            back_base = "/local/domain/%d/backend/vif/%d/%d" % (
+                DOM0_ID, domain.domid, index)
+            yield from self.xenstore.op_write(
+                DOM0_ID, front_base + "/backend", back_base)
+            yield from self.xenstore.op_write(
+                DOM0_ID, front_base + "/state", "initialising")
+            # Back-end pre-allocation (event channel + grant), published
+            # where the guest's front-end will look for it.
+            port = self.hypervisor.event_channels.alloc_unbound(
+                DOM0_ID, domain.domid)
+            frame = 0x900000 + (domain.domid << 8) + index
+            ref = self.hypervisor.grants.grant_access(
+                DOM0_ID, domain.domid, frame)
+            yield from self.xenstore.op_write(
+                DOM0_ID, back_base + "/event-channel", str(port))
+            yield from self.xenstore.op_write(
+                DOM0_ID, back_base + "/grant-ref", str(ref))
+            yield from self.xenstore.op_write(
+                DOM0_ID, back_base + "/state", "initialised")
+
+    # ------------------------------------------------------------------
+    # Execute-phase interface
+    # ------------------------------------------------------------------
+    def get_shell(self, config: "VMConfig"):
+        """Generator: claim a shell (waits if the pool is momentarily
+        empty, e.g. during a boot storm faster than the prepare rate)."""
+        self._kick()
+        shell = yield self.pool.get()
+        self._kick()
+        return shell

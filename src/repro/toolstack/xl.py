@@ -1,0 +1,224 @@
+"""The standard Xen toolstack: ``xl`` / ``libxl`` / ``libxc``.
+
+Implements the nine-step creation process of Figure 8 on the XenStore
+control plane, with per-phase accounting matching Figure 5's categories.
+This is the baseline LightVM is measured against: creation cost grows with
+the number of running guests because every XenStore interaction gets more
+expensive (watch scans, ambient load, name checks, transaction retries).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..guests.boot import boot_guest
+from ..hypervisor.domain import Domain, DomainState, ShutdownReason
+from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
+from ..xenstore.daemon import XenStoreDaemon
+from ..xenstore.transaction import TransactionConflict
+from .config import VMConfig
+from .devices import MAX_TX_RETRIES, XsDeviceManager
+from .hotplug import BashHotplug
+from .phases import CreationRecord, PhaseRecorder
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.engine import Simulator
+
+
+@dataclasses.dataclass
+class XlCosts:
+    """Cost constants for xl/libxl (ms unless noted)."""
+
+    #: Config file parsing: fixed + per line.
+    parse_fixed_ms: float = 0.6
+    parse_per_line_ms: float = 0.08
+    #: xl process start + libxl context init + internal state keeping.
+    toolstack_fixed_ms: float = 21.0
+    #: libxl bookkeeping that grows mildly with existing domains (µs).
+    toolstack_per_domain_us: float = 2.0
+    #: Hypervisor interaction: domain creation, vCPU setup.
+    hypervisor_fixed_ms: float = 5.5
+    #: Preparing (scrubbing/mapping) guest memory, µs per MiB.
+    mem_prep_us_per_mb: float = 2200.0
+    #: Parsing + loading the kernel image into guest memory, µs per KiB
+    #: (≈1 ms/MB — the slope of Figure 2).
+    image_load_us_per_kb: float = 1.0
+    image_load_fixed_ms: float = 0.4
+    #: Base XenStore entries every xl guest gets (console, memory target,
+    #: vm-path, features...).
+    base_entries: int = 55
+    #: Entries under /vm/<uuid> and the /libxl mirror tree.
+    vm_entries: int = 20
+    #: Entries removed/written during teardown.
+    teardown_entries: int = 6
+
+
+class ToolstackError(RuntimeError):
+    """A toolstack operation failed."""
+
+
+class XlToolstack:
+    """The xl command + libxl library against a XenStore control plane."""
+
+    name = "xl"
+
+    def __init__(self, sim: "Simulator", hypervisor: Hypervisor,
+                 xenstore: XenStoreDaemon,
+                 hotplug=None,
+                 costs: typing.Optional[XlCosts] = None):
+        self.sim = sim
+        self.hypervisor = hypervisor
+        self.xenstore = xenstore
+        self.costs = costs or XlCosts()
+        self.hotplug = hotplug or BashHotplug(sim)
+        self.devices = XsDeviceManager(sim, hypervisor, xenstore,
+                                       self.hotplug,
+                                       frontend_entries=5,
+                                       backend_entries=6)
+        #: CreationRecords in creation order.
+        self.created: typing.List[CreationRecord] = []
+
+    # ------------------------------------------------------------------
+    # VM creation (Figure 8, standard toolstack column)
+    # ------------------------------------------------------------------
+    def create_vm(self, config: VMConfig, boot: bool = True):
+        """Generator: create (and optionally boot) a VM.
+
+        Returns a :class:`CreationRecord`; ``record.boot_ms`` is filled in
+        when ``boot=True``.
+        """
+        recorder = PhaseRecorder(self.sim)
+        image = config.image
+        start = self.sim.now
+
+        # 6. CONFIGURATION PARSING (order per Figure 5's instrumentation:
+        # xl parses before anything else).
+        recorder.start("config")
+        lines = max(1, config.text.count("\n"))
+        yield self.sim.timeout(self.costs.parse_fixed_ms
+                               + lines * self.costs.parse_per_line_ms)
+
+        # Internal toolstack bookkeeping.
+        recorder.start("toolstack")
+        domain_count = self.hypervisor.domain_count()
+        yield self.sim.timeout(
+            self.costs.toolstack_fixed_ms
+            + domain_count * self.costs.toolstack_per_domain_us / 1000.0)
+
+        # 1-4. HYPERVISOR RESERVATION / COMPUTE / MEMORY.
+        recorder.start("hypervisor")
+        domain = self.hypervisor.domctl_create(
+            name=config.name, memory_kb=config.memory_kb,
+            vcpus=config.vcpus)
+        yield self.sim.timeout(self.costs.hypervisor_fixed_ms)
+        yield self.sim.timeout(config.memory_kb / 1024.0
+                               * self.costs.mem_prep_us_per_mb / 1000.0)
+
+        # XenStore registration: name check + base entries + /vm tree.
+        recorder.start("xenstore")
+        retries = yield from self._write_domain_entries(domain, config)
+
+        # 5+7. DEVICE PRE-CREATION / INITIALIZATION.
+        recorder.start("devices")
+        for index, vif in enumerate(config.vifs):
+            yield from self.devices.create_device(domain, "vif", index,
+                                                  params=vif)
+        for index, _vbd in enumerate(config.vbds):
+            yield from self.devices.create_device(domain, "vbd", index)
+
+        # 8. IMAGE BUILD: parse the kernel image and load it into memory.
+        recorder.start("load")
+        yield self.sim.timeout(
+            self.costs.image_load_fixed_ms + image.toolstack_build_ms
+            + image.kernel_size_kb * self.costs.image_load_us_per_kb
+            / 1000.0)
+        domain.image = image
+        recorder.stop()
+
+        record = CreationRecord(
+            domain=domain, config_name=config.name,
+            phases=dict(recorder.totals),
+            create_ms=self.sim.now - start,
+            xenstore_retries=retries + self.devices.retries_total)
+        self.created.append(record)
+
+        # 9. VIRTUAL MACHINE BOOT.
+        if boot:
+            boot_start = self.sim.now
+            self.hypervisor.domctl_unpause(domain)
+            report = yield from boot_guest(self.sim, self.hypervisor,
+                                           domain, image,
+                                           xenstore=self.xenstore)
+            record.boot_ms = self.sim.now - boot_start
+            domain.notes["boot_report"] = report
+        return record
+
+    def _write_domain_entries(self, domain: Domain, config: VMConfig):
+        """Generator: the domain's XenStore registration (with retries)."""
+        yield from self.xenstore.op_check_unique_name(DOM0_ID, config.name)
+        entry_count = (self.costs.base_entries + self.costs.vm_entries
+                       + config.image.extra_xenstore_entries)
+        base = "/local/domain/%d" % domain.domid
+        vm_base = "/vm/%d" % domain.domid
+        retries = 0
+        while True:
+            tx = yield from self.xenstore.transaction_start(DOM0_ID)
+            try:
+                yield from self.xenstore.tx_write(tx, base + "/name",
+                                                  config.name)
+                yield from self.xenstore.tx_write(
+                    tx, base + "/memory/target", str(config.memory_kb))
+                yield from self.xenstore.tx_write(tx, base + "/vm", vm_base)
+                yield from self.xenstore.tx_write(
+                    tx, vm_base + "/name", config.name)
+                for index in range(max(0, entry_count - 4)):
+                    yield from self.xenstore.tx_write(
+                        tx, base + "/data/%d" % index, "x")
+                yield from self.xenstore.transaction_commit(tx)
+                return retries
+            except TransactionConflict:
+                retries += 1
+                if retries > MAX_TX_RETRIES:
+                    raise ToolstackError(
+                        "domain registration for %r: retries exhausted"
+                        % config.name)
+                yield self.sim.timeout(
+                    self.xenstore.costs.conflict_backoff_ms * retries)
+
+    # ------------------------------------------------------------------
+    # Destruction
+    # ------------------------------------------------------------------
+    def destroy_vm(self, domain: Domain):
+        """Generator: tear down devices, XenStore state and the domain."""
+        if domain.state == DomainState.RUNNING:
+            self.hypervisor.domctl_pause(domain)
+        image = domain.image
+        if image is not None:
+            for index in range(image.vifs):
+                yield from self.devices.destroy_device(domain, "vif", index)
+            for index in range(image.vbds):
+                yield from self.devices.destroy_device(domain, "vbd", index)
+        yield from self.xenstore.op_rm(
+            DOM0_ID, "/local/domain/%d" % domain.domid)
+        yield from self.xenstore.op_rm(DOM0_ID, "/vm/%d" % domain.domid)
+        self.xenstore.watches.remove_for_domain(domain.domid)
+        weight = domain.notes.pop("xenstore_client", None)
+        if weight:
+            self.xenstore.unregister_client(weight)
+        self.hypervisor.domctl_destroy(domain)
+
+    # ------------------------------------------------------------------
+    # Shutdown helper used by save/migrate
+    # ------------------------------------------------------------------
+    def suspend_guest(self, domain: Domain):
+        """Generator: ask the guest to suspend via the XenStore control
+        node, then wait for it to acknowledge (the pre-noxs way)."""
+        control = "/local/domain/%d/control/shutdown" % domain.domid
+        yield from self.xenstore.op_write(DOM0_ID, control, "suspend")
+        # Guest-side: reads the node, quiesces, saves state.
+        yield self.sim.timeout(3.0)
+        weight = domain.notes.pop("xenstore_client", None)
+        if weight:
+            self.xenstore.unregister_client(weight)
+        self.hypervisor.domctl_shutdown(domain, ShutdownReason.SUSPEND)

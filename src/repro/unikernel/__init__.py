@@ -1,0 +1,20 @@
+"""Unikernel build system (§3.1): Mini-OS + libraries + app, linked with
+symbol resolution and dead-code elimination."""
+
+from .build import UnikernelBuild, build, size_report
+from .linker import LinkError, LinkResult, link
+from .objects import (APPLICATIONS, LIBRARY_OBJECTS, AppSource,
+                      LibraryObject)
+
+__all__ = [
+    "APPLICATIONS",
+    "AppSource",
+    "LIBRARY_OBJECTS",
+    "LibraryObject",
+    "LinkError",
+    "LinkResult",
+    "UnikernelBuild",
+    "build",
+    "link",
+    "size_report",
+]

@@ -1,0 +1,104 @@
+"""Symbol resolution and dead-code elimination for unikernel linking.
+
+The linker starts from the application's undefined symbols and pulls in
+library objects transitively, archive-style: an object is included only
+if something reachable references one of its symbols.  That reachability
+pruning is exactly why unikernel images are hundreds of KB instead of
+tens of MB.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from .objects import APPLICATIONS, LIBRARY_OBJECTS, AppSource, \
+    LibraryObject
+
+
+class LinkError(RuntimeError):
+    """Unresolved or multiply-defined symbols."""
+
+
+@dataclasses.dataclass
+class LinkResult:
+    """Outcome of a link: the included objects and size accounting."""
+
+    app: AppSource
+    objects: typing.List[LibraryObject]
+    #: Undefined-symbol resolution order (for diagnostics).
+    resolution_order: typing.List[str]
+
+    #: ELF headers, section alignment, build-id... (KiB).
+    ELF_OVERHEAD_KB = 6
+
+    @property
+    def image_kb(self) -> int:
+        """Uncompressed on-disk image size."""
+        return (self.app.size_kb
+                + sum(obj.size_kb for obj in self.objects)
+                + self.ELF_OVERHEAD_KB)
+
+    @property
+    def runtime_kb(self) -> int:
+        """Minimum memory to run: image + per-object runtime + app heap +
+        page tables/rounding."""
+        runtime = sum(obj.runtime_kb for obj in self.objects)
+        total = self.image_kb + runtime + self.app.heap_kb + 256
+        return ((total + 511) // 512) * 512  # 512 KiB granularity
+
+    def includes(self, object_name: str) -> bool:
+        return any(obj.name == object_name for obj in self.objects)
+
+
+def _provider_map(universe: typing.Dict[str, LibraryObject]
+                  ) -> typing.Dict[str, LibraryObject]:
+    providers: typing.Dict[str, LibraryObject] = {}
+    for obj in universe.values():
+        for symbol in obj.provides:
+            if symbol in providers:
+                raise LinkError(
+                    "symbol %r defined by both %s and %s"
+                    % (symbol, providers[symbol].name, obj.name))
+            providers[symbol] = obj
+    return providers
+
+
+def link(app: typing.Union[str, AppSource],
+         universe: typing.Optional[typing.Dict[str, LibraryObject]] = None
+         ) -> LinkResult:
+    """Link ``app`` against the library universe; returns a LinkResult.
+
+    Raises :class:`LinkError` for undefined symbols.
+    """
+    if isinstance(app, str):
+        try:
+            app = APPLICATIONS[app]
+        except KeyError:
+            raise LinkError("unknown application %r; known: %s"
+                            % (app, ", ".join(sorted(APPLICATIONS)))) \
+                from None
+    universe = universe or LIBRARY_OBJECTS
+    providers = _provider_map(universe)
+
+    included: typing.Dict[str, LibraryObject] = {}
+    resolution: typing.List[str] = []
+    worklist = list(app.needs)
+    satisfied: typing.Set[str] = set()
+    while worklist:
+        symbol = worklist.pop(0)
+        if symbol in satisfied:
+            continue
+        try:
+            provider = providers[symbol]
+        except KeyError:
+            raise LinkError("undefined symbol %r (needed by %s)"
+                            % (symbol, app.name)) from None
+        satisfied.add(symbol)
+        resolution.append(symbol)
+        if provider.name not in included:
+            included[provider.name] = provider
+            worklist.extend(provider.needs)
+    ordered = sorted(included.values(), key=lambda o: o.name)
+    return LinkResult(app=app, objects=ordered,
+                      resolution_order=resolution)

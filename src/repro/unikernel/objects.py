@@ -1,0 +1,152 @@
+"""The Mini-OS library universe for unikernel linking (§3.1).
+
+"If one needs to create a new unikernel, the simplest is to rely on
+Mini-OS, a toy guest operating system distributed with Xen ... For
+instance, only 50 LoC are needed to implement a TCP server over Mini-OS
+that returns the current time whenever it receives a connection (we also
+linked the lwip networking stack).  The resulting VM image ... is only
+480KB (uncompressed), and can run in as little as 3.6MB of RAM."
+
+A unikernel is the transitive closure of library objects reachable from
+the application through undefined-symbol resolution.  Each object here
+carries the symbols it provides and needs, plus its contribution to the
+image; the linker (:mod:`repro.unikernel.linker`) computes the closure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class LibraryObject:
+    """One linkable object/archive member."""
+
+    name: str
+    #: Compiled size contribution, KiB.
+    size_kb: int
+    #: Symbols this object defines.
+    provides: typing.Tuple[str, ...] = ()
+    #: Undefined symbols this object references.
+    needs: typing.Tuple[str, ...] = ()
+    #: Static + runtime memory beyond the image (stacks, heaps, rings),
+    #: KiB.
+    runtime_kb: int = 0
+
+
+#: The modelled Mini-OS world.
+LIBRARY_OBJECTS: typing.Dict[str, LibraryObject] = {
+    obj.name: obj for obj in [
+        # The Mini-OS kernel proper.
+        LibraryObject(
+            "minios-core", 112,
+            provides=("minios_entry", "console_print", "thread_create",
+                      "mm_alloc", "events_bind", "gnttab_map",
+                      "hypercall"),
+            needs=(),
+            runtime_kb=1024),
+        LibraryObject(
+            "minios-netfront", 28,
+            provides=("netfront_init", "netfront_xmit", "netfront_rx"),
+            needs=("events_bind", "gnttab_map", "mm_alloc"),
+            runtime_kb=512),
+        LibraryObject(
+            "minios-blkfront", 24,
+            provides=("blkfront_init", "blkfront_io"),
+            needs=("events_bind", "gnttab_map", "mm_alloc")),
+        LibraryObject(
+            "minios-noxs-front", 9,
+            provides=("noxs_map_devpage", "noxs_parse"),
+            needs=("hypercall", "mm_alloc")),
+        # C runtime slices.
+        LibraryObject(
+            "newlib-mini", 118,
+            provides=("malloc", "free", "memcpy", "printf", "strcmp",
+                      "snprintf"),
+            needs=("mm_alloc", "console_print"),
+            runtime_kb=256),
+        LibraryObject(
+            "libm-mini", 64,
+            provides=("sin", "cos", "pow", "sqrt", "fmod"),
+            needs=("memcpy",)),
+        # Networking.
+        LibraryObject(
+            "lwip", 190,
+            provides=("tcp_listen", "tcp_write", "udp_send", "ip_init",
+                      "dns_query"),
+            needs=("netfront_init", "netfront_xmit", "netfront_rx",
+                   "malloc", "memcpy"),
+            runtime_kb=768),
+        # Crypto/TLS.
+        LibraryObject(
+            "axtls", 380,
+            provides=("tls_accept", "tls_read", "tls_write", "rsa_sign"),
+            needs=("tcp_listen", "tcp_write", "malloc", "memcpy",
+                   "pow"),
+            runtime_kb=2048),
+        # Language runtimes.
+        LibraryObject(
+            "micropython-core", 560,
+            provides=("mp_exec", "mp_compile", "mp_gc"),
+            needs=("malloc", "free", "printf", "strcmp", "snprintf",
+                   "sin", "pow"),
+            runtime_kb=3072),
+        # Click modular router.
+        LibraryObject(
+            "click-router", 1400,
+            provides=("click_run", "click_element_classify",
+                      "click_element_filter"),
+            needs=("netfront_init", "netfront_xmit", "netfront_rx",
+                   "malloc", "memcpy", "thread_create"),
+            runtime_kb=2048),
+    ]
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class AppSource:
+    """An application to be linked into a unikernel.
+
+    Following the paper's sizing, application code contributes roughly
+    ``loc * bytes_per_loc`` to the image; the daytime server is 50 LoC.
+    """
+
+    name: str
+    loc: int
+    #: Symbols the application references.
+    needs: typing.Tuple[str, ...]
+    #: Extra heap the application wants at runtime, KiB.
+    heap_kb: int = 512
+
+    BYTES_PER_LOC = 38
+
+    @property
+    def size_kb(self) -> int:
+        return max(1, self.loc * self.BYTES_PER_LOC // 1024)
+
+
+#: The paper's applications.
+APPLICATIONS = {
+    app.name: app for app in [
+        # "only 50 LoC ... returns the current time".
+        AppSource("daytime", 50,
+                  needs=("minios_entry", "tcp_listen", "tcp_write",
+                         "printf")),
+        AppSource("noop", 10, needs=("minios_entry", "console_print"),
+                  heap_kb=64),
+        AppSource("minipython", 1400,
+                  needs=("minios_entry", "mp_exec", "mp_compile",
+                         "tcp_listen"),
+                  heap_kb=3072),
+        AppSource("tls-proxy", 900,
+                  needs=("minios_entry", "tls_accept", "tls_read",
+                         "tls_write", "tcp_listen"),
+                  heap_kb=4096),
+        AppSource("clickos-firewall", 420,
+                  needs=("minios_entry", "click_run",
+                         "click_element_classify",
+                         "click_element_filter"),
+                  heap_kb=2048),
+    ]
+}

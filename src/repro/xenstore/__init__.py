@@ -1,0 +1,43 @@
+"""The XenStore: Xen's centralized registry, reproduced in full.
+
+Tree + transactions + watches + wire-protocol costs + access-log rotation.
+The LightVM paper's §4.2 bottleneck analysis is entirely about this
+subsystem; :mod:`repro.noxs` is its replacement.
+"""
+
+from .accesslog import DEFAULT_LOG_FILES, DEFAULT_ROTATE_LINES, AccessLog
+from .daemon import DuplicateNameError, QuotaExceededError, XenStoreDaemon
+from .permissions import (NodePerms, PERM_BOTH, PERM_NONE, PERM_READ,
+                          PERM_WRITE, PermEntry, PermissionError_)
+from .protocol import XenStoreCosts
+from .store import (InvalidPathError, NoEntError, Node, StoreError,
+                    XenStoreTree, split_path)
+from .transaction import Transaction, TransactionConflict
+from .watches import Watch, WatchManager
+
+__all__ = [
+    "AccessLog",
+    "DEFAULT_LOG_FILES",
+    "DEFAULT_ROTATE_LINES",
+    "DuplicateNameError",
+    "InvalidPathError",
+    "NoEntError",
+    "Node",
+    "NodePerms",
+    "PERM_BOTH",
+    "PERM_NONE",
+    "PERM_READ",
+    "PERM_WRITE",
+    "PermEntry",
+    "PermissionError_",
+    "QuotaExceededError",
+    "StoreError",
+    "Transaction",
+    "TransactionConflict",
+    "Watch",
+    "WatchManager",
+    "XenStoreCosts",
+    "XenStoreDaemon",
+    "XenStoreTree",
+    "split_path",
+]

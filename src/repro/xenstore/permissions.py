@@ -1,0 +1,95 @@
+"""XenStore node permissions (ACLs).
+
+Every XenStore node carries an owner domain and an access-control list,
+exactly like xenstored's ``XS_SET_PERMS``: the first entry names the
+owner and the *default* permission for everyone else; later entries give
+specific domains read (``r``), write (``w``) or both (``b``).  Dom0 is
+omnipotent.  The split-driver protocol depends on this: the toolstack
+grants the front-end domain read access to its back-end directory so the
+guest can fetch the event channel and grant reference at boot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+PERM_NONE = "n"
+PERM_READ = "r"
+PERM_WRITE = "w"
+PERM_BOTH = "b"
+
+_VALID = (PERM_NONE, PERM_READ, PERM_WRITE, PERM_BOTH)
+
+
+class PermissionError_(PermissionError):
+    """Access denied by a node's ACL (EACCES)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class PermEntry:
+    """One ACL entry: a domain and its rights."""
+
+    domid: int
+    perm: str
+
+    def __post_init__(self):
+        if self.perm not in _VALID:
+            raise ValueError("invalid permission %r; expected one of %s"
+                             % (self.perm, "/".join(_VALID)))
+
+    @property
+    def can_read(self) -> bool:
+        return self.perm in (PERM_READ, PERM_BOTH)
+
+    @property
+    def can_write(self) -> bool:
+        return self.perm in (PERM_WRITE, PERM_BOTH)
+
+
+@dataclasses.dataclass
+class NodePerms:
+    """A node's complete ACL.
+
+    ``entries[0]`` is the owner; its ``perm`` field is the default
+    permission applied to domains not listed explicitly (xenstored
+    semantics).
+    """
+
+    entries: typing.List[PermEntry]
+
+    def __post_init__(self):
+        if not self.entries:
+            raise ValueError("ACL needs at least the owner entry")
+
+    @classmethod
+    def owned_by(cls, domid: int,
+                 default: str = PERM_NONE) -> "NodePerms":
+        """The standard ACL: owner with everyone-else default."""
+        return cls([PermEntry(domid, default)])
+
+    @property
+    def owner_domid(self) -> int:
+        return self.entries[0].domid
+
+    def grant(self, domid: int, perm: str) -> "NodePerms":
+        """Return a new ACL with ``domid`` granted ``perm``."""
+        kept = [e for e in self.entries[1:] if e.domid != domid]
+        return NodePerms([self.entries[0]]
+                         + kept + [PermEntry(domid, perm)])
+
+    def _effective(self, domid: int) -> PermEntry:
+        if domid == self.owner_domid:
+            return PermEntry(domid, PERM_BOTH)  # owners see their nodes
+        for entry in self.entries[1:]:
+            if entry.domid == domid:
+                return entry
+        # Unlisted domains get the owner entry's default permission.
+        return PermEntry(domid, self.entries[0].perm)
+
+    def allows_read(self, domid: int) -> bool:
+        """Dom0 bypasses ACLs entirely."""
+        return domid == 0 or self._effective(domid).can_read
+
+    def allows_write(self, domid: int) -> bool:
+        return domid == 0 or self._effective(domid).can_write

@@ -1,0 +1,76 @@
+"""Cost model of the XenStore wire protocol.
+
+§4.2: "The protocol used by the XenStore is quite expensive, where each
+operation requires sending a message and receiving an acknowledgment, each
+triggering a software interrupt: a single read or write thus triggers at
+least two, and most often four, software interrupts and multiple domain
+changes between the guest, hypervisor and Dom0 kernel and userspace."
+
+Costs are expressed in microseconds and converted to simulated
+milliseconds by the daemon.  The defaults are calibrated so the xl boot
+storm of Fig 9 lands near the paper's curve (≈100 ms for the first daytime
+unikernel, just under 1 s for the 1000th); see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class XenStoreCosts:
+    """Tunable cost parameters for one XenStore deployment."""
+
+    #: Cost of one software interrupt (µs).
+    interrupt_us: float = 3.0
+    #: Cost of one privilege-domain crossing (µs).
+    crossing_us: float = 2.5
+    #: Daemon-side processing per operation (µs).
+    process_us: float = 6.0
+    #: Software interrupts per simple op ("at least two, most often four").
+    interrupts_per_op: int = 4
+    #: Privilege-domain crossings per simple op.
+    crossings_per_op: int = 4
+    #: Per-node cost of O(N) scans, e.g. the unique-name check (µs).
+    per_node_scan_us: float = 4.0
+    #: Per-registered-watch comparison cost on every mutation (µs).
+    watch_scan_us: float = 1.5
+    #: Cost of delivering one fired watch event (a message + interrupt, µs).
+    watch_deliver_us: float = 10.0
+    #: Extra bookkeeping per transaction start/commit (µs).
+    txn_overhead_us: float = 15.0
+    #: Penalty for rotating all log files (ms) — the Fig 4/9 spikes.
+    log_rotation_ms: float = 30.0
+    #: Log lines emitted per access.
+    log_lines_per_op: int = 1
+    #: Ambient daemon utilisation contributed by each connected (running)
+    #: guest: consoles, device state refreshes, xenstored pings.  Drives the
+    #: 1/(1-rho) queueing inflation as density grows.
+    ambient_util_per_client: float = 0.00055
+    #: Utilisation cap so the latency multiplier stays finite.
+    ambient_util_cap: float = 0.88
+    #: Multiplier applied when running the (slower) C implementation;
+    #: §4.2 footnote: "Results with cxenstored show much higher overheads."
+    cxenstored_multiplier: float = 3.0
+    #: Rate (events per ms per connected client) at which ambient guest
+    #: traffic invalidates an open transaction.  §4.2: "As the load
+    #: increases, XenStore interactions belonging to different transactions
+    #: frequently overlap, resulting in failed transactions that need to
+    #: be retried."  The conflict probability for a transaction held open
+    #: for ``d`` ms with ``n`` clients is ``1 - exp(-rate * n * d)``.
+    ambient_conflict_rate_per_client: float = 5e-5
+    #: Conflict probability ceiling (xenstored eventually lets a retried
+    #: transaction through; without a ceiling the model could livelock).
+    conflict_probability_cap: float = 0.75
+    #: Client back-off before retrying a conflicted transaction (ms).
+    conflict_backoff_ms: float = 1.0
+    #: Per-domain node quota (xenstored's defense against a guest
+    #: exhausting the store — the §1 resource-DoS argument).  Dom0 is
+    #: exempt.  0 disables the quota.
+    quota_nodes_per_domain: int = 1000
+
+    def op_base_ms(self) -> float:
+        """Base latency of a single message/ack round-trip, in ms."""
+        return (self.interrupts_per_op * self.interrupt_us
+                + self.crossings_per_op * self.crossing_us
+                + self.process_us) / 1000.0

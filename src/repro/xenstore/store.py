@@ -1,0 +1,197 @@
+"""The XenStore tree: a hierarchical key-value store.
+
+Xen's central registry is a filesystem-like tree (``/local/domain/<id>/...``,
+``/vm/...``, backend directories, ...).  Every node carries a value, an owner
+domain, and a **generation counter** bumped on each modification — the
+generation counters are what transactions validate against at commit time,
+so they are the root cause of the retry storms §4.2 blames for superlinear
+creation times.
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+class StoreError(RuntimeError):
+    """Base class for store access errors."""
+
+
+class NoEntError(StoreError):
+    """Path does not exist (ENOENT)."""
+
+
+class InvalidPathError(StoreError):
+    """Malformed path."""
+
+
+def split_path(path: str) -> typing.List[str]:
+    """Validate and split an absolute store path into components."""
+    if not path.startswith("/"):
+        raise InvalidPathError("path must be absolute: %r" % path)
+    if "//" in path:
+        raise InvalidPathError("empty component in path: %r" % path)
+    if path == "/":
+        return []
+    return path.rstrip("/").split("/")[1:]
+
+
+class Node:
+    """One tree node."""
+
+    __slots__ = ("name", "value", "owner_domid", "children", "generation",
+                 "perms")
+
+    def __init__(self, name: str, value: str = "", owner_domid: int = 0,
+                 generation: int = 0):
+        self.name = name
+        self.value = value
+        self.owner_domid = owner_domid
+        self.children: typing.Dict[str, "Node"] = {}
+        self.generation = generation
+        #: Explicit ACL (NodePerms) or None for the implicit owner-only
+        #: default.
+        self.perms = None
+
+
+class XenStoreTree:
+    """The mutable tree plus a global generation counter."""
+
+    def __init__(self):
+        self.root = Node("")
+        #: Bumped on every mutation; transactions snapshot this.
+        self.generation = 0
+        #: Total nodes ever written (for accounting/benchmarks).
+        self.write_count = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _walk(self, path: str) -> Node:
+        node = self.root
+        for part in split_path(path):
+            try:
+                node = node.children[part]
+            except KeyError:
+                raise NoEntError(path) from None
+        return node
+
+    def exists(self, path: str) -> bool:
+        """True if ``path`` names a node."""
+        try:
+            self._walk(path)
+            return True
+        except NoEntError:
+            return False
+
+    def read(self, path: str) -> str:
+        """Return the value at ``path``; raises NoEntError."""
+        return self._walk(path).value
+
+    def generation_of(self, path: str) -> int:
+        """Generation counter of the node at ``path``."""
+        return self._walk(path).generation
+
+    def directory(self, path: str) -> typing.List[str]:
+        """Child names under ``path`` (sorted, as xenstored returns them)."""
+        return sorted(self._walk(path).children)
+
+    def get_perms(self, path: str):
+        """The node's effective ACL.
+
+        A node without an explicit ACL inherits the nearest ancestor's
+        (covering children that raced with the XS_SET_PERMS on their
+        directory); with no ACL anywhere on the path, the implicit
+        owner-only ACL applies.
+        """
+        from .permissions import NodePerms
+        node = self.root
+        inherited = None
+        for part in split_path(path):
+            try:
+                node = node.children[part]
+            except KeyError:
+                raise NoEntError(path) from None
+            if node.perms is not None:
+                inherited = node.perms
+        return inherited or NodePerms.owned_by(node.owner_domid)
+
+    def set_perms(self, path: str, perms) -> None:
+        """Replace the node's ACL (XS_SET_PERMS)."""
+        node = self._walk(path)
+        node.perms = perms
+        node.owner_domid = perms.owner_domid
+        self.generation += 1
+        node.generation = self.generation
+
+    def count_nodes(self) -> int:
+        """Total nodes in the tree (excluding the root)."""
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            total += len(node.children)
+            stack.extend(node.children.values())
+        return total
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def write(self, path: str, value: str, owner_domid: int = 0) -> None:
+        """Write ``value`` at ``path``, creating intermediate nodes.
+
+        Mirrors xenstored: a write implicitly mkdir-s missing parents.
+        """
+        parts = split_path(path)
+        if not parts:
+            raise InvalidPathError("cannot write to /")
+        self.generation += 1
+        node = self.root
+        for part in parts:
+            if part not in node.children:
+                child = Node(part, owner_domid=owner_domid,
+                             generation=self.generation)
+                # New nodes inherit the parent's ACL (xenstored
+                # semantics) so a directory grant covers later children.
+                child.perms = node.perms
+                node.children[part] = child
+            node = node.children[part]
+        node.value = value
+        node.generation = self.generation
+        node.owner_domid = owner_domid
+        self.write_count += 1
+
+    def mkdir(self, path: str, owner_domid: int = 0) -> None:
+        """Create an (empty-valued) directory node."""
+        if not self.exists(path):
+            self.write(path, "", owner_domid=owner_domid)
+
+    def rm(self, path: str) -> int:
+        """Remove the subtree at ``path``; returns nodes removed."""
+        parts = split_path(path)
+        if not parts:
+            raise InvalidPathError("cannot remove /")
+        parent = self.root
+        for part in parts[:-1]:
+            try:
+                parent = parent.children[part]
+            except KeyError:
+                raise NoEntError(path) from None
+        leaf = parts[-1]
+        if leaf not in parent.children:
+            raise NoEntError(path)
+        removed = self._subtree_size(parent.children[leaf])
+        del parent.children[leaf]
+        self.generation += 1
+        parent.generation = self.generation
+        return removed
+
+    @staticmethod
+    def _subtree_size(node: Node) -> int:
+        total = 1
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            total += len(current.children)
+            stack.extend(current.children.values())
+        return total

@@ -1,0 +1,170 @@
+"""Integration tests: whole-platform scenarios across subsystems."""
+
+import pytest
+
+from repro.core import Host, VARIANTS, XEON_E5_1630_2DOM0
+from repro.guests import (DAYTIME_UNIKERNEL, MINIPYTHON_UNIKERNEL, TINYX,
+                          boot_guest)
+from repro.hypervisor import DomainState
+from repro.net import Link
+from repro.sim import Simulator
+from repro.toolstack import migrate
+
+
+class TestLifecycleRoundTrips:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_create_destroy_cycle_leaks_nothing(self, variant):
+        host = Host(variant=variant)
+        host.warmup(500)
+        hv = host.hypervisor
+
+        def shell_kb():
+            return sum(d.memory_kb for d in hv.domains.values()
+                       if d.state is DomainState.SHELL)
+
+        free_before = hv.memory.free_kb + shell_kb()
+        channels_before = hv.event_channels.count_for(0)
+        grants_before = hv.grants.count_for(0)
+        domains = [host.create_vm(DAYTIME_UNIKERNEL).domain
+                   for _ in range(5)]
+        for domain in domains:
+            host.destroy_vm(domain)
+        # Shell-pool reservations fluctuate as the daemon replenishes;
+        # net of shells, guest memory must be fully returned.
+        assert hv.memory.free_kb + shell_kb() == free_before
+        assert host.running_guests == 0
+        if variant == "xl":
+            assert hv.event_channels.count_for(0) == channels_before
+            assert hv.grants.count_for(0) == grants_before
+
+    def test_interleaved_create_and_destroy(self):
+        host = Host(variant="lightvm", pool_target=32)
+        host.warmup(1000)
+        live = []
+        for round_number in range(10):
+            live.append(host.create_vm(DAYTIME_UNIKERNEL).domain)
+            live.append(host.create_vm(MINIPYTHON_UNIKERNEL).domain)
+            if round_number % 2:
+                host.destroy_vm(live.pop(0))
+        assert host.running_guests == len(live)
+        for domain in live:
+            host.destroy_vm(domain)
+        assert host.running_guests == 0
+
+    def test_repeated_checkpoint_cycles_converge(self):
+        host = Host(spec=XEON_E5_1630_2DOM0, variant="lightvm")
+        host.warmup(500)
+        config = host.config_for(DAYTIME_UNIKERNEL)
+        record = host.create_vm(config)
+        domain = record.domain
+        times = []
+        for _ in range(5):
+            start = host.sim.now
+            saved = host.save_vm(domain, config)
+            domain = host.restore_vm(saved)
+            times.append(host.sim.now - start)
+        # Cycle time is stable (no resource leak slowing things down).
+        assert max(times) < min(times) * 1.2
+        assert domain.state == DomainState.RUNNING
+
+
+class TestMixedFleet:
+    def test_mixed_guest_types_coexist(self):
+        host = Host(variant="xl")
+        records = [host.create_vm(image) for image in
+                   (DAYTIME_UNIKERNEL, TINYX, MINIPYTHON_UNIKERNEL)]
+        assert all(r.domain.state == DomainState.RUNNING
+                   for r in records)
+        # Tinyx exerts idle load; the unikernels do not.
+        assert records[1].domain.background_weight > 0
+        assert records[0].domain.background_weight == 0
+
+    def test_xenstore_tree_reflects_fleet(self):
+        host = Host(variant="xl")
+        record = host.create_vm(DAYTIME_UNIKERNEL)
+        tree = host.xenstore.tree
+        base = "/local/domain/%d" % record.domain.domid
+        assert tree.read(base + "/name") == record.config_name
+        assert tree.exists(base + "/device/vif/0")
+        host.destroy_vm(record.domain)
+        assert not tree.exists(base)
+
+    def test_device_page_reflects_fleet(self):
+        host = Host(variant="lightvm")
+        host.warmup(500)
+        record = host.create_vm(DAYTIME_UNIKERNEL)
+        page = record.domain.device_page
+        assert page is not None
+        types = {entry.dev_type for _i, entry in page.entries()}
+        assert len(types) == 2  # vif + sysctl
+
+
+class TestCrossHostMigrationChain:
+    def test_vm_survives_two_hops(self):
+        sim = Simulator()
+        hosts = [Host(spec=XEON_E5_1630_2DOM0, variant="lightvm", sim=sim)
+                 for _ in range(3)]
+        for host in hosts:
+            host.warmup(500)
+        config = hosts[0].config_for(DAYTIME_UNIKERNEL)
+        record = hosts[0].create_vm(config)
+        domain = record.domain
+        link = Link(sim, latency_ms=0.5, bandwidth_mbps=1000.0)
+        for source, destination in ((0, 1), (1, 2)):
+            proc = sim.process(migrate(
+                hosts[source].checkpointer,
+                hosts[destination].checkpointer, domain, config, link))
+            domain = sim.run(until=proc)
+        assert domain.state == DomainState.RUNNING
+        assert hosts[0].running_guests == 0
+        assert hosts[1].running_guests == 0
+        assert hosts[2].running_guests == 1
+
+
+class TestGuestBootAgainstLiveToolstackState:
+    def test_manual_boot_uses_toolstack_published_entries(self):
+        """A guest booted by hand against the xl-populated XenStore reads
+        exactly what the backend published during create."""
+        host = Host(variant="xl")
+        record = host.create_vm(DAYTIME_UNIKERNEL, boot=False)
+        domain = record.domain
+        host.hypervisor.domctl_unpause(domain)
+
+        def manual():
+            report = yield from boot_guest(
+                host.sim, host.hypervisor, domain, DAYTIME_UNIKERNEL,
+                xenstore=host.xenstore)
+            return report
+
+        proc = host.sim.process(manual())
+        report = host.sim.run(until=proc)
+        assert report.device_ms > 0
+        assert host.hypervisor.event_channels.count_for(domain.domid) == 1
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_storms(self):
+        def storm(seed):
+            host = Host(variant="xl", seed=seed)
+            return [host.create_vm(DAYTIME_UNIKERNEL).create_ms
+                    for _ in range(30)]
+
+        assert storm(7) == storm(7)
+
+    def test_seed_changes_stochastic_components(self):
+        from repro.containers import ProcessSpawner
+        from repro.sim import RngStream, Simulator
+
+        def latencies(seed):
+            sim = Simulator()
+            spawner = ProcessSpawner(sim, RngStream(seed, "proc"))
+            out = []
+            for _ in range(10):
+                proc = sim.process(spawner.spawn())
+                before = sim.now
+                sim.run(until=proc)
+                out.append(sim.now - before)
+            return out
+
+        assert latencies(1) == latencies(1)
+        assert latencies(1) != latencies(2)

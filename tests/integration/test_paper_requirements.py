@@ -1,0 +1,97 @@
+"""The §2 requirements, encoded as a contract the platform must honor.
+
+"we are interested in a number of characteristics typical of containers:
+Fast Instantiation ... High Instance Density ... Pause/unpause."
+"""
+
+import pytest
+
+from repro.core import AMD_OPTERON_64, Host
+from repro.guests import DAYTIME_UNIKERNEL, NOOP_UNIKERNEL
+
+
+class TestFastInstantiation:
+    """Containers start in hundreds of ms or less; VMs must match."""
+
+    def test_lightvm_instantiates_in_single_digit_milliseconds(self):
+        host = Host(variant="lightvm")
+        host.warmup(500)
+        record = host.create_vm(DAYTIME_UNIKERNEL)
+        assert record.total_ms < 10.0
+
+    def test_comparable_to_fork_exec(self):
+        """§1: "2.3ms, comparable to fork/exec on Linux (1ms)"."""
+        from repro.containers import ProcessSpawner
+        from repro.sim import RngStream
+        host = Host(variant="lightvm")
+        host.warmup(500)
+        vm_ms = host.create_vm(NOOP_UNIKERNEL).total_ms
+        spawner = ProcessSpawner(host.sim, RngStream(0, "p"))
+        before = host.sim.now
+        host.sim.run(until=host.sim.process(spawner.fork()))
+        fork_ms = host.sim.now - before
+        assert vm_ms < fork_ms * 4  # same ballpark, not orders apart
+
+    def test_two_orders_faster_than_docker(self):
+        """§1: "two orders of magnitude faster than Docker"."""
+        from repro.containers import DockerEngine
+        from repro.sim import RngStream, Simulator
+        host = Host(variant="lightvm")
+        host.warmup(500)
+        vm_ms = host.create_vm(NOOP_UNIKERNEL).total_ms
+        sim = Simulator()
+        engine = DockerEngine(sim, RngStream(0, "d"), 128 * 1024)
+        before = sim.now
+
+        def one():
+            yield from engine.start_container()
+        sim.run(until=sim.process(one()))
+        docker_ms = sim.now - before
+        assert docker_ms / vm_ms > 50
+
+
+class TestHighDensity:
+    """§2: a thousand or more instances on a single host."""
+
+    def test_hundreds_of_guests_on_the_big_host(self):
+        host = Host(spec=AMD_OPTERON_64, variant="lightvm",
+                    pool_target=330,
+                    shell_memory_kb=NOOP_UNIKERNEL.memory_kb)
+        host.warmup(8000)
+        for _ in range(300):
+            host.create_vm(NOOP_UNIKERNEL)
+        assert host.running_guests == 300
+        # Memory headroom for thousands more at this footprint.
+        per_guest_kb = NOOP_UNIKERNEL.memory_kb
+        headroom = host.hypervisor.memory.free_kb // per_guest_kb
+        assert headroom > 7000
+
+    def test_per_vm_footprint_matches_headline(self):
+        """§1: "per-VM memory footprints of as little as ... 3.6MB
+        (running)"."""
+        assert DAYTIME_UNIKERNEL.memory_kb <= 3700
+
+
+class TestPauseUnpause:
+    """§2: paused and unpaused quickly, Lambda-style freeze/thaw."""
+
+    def test_freeze_thaw_cycle_is_fast(self):
+        host = Host(variant="lightvm")
+        host.warmup(500)
+        record = host.create_vm(DAYTIME_UNIKERNEL)
+        before = host.sim.now
+        host.pause_vm(record.domain)
+        host.unpause_vm(record.domain)
+        assert host.sim.now - before < 5.0
+
+    def test_freeze_raises_effective_density(self):
+        """Paused guests stop consuming CPU, so more instances fit the
+        same cores."""
+        host = Host(variant="lightvm", pool_target=40)
+        host.warmup(1500)
+        from repro.guests import TINYX
+        domains = [host.create_vm(TINYX).domain for _ in range(30)]
+        busy = host.cpu_utilization()
+        for domain in domains:
+            host.pause_vm(domain)
+        assert host.cpu_utilization() < busy

@@ -1,0 +1,58 @@
+"""Property-based tests for the xl.cfg parser."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.guests import CATALOG
+from repro.toolstack import ConfigError, VMConfig, parse_config_text
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1,
+    max_size=24)
+
+
+@given(names, st.sampled_from(sorted(CATALOG)),
+       st.integers(min_value=1, max_value=4096))
+@settings(max_examples=200, deadline=None)
+def test_render_parse_roundtrip(name, image_name, memory_mb):
+    image = CATALOG[image_name]
+    original = VMConfig.for_image(image, name,
+                                  memory_kb=memory_mb * 1024)
+    parsed = parse_config_text(original.render())
+    assert parsed.name == name
+    assert parsed.image is image
+    assert parsed.memory_kb == memory_mb * 1024
+    assert len(parsed.vifs) == len(original.vifs)
+    assert len(parsed.vbds) == len(original.vbds)
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=300, deadline=None)
+def test_parser_never_crashes_uncontrolled(text):
+    """Arbitrary input either parses or raises ConfigError — nothing
+    else escapes."""
+    try:
+        config = parse_config_text(text)
+    except ConfigError:
+        return
+    assert config.name
+    assert config.image is not None
+
+
+@given(names, st.lists(st.sampled_from(
+    ["mac=00:16:3e:00:00:01", "bridge=xenbr0", "rate=10Mb/s"]),
+    min_size=0, max_size=3))
+@settings(max_examples=150, deadline=None)
+def test_vif_params_survive_roundtrip(name, params):
+    text = (
+        'name = "%s"\n'
+        'kernel = "/images/daytime.img"\n' % name)
+    if params:
+        text += "vif = [ '%s' ]\n" % ",".join(params)
+    config = parse_config_text(text)
+    if params:
+        for param in params:
+            key, _sep, value = param.partition("=")
+            assert config.vifs[0][key] == value
+    else:
+        assert config.vifs == []

@@ -1,0 +1,76 @@
+"""Property-based tests for the processor-sharing CPU model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import PSCore, Simulator
+
+work_lists = st.lists(st.floats(min_value=0.1, max_value=50.0),
+                      min_size=1, max_size=12)
+
+
+@given(work_lists)
+@settings(max_examples=150, deadline=None)
+def test_simultaneous_tasks_finish_at_total_work(works):
+    """A work-conserving single core finishes all simultaneously-submitted
+    work exactly when the sum of work has been served."""
+    sim = Simulator()
+    core = PSCore(sim)
+    events = [core.execute(work) for work in works]
+    sim.run(until=sim.all_of(events))
+    assert sim.now == pytest.approx(sum(works), rel=1e-6)
+    assert core.busy_time() == pytest.approx(sum(works), rel=1e-6)
+
+
+@given(work_lists)
+@settings(max_examples=150, deadline=None)
+def test_completion_order_matches_work_order(works):
+    """With equal weights and simultaneous arrival, less work finishes
+    no later than more work."""
+    sim = Simulator()
+    core = PSCore(sim)
+    finish = {}
+    for index, work in enumerate(works):
+        done = core.execute(work)
+        done.add_callback(
+            lambda _e, i=index: finish.__setitem__(i, sim.now))
+    sim.run()
+    for i, wi in enumerate(works):
+        for j, wj in enumerate(works):
+            if wi < wj:
+                assert finish[i] <= finish[j] + 1e-9
+
+
+@given(work_lists, st.lists(st.floats(min_value=0.0, max_value=20.0),
+                            min_size=1, max_size=12))
+@settings(max_examples=100, deadline=None)
+def test_staggered_arrivals_conserve_work(works, gaps):
+    """Total busy time equals total work no matter the arrival pattern."""
+    sim = Simulator()
+    core = PSCore(sim)
+
+    def submitter():
+        for work, gap in zip(works, gaps * 3):
+            yield sim.timeout(gap)
+            core.execute(work)
+
+    sim.process(submitter())
+    sim.run()
+    submitted = works[:min(len(works), len(gaps * 3))]
+    assert core.busy_time() == pytest.approx(sum(submitted), rel=1e-6)
+
+
+@given(work_lists, st.floats(min_value=0.1, max_value=3.0))
+@settings(max_examples=100, deadline=None)
+def test_background_never_speeds_tasks_up(works, background):
+    def total_time(bg):
+        sim = Simulator()
+        core = PSCore(sim)
+        if bg:
+            core.add_background(bg)
+        events = [core.execute(work) for work in works]
+        sim.run(until=sim.all_of(events))
+        return sim.now
+
+    assert total_time(background) >= total_time(0.0) - 1e-9

@@ -1,0 +1,65 @@
+"""Property-based tests for noxs device pages and control blocks."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypervisor import (DEV_SYSCTL, DEV_VBD, DEV_VIF, MAX_ENTRIES,
+                              STATE_CLOSED, STATE_CONNECTED,
+                              STATE_INITIALISING, DeviceEntry, DevicePage)
+from repro.noxs import DeviceControlPage
+
+entries = st.builds(
+    DeviceEntry,
+    dev_type=st.sampled_from([DEV_VIF, DEV_VBD, DEV_SYSCTL]),
+    state=st.sampled_from([STATE_INITIALISING, STATE_CONNECTED,
+                           STATE_CLOSED]),
+    backend_domid=st.integers(min_value=0, max_value=0xFFFF),
+    evtchn_port=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    grant_ref=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    mac=st.binary(min_size=6, max_size=6),
+)
+
+
+@given(entries)
+@settings(max_examples=200, deadline=None)
+def test_entry_pack_unpack_roundtrip(entry):
+    assert DeviceEntry.unpack(entry.pack()) == entry
+
+
+@given(st.lists(entries, min_size=1, max_size=MAX_ENTRIES))
+@settings(max_examples=100, deadline=None)
+def test_guest_parse_sees_exactly_what_dom0_wrote(entry_list):
+    page = DevicePage()
+    for entry in entry_list:
+        page.add(entry)
+    parsed = DevicePage.parse(page.readonly_view())
+    assert parsed == entry_list
+    assert page.count == len(entry_list)
+
+
+@given(st.lists(entries, min_size=2, max_size=20),
+       st.data())
+@settings(max_examples=100, deadline=None)
+def test_remove_then_parse_consistent(entry_list, data):
+    page = DevicePage()
+    indices = [page.add(entry) for entry in entry_list]
+    victim = data.draw(st.sampled_from(range(len(indices))))
+    page.remove(indices[victim])
+    parsed = DevicePage.parse(page.readonly_view())
+    expected = [e for i, e in enumerate(entry_list) if i != victim]
+    assert sorted(parsed) == sorted(expected)
+
+
+@given(st.binary(min_size=6, max_size=6),
+       st.integers(min_value=0, max_value=0xFFFFFFFF),
+       st.integers(min_value=0, max_value=0xFFFFFFFF))
+@settings(max_examples=200, deadline=None)
+def test_control_page_fields_are_independent(mac, ring, features):
+    page = DeviceControlPage(0x1000, DEV_VIF, mac=mac)
+    page.ring_ref = ring
+    page.feature_bits = features
+    page.state = STATE_CONNECTED
+    assert page.mac == mac
+    assert page.ring_ref == ring
+    assert page.feature_bits == features
+    assert page.state == STATE_CONNECTED

@@ -1,0 +1,129 @@
+"""Stateful property testing of the whole platform.
+
+Hypothesis drives random sequences of lifecycle operations (create,
+destroy, pause, unpause, save, restore) against a LightVM host and checks
+global invariants after every step: memory conservation, scheduler
+accounting, device-page consistency, and domain-state sanity.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, precondition, rule)
+from hypothesis import strategies as st
+
+from repro.core import Host, HostSpec
+from repro.guests import DAYTIME_UNIKERNEL, MINIPYTHON_UNIKERNEL
+from repro.hypervisor import DomainState
+
+SPEC = HostSpec(name="prop", cores=4, memory_gb=16, dom0_cores=1)
+IMAGES = (DAYTIME_UNIKERNEL, MINIPYTHON_UNIKERNEL)
+
+
+class HostLifecycle(RuleBasedStateMachine):
+    @initialize(variant=st.sampled_from(["lightvm", "chaos+noxs"]))
+    def set_up(self, variant):
+        self.host = Host(spec=SPEC, variant=variant, pool_target=4)
+        self.host.warmup(1000)
+        self.running = []   # (domain, config)
+        self.paused = []
+        self.saved = []     # SavedImage
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    @rule(image=st.sampled_from(IMAGES))
+    def create(self, image):
+        config = self.host.config_for(image)
+        record = self.host.create_vm(config)
+        assert record.domain.state == DomainState.RUNNING
+        self.running.append((record.domain, config))
+
+    @precondition(lambda self: self.running)
+    @rule(data=st.data())
+    def destroy(self, data):
+        index = data.draw(st.integers(0, len(self.running) - 1))
+        domain, _config = self.running.pop(index)
+        self.host.destroy_vm(domain)
+        assert domain.state == DomainState.DEAD
+
+    @precondition(lambda self: self.running)
+    @rule(data=st.data())
+    def pause(self, data):
+        index = data.draw(st.integers(0, len(self.running) - 1))
+        domain, config = self.running.pop(index)
+        self.host.pause_vm(domain)
+        assert domain.state == DomainState.PAUSED
+        self.paused.append((domain, config))
+
+    @precondition(lambda self: self.paused)
+    @rule(data=st.data())
+    def unpause(self, data):
+        index = data.draw(st.integers(0, len(self.paused) - 1))
+        domain, config = self.paused.pop(index)
+        self.host.unpause_vm(domain)
+        assert domain.state == DomainState.RUNNING
+        self.running.append((domain, config))
+
+    @precondition(lambda self: self.running)
+    @rule(data=st.data())
+    def save(self, data):
+        index = data.draw(st.integers(0, len(self.running) - 1))
+        domain, config = self.running.pop(index)
+        self.saved.append(self.host.save_vm(domain, config))
+
+    @precondition(lambda self: self.saved)
+    @rule()
+    def restore(self):
+        saved = self.saved.pop()
+        domain = self.host.restore_vm(saved)
+        assert domain.state == DomainState.RUNNING
+        self.running.append((domain, saved.config))
+
+    @rule()
+    def let_time_pass(self):
+        self.host.sim.run(until=self.host.sim.now + 50.0)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def memory_is_conserved(self):
+        if not hasattr(self, "host"):
+            return
+        mem = self.host.hypervisor.memory
+        owned = sum(mem.owned_kb(owner) for owner in mem.owners())
+        assert mem.free_kb + owned == mem.total_kb
+
+    @invariant()
+    def running_population_matches_model(self):
+        if not hasattr(self, "host"):
+            return
+        live = [d for d in self.host.hypervisor.domains.values()
+                if d.domid != 0 and d.state in (DomainState.RUNNING,
+                                                DomainState.PAUSED)]
+        assert len(live) == len(self.running) + len(self.paused)
+
+    @invariant()
+    def every_tracked_domain_holds_memory(self):
+        if not hasattr(self, "host"):
+            return
+        mem = self.host.hypervisor.memory
+        for domain, _config in self.running + self.paused:
+            assert mem.owned_kb(domain.domid) >= domain.memory_kb
+
+    @invariant()
+    def device_pages_stay_parseable(self):
+        if not hasattr(self, "host"):
+            return
+        from repro.hypervisor import DevicePage
+        for domain, _config in self.running:
+            if domain.device_page is not None:
+                entries = DevicePage.parse(
+                    domain.device_page.readonly_view())
+                assert len(entries) == domain.device_page.count
+
+
+TestHostLifecycle = HostLifecycle.TestCase
+TestHostLifecycle.settings = settings(max_examples=25,
+                                      stateful_step_count=20,
+                                      deadline=None)

@@ -1,0 +1,85 @@
+"""Property-based tests for the physical-memory allocator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypervisor import MemoryAllocator, OutOfMemoryError
+
+TOTAL_KB = 4096
+
+
+@st.composite
+def alloc_scripts(draw):
+    """A sequence of (op, owner, size) operations."""
+    ops = draw(st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]),
+                  st.integers(min_value=0, max_value=7),
+                  st.integers(min_value=1, max_value=TOTAL_KB // 2)),
+        min_size=1, max_size=40))
+    return ops
+
+
+@given(alloc_scripts())
+@settings(max_examples=200, deadline=None)
+def test_accounting_always_conserves_memory(script):
+    mem = MemoryAllocator(TOTAL_KB)
+    for op, owner, size in script:
+        if op == "alloc":
+            try:
+                mem.allocate(owner, size)
+            except OutOfMemoryError:
+                pass
+        else:
+            mem.free(owner)
+        # Invariant: free + sum(owned) == total, always.
+        owned = sum(mem.owned_kb(o) for o in mem.owners())
+        assert mem.free_kb + owned == TOTAL_KB
+        assert 0 <= mem.free_kb <= TOTAL_KB
+
+
+@given(alloc_scripts())
+@settings(max_examples=200, deadline=None)
+def test_no_two_owners_share_an_extent(script):
+    mem = MemoryAllocator(TOTAL_KB)
+    for op, owner, size in script:
+        if op == "alloc":
+            try:
+                mem.allocate(owner, size)
+            except OutOfMemoryError:
+                pass
+        else:
+            mem.free(owner)
+    claimed = []
+    for owner in mem.owners():
+        claimed.extend(mem._owned[owner])
+    claimed.sort(key=lambda e: e.start_kb)
+    for left, right in zip(claimed, claimed[1:]):
+        assert left.end_kb <= right.start_kb
+
+
+@given(alloc_scripts())
+@settings(max_examples=200, deadline=None)
+def test_freeing_everything_restores_single_extent(script):
+    mem = MemoryAllocator(TOTAL_KB)
+    for op, owner, size in script:
+        if op == "alloc":
+            try:
+                mem.allocate(owner, size)
+            except OutOfMemoryError:
+                pass
+        else:
+            mem.free(owner)
+    for owner in list(mem.owners()):
+        mem.free(owner)
+    assert mem.free_kb == TOTAL_KB
+    assert mem.fragments() == 1
+
+
+@given(st.lists(st.integers(min_value=1, max_value=512), min_size=1,
+                max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_allocation_sizes_are_exact(sizes):
+    mem = MemoryAllocator(TOTAL_KB * 4)
+    for index, size in enumerate(sizes):
+        extents = mem.allocate(index, size)
+        assert sum(e.size_kb for e in extents) == size

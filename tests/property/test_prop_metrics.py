@@ -1,0 +1,68 @@
+"""Property-based tests for the metrics helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (cdf_points, mean, median, percentile,
+                                sample_indices)
+
+value_lists = st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                 allow_nan=False), min_size=1,
+                       max_size=200)
+
+
+@given(value_lists, st.floats(min_value=0, max_value=100))
+@settings(max_examples=300, deadline=None)
+def test_percentile_bounded_by_extremes(values, q):
+    result = percentile(values, q)
+    assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+@given(value_lists, st.floats(min_value=0, max_value=100),
+       st.floats(min_value=0, max_value=100))
+@settings(max_examples=300, deadline=None)
+def test_percentile_monotone_in_q(values, q1, q2):
+    low, high = sorted((q1, q2))
+    assert percentile(values, low) <= percentile(values, high) + 1e-9
+
+
+@given(value_lists)
+@settings(max_examples=200, deadline=None)
+def test_median_splits_the_data(values):
+    m = median(values)
+    below = sum(1 for v in values if v <= m + 1e-9)
+    above = sum(1 for v in values if v >= m - 1e-9)
+    assert below >= len(values) / 2
+    assert above >= len(values) / 2
+
+
+@given(value_lists)
+@settings(max_examples=200, deadline=None)
+def test_mean_between_extremes(values):
+    assert min(values) - 1e-6 <= mean(values) <= max(values) + 1e-6
+
+
+@given(value_lists, st.integers(min_value=2, max_value=40))
+@settings(max_examples=200, deadline=None)
+def test_cdf_is_a_distribution(values, points):
+    cdf = cdf_points(values, points=points)
+    xs = [x for x, _f in cdf]
+    fs = [f for _x, f in cdf]
+    assert xs == sorted(xs)
+    assert fs == sorted(fs)
+    assert fs[-1] == pytest.approx(1.0)
+    assert all(0 < f <= 1 for f in fs)
+    assert xs[-1] == max(values)
+
+
+@given(st.integers(min_value=1, max_value=100000),
+       st.integers(min_value=2, max_value=50))
+@settings(max_examples=300, deadline=None)
+def test_sample_indices_valid_and_cover_endpoints(total, samples):
+    indices = sample_indices(total, samples)
+    assert indices == sorted(set(indices))
+    assert indices[0] == 0
+    assert indices[-1] == total - 1
+    assert len(indices) <= max(samples, total)
+    assert all(0 <= i < total for i in indices)

@@ -1,0 +1,102 @@
+"""Property-based tests for the simulation kernel itself."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Link
+from repro.sim import Simulator
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1,
+                max_size=50))
+@settings(max_examples=200, deadline=None)
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append((sim.now, d)))
+    sim.run()
+    times = [t for t, _d in fired]
+    assert times == sorted(times)
+    assert sorted(d for _t, d in fired) == sorted(delays)
+    assert sim.now == max(delays)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=2,
+                max_size=30))
+@settings(max_examples=200, deadline=None)
+def test_equal_timestamps_fire_fifo(tags):
+    sim = Simulator()
+    fired = []
+    for tag in tags:
+        sim.schedule(5.0, fired.append, tag)
+    sim.run()
+    assert fired == tags
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1,
+                max_size=20))
+@settings(max_examples=150, deadline=None)
+def test_run_until_never_overshoots(delays):
+    sim = Simulator()
+    for delay in delays:
+        sim.timeout(delay)
+    horizon = max(delays) / 2
+    sim.run(until=horizon)
+    assert sim.now == horizon
+    sim.run()
+    assert sim.now == max(delays)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=1,
+                max_size=20))
+@settings(max_examples=150, deadline=None)
+def test_processes_observe_causal_time(gaps):
+    sim = Simulator()
+    observed = []
+
+    def walker():
+        for gap in gaps:
+            before = sim.now
+            yield gap
+            observed.append(sim.now - before)
+
+    sim.process(walker())
+    sim.run()
+    for gap, measured in zip(gaps, observed):
+        assert measured == pytest.approx(gap, abs=1e-9)
+
+
+@given(st.floats(min_value=1.0, max_value=10000.0),
+       st.floats(min_value=0.01, max_value=100.0),
+       st.floats(min_value=1.0, max_value=100000.0))
+@settings(max_examples=200, deadline=None)
+def test_link_transfer_monotone(size_kb, latency_ms, bandwidth_mbps):
+    sim = Simulator()
+    link = Link(sim, latency_ms=latency_ms, bandwidth_mbps=bandwidth_mbps)
+    base = link.transfer_ms(size_kb)
+    assert base > latency_ms
+    assert link.transfer_ms(size_kb * 2) > base
+    faster = Link(sim, latency_ms=latency_ms,
+                  bandwidth_mbps=bandwidth_mbps * 2)
+    assert faster.transfer_ms(size_kb) < base
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=100.0),
+                          st.floats(min_value=0.0, max_value=100.0)),
+                min_size=1, max_size=25))
+@settings(max_examples=150, deadline=None)
+def test_clock_never_goes_backwards(schedule):
+    sim = Simulator()
+    seen = []
+
+    def spawner():
+        for start_delay, inner in schedule:
+            yield start_delay
+            seen.append(sim.now)
+            sim.schedule(inner, lambda: seen.append(sim.now))
+
+    sim.process(spawner())
+    sim.run()
+    assert seen == sorted(seen)

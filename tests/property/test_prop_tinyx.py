@@ -1,0 +1,107 @@
+"""Property-based tests for Tinyx dependency resolution and kernel
+trimming."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tinyx import (KERNEL_OPTIONS, KernelConfig, Package,
+                         PackageUniverse, debian_universe,
+                         default_boot_test, resolve_closure, trim)
+
+UNIVERSE = debian_universe()
+ALL_NAMES = UNIVERSE.names()
+ALL_OPTIONS = sorted(KERNEL_OPTIONS)
+
+
+@given(st.lists(st.sampled_from(ALL_NAMES), min_size=1, max_size=5),
+       st.lists(st.sampled_from(ALL_NAMES), max_size=5))
+@settings(max_examples=150, deadline=None)
+def test_closure_is_dependency_closed(roots, blacklist):
+    packages = resolve_closure(roots, UNIVERSE, blacklist=blacklist)
+    names = {p.name for p in packages}
+    black = set(blacklist)
+    for package in packages:
+        for dep in package.depends:
+            assert dep in names or dep in black
+    assert not names & black
+
+
+@given(st.lists(st.sampled_from(ALL_NAMES), min_size=1, max_size=5))
+@settings(max_examples=100, deadline=None)
+def test_closure_topologically_ordered(roots):
+    packages = resolve_closure(roots, UNIVERSE)
+    position = {p.name: i for i, p in enumerate(packages)}
+    for package in packages:
+        for dep in package.depends:
+            if dep in position:
+                assert position[dep] < position[package.name]
+
+
+@given(st.lists(st.sampled_from(ALL_NAMES), min_size=1, max_size=4),
+       st.lists(st.sampled_from(ALL_NAMES), max_size=3))
+@settings(max_examples=100, deadline=None)
+def test_whitelist_always_included(roots, whitelist):
+    packages = resolve_closure(roots, UNIVERSE, whitelist=whitelist)
+    names = {p.name for p in packages}
+    assert set(whitelist) <= names
+
+
+@st.composite
+def random_universes(draw):
+    """Small random DAG-shaped package universes."""
+    count = draw(st.integers(min_value=1, max_value=12))
+    packages = []
+    for index in range(count):
+        deps = draw(st.lists(
+            st.sampled_from(["p%d" % j for j in range(index)] or ["p0"]),
+            max_size=3)) if index else []
+        deps = [d for d in deps if d != "p%d" % index]
+        packages.append(Package("p%d" % index, "1",
+                                draw(st.integers(10, 500)),
+                                depends=tuple(sorted(set(deps)))))
+    return PackageUniverse(packages)
+
+
+@given(random_universes(), st.data())
+@settings(max_examples=100, deadline=None)
+def test_resolution_on_random_dags(universe, data):
+    names = universe.names()
+    roots = data.draw(st.lists(st.sampled_from(names), min_size=1,
+                               max_size=3))
+    packages = resolve_closure(roots, universe)
+    resolved = {p.name for p in packages}
+    assert set(roots) <= resolved
+    position = {p.name: i for i, p in enumerate(packages)}
+    for package in packages:
+        for dep in package.depends:
+            assert position[dep] < position[package.name]
+
+
+@given(st.lists(st.sampled_from(ALL_OPTIONS), min_size=1, max_size=15),
+       st.lists(st.sampled_from(ALL_OPTIONS), min_size=1, max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_trim_never_breaks_the_boot_test(extra_options, candidates):
+    """Whatever we ask the trim loop to try, the result still boots."""
+    config = KernelConfig.tinyconfig()
+    for option in ("CONFIG_XEN", "CONFIG_XEN_NETFRONT", "CONFIG_HVC_XEN",
+                   "CONFIG_PROC_FS", "CONFIG_SYSFS", "CONFIG_TMPFS",
+                   "CONFIG_INET"):
+        config.enable(option)
+    for option in extra_options:
+        config.enable(option)
+    test = default_boot_test("xen")
+    assert test(config)
+    report = trim(config, candidates, test)
+    assert test(config)
+    assert report.size_after_kb <= report.size_before_kb
+
+
+@given(st.lists(st.sampled_from(ALL_OPTIONS), min_size=1, max_size=20))
+@settings(max_examples=150, deadline=None)
+def test_olddefconfig_reaches_consistent_fixpoint(options):
+    config = KernelConfig()
+    config.enabled = set(options)  # possibly inconsistent
+    config.olddefconfig()
+    for name in config.enabled:
+        for requirement in KERNEL_OPTIONS[name].requires:
+            assert requirement in config.enabled

@@ -1,0 +1,60 @@
+"""Property-based tests for the unikernel linker."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.unikernel import (APPLICATIONS, AppSource, LIBRARY_OBJECTS,
+                             LinkError, link)
+
+ALL_SYMBOLS = sorted({symbol for obj in LIBRARY_OBJECTS.values()
+                      for symbol in obj.provides})
+
+
+@given(st.lists(st.sampled_from(ALL_SYMBOLS), min_size=1, max_size=8),
+       st.integers(min_value=1, max_value=5000))
+@settings(max_examples=200, deadline=None)
+def test_any_valid_symbol_set_links(symbols, loc):
+    app = AppSource("fuzz", loc, needs=tuple(symbols))
+    result = link(app)
+    # Closure property: every need of every included object is provided
+    # by some included object.
+    provided = {s for obj in result.objects for s in obj.provides}
+    for obj in result.objects:
+        for symbol in obj.needs:
+            assert symbol in provided
+    for symbol in symbols:
+        assert symbol in provided
+
+
+@given(st.lists(st.sampled_from(ALL_SYMBOLS), min_size=1, max_size=8))
+@settings(max_examples=150, deadline=None)
+def test_link_is_minimal(symbols):
+    """Every included object is reachable: dropping any one breaks a
+    needed symbol."""
+    app = AppSource("fuzz", 100, needs=tuple(symbols))
+    result = link(app)
+    included = {obj.name for obj in result.objects}
+    for victim in included:
+        remaining = {name: obj for name, obj in LIBRARY_OBJECTS.items()
+                     if name != victim}
+        try:
+            smaller = link(app, universe=remaining)
+        except LinkError:
+            continue  # victim was load-bearing: good
+        # If it still links, the victim must genuinely be absent from
+        # the new closure too (i.e. it was never required directly, but
+        # then it should not have been in the original closure).
+        assert victim not in {obj.name for obj in smaller.objects}
+        raise AssertionError("object %s was included but unnecessary"
+                             % victim)
+
+
+@given(st.sampled_from(sorted(APPLICATIONS)),
+       st.sampled_from(sorted(APPLICATIONS)))
+@settings(max_examples=50, deadline=None)
+def test_superset_needs_never_smaller_image(app_a, app_b):
+    a = APPLICATIONS[app_a]
+    merged = AppSource("merged", a.loc,
+                       needs=tuple(set(a.needs)
+                                   | set(APPLICATIONS[app_b].needs)))
+    assert link(merged).image_kb >= link(a).image_kb

@@ -1,0 +1,115 @@
+"""Property-based tests for the XenStore tree, watches and transactions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xenstore import (NoEntError, Transaction, TransactionConflict,
+                            WatchManager, XenStoreTree)
+
+path_segments = st.lists(
+    st.text(alphabet="abcd", min_size=1, max_size=3),
+    min_size=1, max_size=4)
+paths = path_segments.map(lambda parts: "/" + "/".join(parts))
+
+
+@given(st.dictionaries(paths, st.text(max_size=8), min_size=1,
+                       max_size=20))
+@settings(max_examples=150, deadline=None)
+def test_last_write_wins_roundtrip(writes):
+    tree = XenStoreTree()
+    for path, value in writes.items():
+        tree.write(path, value)
+    for path, value in writes.items():
+        # A later write may have re-created an ancestor as an inner node,
+        # but the leaf value itself must match unless overwritten.
+        assert tree.read(path) == writes[path]
+
+
+@given(st.lists(paths, min_size=1, max_size=15))
+@settings(max_examples=150, deadline=None)
+def test_rm_removes_exactly_the_subtree(path_list):
+    tree = XenStoreTree()
+    for index, path in enumerate(path_list):
+        tree.write(path, str(index))
+    victim = path_list[0]
+    tree.rm(victim)
+    assert not tree.exists(victim)
+    for path in path_list:
+        inside = path == victim or path.startswith(victim + "/")
+        assert tree.exists(path) == (not inside)
+
+
+@given(st.lists(paths, min_size=1, max_size=10), paths)
+@settings(max_examples=150, deadline=None)
+def test_watch_matches_iff_naive_prefix_match(watch_paths, fired):
+    """The indexed watch manager must agree with the naive definition."""
+    manager = WatchManager()
+    hits = []
+    for index, path in enumerate(watch_paths):
+        manager.add(0, path, str(index),
+                    lambda _p, token: hits.append(token))
+    manager.fire(fired)
+
+    def naive_match(watch_path):
+        watch_path = watch_path.rstrip("/") or "/"
+        if watch_path == "/":
+            return True
+        return fired == watch_path or fired.startswith(watch_path + "/")
+
+    expected = {str(i) for i, p in enumerate(watch_paths)
+                if naive_match(p)}
+    assert set(hits) == expected
+
+
+@given(st.dictionaries(paths, st.text(max_size=5), min_size=1,
+                       max_size=8),
+       st.dictionaries(paths, st.text(max_size=5), min_size=0,
+                       max_size=8))
+@settings(max_examples=150, deadline=None)
+def test_transaction_is_atomic(tx_writes, interference):
+    """Either every staged write lands, or none do."""
+    tree = XenStoreTree()
+    tx = Transaction(tree, 1, 0)
+    for path, value in tx_writes.items():
+        tx.read_set.setdefault(path, None if not tree.exists(path)
+                               else tree.generation_of(path))
+        tx.write(path, value)
+    for path, value in interference.items():
+        tree.write(path, value + "!")
+    try:
+        tx.commit()
+        committed = True
+    except TransactionConflict:
+        committed = False
+    if committed:
+        for path, value in tx_writes.items():
+            assert tree.read(path) == value
+    else:
+        # None of the transaction's private values leaked.
+        for path, value in tx_writes.items():
+            if value == "":
+                continue  # parent auto-creation writes empty values
+            try:
+                assert tree.read(path) != value or \
+                    interference.get(path, "") + "!" == value
+            except NoEntError:
+                pass
+
+
+@given(st.dictionaries(paths, st.text(max_size=5), min_size=1,
+                       max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_interference_on_read_set_always_conflicts(writes):
+    tree = XenStoreTree()
+    for path, value in writes.items():
+        tree.write(path, value)
+    tx = Transaction(tree, 1, 0)
+    target = sorted(writes)[0]
+    tx.read(target)
+    tree.write(target, "changed")
+    try:
+        tx.commit()
+        conflicted = False
+    except TransactionConflict:
+        conflicted = True
+    assert conflicted

@@ -1,0 +1,77 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.core.asciiplot import GLYPHS, render
+
+
+def test_basic_chart_structure():
+    chart = render([1, 2, 3], {"a": [1.0, 2.0, 3.0]}, width=20, height=5,
+                   title="T")
+    lines = chart.splitlines()
+    assert lines[0] == "T"
+    assert len([line for line in lines if "|" in line]) == 5
+    assert any("+" in line for line in lines)
+    assert "a" in lines[-1]
+
+
+def test_extremes_labeled():
+    chart = render([0, 10], {"a": [5.0, 50.0]}, width=20, height=5)
+    assert "50" in chart  # top label
+    assert "5.0" in chart  # bottom label
+
+
+def test_multiple_series_distinct_glyphs():
+    chart = render([1, 2], {"a": [1, 2], "b": [2, 1]}, width=20, height=5)
+    assert GLYPHS[0] in chart
+    assert GLYPHS[1] in chart
+
+
+def test_log_scale_marks():
+    chart = render([1, 2, 3], {"a": [1.0, 100.0, 10000.0]}, width=30,
+                   height=8, logy=True)
+    assert "log scale" in chart
+    # Midpoint of a geometric series sits midway on a log axis.
+    rows = [line.split("|", 1)[1] for line in chart.splitlines()
+            if "|" in line]
+    hit_rows = [index for index, row in enumerate(rows) if "*" in row]
+    assert len(hit_rows) == 3
+    assert hit_rows[1] - hit_rows[0] == pytest.approx(
+        hit_rows[2] - hit_rows[1], abs=1)
+
+
+def test_monotone_series_monotone_rows():
+    chart = render(list(range(10)), {"a": list(range(1, 11))}, width=40,
+                   height=10)
+    rows = [line.split("|", 1)[1] for line in chart.splitlines()
+            if "|" in line]
+    columns = {}
+    for row_index, row in enumerate(rows):
+        for column_index, char in enumerate(row):
+            if char == "*":
+                columns[column_index] = row_index
+    ordered = [columns[c] for c in sorted(columns)]
+    assert ordered == sorted(ordered, reverse=True)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        render([], {"a": []})
+    with pytest.raises(ValueError):
+        render([1], {})
+    with pytest.raises(ValueError):
+        render([1, 2], {"a": [1]})
+    with pytest.raises(ValueError):
+        render([1], {"a": [1]}, width=4, height=2)
+
+
+def test_flat_series_does_not_crash():
+    chart = render([1, 2, 3], {"flat": [5.0, 5.0, 5.0]}, width=20,
+                   height=5)
+    assert "flat" in chart
+
+
+def test_zero_values_on_log_scale_clamped():
+    chart = render([1, 2], {"a": [0.0, 10.0]}, width=20, height=5,
+                   logy=True)
+    assert "log scale" in chart

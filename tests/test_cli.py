@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly-to-moon"])
+
+    def test_create_defaults(self):
+        args = build_parser().parse_args(["create"])
+        assert args.variant == "lightvm"
+        assert args.image == "daytime"
+        assert args.count == 10
+
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["create", "--variant", "kvm"])
+
+
+class TestCommands:
+    def test_images_lists_catalogue(self, capsys):
+        assert main(["images"]) == 0
+        out = capsys.readouterr().out
+        assert "daytime" in out
+        assert "debian" in out
+
+    def test_create_prints_summary(self, capsys):
+        assert main(["create", "--count", "3", "--variant",
+                     "chaos+noxs"]) == 0
+        out = capsys.readouterr().out
+        assert "booted 3 x daytime" in out
+        assert "mean=" in out
+
+    def test_checkpoint_round_trips(self, capsys):
+        assert main(["checkpoint", "--cycles", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "save:" in out and "restore:" in out
+
+    def test_tinyx_build(self, capsys):
+        assert main(["tinyx-build", "micropython", "--no-trim"]) == 0
+        out = capsys.readouterr().out
+        assert "packages:" in out
+        assert "image:" in out
+
+    def test_usecase_tls(self, capsys):
+        assert main(["usecase", "tls"]) == 0
+        out = capsys.readouterr().out
+        assert "tinyx" in out
+        assert "unikernel" in out
+
+    def test_usecase_jit_small(self, capsys):
+        assert main(["usecase", "jit", "--scale", "30"]) == 0
+        assert "median" in capsys.readouterr().out
+
+    def test_usecase_compute_small(self, capsys):
+        assert main(["usecase", "compute", "--scale", "20"]) == 0
+        assert "create mean" in capsys.readouterr().out
+
+    def test_usecase_firewalls_small(self, capsys):
+        assert main(["usecase", "firewalls", "--scale", "20"]) == 0
+        assert "users" in capsys.readouterr().out
+
+    def test_syscalls_dataset(self, capsys):
+        assert main(["syscalls"]) == 0
+        out = capsys.readouterr().out
+        assert "2002" in out
+
+    def test_deterministic_output(self, capsys):
+        main(["create", "--count", "3", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["create", "--count", "3", "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestUnikernelBuildCommand:
+    def test_single_app_with_link_map(self, capsys):
+        assert main(["unikernel-build", "daytime"]) == 0
+        out = capsys.readouterr().out
+        assert "unikernel-daytime" in out
+        assert "link map:" in out
+        assert "lwip" in out
+
+    def test_all_apps(self, capsys):
+        assert main(["unikernel-build"]) == 0
+        out = capsys.readouterr().out
+        assert "unikernel-noop" in out
+        assert "unikernel-clickos-firewall" in out

@@ -1,0 +1,144 @@
+"""Tests for the Docker engine model and the process baseline."""
+
+import pytest
+
+from repro.containers import (DockerCosts, DockerEngine, DockerOOMError,
+                              ProcessSpawner)
+from repro.sim import RngStream, Simulator
+
+
+def run(sim, gen):
+    def wrapper():
+        result = yield from gen
+        return result
+    return sim.run(until=sim.process(wrapper()))
+
+
+def make_engine(memory_mb=128 * 1024, **cost_kwargs):
+    sim = Simulator()
+    costs = DockerCosts(**cost_kwargs) if cost_kwargs else None
+    engine = DockerEngine(sim, RngStream(0, "docker"), memory_mb,
+                          costs=costs)
+    return sim, engine
+
+
+class TestDocker:
+    def test_start_takes_roughly_150ms(self):
+        sim, engine = make_engine()
+        run(sim, engine.start_container())
+        assert 100 <= sim.now <= 250
+
+    def test_start_latency_ramps_with_count(self):
+        sim, engine = make_engine()
+        first = None
+        for i in range(400):
+            before = sim.now
+            run(sim, engine.start_container())
+            if i == 0:
+                first = sim.now - before
+        last = sim.now - before
+        assert last > first
+
+    def test_memory_grows_linearly(self):
+        sim, engine = make_engine()
+        base = engine.memory_usage_mb()
+        for _ in range(100):
+            run(sim, engine.start_container())
+        grown = engine.memory_usage_mb() - base
+        assert grown == pytest.approx(100 * engine.costs.per_container_mb,
+                                      rel=0.3)
+
+    def test_arena_spike_at_period(self):
+        sim, engine = make_engine()
+        durations = []
+        for _ in range(501):
+            before = sim.now
+            run(sim, engine.start_container())
+            durations.append(sim.now - before)
+        # The 501st start (index 500) crosses the arena period.
+        assert durations[500] > max(durations[:499]) + 10
+
+    def test_oom_kills_engine(self):
+        # Tiny host: the engine dies quickly and stays dead.
+        sim, engine = make_engine(memory_mb=1200, arena_initial_mb=512.0,
+                                  arena_period=10)
+        with pytest.raises(DockerOOMError):
+            for _ in range(200):
+                run(sim, engine.start_container())
+        assert engine.dead
+        with pytest.raises(DockerOOMError):
+            run(sim, engine.start_container())
+
+    def test_stop_removes_container(self):
+        sim, engine = make_engine()
+        container = run(sim, engine.start_container())
+        assert engine.running == 1
+        run(sim, engine.stop_container(container))
+        assert engine.running == 0
+
+    def test_pause_unpause(self):
+        sim, engine = make_engine()
+        container = run(sim, engine.start_container())
+        run(sim, engine.pause(container))
+        assert container.paused
+        run(sim, engine.unpause(container))
+        assert not container.paused
+
+    def test_thousand_containers_use_few_gb(self):
+        """Fig 14: ~5 GB for 1000 Docker/Micropython containers."""
+        sim, engine = make_engine()
+        for _ in range(1000):
+            run(sim, engine.start_container())
+        usage_gb = engine.memory_usage_mb() / 1024.0
+        assert 3.0 <= usage_gb <= 8.0
+
+
+class TestProcesses:
+    def test_forkexec_latency_distribution(self):
+        """Fig 4: ~3.5 ms average, ~9 ms at the 90th percentile."""
+        sim = Simulator()
+        spawner = ProcessSpawner(sim, RngStream(1, "proc"))
+        latencies = []
+        for _ in range(2000):
+            before = sim.now
+            run(sim, spawner.spawn())
+            latencies.append(sim.now - before)
+        latencies.sort()
+        mean = sum(latencies) / len(latencies)
+        p90 = latencies[int(len(latencies) * 0.9)]
+        assert mean == pytest.approx(3.5, abs=1.5)
+        assert p90 == pytest.approx(9.0, abs=3.5)
+
+    def test_latency_independent_of_count(self):
+        sim = Simulator()
+        spawner = ProcessSpawner(sim, RngStream(2, "proc"))
+        for _ in range(500):
+            run(sim, spawner.spawn())
+        # Median of another 200 is still in the same range.
+        latencies = []
+        for _ in range(200):
+            before = sim.now
+            run(sim, spawner.spawn())
+            latencies.append(sim.now - before)
+        latencies.sort()
+        assert latencies[100] == pytest.approx(3.0, abs=1.5)
+
+    def test_fork_is_about_1ms(self):
+        sim = Simulator()
+        spawner = ProcessSpawner(sim, RngStream(3, "proc"))
+        run(sim, spawner.fork())
+        assert sim.now == pytest.approx(1.0, abs=0.2)
+
+    def test_memory_lowest_of_all(self):
+        sim = Simulator()
+        spawner = ProcessSpawner(sim, RngStream(4, "proc"))
+        for _ in range(1000):
+            run(sim, spawner.spawn())
+        assert spawner.memory_usage_mb() < 2000  # far below Docker's ~5 GB
+
+    def test_kill(self):
+        sim = Simulator()
+        spawner = ProcessSpawner(sim, RngStream(5, "proc"))
+        process = run(sim, spawner.spawn())
+        spawner.kill(process)
+        assert spawner.running == 0

@@ -1,0 +1,127 @@
+"""Failure injection: the platform must fail loudly and cleanly."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import Host, HostSpec
+from repro.guests import DAYTIME_UNIKERNEL, DEBIAN
+from repro.hypervisor import (DevicePageError, DomainState,
+                              OutOfMemoryError)
+from repro.toolstack import VMConfig
+
+
+class TestMemoryExhaustion:
+    def test_vm_creation_fails_on_oom(self):
+        tiny = HostSpec(name="tiny", cores=4, memory_gb=2, dom0_cores=1)
+        host = Host(spec=tiny, variant="chaos+noxs")
+        with pytest.raises(OutOfMemoryError):
+            for _ in range(20):
+                host.create_vm(DEBIAN)
+
+    def test_oom_leaves_earlier_guests_intact(self):
+        tiny = HostSpec(name="tiny", cores=4, memory_gb=2, dom0_cores=1)
+        host = Host(spec=tiny, variant="chaos+noxs")
+        survivors = []
+        with pytest.raises(OutOfMemoryError):
+            for _ in range(20):
+                survivors.append(host.create_vm(DEBIAN).domain)
+        assert survivors  # at least one booted before the wall
+        assert all(d.state == DomainState.RUNNING for d in survivors)
+
+    def test_memory_recoverable_after_oom(self):
+        tiny = HostSpec(name="tiny", cores=4, memory_gb=2, dom0_cores=1)
+        host = Host(spec=tiny, variant="chaos+noxs")
+        survivors = []
+        with pytest.raises(OutOfMemoryError):
+            for _ in range(20):
+                survivors.append(host.create_vm(DEBIAN).domain)
+        host.destroy_vm(survivors[0])
+        record = host.create_vm(DAYTIME_UNIKERNEL)  # fits again
+        assert record.domain.state == DomainState.RUNNING
+
+
+class TestNameCollisions:
+    def test_duplicate_name_rejected_by_xl(self):
+        from repro.xenstore import DuplicateNameError
+        host = Host(variant="xl")
+        config_a = VMConfig.for_image(DAYTIME_UNIKERNEL, "twin")
+        config_b = VMConfig.for_image(DAYTIME_UNIKERNEL, "twin")
+        host.create_vm(config_a)
+        with pytest.raises(DuplicateNameError):
+            host.create_vm(config_b)
+
+    def test_name_free_after_destroy(self):
+        host = Host(variant="xl")
+        config = VMConfig.for_image(DAYTIME_UNIKERNEL, "reused")
+        record = host.create_vm(config)
+        host.destroy_vm(record.domain)
+        config2 = VMConfig.for_image(DAYTIME_UNIKERNEL, "reused")
+        assert host.create_vm(config2).domain.state == DomainState.RUNNING
+
+    def test_chaos_has_no_name_registry(self):
+        """chaos skips the name check entirely (it is XenStore work)."""
+        host = Host(variant="chaos+noxs")
+        config_a = VMConfig.for_image(DAYTIME_UNIKERNEL, "twin")
+        config_b = VMConfig.for_image(DAYTIME_UNIKERNEL, "twin")
+        host.create_vm(config_a)
+        host.create_vm(config_b)  # no registry, no conflict
+        assert host.running_guests == 2
+
+
+class TestDevicePageLimits:
+    def test_device_page_overflow_is_loud(self):
+        many_vifs = dataclasses.replace(DAYTIME_UNIKERNEL, vifs=200)
+        host = Host(variant="chaos+noxs")
+        config = VMConfig.for_image(many_vifs, "porcupine")
+        with pytest.raises(DevicePageError):
+            host.create_vm(config)
+
+
+class TestGuestCrash:
+    def test_crash_reason_recorded_and_resources_freed(self):
+        from repro.hypervisor import ShutdownReason
+        host = Host(variant="lightvm")
+        host.warmup(500)
+        record = host.create_vm(DAYTIME_UNIKERNEL)
+        domain = record.domain
+        host.hypervisor.domctl_shutdown(domain, ShutdownReason.CRASH)
+        assert domain.state == DomainState.SHUTDOWN
+        assert domain.shutdown_reason is ShutdownReason.CRASH
+        assert domain.background_weight == 0.0
+        host.destroy_vm(domain)
+        assert host.running_guests == 0
+
+
+class TestSuspendedGuestSafety:
+    def test_cannot_run_work_on_suspended_domain(self):
+        host = Host(variant="lightvm")
+        host.warmup(500)
+        config = host.config_for(DAYTIME_UNIKERNEL)
+        record = host.create_vm(config)
+        domain = record.domain
+        proc = host.sim.process(
+            host.toolstack.sysctl.request_suspend(domain))
+        host.sim.run(until=proc)
+        assert domain.state == DomainState.SUSPENDED
+        with pytest.raises(Exception):
+            proc2 = host.sim.process(
+                host.toolstack.sysctl.request_suspend(domain))
+            host.sim.run(until=proc2)
+
+
+class TestBridgeOverloadRecovery:
+    def test_bridge_recovers_when_load_subsides(self):
+        from repro.net.switch import SoftwareBridge
+        from repro.sim import RngStream, Simulator
+        sim = Simulator()
+        bridge = SoftwareBridge(sim, RngStream(0, "b"),
+                                capacity_events_per_ms=0.05)
+        # Hammer it: drops appear.
+        for _ in range(100):
+            bridge.arp_resolve()
+        assert bridge.drops > 0
+        # Let the window drain, then a lone request succeeds.
+        sim.timeout(bridge.window_ms * 3)
+        sim.run()
+        assert bridge.arp_resolve()

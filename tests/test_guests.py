@@ -1,0 +1,162 @@
+"""Tests for guest images, the catalogue, and the boot model."""
+
+import pytest
+
+from repro.guests import (CATALOG, DAYTIME_UNIKERNEL, DEBIAN, GuestBootError,
+                          GuestKind, NOOP_UNIKERNEL, TINYX, boot_guest,
+                          lookup)
+from repro.hypervisor import DEV_VIF, DeviceEntry, Hypervisor, DomainState
+from repro.noxs import NoxsModule
+from repro.sim import Simulator
+from repro.xenstore import XenStoreDaemon
+
+
+class TestCatalog:
+    def test_lookup_known(self):
+        assert lookup("daytime") is DAYTIME_UNIKERNEL
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            lookup("windows-server-2016")
+
+    def test_paper_sizes(self):
+        assert DAYTIME_UNIKERNEL.kernel_size_kb == 480
+        assert DAYTIME_UNIKERNEL.memory_kb == pytest.approx(3686, abs=200)
+        assert DEBIAN.disk_size_kb == 1126400  # 1.1 GB
+        assert TINYX.kernel_size_kb == 9728    # 9.5 MB
+
+    def test_kinds(self):
+        assert DAYTIME_UNIKERNEL.kind is GuestKind.UNIKERNEL
+        assert TINYX.kind is GuestKind.TINYX
+        assert DEBIAN.kind is GuestKind.DISTRO
+
+    def test_unikernels_are_perfectly_idle(self):
+        for image in CATALOG.values():
+            if image.kind is GuestKind.UNIKERNEL:
+                assert image.idle_cpu_weight == 0.0
+
+    def test_with_kernel_size_clones(self):
+        fat = DAYTIME_UNIKERNEL.with_kernel_size(1024 * 1024)
+        assert fat.kernel_size_kb == 1024 * 1024
+        assert DAYTIME_UNIKERNEL.kernel_size_kb == 480
+        assert fat.name == DAYTIME_UNIKERNEL.name
+
+    def test_device_count(self):
+        assert NOOP_UNIKERNEL.device_count == 0
+        assert DEBIAN.device_count == 2
+
+
+class TestBoot:
+    def _platform(self):
+        sim = Simulator()
+        hv = Hypervisor(sim, memory_kb=8 * 1024 * 1024, total_cores=4,
+                        dom0_cores=1, dom0_memory_kb=64 * 1024)
+        return sim, hv
+
+    def _run(self, sim, gen):
+        def wrapper():
+            result = yield from gen
+            return result
+        proc = sim.process(wrapper())
+        return sim.run(until=proc)
+
+    def test_noop_boot_no_devices(self):
+        sim, hv = self._platform()
+        dom = hv.domctl_create(memory_kb=NOOP_UNIKERNEL.memory_kb)
+        hv.domctl_unpause(dom)
+        report = self._run(sim, boot_guest(sim, hv, dom, NOOP_UNIKERNEL))
+        assert report.device_ms == 0.0
+        assert report.total_ms == pytest.approx(
+            NOOP_UNIKERNEL.boot_cpu_ms + NOOP_UNIKERNEL.boot_fixed_ms,
+            rel=0.01)
+
+    def test_boot_requires_running_state(self):
+        sim, hv = self._platform()
+        dom = hv.domctl_create()
+        with pytest.raises(Exception):
+            self._run(sim, boot_guest(sim, hv, dom, NOOP_UNIKERNEL))
+
+    def test_devices_without_control_plane_rejected(self):
+        sim, hv = self._platform()
+        dom = hv.domctl_create()
+        hv.domctl_unpause(dom)
+        with pytest.raises(GuestBootError):
+            self._run(sim, boot_guest(sim, hv, dom, DAYTIME_UNIKERNEL))
+
+    def test_noxs_boot_parses_device_page(self):
+        sim, hv = self._platform()
+        noxs = NoxsModule(sim, hv)
+        dom = hv.domctl_create(memory_kb=DAYTIME_UNIKERNEL.memory_kb)
+        hv.devpage_create(dom)
+
+        def setup_and_boot():
+            entry = yield from noxs.ioctl_create_device(dom, DEV_VIF)
+            yield from noxs.write_devpage(dom, entry)
+            hv.domctl_unpause(dom)
+            report = yield from boot_guest(sim, hv, dom, DAYTIME_UNIKERNEL)
+            return report
+
+        proc = sim.process(setup_and_boot())
+        report = sim.run(until=proc)
+        assert report.device_ms > 0
+        # The guest bound the channel and mapped the control page.
+        assert hv.event_channels.count_for(dom.domid) == 1
+        from repro.hypervisor import STATE_CONNECTED
+        assert dom.device_page.entries()[0][1].state != 0
+        assert dom.device_page.read(0).state == STATE_CONNECTED
+
+    def test_xenstore_boot_reads_backend_info(self):
+        sim, hv = self._platform()
+        xs = XenStoreDaemon(sim)
+        dom = hv.domctl_create(memory_kb=DAYTIME_UNIKERNEL.memory_kb)
+        # Back-end published its connection details (normally done during
+        # toolstack device creation).
+        port = hv.event_channels.alloc_unbound(0, dom.domid)
+        ref = hv.grants.grant_access(0, dom.domid, frame=0x2000)
+        base = "/local/domain/0/backend/vif/%d/0" % dom.domid
+        xs.tree.write(base + "/event-channel", str(port))
+        xs.tree.write(base + "/grant-ref", str(ref))
+        hv.domctl_unpause(dom)
+        report = self._run(
+            sim, boot_guest(sim, hv, dom, DAYTIME_UNIKERNEL, xenstore=xs))
+        assert report.device_ms > 0
+        front = "/local/domain/%d/device/vif/0/state" % dom.domid
+        assert xs.tree.read(front) == "connected"
+        assert xs.ambient_clients == 1
+
+    def test_xenstore_boot_missing_backend_fails(self):
+        sim, hv = self._platform()
+        xs = XenStoreDaemon(sim)
+        dom = hv.domctl_create()
+        hv.domctl_unpause(dom)
+        with pytest.raises(GuestBootError):
+            self._run(sim, boot_guest(sim, hv, dom, DAYTIME_UNIKERNEL,
+                                      xenstore=xs))
+
+    def test_contention_slows_boot(self):
+        def boot_time(extra_guests):
+            sim, hv = self._platform()
+            for _ in range(extra_guests):
+                idle = hv.domctl_create(memory_kb=1024)
+                hv.domctl_unpause(idle)
+            dom = hv.domctl_create(memory_kb=TINYX.memory_kb)
+            hv.domctl_unpause(dom)
+            image = TINYX.with_kernel_size(TINYX.kernel_size_kb)
+            # Strip devices so we test the CPU path in isolation.
+            import dataclasses
+            image = dataclasses.replace(image, vifs=0)
+            start = sim.now
+            self._run(sim, boot_guest(sim, hv, dom, image))
+            return sim.now - start
+
+        # 900 idle guests over 3 cores -> 300 co-residents.
+        assert boot_time(900) > boot_time(0) * 2
+
+    def test_idle_weight_applied_after_boot(self):
+        sim, hv = self._platform()
+        import dataclasses
+        image = dataclasses.replace(TINYX, vifs=0)
+        dom = hv.domctl_create(memory_kb=image.memory_kb)
+        hv.domctl_unpause(dom)
+        self._run(sim, boot_guest(sim, hv, dom, image))
+        assert dom.background_weight == pytest.approx(image.idle_cpu_weight)

@@ -1,0 +1,123 @@
+"""Tests for event channels and grant tables."""
+
+import pytest
+
+from repro.hypervisor import (EventChannelError, EventChannelTable,
+                              GrantError, GrantTable)
+
+
+class TestEventChannels:
+    def test_alloc_unbound_then_bind(self):
+        table = EventChannelTable()
+        back_port = table.alloc_unbound(0, remote_domid=5)
+        front_port = table.bind_interdomain(5, 0, back_port)
+        assert table.channel(0, back_port).state == "interdomain"
+        assert table.channel(5, front_port).remote_port == back_port
+
+    def test_bind_wrong_domain_rejected(self):
+        table = EventChannelTable()
+        port = table.alloc_unbound(0, remote_domid=5)
+        with pytest.raises(EventChannelError):
+            table.bind_interdomain(6, 0, port)
+
+    def test_bind_twice_rejected(self):
+        table = EventChannelTable()
+        port = table.alloc_unbound(0, remote_domid=5)
+        table.bind_interdomain(5, 0, port)
+        with pytest.raises(EventChannelError):
+            table.bind_interdomain(5, 0, port)
+
+    def test_notify_delivers_to_peer_handler(self):
+        table = EventChannelTable()
+        back = table.alloc_unbound(0, remote_domid=5)
+        front = table.bind_interdomain(5, 0, back)
+        hits = []
+        table.on_notify(5, front, lambda: hits.append("front"))
+        table.notify(0, back)
+        assert hits == ["front"]
+        assert table.total_notifications == 1
+
+    def test_notify_unbound_rejected(self):
+        table = EventChannelTable()
+        port = table.alloc_unbound(0, remote_domid=5)
+        with pytest.raises(EventChannelError):
+            table.notify(0, port)
+
+    def test_close_marks_peer_closed(self):
+        table = EventChannelTable()
+        back = table.alloc_unbound(0, remote_domid=5)
+        front = table.bind_interdomain(5, 0, back)
+        table.close(0, back)
+        assert table.channel(5, front).state == "closed"
+        with pytest.raises(EventChannelError):
+            table.channel(0, back)
+
+    def test_close_all_for_domain(self):
+        table = EventChannelTable()
+        for _ in range(3):
+            table.alloc_unbound(7, remote_domid=0)
+        assert table.count_for(7) == 3
+        assert table.close_all_for(7) == 3
+        assert table.count_for(7) == 0
+
+    def test_unknown_channel_lookup(self):
+        table = EventChannelTable()
+        with pytest.raises(EventChannelError):
+            table.channel(1, 99)
+
+
+class TestGrantTable:
+    def test_grant_and_map(self):
+        grants = GrantTable()
+        ref = grants.grant_access(5, grantee_domid=0, frame=0x1000)
+        frame = grants.map_ref(0, 5, ref)
+        assert frame == 0x1000
+
+    def test_map_by_wrong_domain_rejected(self):
+        grants = GrantTable()
+        ref = grants.grant_access(5, grantee_domid=0, frame=1)
+        with pytest.raises(GrantError):
+            grants.map_ref(3, 5, ref)
+
+    def test_double_map_rejected(self):
+        grants = GrantTable()
+        ref = grants.grant_access(5, grantee_domid=0, frame=1)
+        grants.map_ref(0, 5, ref)
+        with pytest.raises(GrantError):
+            grants.map_ref(0, 5, ref)
+
+    def test_unmap_then_remap(self):
+        grants = GrantTable()
+        ref = grants.grant_access(5, grantee_domid=0, frame=1)
+        grants.map_ref(0, 5, ref)
+        grants.unmap_ref(0, 5, ref)
+        assert grants.map_ref(0, 5, ref) == 1
+
+    def test_end_access_while_mapped_rejected(self):
+        grants = GrantTable()
+        ref = grants.grant_access(5, grantee_domid=0, frame=1)
+        grants.map_ref(0, 5, ref)
+        with pytest.raises(GrantError):
+            grants.end_access(5, ref)
+
+    def test_end_access_removes_entry(self):
+        grants = GrantTable()
+        ref = grants.grant_access(5, grantee_domid=0, frame=1)
+        grants.end_access(5, ref)
+        with pytest.raises(GrantError):
+            grants.entry(5, ref)
+
+    def test_revoke_all_force_ignores_mappings(self):
+        grants = GrantTable()
+        r1 = grants.grant_access(5, grantee_domid=0, frame=1)
+        grants.grant_access(5, grantee_domid=0, frame=2)
+        grants.map_ref(0, 5, r1)
+        assert grants.revoke_all_for(5, force=True) == 2
+        assert grants.count_for(5) == 0
+
+    def test_revoke_all_unforced_fails_when_mapped(self):
+        grants = GrantTable()
+        ref = grants.grant_access(5, grantee_domid=0, frame=1)
+        grants.map_ref(0, 5, ref)
+        with pytest.raises(GrantError):
+            grants.revoke_all_for(5)

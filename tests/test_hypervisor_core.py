@@ -1,0 +1,213 @@
+"""Tests for the hypervisor domain lifecycle and scheduler."""
+
+import pytest
+
+from repro.hypervisor import (DEV_VIF, STATE_INITIALISING, DeviceEntry,
+                              Domain, DomainState, DomainStateError,
+                              HostScheduler, Hypervisor, HypervisorError,
+                              OutOfMemoryError, ShutdownReason)
+from repro.sim import Simulator
+
+
+def make_hv(memory_mb=1024, cores=4, dom0_cores=1):
+    sim = Simulator()
+    hv = Hypervisor(sim, memory_kb=memory_mb * 1024, total_cores=cores,
+                    dom0_cores=dom0_cores, dom0_memory_kb=64 * 1024)
+    return sim, hv
+
+
+class TestDomainLifecycle:
+    def test_dom0_exists_at_boot(self):
+        _sim, hv = make_hv()
+        dom0 = hv.domain(0)
+        assert dom0.name == "Domain-0"
+        assert dom0.state == DomainState.RUNNING
+        assert hv.domain_count() == 0
+
+    def test_create_allocates_memory_and_cores(self):
+        _sim, hv = make_hv()
+        dom = hv.domctl_create(name="guest", memory_kb=8192)
+        assert dom.state == DomainState.CREATED
+        assert hv.memory.owned_kb(dom.domid) == 8192
+        assert len(dom.vcpu_cores) == 1
+        assert hv.domain_count() == 1
+
+    def test_domids_monotonic(self):
+        _sim, hv = make_hv()
+        ids = [hv.domctl_create().domid for _ in range(3)]
+        assert ids == [1, 2, 3]
+
+    def test_create_oom_propagates(self):
+        _sim, hv = make_hv(memory_mb=128)
+        with pytest.raises(OutOfMemoryError):
+            hv.domctl_create(memory_kb=512 * 1024)
+
+    def test_unpause_runs_guest(self):
+        _sim, hv = make_hv()
+        dom = hv.domctl_create()
+        hv.domctl_unpause(dom)
+        assert dom.state == DomainState.RUNNING
+
+    def test_pause_requires_running(self):
+        _sim, hv = make_hv()
+        dom = hv.domctl_create()
+        with pytest.raises(DomainStateError):
+            hv.domctl_pause(dom)
+
+    def test_shutdown_suspend_reason(self):
+        _sim, hv = make_hv()
+        dom = hv.domctl_create()
+        hv.domctl_unpause(dom)
+        hv.domctl_shutdown(dom, ShutdownReason.SUSPEND)
+        assert dom.state == DomainState.SUSPENDED
+        hv.domctl_shutdown
+        assert dom.shutdown_reason is ShutdownReason.SUSPEND
+
+    def test_destroy_releases_everything(self):
+        _sim, hv = make_hv()
+        dom = hv.domctl_create(memory_kb=4096)
+        hv.event_channels.alloc_unbound(dom.domid, 0)
+        hv.grants.grant_access(dom.domid, 0, frame=1)
+        free_before_create = hv.memory.free_kb + 4096
+        hv.domctl_destroy(dom)
+        assert hv.memory.free_kb == free_before_create
+        assert hv.event_channels.count_for(dom.domid) == 0
+        assert hv.grants.count_for(dom.domid) == 0
+        assert dom.state == DomainState.DEAD
+        with pytest.raises(HypervisorError):
+            hv.domain(dom.domid)
+
+    def test_destroy_dom0_forbidden(self):
+        _sim, hv = make_hv()
+        with pytest.raises(HypervisorError):
+            hv.domctl_destroy(hv.domain(0))
+
+    def test_hypercalls_counted(self):
+        _sim, hv = make_hv()
+        dom = hv.domctl_create()
+        hv.domctl_unpause(dom)
+        assert hv.hypercall_counts["domctl_create"] == 1
+        assert hv.hypercall_counts["domctl_unpause"] == 1
+
+
+class TestShells:
+    def test_shell_creation_and_claim(self):
+        _sim, hv = make_hv()
+        shell = hv.domctl_create(shell=True)
+        assert shell.state == DomainState.SHELL
+        hv.domctl_claim_shell(shell, name="vm1")
+        assert shell.state == DomainState.CREATED
+        assert shell.name == "vm1"
+
+    def test_shell_resize(self):
+        _sim, hv = make_hv()
+        shell = hv.domctl_create(shell=True, memory_kb=4096)
+        hv.domctl_resize_shell(shell, 16384)
+        assert hv.memory.owned_kb(shell.domid) == 16384
+        assert shell.memory_kb == 16384
+
+    def test_resize_nonshell_rejected(self):
+        _sim, hv = make_hv()
+        dom = hv.domctl_create()
+        with pytest.raises(DomainStateError):
+            hv.domctl_resize_shell(dom, 8192)
+
+
+class TestDevicePages:
+    def test_devpage_create_and_write(self):
+        _sim, hv = make_hv()
+        dom = hv.domctl_create()
+        hv.devpage_create(dom)
+        entry = DeviceEntry(DEV_VIF, STATE_INITIALISING, 0, 3, 4, b"\0" * 6)
+        index = hv.devpage_write(0, dom, entry)
+        assert dom.device_page.read(index).evtchn_port == 3
+
+    def test_devpage_double_create_rejected(self):
+        _sim, hv = make_hv()
+        dom = hv.domctl_create()
+        hv.devpage_create(dom)
+        with pytest.raises(HypervisorError):
+            hv.devpage_create(dom)
+
+    def test_devpage_write_requires_dom0(self):
+        _sim, hv = make_hv()
+        dom = hv.domctl_create()
+        hv.devpage_create(dom)
+        entry = DeviceEntry(DEV_VIF, STATE_INITIALISING, 0, 3, 4, b"\0" * 6)
+        with pytest.raises(HypervisorError):
+            hv.devpage_write(dom.domid, dom, entry)
+
+    def test_guest_maps_own_page(self):
+        _sim, hv = make_hv()
+        dom = hv.domctl_create()
+        hv.devpage_create(dom)
+        entry = DeviceEntry(DEV_VIF, STATE_INITIALISING, 0, 3, 4, b"\0" * 6)
+        hv.devpage_write(0, dom, entry)
+        view = hv.devpage_map(dom.domid)
+        from repro.hypervisor import DevicePage
+        assert len(DevicePage.parse(view)) == 1
+
+    def test_map_without_page_rejected(self):
+        _sim, hv = make_hv()
+        dom = hv.domctl_create()
+        with pytest.raises(HypervisorError):
+            hv.devpage_map(dom.domid)
+
+
+class TestScheduler:
+    def test_round_robin_guest_placement(self):
+        sim, hv = make_hv(cores=4, dom0_cores=1)
+        doms = [hv.domctl_create() for _ in range(6)]
+        cores = [d.vcpu_cores[0] for d in doms]
+        assert cores[0:3] == hv.scheduler.guest_cores
+        assert cores[3:6] == hv.scheduler.guest_cores
+
+    def test_dom0_cores_separate_from_guests(self):
+        _sim, hv = make_hv(cores=4, dom0_cores=2)
+        assert len(hv.scheduler.dom0_cores) == 2
+        assert len(hv.scheduler.guest_cores) == 2
+        dom = hv.domctl_create()
+        assert dom.vcpu_cores[0] in hv.scheduler.guest_cores
+
+    def test_idle_load_add_and_clear(self):
+        _sim, hv = make_hv()
+        dom = hv.domctl_create()
+        hv.domctl_unpause(dom)
+        hv.scheduler.set_idle_load(dom, 0.3)
+        core = dom.vcpu_cores[0]
+        assert core.background_weight == pytest.approx(0.3)
+        hv.scheduler.set_idle_load(dom, 0.1)
+        assert core.background_weight == pytest.approx(0.1)
+        hv.scheduler.clear_idle_load(dom)
+        assert core.background_weight == pytest.approx(0.0)
+
+    def test_pause_clears_idle_load(self):
+        _sim, hv = make_hv()
+        dom = hv.domctl_create()
+        hv.domctl_unpause(dom)
+        hv.scheduler.set_idle_load(dom, 0.5)
+        hv.domctl_pause(dom)
+        assert dom.vcpu_cores[0].background_weight == pytest.approx(0.0)
+
+    def test_run_on_domain_executes_work(self):
+        sim, hv = make_hv()
+        dom = hv.domctl_create()
+        hv.domctl_unpause(dom)
+        done = hv.scheduler.run_on_domain(dom, 5.0)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(5.0)
+
+    def test_scheduler_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            HostScheduler(sim, total_cores=1, dom0_cores=1)
+        with pytest.raises(ValueError):
+            HostScheduler(sim, total_cores=4, dom0_cores=4)
+
+    def test_utilization_split(self):
+        _sim, hv = make_hv(cores=4, dom0_cores=1)
+        dom = hv.domctl_create()
+        hv.domctl_unpause(dom)
+        hv.scheduler.set_idle_load(dom, 1.0)
+        assert hv.scheduler.guest_utilization() == pytest.approx(1.0 / 3)
+        assert hv.scheduler.utilization() == pytest.approx(1.0 / 4)

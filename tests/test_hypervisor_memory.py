@@ -1,0 +1,104 @@
+"""Tests for the extent-based physical-memory allocator."""
+
+import pytest
+
+from repro.hypervisor import Extent, MemoryAllocator, OutOfMemoryError
+
+
+def test_fresh_allocator_fully_free():
+    mem = MemoryAllocator(1024)
+    assert mem.free_kb == 1024
+    assert mem.used_kb == 0
+    assert mem.fragments() == 1
+
+
+def test_simple_allocate_and_accounting():
+    mem = MemoryAllocator(1024)
+    extents = mem.allocate("vm1", 256)
+    assert sum(e.size_kb for e in extents) == 256
+    assert mem.used_kb == 256
+    assert mem.owned_kb("vm1") == 256
+
+
+def test_allocation_is_first_fit_single_extent():
+    mem = MemoryAllocator(1024)
+    extents = mem.allocate("vm1", 100)
+    assert extents == [Extent(0, 100)]
+    extents2 = mem.allocate("vm2", 100)
+    assert extents2 == [Extent(100, 100)]
+
+
+def test_free_returns_all_memory():
+    mem = MemoryAllocator(1024)
+    mem.allocate("vm1", 300)
+    released = mem.free("vm1")
+    assert released == 300
+    assert mem.free_kb == 1024
+    assert mem.owned_kb("vm1") == 0
+
+
+def test_free_unknown_owner_is_noop():
+    mem = MemoryAllocator(1024)
+    assert mem.free("ghost") == 0
+
+
+def test_oom_raises():
+    mem = MemoryAllocator(1024)
+    mem.allocate("vm1", 1000)
+    with pytest.raises(OutOfMemoryError):
+        mem.allocate("vm2", 100)
+
+
+def test_exact_fit_allowed():
+    mem = MemoryAllocator(1024)
+    mem.allocate("vm1", 1024)
+    assert mem.free_kb == 0
+
+
+def test_invalid_sizes_rejected():
+    mem = MemoryAllocator(1024)
+    with pytest.raises(ValueError):
+        mem.allocate("vm1", 0)
+    with pytest.raises(ValueError):
+        mem.allocate("vm1", -5)
+    with pytest.raises(ValueError):
+        MemoryAllocator(0)
+
+
+def test_fragmented_allocation_spans_extents():
+    mem = MemoryAllocator(300)
+    mem.allocate("a", 100)  # [0,100)
+    mem.allocate("b", 100)  # [100,200)
+    mem.allocate("c", 100)  # [200,300)
+    mem.free("a")
+    mem.free("c")
+    # Free space is [0,100) + [200,300): a 150 KiB request must span both.
+    extents = mem.allocate("d", 150)
+    assert len(extents) == 2
+    assert sum(e.size_kb for e in extents) == 150
+
+
+def test_coalescing_restores_single_extent():
+    mem = MemoryAllocator(300)
+    mem.allocate("a", 100)
+    mem.allocate("b", 100)
+    mem.allocate("c", 100)
+    for owner in ("b", "a", "c"):
+        mem.free(owner)
+    assert mem.fragments() == 1
+    assert mem.free_kb == 300
+
+
+def test_multiple_allocations_per_owner_accumulate():
+    mem = MemoryAllocator(1024)
+    mem.allocate("vm1", 100)
+    mem.allocate("vm1", 50)
+    assert mem.owned_kb("vm1") == 150
+    assert mem.free("vm1") == 150
+
+
+def test_owners_listing():
+    mem = MemoryAllocator(1024)
+    mem.allocate("x", 10)
+    mem.allocate("y", 10)
+    assert set(mem.owners()) == {"x", "y"}

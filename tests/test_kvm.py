@@ -1,0 +1,77 @@
+"""Tests for the ukvm/KVM comparison stack."""
+
+import pytest
+
+from repro.guests import DAYTIME_UNIKERNEL, NOOP_UNIKERNEL
+from repro.kvm import UkvmHost
+from repro.sim import RngStream, Simulator
+
+
+def make_host(**kwargs):
+    sim = Simulator()
+    return sim, UkvmHost(sim, RngStream(0, "ukvm"), **kwargs)
+
+
+def run(sim, gen):
+    def wrapper():
+        result = yield from gen
+        return result
+    return sim.run(until=sim.process(wrapper()))
+
+
+def test_start_boots_in_about_10ms():
+    """ukvm's reported boot times are ~10 ms."""
+    sim, host = make_host()
+    instance = run(sim, host.start(DAYTIME_UNIKERNEL))
+    assert instance.create_ms + instance.boot_ms == pytest.approx(
+        10.0, abs=5.0)
+
+
+def test_cost_independent_of_population():
+    sim, host = make_host()
+    first = run(sim, host.start(DAYTIME_UNIKERNEL))
+    for _ in range(200):
+        run(sim, host.start(DAYTIME_UNIKERNEL))
+    last = run(sim, host.start(DAYTIME_UNIKERNEL))
+    assert last.create_ms == pytest.approx(first.create_ms, rel=0.3)
+
+
+def test_memory_accounting_includes_monitor():
+    sim, host = make_host()
+    run(sim, host.start(DAYTIME_UNIKERNEL))
+    used = host.memory_usage_kb()
+    assert used > DAYTIME_UNIKERNEL.memory_kb
+    assert used < DAYTIME_UNIKERNEL.memory_kb + 4096
+
+
+def test_stop_releases_everything():
+    sim, host = make_host()
+    instance = run(sim, host.start(DAYTIME_UNIKERNEL))
+    run(sim, host.stop(instance))
+    assert host.running == 0
+    assert host.memory_usage_kb() == 0
+
+
+def test_no_vif_skips_tap_setup():
+    sim_a, host_a = make_host()
+    with_vif = run(sim_a, host_a.start(DAYTIME_UNIKERNEL))
+    sim_b, host_b = make_host()
+    no_vif = run(sim_b, host_b.start(NOOP_UNIKERNEL))
+    assert no_vif.create_ms < with_vif.create_ms
+
+
+def test_ukvm_between_lightvm_and_stock_xen():
+    """The §9 landscape: LightVM < ukvm < xl for unikernel creation."""
+    from repro.core import Host
+    sim, kvm = make_host()
+    ukvm_total = (lambda r: r.create_ms + r.boot_ms)(
+        run(sim, kvm.start(DAYTIME_UNIKERNEL)))
+
+    lightvm = Host(variant="lightvm")
+    lightvm.warmup(500)
+    lightvm_total = lightvm.create_vm(DAYTIME_UNIKERNEL).total_ms
+
+    xl = Host(variant="xl")
+    xl_total = xl.create_vm(DAYTIME_UNIKERNEL).total_ms
+
+    assert lightvm_total < ukvm_total < xl_total

@@ -1,0 +1,103 @@
+"""Tests for metrics helpers and the Figure 1 dataset."""
+
+import pytest
+
+from repro.core.metrics import (cdf_points, format_series, mean, median,
+                                percentile, sample_indices)
+from repro.data import SYSCALL_HISTORY, counts_by_year, growth_per_year
+
+
+class TestPercentiles:
+    def test_median_odd(self):
+        assert median([3, 1, 2]) == 2
+
+    def test_median_even_interpolates(self):
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_p0_and_p100(self):
+        values = [5, 1, 9]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_p90(self):
+        values = list(range(1, 101))
+        assert percentile(values, 90) == pytest.approx(90.1)
+
+    def test_single_value(self):
+        assert percentile([7], 33) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_bad_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+
+class TestCdf:
+    def test_cdf_reaches_one(self):
+        points = cdf_points([4, 1, 3, 2])
+        assert points[-1][1] == 1.0
+        assert points[-1][0] == 4
+
+    def test_cdf_monotone(self):
+        points = cdf_points(list(range(100)), points=10)
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+
+class TestSampling:
+    def test_includes_endpoints(self):
+        indices = sample_indices(1000, 5)
+        assert indices[0] == 0
+        assert indices[-1] == 999
+
+    def test_small_total_returns_all(self):
+        assert sample_indices(3, 10) == [0, 1, 2]
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            sample_indices(0, 5)
+
+
+class TestFormatSeries:
+    def test_contains_all_series_and_rows(self):
+        text = format_series("T", [1, 2], {"a": [0.5, 1.5],
+                                           "b": [2.5, 3.5]})
+        assert "T" in text
+        assert "a" in text and "b" in text
+        assert "0.500" in text and "3.500" in text
+
+
+class TestSyscallData:
+    def test_span_matches_figure_axes(self):
+        """Fig 1: x from 2002 to ~2018, y from ~200 to ~400."""
+        years = [y for y, _c in counts_by_year()]
+        counts = [c for _y, c in counts_by_year()]
+        assert min(years) == 2002
+        assert max(years) >= 2016
+        assert 200 <= min(counts) <= 260
+        assert 350 <= max(counts) <= 400
+
+    def test_monotone_growth(self):
+        counts = [c for _y, c in counts_by_year()]
+        assert counts == sorted(counts)
+
+    def test_releases_recorded(self):
+        assert any(release.startswith("4.") for _y, release, _c
+                   in SYSCALL_HISTORY)
+
+    def test_growth_rate_positive(self):
+        assert 5 <= growth_per_year() <= 15

@@ -1,0 +1,166 @@
+"""Tests for the network substrate: links, bridge, flows, TLS."""
+
+import pytest
+
+from repro.net import Link
+from repro.net.flows import (ForwardingCosts, forwarding_capacity_mbps,
+                             run_forwarding_fleet)
+from repro.net.switch import SoftwareBridge
+from repro.net.tls import tls_throughput
+from repro.sim import RngStream, Simulator
+
+
+class TestLink:
+    def test_transfer_time_includes_latency_and_serialization(self):
+        sim = Simulator()
+        link = Link(sim, latency_ms=10.0, bandwidth_mbps=1000.0)
+        # 1 MiB over 1 Gb/s = 8.39 ms serialization + 10 ms latency.
+        assert link.transfer_ms(1024) == pytest.approx(18.4, abs=0.2)
+
+    def test_transfer_advances_clock_and_accounts(self):
+        sim = Simulator()
+        link = Link(sim, latency_ms=1.0, bandwidth_mbps=100.0)
+        proc = sim.process(link.transfer(100))
+        sim.run(until=proc)
+        assert sim.now > 1.0
+        assert link.bytes_transferred == 100 * 1024
+
+    def test_round_trip(self):
+        sim = Simulator()
+        link = Link(sim, latency_ms=5.0)
+        proc = sim.process(link.round_trip())
+        sim.run(until=proc)
+        assert sim.now == pytest.approx(10.0)
+
+
+class TestBridge:
+    def _bridge(self, capacity=1.0):
+        sim = Simulator()
+        return sim, SoftwareBridge(sim, RngStream(0, "bridge"),
+                                   capacity_events_per_ms=capacity)
+
+    def test_attach_detach_ports(self):
+        _sim, bridge = self._bridge()
+        bridge.attach(5, "vif5.0")
+        assert bridge.ports["vif5.0"] == 5
+        bridge.detach(5, "vif5.0")
+        assert "vif5.0" not in bridge.ports
+
+    def test_arp_succeeds_under_capacity(self):
+        sim, bridge = self._bridge(capacity=10.0)
+        for _ in range(20):
+            assert bridge.arp_resolve()
+            sim.timeout(10.0)
+            sim.run()
+        assert bridge.drops == 0
+
+    def test_arp_drops_when_overloaded(self):
+        sim, bridge = self._bridge(capacity=0.01)
+        outcomes = []
+        for _ in range(200):
+            outcomes.append(bridge.arp_resolve())
+            sim.timeout(1.0)
+            sim.run()
+        assert bridge.drops > 0
+        assert not all(outcomes)
+
+    def test_load_window_slides(self):
+        sim, bridge = self._bridge()
+        bridge.arp_resolve()
+        assert bridge.load() > 0
+        sim.timeout(bridge.window_ms * 2)
+        sim.run()
+        bridge.arp_resolve()
+        # Old events aged out; load reflects only the recent one.
+        assert bridge.load() == pytest.approx(1 / bridge.window_ms)
+
+
+class TestForwarding:
+    def test_linear_region_no_loss(self):
+        result = run_forwarding_fleet(100, guest_cores=13)
+        assert result.per_client_mbps == pytest.approx(10.0)
+        assert not result.saturated
+
+    def test_paper_saturation_points(self):
+        """Fig 16a: ~2.5 Gb/s linear limit; 6.5 Mb/s @500; 4 Mb/s @1000."""
+        r250 = run_forwarding_fleet(250, guest_cores=13)
+        assert r250.total_gbps == pytest.approx(2.5, abs=0.3)
+        r500 = run_forwarding_fleet(500, guest_cores=13)
+        assert r500.per_client_mbps == pytest.approx(6.5, abs=1.0)
+        r1000 = run_forwarding_fleet(1000, guest_cores=13)
+        assert r1000.per_client_mbps == pytest.approx(4.0, abs=0.7)
+
+    def test_rtt_rises_to_60ms_at_1000(self):
+        result = run_forwarding_fleet(1000, guest_cores=13)
+        assert result.rtt_ms == pytest.approx(60.0, abs=10.0)
+
+    def test_rtt_negligible_at_low_load(self):
+        result = run_forwarding_fleet(10, guest_cores=13)
+        assert result.rtt_ms < 1.0
+
+    def test_capacity_monotone_in_cores(self):
+        costs = ForwardingCosts()
+        assert forwarding_capacity_mbps(100, 26, costs) > \
+            forwarding_capacity_mbps(100, 13, costs)
+
+    def test_zero_clients_rejected(self):
+        with pytest.raises(ValueError):
+            run_forwarding_fleet(0, guest_cores=13)
+
+
+class TestTls:
+    def test_paper_saturation_rates(self):
+        """Fig 16c: ~1400 req/s for Tinyx/bare-metal; unikernel ≈ 1/5."""
+        tinyx = tls_throughput("tinyx", 1000, cores=13)
+        bare = tls_throughput("bare-metal", 1000, cores=13)
+        uni = tls_throughput("unikernel", 1000, cores=13)
+        assert bare.requests_per_s == pytest.approx(1400, rel=0.15)
+        assert tinyx.requests_per_s == pytest.approx(
+            bare.requests_per_s, rel=0.05)
+        assert uni.requests_per_s == pytest.approx(
+            tinyx.requests_per_s / 5, rel=0.1)
+
+    def test_throughput_grows_until_cores_saturate(self):
+        small = tls_throughput("tinyx", 2, cores=13)
+        big = tls_throughput("tinyx", 13, cores=13)
+        assert big.requests_per_s > small.requests_per_s
+        more = tls_throughput("tinyx", 100, cores=13)
+        assert more.requests_per_s == pytest.approx(big.requests_per_s)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            tls_throughput("windows", 1, cores=4)
+
+    def test_zero_instances_rejected(self):
+        with pytest.raises(ValueError):
+            tls_throughput("tinyx", 0, cores=4)
+
+
+class TestTlsDiscreteCrossCheck:
+    """The discrete-event fleet must agree with the analytic model."""
+
+    def test_agreement_below_saturation(self):
+        from repro.net.tls import simulate_tls_fleet, tls_throughput
+        measured = simulate_tls_fleet("tinyx", 4, cores=13)
+        analytic = tls_throughput("tinyx", 4, cores=13).requests_per_s
+        assert measured == pytest.approx(analytic, rel=0.05)
+
+    def test_agreement_at_saturation(self):
+        from repro.net.tls import simulate_tls_fleet, tls_throughput
+        measured = simulate_tls_fleet("tinyx", 40, cores=13)
+        analytic = tls_throughput("tinyx", 40, cores=13).requests_per_s
+        assert measured == pytest.approx(analytic, rel=0.05)
+
+    def test_agreement_for_unikernel(self):
+        from repro.net.tls import simulate_tls_fleet, tls_throughput
+        measured = simulate_tls_fleet("unikernel", 30, cores=13)
+        analytic = tls_throughput("unikernel", 30,
+                                  cores=13).requests_per_s
+        assert measured == pytest.approx(analytic, rel=0.05)
+
+    def test_validation(self):
+        from repro.net.tls import simulate_tls_fleet
+        with pytest.raises(ValueError):
+            simulate_tls_fleet("windows", 1, cores=2)
+        with pytest.raises(ValueError):
+            simulate_tls_fleet("tinyx", 0, cores=2)

@@ -1,0 +1,182 @@
+"""Tests for pause/unpause and the page-sharing extension."""
+
+import pytest
+
+from repro.core import Host, VARIANTS
+from repro.guests import DAYTIME_UNIKERNEL, TINYX
+from repro.hypervisor import (DomainState, MemoryAllocator,
+                              SharedImagePool, SharingPolicy)
+
+
+class TestPauseUnpause:
+    @pytest.mark.parametrize("variant", ["xl", "lightvm"])
+    def test_pause_unpause_round_trip(self, variant):
+        host = Host(variant=variant)
+        host.warmup(500)
+        record = host.create_vm(DAYTIME_UNIKERNEL)
+        host.pause_vm(record.domain)
+        assert record.domain.state == DomainState.PAUSED
+        host.unpause_vm(record.domain)
+        assert record.domain.state == DomainState.RUNNING
+
+    def test_pause_keeps_memory_reservation(self):
+        host = Host(variant="lightvm")
+        host.warmup(500)
+        record = host.create_vm(DAYTIME_UNIKERNEL)
+        owned = host.hypervisor.memory.owned_kb(record.domain.domid)
+        host.pause_vm(record.domain)
+        assert host.hypervisor.memory.owned_kb(
+            record.domain.domid) == owned
+
+    def test_pause_releases_idle_cpu_load(self):
+        host = Host(variant="xl")
+        record = host.create_vm(TINYX)
+        assert record.domain.background_weight > 0
+        host.pause_vm(record.domain)
+        assert record.domain.background_weight == 0
+        host.unpause_vm(record.domain)
+        assert record.domain.background_weight > 0
+
+    def test_pause_stops_xenstore_chatter(self):
+        host = Host(variant="xl")
+        record = host.create_vm(DAYTIME_UNIKERNEL)
+        clients_running = host.xenstore.ambient_clients
+        host.pause_vm(record.domain)
+        assert host.xenstore.ambient_clients < clients_running
+        host.unpause_vm(record.domain)
+        assert host.xenstore.ambient_clients == clients_running
+
+    def test_chaos_pause_much_faster_than_xl(self):
+        def pause_latency(variant):
+            host = Host(variant=variant)
+            host.warmup(500)
+            record = host.create_vm(DAYTIME_UNIKERNEL)
+            start = host.sim.now
+            host.pause_vm(record.domain)
+            return host.sim.now - start
+
+        assert pause_latency("lightvm") < pause_latency("xl") / 10
+
+    def test_unpause_does_not_reboot(self):
+        """Thawing must be instant-ish, nothing like a boot."""
+        host = Host(variant="lightvm")
+        host.warmup(500)
+        record = host.create_vm(DAYTIME_UNIKERNEL)
+        host.pause_vm(record.domain)
+        start = host.sim.now
+        host.unpause_vm(record.domain)
+        assert host.sim.now - start < 1.0
+
+    def test_double_pause_rejected(self):
+        host = Host(variant="lightvm")
+        host.warmup(500)
+        record = host.create_vm(DAYTIME_UNIKERNEL)
+        host.pause_vm(record.domain)
+        with pytest.raises(Exception):
+            host.pause_vm(record.domain)
+
+
+class TestPageSharing:
+    def test_first_instance_pays_full_price(self):
+        mem = MemoryAllocator(1024 * 1024)
+        pool = SharedImagePool(mem)
+        charged = pool.allocate_instance("daytime", "vm1", 4096)
+        assert charged == pytest.approx(4096, abs=2)
+        assert pool.dedup_saved_kb == 0
+
+    def test_later_instances_cheaper(self):
+        mem = MemoryAllocator(1024 * 1024)
+        pool = SharedImagePool(mem)
+        first = pool.allocate_instance("daytime", "vm1", 4096)
+        second = pool.allocate_instance("daytime", "vm2", 4096)
+        assert second < first / 2
+        assert pool.dedup_saved_kb > 0
+
+    def test_thousand_instances_vs_no_sharing(self):
+        """The §9 what-if: dedup cuts the Fig 14 footprint hard."""
+        no_share = MemoryAllocator(256 * 1024 * 1024)
+        shared_mem = MemoryAllocator(256 * 1024 * 1024)
+        pool = SharedImagePool(shared_mem)
+        for index in range(1000):
+            no_share.allocate("plain-%d" % index, 8192)
+            pool.allocate_instance("minipython", "vm-%d" % index, 8192)
+        assert shared_mem.used_kb < no_share.used_kb * 0.6
+
+    def test_different_images_do_not_share(self):
+        mem = MemoryAllocator(1024 * 1024)
+        pool = SharedImagePool(mem)
+        pool.allocate_instance("a", "vm1", 4096)
+        charged = pool.allocate_instance("b", "vm2", 4096)
+        assert charged == pytest.approx(4096, abs=2)
+
+    def test_master_freed_with_last_instance(self):
+        mem = MemoryAllocator(1024 * 1024)
+        pool = SharedImagePool(mem)
+        pool.allocate_instance("a", "vm1", 4096)
+        pool.allocate_instance("a", "vm2", 4096)
+        pool.free_instance("a", "vm1")
+        assert pool.instances_of("a") == 1
+        assert mem.used_kb > 0
+        pool.free_instance("a", "vm2")
+        assert pool.instances_of("a") == 0
+        assert mem.used_kb == 0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            SharingPolicy(shareable_fraction=1.5)
+        with pytest.raises(ValueError):
+            SharingPolicy(cow_divergence=-0.1)
+
+    def test_instance_cost_preview_matches_allocation(self):
+        mem = MemoryAllocator(1024 * 1024)
+        pool = SharedImagePool(mem)
+        assert pool.instance_cost_kb("x", 4096) == 4096
+        pool.allocate_instance("x", "vm1", 4096)
+        preview = pool.instance_cost_kb("x", 4096)
+        used_before = mem.used_kb
+        pool.allocate_instance("x", "vm2", 4096)
+        assert mem.used_kb - used_before == pytest.approx(preview, abs=2)
+
+
+class TestReboot:
+    def test_reboot_round_trip_noxs(self):
+        host = Host(variant="lightvm")
+        host.warmup(500)
+        record = host.create_vm(DAYTIME_UNIKERNEL)
+        domain = record.domain
+        domid = domain.domid
+        proc = host.sim.process(host.power.reboot(domain))
+        report = host.sim.run(until=proc)
+        assert domain.state == DomainState.RUNNING
+        assert domain.domid == domid          # same domain survives
+        assert report.total_ms > 0
+
+    def test_reboot_round_trip_xl(self):
+        host = Host(variant="xl")
+        record = host.create_vm(DAYTIME_UNIKERNEL)
+        clients_before = host.xenstore.ambient_clients
+        proc = host.sim.process(host.power.reboot(record.domain))
+        host.sim.run(until=proc)
+        assert record.domain.state == DomainState.RUNNING
+        assert host.xenstore.ambient_clients == clients_before
+
+    def test_reboot_faster_than_destroy_create(self):
+        host = Host(variant="lightvm")
+        host.warmup(500)
+        record = host.create_vm(DAYTIME_UNIKERNEL)
+        start = host.sim.now
+        proc = host.sim.process(host.power.reboot(record.domain))
+        host.sim.run(until=proc)
+        reboot_ms = host.sim.now - start
+        fresh = host.create_vm(DAYTIME_UNIKERNEL)
+        assert reboot_ms < fresh.total_ms * 2.5
+
+    def test_reboot_without_image_rejected(self):
+        host = Host(variant="lightvm")
+        host.warmup(500)
+        record = host.create_vm(DAYTIME_UNIKERNEL, boot=False)
+        record.domain.image = None
+        host.hypervisor.domctl_unpause(record.domain)
+        with pytest.raises(RuntimeError):
+            proc = host.sim.process(host.power.reboot(record.domain))
+            host.sim.run(until=proc)

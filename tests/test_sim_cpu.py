@@ -1,0 +1,172 @@
+"""Tests for the processor-sharing CPU model."""
+
+import pytest
+
+from repro.sim import CpuPool, PSCore, Simulator
+
+
+def test_single_task_runs_at_full_rate():
+    sim = Simulator()
+    core = PSCore(sim)
+    done = core.execute(10.0)
+    sim.run(until=done)
+    assert sim.now == pytest.approx(10.0)
+
+
+def test_two_equal_tasks_share_equally():
+    sim = Simulator()
+    core = PSCore(sim)
+    d1 = core.execute(10.0)
+    d2 = core.execute(10.0)
+    sim.run(until=sim.all_of([d1, d2]))
+    assert sim.now == pytest.approx(20.0)
+
+
+def test_short_task_finishes_first_then_long_speeds_up():
+    sim = Simulator()
+    core = PSCore(sim)
+    short = core.execute(5.0)
+    long = core.execute(10.0)
+    sim.run(until=short)
+    # Shared at rate 1/2 until short drains: 5 work -> 10 ms.
+    assert sim.now == pytest.approx(10.0)
+    sim.run(until=long)
+    # Long had 5 work left, now alone: finishes 5 ms later.
+    assert sim.now == pytest.approx(15.0)
+
+
+def test_staggered_arrival():
+    sim = Simulator()
+    core = PSCore(sim)
+    first = core.execute(10.0)
+    done_times = {}
+    first.add_callback(lambda e: done_times.__setitem__("first", sim.now))
+
+    def late_arrival():
+        yield 5.0
+        done = core.execute(10.0)
+        yield done
+        done_times["second"] = sim.now
+
+    sim.process(late_arrival())
+    sim.run()
+    # First: 5 ms alone (5 work done), then shared; 5 work left at rate
+    # 1/2 -> finishes at t=15.  Second: 5 work done by t=15, then alone,
+    # 5 left -> finishes at t=20.
+    assert done_times["first"] == pytest.approx(15.0)
+    assert done_times["second"] == pytest.approx(20.0)
+
+
+def test_rate_scales_completion():
+    sim = Simulator()
+    core = PSCore(sim, rate=2.0)
+    done = core.execute(10.0)
+    sim.run(until=done)
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_zero_work_completes_immediately():
+    sim = Simulator()
+    core = PSCore(sim)
+    done = core.execute(0.0)
+    assert done.triggered
+    assert core.active_tasks == 0
+
+
+def test_negative_work_rejected():
+    sim = Simulator()
+    core = PSCore(sim)
+    with pytest.raises(ValueError):
+        core.execute(-1.0)
+
+
+def test_background_load_slows_tasks():
+    sim = Simulator()
+    core = PSCore(sim)
+    core.add_background(1.0)  # same weight as one task
+    done = core.execute(10.0)
+    sim.run(until=done)
+    assert sim.now == pytest.approx(20.0)
+
+
+def test_background_removal_restores_rate():
+    sim = Simulator()
+    core = PSCore(sim)
+    core.add_background(1.0)
+    done = core.execute(10.0)
+
+    def lighten():
+        yield 10.0  # 5 work done by then (shared half/half)
+        core.remove_background(1.0)
+
+    sim.process(lighten())
+    sim.run(until=done)
+    assert sim.now == pytest.approx(15.0)
+
+
+def test_weighted_task_gets_larger_share():
+    sim = Simulator()
+    core = PSCore(sim)
+    heavy = core.execute(10.0, weight=3.0)
+    light = core.execute(10.0, weight=1.0)
+    sim.run(until=heavy)
+    # heavy progresses at 3/4: 10 work -> 40/3 ms.
+    assert sim.now == pytest.approx(40.0 / 3.0)
+    sim.run(until=light)
+
+
+def test_utilization_idle_busy_background():
+    sim = Simulator()
+    core = PSCore(sim)
+    assert core.utilization() == 0.0
+    core.add_background(0.25)
+    assert core.utilization() == pytest.approx(0.25)
+    core.add_background(2.0)
+    assert core.utilization() == 1.0
+    core.remove_background(2.25)
+    core.execute(1.0)
+    assert core.utilization() == 1.0
+
+
+def test_busy_time_accumulates():
+    sim = Simulator()
+    core = PSCore(sim)
+    done = core.execute(4.0)
+    sim.run(until=done)
+    sim.timeout(6.0)
+    sim.run()
+    assert core.busy_time() == pytest.approx(4.0)
+
+
+def test_busy_time_with_fractional_background():
+    sim = Simulator()
+    core = PSCore(sim)
+    core.add_background(0.5)
+    sim.timeout(10.0)
+    sim.run()
+    assert core.busy_time() == pytest.approx(5.0)
+
+
+def test_pool_round_robin_placement():
+    sim = Simulator()
+    pool = CpuPool(sim, cores=3)
+    picks = [pool.place() for _ in range(6)]
+    assert picks[0:3] == pool.cores
+    assert picks[3:6] == pool.cores
+
+
+def test_pool_utilization_mean():
+    sim = Simulator()
+    pool = CpuPool(sim, cores=2)
+    pool.cores[0].execute(100.0)
+    assert pool.utilization() == pytest.approx(0.5)
+
+
+def test_many_tasks_complete_and_conserve_work():
+    sim = Simulator()
+    core = PSCore(sim)
+    events = [core.execute(float(i)) for i in range(1, 21)]
+    sim.run(until=sim.all_of(events))
+    total_work = sum(range(1, 21))
+    assert sim.now == pytest.approx(float(total_work))
+    assert core.busy_time() == pytest.approx(float(total_work))

@@ -1,0 +1,196 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import Event, SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulator(start=42.0)
+    assert sim.now == 42.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(5.0)
+    sim.run()
+    assert sim.now == 5.0
+
+
+def test_timeouts_fire_in_order():
+    sim = Simulator()
+    seen = []
+    for delay in (3.0, 1.0, 2.0):
+        sim.schedule(delay, seen.append, delay)
+    sim.run()
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_same_time_events_fifo():
+    sim = Simulator()
+    seen = []
+    for tag in range(5):
+        sim.schedule(1.0, seen.append, tag)
+    sim.run()
+    assert seen == list(range(5))
+
+
+def test_run_until_time_stops_clock_exactly():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_until_past_time_raises():
+    sim = Simulator(start=5.0)
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+    evt = sim.event()
+    sim.schedule(7.0, evt.succeed, "done")
+    assert sim.run(until=evt) == "done"
+    assert sim.now == 7.0
+
+
+def test_run_until_failed_event_raises():
+    sim = Simulator()
+    evt = sim.event()
+    sim.schedule(1.0, evt.fail, RuntimeError("boom"))
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run(until=evt)
+
+
+def test_run_until_event_never_fires_raises():
+    sim = Simulator()
+    evt = sim.event()
+    sim.schedule(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.run(until=evt)
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    evt = sim.event()
+    evt.succeed(1)
+    with pytest.raises(SimulationError):
+        evt.succeed(2)
+
+
+def test_event_value_before_trigger_rejected():
+    sim = Simulator()
+    evt = sim.event()
+    with pytest.raises(SimulationError):
+        _ = evt.value
+
+
+def test_unhandled_failure_escalates():
+    sim = Simulator()
+    evt = sim.event()
+    evt.fail(ValueError("unhandled"))
+    with pytest.raises(ValueError, match="unhandled"):
+        sim.run()
+
+
+def test_defused_failure_does_not_escalate():
+    sim = Simulator()
+    evt = sim.event()
+    evt.defused = True
+    evt.fail(ValueError("handled"))
+    sim.run()  # should not raise
+
+
+def test_late_callback_runs_immediately():
+    sim = Simulator()
+    evt = sim.timeout(1.0, value="v")
+    sim.run()
+    seen = []
+    evt.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["v"]
+
+
+def test_all_of_collects_values():
+    sim = Simulator()
+    e1 = sim.timeout(1.0, value="a")
+    e2 = sim.timeout(2.0, value="b")
+    both = sim.all_of([e1, e2])
+    result = sim.run(until=both)
+    assert result == {e1: "a", e2: "b"}
+    assert sim.now == 2.0
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    e1 = sim.timeout(5.0, value="slow")
+    e2 = sim.timeout(1.0, value="fast")
+    either = sim.any_of([e1, e2])
+    result = sim.run(until=either)
+    assert result == {e2: "fast"}
+    assert sim.now == 1.0
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+    done = sim.all_of([])
+    assert done.triggered
+    assert done.value == {}
+
+
+def test_processed_event_counter():
+    sim = Simulator()
+    for _ in range(3):
+        sim.timeout(1.0)
+    sim.run()
+    assert sim.processed_events == 3
+
+
+def test_all_of_fails_when_child_fails():
+    sim = Simulator()
+    good = sim.timeout(1.0, value="ok")
+    bad = sim.event()
+    sim.schedule(2.0, bad.fail, RuntimeError("child died"))
+    both = sim.all_of([good, bad])
+    with pytest.raises(RuntimeError, match="child died"):
+        sim.run(until=both)
+
+
+def test_any_of_fails_when_first_event_fails():
+    sim = Simulator()
+    slow = sim.timeout(5.0, value="slow")
+    bad = sim.event()
+    sim.schedule(1.0, bad.fail, ValueError("early failure"))
+    either = sim.any_of([slow, bad])
+    with pytest.raises(ValueError, match="early failure"):
+        sim.run(until=either)
+
+
+def test_condition_failure_defuses_child():
+    """The condition consumes the child's failure; it must not also
+    escalate independently."""
+    sim = Simulator()
+    bad = sim.event()
+    sim.schedule(1.0, bad.fail, KeyError("contained"))
+    both = sim.all_of([bad])
+    try:
+        sim.run(until=both)
+    except KeyError:
+        pass
+    # No unhandled-failure escalation afterwards.
+    sim.timeout(1.0)
+    sim.run()

@@ -1,0 +1,186 @@
+"""Tests for generator-based simulation processes."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator
+
+
+def test_process_runs_and_returns_value():
+    sim = Simulator()
+
+    def worker():
+        yield 5.0
+        return "result"
+
+    proc = sim.process(worker())
+    assert sim.run(until=proc) == "result"
+    assert sim.now == 5.0
+
+
+def test_process_yield_number_is_timeout():
+    sim = Simulator()
+    times = []
+
+    def worker():
+        yield 1
+        times.append(sim.now)
+        yield 2.5
+        times.append(sim.now)
+
+    sim.process(worker())
+    sim.run()
+    assert times == [1.0, 3.5]
+
+
+def test_process_receives_event_value():
+    sim = Simulator()
+
+    def worker():
+        value = yield sim.timeout(1.0, value="hello")
+        return value
+
+    proc = sim.process(worker())
+    assert sim.run(until=proc) == "hello"
+
+
+def test_process_joins_another_process():
+    sim = Simulator()
+
+    def child():
+        yield 3.0
+        return 7
+
+    def parent():
+        result = yield sim.process(child())
+        return result * 2
+
+    proc = sim.process(parent())
+    assert sim.run(until=proc) == 14
+    assert sim.now == 3.0
+
+
+def test_failed_event_raises_inside_process():
+    sim = Simulator()
+
+    def worker():
+        evt = sim.event()
+        sim.schedule(1.0, evt.fail, KeyError("nope"))
+        try:
+            yield evt
+        except KeyError:
+            return "caught"
+
+    proc = sim.process(worker())
+    assert sim.run(until=proc) == "caught"
+
+
+def test_uncaught_process_exception_propagates():
+    sim = Simulator()
+
+    def worker():
+        yield 1.0
+        raise ValueError("kaput")
+
+    proc = sim.process(worker())
+    with pytest.raises(ValueError, match="kaput"):
+        sim.run(until=proc)
+
+
+def test_yield_garbage_fails_process():
+    sim = Simulator()
+
+    def worker():
+        yield "not an event"
+
+    proc = sim.process(worker())
+    with pytest.raises(TypeError):
+        sim.run(until=proc)
+
+
+def test_is_alive_lifecycle():
+    sim = Simulator()
+
+    def worker():
+        yield 2.0
+
+    proc = sim.process(worker())
+    assert proc.is_alive
+    sim.run()
+    assert not proc.is_alive
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield 100.0
+        except Interrupt as intr:
+            log.append((sim.now, intr.cause))
+
+    proc = sim.process(sleeper())
+
+    def interrupter():
+        yield 10.0
+        proc.interrupt("wake up")
+
+    sim.process(interrupter())
+    sim.run()
+    assert log == [(10.0, "wake up")]
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def quick():
+        yield 1.0
+
+    proc = sim.process(quick())
+    sim.run()
+    with pytest.raises(RuntimeError):
+        proc.interrupt()
+
+
+def test_interrupted_wait_event_becomes_stale():
+    """After an interrupt, the originally awaited event must not resume
+    the process a second time."""
+    sim = Simulator()
+    resumes = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(5.0, value="timeout fired")
+        except Interrupt:
+            resumes.append("interrupted")
+        yield 20.0
+        resumes.append("slept on")
+
+    proc = sim.process(sleeper())
+    sim.schedule(1.0, proc.interrupt)
+    sim.run()
+    assert resumes == ["interrupted", "slept on"]
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    order = []
+
+    def ticker(name, period):
+        for _ in range(3):
+            yield period
+            order.append((name, sim.now))
+
+    sim.process(ticker("a", 1.0))
+    sim.process(ticker("b", 1.5))
+    sim.run()
+    # At t=3.0 both tick; b's timeout entered the queue earlier (at t=1.5
+    # vs t=2.0), so FIFO order within the timestamp puts b first.
+    assert order == [("a", 1.0), ("b", 1.5), ("a", 2.0), ("b", 3.0),
+                     ("a", 3.0), ("b", 4.5)]

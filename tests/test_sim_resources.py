@@ -1,0 +1,115 @@
+"""Tests for Resource and Store primitives."""
+
+import pytest
+
+from repro.sim import Resource, Simulator, Store
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.count == 2
+
+
+def test_resource_release_wakes_fifo():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    first = res.request()
+    second = res.request()
+    third = res.request()
+    res.release(first)
+    assert second.triggered
+    assert not third.triggered
+    res.release(second)
+    assert third.triggered
+
+
+def test_resource_cancel_queued_request():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    held = res.request()
+    queued = res.request()
+    res.release(queued)  # cancels it
+    res.release(held)
+    assert not queued.triggered
+    assert res.count == 0
+
+
+def test_resource_context_manager_releases():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def user(log, name):
+        with res.request() as req:
+            yield req
+            log.append((name, "in", sim.now))
+            yield 2.0
+        log.append((name, "out", sim.now))
+
+    log = []
+    sim.process(user(log, "a"))
+    sim.process(user(log, "b"))
+    sim.run()
+    assert log == [("a", "in", 0.0), ("a", "out", 2.0),
+                   ("b", "in", 2.0), ("b", "out", 4.0)]
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    evt = store.get()
+    assert evt.triggered
+    assert evt.value == "x"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    sim.process(consumer())
+    sim.schedule(3.0, store.put, "late")
+    sim.run()
+    assert got == [("late", 3.0)]
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    assert store.get().value == 1
+    assert store.get().value == 2
+
+
+def test_store_waiters_served_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    g1, g2 = store.get(), store.get()
+    store.put("a")
+    store.put("b")
+    assert g1.value == "a"
+    assert g2.value == "b"
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put(9)
+    assert store.try_get() == 9
+    assert len(store) == 0

@@ -1,0 +1,58 @@
+"""Tests for the host stats snapshot."""
+
+import pytest
+
+from repro.core import Host, snapshot
+from repro.guests import DAYTIME_UNIKERNEL
+
+
+class TestSnapshot:
+    def test_idle_host(self):
+        host = Host(variant="chaos+noxs")
+        stats = snapshot(host)
+        assert stats.domains_by_state == {}
+        assert stats.guest_memory_mb == 0.0
+        assert stats.cpu_utilization_pct == 0.0
+        assert stats.xenstore_ops == 0
+
+    def test_counts_running_guests(self):
+        host = Host(variant="chaos+noxs")
+        for _ in range(3):
+            host.create_vm(DAYTIME_UNIKERNEL)
+        stats = snapshot(host)
+        assert stats.domains_by_state["running"] == 3
+        assert stats.guest_memory_mb == pytest.approx(
+            3 * DAYTIME_UNIKERNEL.memory_kb / 1024.0, rel=0.01)
+        assert stats.noxs_devices_created >= 3
+
+    def test_shells_reported_separately(self):
+        host = Host(variant="lightvm", pool_target=4)
+        host.warmup(1000)
+        stats = snapshot(host)
+        assert stats.domains_by_state.get("shell") == 4
+        assert stats.guest_memory_mb == 0.0  # shells excluded
+
+    def test_xenstore_counters(self):
+        host = Host(variant="xl")
+        host.create_vm(DAYTIME_UNIKERNEL)
+        stats = snapshot(host)
+        assert stats.xenstore_ops > 0
+        assert stats.xenstore_nodes > 0
+        assert stats.xenstore_watches > 0
+        assert stats.hypercalls.get("domctl_create") == 1
+
+    def test_render_is_readable(self):
+        host = Host(variant="xl")
+        host.create_vm(DAYTIME_UNIKERNEL)
+        text = snapshot(host).render()
+        assert "domains:" in text
+        assert "xenstore:" in text
+        assert "running=1" in text
+
+    def test_cli_stats_flag(self, capsys):
+        from repro.cli import main
+        assert main(["create", "--count", "2", "--variant", "chaos+noxs",
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "noxs:" in out
+        assert "domains:" in out

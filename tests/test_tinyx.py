@@ -1,0 +1,231 @@
+"""Tests for the Tinyx build system: packages, resolution, overlay,
+kernel trimming, and the end-to-end builder."""
+
+import pytest
+
+from repro.guests import GuestKind
+from repro.tinyx import (APP_BINARIES, DEFAULT_BLACKLIST,
+                         DEFAULT_TRIM_CANDIDATES, DependencyError,
+                         KernelConfig, Package, PackageUniverse,
+                         TinyxBuilder, UnknownPackageError, assemble,
+                         debian_kernel_size_kb, debian_universe,
+                         default_boot_test, discover_library_packages,
+                         plan_install, resolve_closure, trim)
+
+
+class TestUniverse:
+    def test_universe_is_self_consistent(self):
+        universe = debian_universe()
+        for name in universe.names():
+            for dep in universe.get(name).depends:
+                assert dep in universe, "%s depends on missing %s" % (name,
+                                                                      dep)
+
+    def test_lib_provider_lookup(self):
+        universe = debian_universe()
+        assert universe.provider_of_lib("libz.so.1").name == "zlib1g"
+
+    def test_missing_lib_provider(self):
+        universe = debian_universe()
+        with pytest.raises(UnknownPackageError):
+            universe.provider_of_lib("libquantum.so.9")
+
+    def test_duplicate_package_rejected(self):
+        universe = PackageUniverse([Package("a", "1", 10)])
+        with pytest.raises(ValueError):
+            universe.add(Package("a", "2", 10))
+
+    def test_app_binaries_resolvable(self):
+        universe = debian_universe()
+        for app in APP_BINARIES.values():
+            providers = discover_library_packages(app, universe)
+            assert providers, app.name
+
+
+class TestResolution:
+    def test_nginx_closure_contains_runtime_deps(self):
+        universe = debian_universe()
+        packages = plan_install(APP_BINARIES["nginx"], universe,
+                                blacklist=DEFAULT_BLACKLIST)
+        names = [p.name for p in packages]
+        for expected in ("nginx", "libc6", "libpcre3", "zlib1g",
+                         "libssl1.0.0"):
+            assert expected in names
+
+    def test_blacklist_cuts_install_machinery(self):
+        universe = debian_universe()
+        packages = plan_install(APP_BINARIES["nginx"], universe,
+                                blacklist=DEFAULT_BLACKLIST)
+        names = {p.name for p in packages}
+        assert not names & set(DEFAULT_BLACKLIST)
+
+    def test_whitelist_forces_inclusion(self):
+        universe = debian_universe()
+        packages = plan_install(APP_BINARIES["nginx"], universe,
+                                blacklist=DEFAULT_BLACKLIST,
+                                whitelist=("openssl",))
+        assert "openssl" in {p.name for p in packages}
+
+    def test_topological_order(self):
+        universe = debian_universe()
+        packages = resolve_closure(["nginx"], universe)
+        position = {p.name: i for i, p in enumerate(packages)}
+        for package in packages:
+            for dep in package.depends:
+                if dep in position:
+                    assert position[dep] < position[package.name]
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(DependencyError):
+            resolve_closure(["hurd"], debian_universe())
+
+    def test_cycle_detected(self):
+        universe = PackageUniverse([
+            Package("a", "1", 10, depends=("b",)),
+            Package("b", "1", 10, depends=("a",)),
+        ])
+        with pytest.raises(DependencyError):
+            resolve_closure(["a"], universe)
+
+    def test_blacklisted_root_yields_smaller_closure(self):
+        universe = debian_universe()
+        with_bl = resolve_closure(["debconf"], universe,
+                                  blacklist=("perl-base",))
+        without_bl = resolve_closure(["debconf"], universe)
+        assert len(with_bl) < len(without_bl)
+
+
+class TestOverlay:
+    def _assembled(self, app="nginx"):
+        universe = debian_universe()
+        packages = plan_install(APP_BINARIES[app], universe,
+                                blacklist=DEFAULT_BLACKLIST)
+        return assemble(packages, universe, app_name=app)
+
+    def test_caches_and_dpkg_state_stripped(self):
+        result = self._assembled()
+        assert result.stripped_kb > 0
+        assert not any(p.startswith("var/cache/")
+                       for p in result.filesystem.files)
+        assert not any(p.startswith("var/lib/dpkg/")
+                       for p in result.filesystem.files)
+
+    def test_busybox_underlay_present(self):
+        result = self._assembled()
+        assert "bin/busybox" in result.filesystem.files
+
+    def test_init_glue_added(self):
+        result = self._assembled()
+        assert "etc/init.d/S99nginx" in result.filesystem.files
+
+    def test_application_binary_present(self):
+        result = self._assembled()
+        assert "usr/bin/nginx" in result.filesystem.files
+
+    def test_filesystem_is_megabytes_not_hundreds(self):
+        """The point of Tinyx: tens of MB, not a Debian rootfs."""
+        result = self._assembled()
+        total_mb = result.filesystem.total_kb / 1024.0
+        assert total_mb < 40
+
+
+class TestKernelConfig:
+    def test_tinyconfig_small(self):
+        assert KernelConfig.tinyconfig().size_kb() < 1500
+
+    def test_enable_pulls_requirements(self):
+        config = KernelConfig.tinyconfig()
+        config.enable("CONFIG_XEN_NETFRONT")
+        assert config.is_enabled("CONFIG_XEN")
+        assert config.is_enabled("CONFIG_PARAVIRT")
+        assert config.is_enabled("CONFIG_NET")
+
+    def test_olddefconfig_drops_orphans(self):
+        config = KernelConfig.tinyconfig()
+        config.enable("CONFIG_XEN_NETFRONT")
+        config.disable("CONFIG_NET")
+        dropped = config.olddefconfig()
+        assert "CONFIG_XEN_NETFRONT" in dropped
+        assert not config.is_enabled("CONFIG_XEN_NETFRONT")
+
+    def test_trim_keeps_needed_options(self):
+        config = KernelConfig.tinyconfig()
+        for option in ("CONFIG_XEN", "CONFIG_XEN_NETFRONT",
+                       "CONFIG_HVC_XEN", "CONFIG_PROC_FS", "CONFIG_SYSFS",
+                       "CONFIG_TMPFS", "CONFIG_INET"):
+            config.enable(option)
+        test = default_boot_test("xen")
+        report = trim(config, ["CONFIG_XEN_NETFRONT", "CONFIG_IPV6"], test)
+        assert "CONFIG_XEN_NETFRONT" in report.retained
+        assert config.is_enabled("CONFIG_XEN_NETFRONT")
+
+    def test_trim_removes_unneeded_options(self):
+        config = KernelConfig.tinyconfig()
+        for option in ("CONFIG_XEN", "CONFIG_XEN_NETFRONT",
+                       "CONFIG_HVC_XEN", "CONFIG_PROC_FS", "CONFIG_SYSFS",
+                       "CONFIG_TMPFS", "CONFIG_INET", "CONFIG_SOUND",
+                       "CONFIG_DRM"):
+            config.enable(option)
+        test = default_boot_test("xen")
+        report = trim(config, ["CONFIG_SOUND", "CONFIG_DRM"], test)
+        assert set(report.removed) >= {"CONFIG_SOUND", "CONFIG_DRM"}
+        assert report.size_after_kb < report.size_before_kb
+
+    def test_trim_counts_builds(self):
+        config = KernelConfig.tinyconfig()
+        config.enable("CONFIG_SOUND")
+        config.enable("CONFIG_SWAP")
+        test = default_boot_test("xen")
+        report = trim(config, ["CONFIG_SOUND", "CONFIG_SWAP"], test)
+        assert report.builds == 2
+
+    def test_distro_kernel_much_bigger(self):
+        assert (KernelConfig.distro().size_kb()
+                > KernelConfig.tinyconfig().size_kb() * 3)
+
+
+class TestBuilder:
+    def test_end_to_end_nginx(self):
+        build = TinyxBuilder().build("nginx", platform="xen",
+                                     trim_candidates=DEFAULT_TRIM_CANDIDATES)
+        assert build.image.kind is GuestKind.TINYX
+        assert build.image.vifs == 1
+        assert "nginx" in build.packages
+        assert build.trim_report is not None
+        # Network must survive trimming (the wget boot test needs it).
+        assert build.kernel_config.is_enabled("CONFIG_XEN_NETFRONT")
+
+    def test_image_size_in_tinyx_range(self):
+        """§3.2: images are a few tens of MBs (Fig 4's is 9.5 MB)."""
+        build = TinyxBuilder().build("nginx", platform="xen",
+                                     trim_candidates=DEFAULT_TRIM_CANDIDATES)
+        size_mb = build.image.kernel_size_kb / 1024.0
+        assert 4.0 <= size_mb <= 40.0
+
+    def test_trimmed_kernel_half_of_debian(self):
+        """§3.2: "kernel images that are half the size of typical Debian
+        kernels"."""
+        build = TinyxBuilder().build("nginx", platform="xen",
+                                     trim_candidates=DEFAULT_TRIM_CANDIDATES)
+        assert build.kernel_kb <= debian_kernel_size_kb() * 0.55
+
+    def test_kvm_platform(self):
+        build = TinyxBuilder().build("micropython", platform="kvm")
+        assert build.kernel_config.is_enabled("CONFIG_KVM_GUEST")
+        assert not build.kernel_config.is_enabled("CONFIG_XEN")
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError):
+            TinyxBuilder().build("nginx", platform="vmware")
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            TinyxBuilder().build("emacs")
+
+    def test_built_image_boots_on_host(self):
+        from repro.core import Host
+        build = TinyxBuilder().build("nginx", platform="xen")
+        host = Host(variant="lightvm")
+        host.warmup(500)
+        record = host.create_vm(build.image)
+        assert record.boot_ms > 0

@@ -1,0 +1,89 @@
+"""Tests for VM configuration and the xl.cfg parser."""
+
+import pytest
+
+from repro.guests import DAYTIME_UNIKERNEL, DEBIAN
+from repro.toolstack import ConfigError, VMConfig, parse_config_text
+
+
+class TestForImage:
+    def test_defaults_from_image(self):
+        config = VMConfig.for_image(DAYTIME_UNIKERNEL, "vm1")
+        assert config.name == "vm1"
+        assert config.memory_kb == DAYTIME_UNIKERNEL.memory_kb
+        assert len(config.vifs) == 1
+        assert config.vifs[0]["mac"].startswith("00:16:3e")
+        assert config.vbds == []
+
+    def test_debian_gets_disk(self):
+        config = VMConfig.for_image(DEBIAN, "deb1")
+        assert len(config.vbds) == 1
+        assert config.vbds[0]["target"].startswith("/dev/xvd")
+
+    def test_memory_override(self):
+        config = VMConfig.for_image(DAYTIME_UNIKERNEL, "vm1",
+                                    memory_kb=8192)
+        assert config.memory_kb == 8192
+
+    def test_render_produces_text(self):
+        config = VMConfig.for_image(DAYTIME_UNIKERNEL, "vm1")
+        assert 'name = "vm1"' in config.text
+        assert "vif = [" in config.text
+
+
+class TestParser:
+    def test_roundtrip(self):
+        original = VMConfig.for_image(DAYTIME_UNIKERNEL, "round")
+        parsed = parse_config_text(original.render())
+        assert parsed.name == "round"
+        assert parsed.image is DAYTIME_UNIKERNEL
+        assert parsed.memory_kb == (original.memory_kb // 1024) * 1024
+        assert len(parsed.vifs) == 1
+
+    def test_parses_vif_params(self):
+        text = (
+            'name = "x"\n'
+            'kernel = "/images/daytime.img"\n'
+            "vif = [ 'bridge=xenbr0,mac=00:16:3e:aa:bb:cc' ]\n"
+        )
+        config = parse_config_text(text)
+        assert config.vifs[0]["mac"] == "00:16:3e:aa:bb:cc"
+        assert config.vifs[0]["bridge"] == "xenbr0"
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = (
+            "# a comment\n"
+            "\n"
+            'name = "x"  # trailing\n'
+            'kernel = "/images/noop.img"\n'
+        )
+        config = parse_config_text(text)
+        assert config.name == "x"
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config_text('kernel = "/images/noop.img"\n')
+
+    def test_missing_kernel_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config_text('name = "x"\n')
+
+    def test_unknown_image_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config_text('name = "x"\nkernel = "/images/win95.img"\n')
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config_text("this is not a config\n")
+
+    def test_unparsable_value_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config_text("name = unquoted-bareword\n")
+
+    def test_memory_in_mib(self):
+        text = ('name = "x"\nkernel = "/images/noop.img"\nmemory = 64\n')
+        assert parse_config_text(text).memory_kb == 64 * 1024
+
+    def test_vcpus(self):
+        text = ('name = "x"\nkernel = "/images/noop.img"\nvcpus = 2\n')
+        assert parse_config_text(text).vcpus == 2

@@ -1,0 +1,146 @@
+"""Edge cases across the toolstack: split internals, chaos validation,
+migration preconditions, checkpointer dispatch."""
+
+import pytest
+
+from repro.core import Host, XEON_E5_1630_2DOM0
+from repro.guests import DAYTIME_UNIKERNEL, NOOP_UNIKERNEL
+from repro.hypervisor import DomainState, Hypervisor
+from repro.noxs import NoxsModule, SysctlBackend
+from repro.sim import Simulator
+from repro.toolstack import ChaosToolstack, VMConfig
+from repro.xenstore import XenStoreDaemon
+
+
+class TestChaosValidation:
+    def _platform(self):
+        sim = Simulator()
+        hv = Hypervisor(sim, memory_kb=8 * 1024 * 1024, total_cores=4,
+                        dom0_cores=1, dom0_memory_kb=64 * 1024)
+        return sim, hv
+
+    def test_requires_exactly_one_control_plane(self):
+        sim, hv = self._platform()
+        with pytest.raises(ValueError):
+            ChaosToolstack(sim, hv)  # neither
+        xs = XenStoreDaemon(sim)
+        noxs = NoxsModule(sim, hv)
+        with pytest.raises(ValueError):
+            ChaosToolstack(sim, hv, xenstore=xs, noxs=noxs)  # both
+
+    def test_noxs_requires_sysctl(self):
+        sim, hv = self._platform()
+        with pytest.raises(ValueError):
+            ChaosToolstack(sim, hv, noxs=NoxsModule(sim, hv))
+
+    def test_bad_mac_rejected(self):
+        host = Host(variant="chaos+noxs")
+        config = host.config_for(DAYTIME_UNIKERNEL)
+        config.vifs[0]["mac"] = "zz:not:a:mac"
+        with pytest.raises(ValueError):
+            host.create_vm(config)
+
+
+class TestSplitExecuteInternals:
+    def test_shell_resized_to_requested_memory(self):
+        host = Host(variant="lightvm", shell_memory_kb=4096)
+        host.warmup(500)
+        record = host.create_vm(DAYTIME_UNIKERNEL)  # wants 3686 KiB
+        assert record.domain.memory_kb == DAYTIME_UNIKERNEL.memory_kb
+        assert host.hypervisor.memory.owned_kb(
+            record.domain.domid) == DAYTIME_UNIKERNEL.memory_kb
+
+    def test_prepared_device_is_consumed(self):
+        host = Host(variant="lightvm", shell_vifs=1)
+        host.warmup(500)
+        before = host.noxs.stats["devices_created"]
+        host.create_vm(DAYTIME_UNIKERNEL)
+        # The vif came from the shell's prepared stock; only the sysctl
+        # device was created at execute time.
+        created_at_execute = host.noxs.stats["devices_created"] - before
+        assert created_at_execute <= 1
+
+    def test_noop_needs_no_vif_but_shell_has_one(self):
+        """A shell prepared with one vif still serves a no-device image
+        (the spare device entry is simply not installed)."""
+        host = Host(variant="lightvm", shell_vifs=1)
+        host.warmup(500)
+        record = host.create_vm(NOOP_UNIKERNEL)
+        types = [e.dev_type for _i, e in
+                 record.domain.device_page.entries()]
+        from repro.hypervisor import DEV_SYSCTL
+        assert types == [DEV_SYSCTL]
+
+
+class TestXsSplitInternals:
+    def test_execute_phase_writes_only_leaves(self):
+        host = Host(variant="chaos+xs+split")
+        host.warmup(1500)
+        ops_before = host.xenstore.stats["ops"]
+        host.create_vm(DAYTIME_UNIKERNEL)
+        execute_ops = host.xenstore.stats["ops"] - ops_before
+        # Far fewer ops than a full unsplit creation (~20+).
+        assert execute_ops < 18
+
+    def test_guest_boots_from_prepared_skeleton(self):
+        host = Host(variant="chaos+xs+split")
+        host.warmup(1500)
+        record = host.create_vm(DAYTIME_UNIKERNEL)
+        assert record.boot_ms > 0
+        front = "/local/domain/%d/device/vif/0/state" % record.domain.domid
+        assert host.xenstore.tree.read(front) == "connected"
+
+
+class TestCheckpointerDispatch:
+    def test_chaos_xs_save_uses_control_node(self):
+        host = Host(spec=XEON_E5_1630_2DOM0, variant="chaos+xs")
+        config = host.config_for(DAYTIME_UNIKERNEL)
+        record = host.create_vm(config)
+        host.save_vm(record.domain, config)
+        # The suspend request went through the XenStore control node.
+        assert host.xenstore.tree.write_count > 0
+
+    def test_save_requires_running_guest_on_noxs(self):
+        host = Host(spec=XEON_E5_1630_2DOM0, variant="lightvm")
+        host.warmup(500)
+        config = host.config_for(DAYTIME_UNIKERNEL)
+        record = host.create_vm(config, boot=False)  # CREATED, not RUNNING
+        with pytest.raises(Exception):
+            host.save_vm(record.domain, config)
+
+    def test_restored_guest_usable_for_second_save(self):
+        host = Host(spec=XEON_E5_1630_2DOM0, variant="lightvm")
+        host.warmup(500)
+        config = host.config_for(DAYTIME_UNIKERNEL)
+        record = host.create_vm(config)
+        saved = host.save_vm(record.domain, config)
+        domain = host.restore_vm(saved)
+        saved2 = host.save_vm(domain, config)
+        domain2 = host.restore_vm(saved2)
+        assert domain2.state == DomainState.RUNNING
+
+
+class TestSysctlLifecycle:
+    def test_attach_is_part_of_noxs_create(self):
+        host = Host(variant="chaos+noxs")
+        record = host.create_vm(DAYTIME_UNIKERNEL)
+        assert SysctlBackend.NOTE_KEY in record.domain.notes
+
+    def test_destroy_tears_down_sysctl_device(self):
+        host = Host(variant="chaos+noxs")
+        record = host.create_vm(DAYTIME_UNIKERNEL)
+        destroyed_before = host.noxs.stats["devices_destroyed"]
+        host.destroy_vm(record.domain)
+        assert host.noxs.stats["devices_destroyed"] >= destroyed_before + 2
+
+
+class TestConfigRoundTripThroughCreate:
+    def test_parsed_config_creates_identical_vm(self):
+        from repro.toolstack import parse_config_text
+        host = Host(variant="chaos+noxs")
+        original = host.config_for(DAYTIME_UNIKERNEL)
+        reparsed = parse_config_text(original.render())
+        record = host.create_vm(reparsed)
+        assert record.domain.memory_kb // 1024 == \
+            original.memory_kb // 1024
+        assert record.domain.device_page.count == 2  # vif + sysctl

@@ -1,0 +1,228 @@
+"""Tests for toolstack internals: shell pool, hotplug, phases, quotas."""
+
+import pytest
+
+from repro.hypervisor import DomainState, Hypervisor
+from repro.noxs import NoxsModule
+from repro.sim import Simulator
+from repro.toolstack import (BashHotplug, ChaosDaemon, NullBridge,
+                             PhaseRecorder, Xendevd)
+from repro.xenstore import QuotaExceededError, XenStoreDaemon
+
+
+def make_platform():
+    sim = Simulator()
+    hv = Hypervisor(sim, memory_kb=8 * 1024 * 1024, total_cores=4,
+                    dom0_cores=1, dom0_memory_kb=64 * 1024)
+    return sim, hv
+
+
+def run(sim, gen):
+    def wrapper():
+        result = yield from gen
+        return result
+    return sim.run(until=sim.process(wrapper()))
+
+
+class TestShellPool:
+    def test_daemon_fills_pool_to_target(self):
+        sim, hv = make_platform()
+        daemon = ChaosDaemon(sim, hv, noxs=NoxsModule(sim, hv),
+                             pool_target=5)
+        daemon.start()
+        sim.run(until=sim.now + 1000)
+        assert len(daemon.pool) == 5
+        assert daemon.shells_prepared == 5
+
+    def test_shells_are_hypervisor_registered(self):
+        sim, hv = make_platform()
+        daemon = ChaosDaemon(sim, hv, noxs=NoxsModule(sim, hv),
+                             pool_target=3)
+        daemon.start()
+        sim.run(until=sim.now + 1000)
+        shells = [d for d in hv.domains.values()
+                  if d.state is DomainState.SHELL]
+        assert len(shells) == 3
+        assert all(d.device_page is not None for d in shells)
+
+    def test_pool_replenishes_after_take(self):
+        sim, hv = make_platform()
+        daemon = ChaosDaemon(sim, hv, noxs=NoxsModule(sim, hv),
+                             pool_target=3)
+        daemon.start()
+        sim.run(until=sim.now + 1000)
+        shell = run(sim, daemon.get_shell(None))
+        assert shell.prepared_devices
+        sim.run(until=sim.now + 1000)
+        assert len(daemon.pool) == 3
+
+    def test_get_shell_waits_when_pool_empty(self):
+        sim, hv = make_platform()
+        daemon = ChaosDaemon(sim, hv, noxs=NoxsModule(sim, hv),
+                             pool_target=1)
+        daemon.start()
+        # No warmup: the first get must wait for the first prepare.
+        shell = run(sim, daemon.get_shell(None))
+        assert shell.domain.state is DomainState.SHELL
+        assert sim.now > 0
+
+    def test_stop_halts_replenishment(self):
+        sim, hv = make_platform()
+        daemon = ChaosDaemon(sim, hv, noxs=NoxsModule(sim, hv),
+                             pool_target=2)
+        daemon.start()
+        sim.run(until=sim.now + 1000)
+        daemon.stop()
+        run(sim, daemon.get_shell(None))
+        sim.run(until=sim.now + 2000)
+        assert len(daemon.pool) < 2
+
+    def test_xenstore_mode_prewrites_skeleton(self):
+        sim, hv = make_platform()
+        xs = XenStoreDaemon(sim)
+        daemon = ChaosDaemon(sim, hv, xenstore=xs, pool_target=1)
+        daemon.start()
+        sim.run(until=sim.now + 1000)
+        shell = run(sim, daemon.get_shell(None))
+        base = "/local/domain/%d" % shell.domain.domid
+        assert xs.tree.exists(base + "/shell")
+        assert xs.tree.exists(base + "/device/vif/0/backend")
+
+    def test_validation(self):
+        sim, hv = make_platform()
+        with pytest.raises(ValueError):
+            ChaosDaemon(sim, hv)  # no control plane
+        with pytest.raises(ValueError):
+            ChaosDaemon(sim, hv, noxs=NoxsModule(sim, hv), pool_target=0)
+
+
+class TestHotplug:
+    def test_bash_much_slower_than_xendevd(self):
+        sim = Simulator()
+        bash = BashHotplug(sim)
+        start = sim.now
+        run(sim, bash.attach(1, "vif1.0"))
+        bash_ms = sim.now - start
+        xend = Xendevd(sim)
+        start = sim.now
+        run(sim, xend.attach(1, "vif1.1"))
+        xendevd_ms = sim.now - start
+        assert bash_ms > xendevd_ms * 20
+
+    def test_both_update_bridge_ports(self):
+        sim = Simulator()
+        bridge = NullBridge()
+        for mechanism in (BashHotplug(sim, bridge=bridge),
+                          Xendevd(sim, bridge=bridge)):
+            run(sim, mechanism.attach(7, "vif7.0"))
+            assert bridge.ports["vif7.0"] == 7
+            run(sim, mechanism.detach(7, "vif7.0"))
+            assert "vif7.0" not in bridge.ports
+
+    def test_invocation_counting(self):
+        sim = Simulator()
+        xend = Xendevd(sim)
+        run(sim, xend.attach(1, "a"))
+        run(sim, xend.detach(1, "a"))
+        assert xend.invocations == 2
+
+
+class TestPhaseRecorder:
+    def test_attributes_time_to_open_phase(self):
+        sim = Simulator()
+        recorder = PhaseRecorder(sim)
+        recorder.start("config")
+        sim.timeout(5.0)
+        sim.run()
+        recorder.start("devices")
+        sim.timeout(3.0)
+        sim.run()
+        recorder.stop()
+        assert recorder.totals["config"] == pytest.approx(5.0)
+        assert recorder.totals["devices"] == pytest.approx(3.0)
+        assert recorder.total_ms == pytest.approx(8.0)
+
+    def test_unknown_phase_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PhaseRecorder(sim).start("quantum")
+
+    def test_stop_without_open_phase_is_noop(self):
+        sim = Simulator()
+        PhaseRecorder(sim).stop()
+
+
+class TestQuota:
+    def test_guest_hits_node_quota(self):
+        sim = Simulator()
+        xs = XenStoreDaemon(sim)
+        xs.costs.quota_nodes_per_domain = 10
+        with pytest.raises(QuotaExceededError):
+            for index in range(50):
+                run(sim, xs.op_write(7, "/local/domain/7/junk%d" % index,
+                                     "x"))
+
+    def test_dom0_exempt_from_quota(self):
+        sim = Simulator()
+        xs = XenStoreDaemon(sim)
+        xs.costs.quota_nodes_per_domain = 5
+        for index in range(50):
+            run(sim, xs.op_write(0, "/admin/%d" % index, "x"))
+
+    def test_overwrite_does_not_consume_quota(self):
+        sim = Simulator()
+        xs = XenStoreDaemon(sim)
+        xs.costs.quota_nodes_per_domain = 3
+        run(sim, xs.op_write(7, "/local/domain/7/a", "1"))
+        for _ in range(30):
+            run(sim, xs.op_write(7, "/local/domain/7/a", "again"))
+
+    def test_quota_disabled_with_zero(self):
+        sim = Simulator()
+        xs = XenStoreDaemon(sim)
+        xs.costs.quota_nodes_per_domain = 0
+        for index in range(100):
+            run(sim, xs.op_write(7, "/spam/%d" % index, "x"))
+
+
+class TestReviewFixes:
+    """Regression tests for the code-review findings."""
+
+    def test_rm_returns_quota(self):
+        sim = Simulator()
+        xs = XenStoreDaemon(sim)
+        xs.costs.quota_nodes_per_domain = 5
+        # Write/remove cycles must not exhaust the quota.
+        for cycle in range(20):
+            run(sim, xs.op_write(7, "/local/domain/7/tmp", "x"))
+            run(sim, xs.op_rm(7, "/local/domain/7/tmp"))
+
+    def test_shell_resize_oom_rolls_back(self):
+        import pytest as _pytest
+        from repro.hypervisor import OutOfMemoryError
+        sim, hv = make_platform()
+        shell = hv.domctl_create(shell=True, memory_kb=4096)
+        with _pytest.raises(OutOfMemoryError):
+            hv.domctl_resize_shell(shell, hv.memory.total_kb * 2)
+        # The shell still owns its original reservation, consistently.
+        assert hv.memory.owned_kb(shell.domid) == 4096
+        assert shell.memory_kb == 4096
+
+    def test_negative_yield_fails_only_the_process(self):
+        import pytest as _pytest
+        sim = Simulator()
+
+        def buggy():
+            yield -5.0
+
+        def healthy(log):
+            yield 1.0
+            log.append(sim.now)
+
+        log = []
+        proc = sim.process(buggy())
+        sim.process(healthy(log))
+        with _pytest.raises(ValueError):
+            sim.run(until=proc)
+        sim.run()
+        assert log == [1.0]  # the rest of the simulation survived

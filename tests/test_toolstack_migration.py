@@ -1,0 +1,117 @@
+"""Tests for checkpointing (save/restore) and migration."""
+
+import pytest
+
+from repro.core import Host, XEON_E5_1630_2DOM0
+from repro.guests import DAYTIME_UNIKERNEL
+from repro.hypervisor import DomainState
+from repro.net import Link
+from repro.sim import Simulator
+from repro.toolstack import migrate
+
+
+def make_host(variant, sim=None):
+    host = Host(spec=XEON_E5_1630_2DOM0, variant=variant, sim=sim)
+    host.warmup(500)
+    return host
+
+
+class TestCheckpoint:
+    @pytest.mark.parametrize("variant", ["xl", "chaos+xs", "lightvm"])
+    def test_save_destroys_and_restore_revives(self, variant):
+        host = make_host(variant)
+        config = host.config_for(DAYTIME_UNIKERNEL)
+        record = host.create_vm(config)
+        guests_before = host.running_guests
+        saved = host.save_vm(record.domain, config)
+        assert host.running_guests == guests_before - 1
+        assert saved.memory_kb == DAYTIME_UNIKERNEL.memory_kb
+        domain = host.restore_vm(saved)
+        assert domain.state == DomainState.RUNNING
+        assert host.running_guests == guests_before
+
+    def test_lightvm_save_near_30ms(self):
+        host = make_host("lightvm")
+        config = host.config_for(DAYTIME_UNIKERNEL)
+        record = host.create_vm(config)
+        start = host.sim.now
+        host.save_vm(record.domain, config)
+        assert host.sim.now - start == pytest.approx(30.0, abs=10.0)
+
+    def test_lightvm_restore_near_20ms(self):
+        host = make_host("lightvm")
+        config = host.config_for(DAYTIME_UNIKERNEL)
+        record = host.create_vm(config)
+        saved = host.save_vm(record.domain, config)
+        start = host.sim.now
+        host.restore_vm(saved)
+        assert host.sim.now - start == pytest.approx(20.0, abs=10.0)
+
+    def test_xl_save_slower_than_lightvm(self):
+        times = {}
+        for variant in ("xl", "lightvm"):
+            host = make_host(variant)
+            config = host.config_for(DAYTIME_UNIKERNEL)
+            record = host.create_vm(config)
+            start = host.sim.now
+            host.save_vm(record.domain, config)
+            times[variant] = host.sim.now - start
+        assert times["xl"] > times["lightvm"] * 2.5
+
+    def test_xl_restore_slowest_direction(self):
+        host = make_host("xl")
+        config = host.config_for(DAYTIME_UNIKERNEL)
+        record = host.create_vm(config)
+        save_start = host.sim.now
+        saved = host.save_vm(record.domain, config)
+        save_ms = host.sim.now - save_start
+        restore_start = host.sim.now
+        host.restore_vm(saved)
+        restore_ms = host.sim.now - restore_start
+        assert restore_ms > save_ms
+
+    def test_restored_domain_has_devices(self):
+        host = make_host("lightvm")
+        config = host.config_for(DAYTIME_UNIKERNEL)
+        record = host.create_vm(config)
+        saved = host.save_vm(record.domain, config)
+        domain = host.restore_vm(saved)
+        assert domain.device_page is not None
+        assert domain.device_page.count >= 1
+
+
+class TestMigration:
+    def _migrate(self, variant, latency_ms=0.1, bandwidth_mbps=1000.0):
+        sim = Simulator()
+        src = make_host(variant, sim=sim)
+        dst = make_host(variant, sim=sim)
+        config = src.config_for(DAYTIME_UNIKERNEL)
+        record = src.create_vm(config)
+        link = Link(sim, latency_ms=latency_ms,
+                    bandwidth_mbps=bandwidth_mbps)
+        start = sim.now
+        proc = sim.process(migrate(src.checkpointer, dst.checkpointer,
+                                   record.domain, config, link))
+        remote = sim.run(until=proc)
+        return sim.now - start, remote, src, dst
+
+    def test_lightvm_migration_near_60ms(self):
+        elapsed, remote, _src, _dst = self._migrate("lightvm")
+        assert elapsed == pytest.approx(60.0, abs=25.0)
+        assert remote.state == DomainState.RUNNING
+
+    def test_source_domain_gone_after_migration(self):
+        _elapsed, _remote, src, dst = self._migrate("lightvm")
+        assert src.running_guests + dst.running_guests >= 1
+        assert src.running_guests == 0
+
+    def test_slow_link_slows_migration(self):
+        fast, _r, _s, _d = self._migrate("lightvm", latency_ms=0.1)
+        slow, _r, _s, _d = self._migrate("lightvm", latency_ms=10.0,
+                                         bandwidth_mbps=100.0)
+        assert slow > fast + 20.0
+
+    def test_xl_migration_slower_than_lightvm(self):
+        xl, _r, _s, _d = self._migrate("xl")
+        lightvm, _r, _s, _d = self._migrate("lightvm")
+        assert xl > lightvm

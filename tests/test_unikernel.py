@@ -1,0 +1,113 @@
+"""Tests for the unikernel build system (§3.1)."""
+
+import pytest
+
+from repro.guests import DAYTIME_UNIKERNEL, GuestKind
+from repro.unikernel import (APPLICATIONS, AppSource, LIBRARY_OBJECTS,
+                             LibraryObject, LinkError, build, link,
+                             size_report)
+
+
+class TestUniverse:
+    def test_universe_symbols_self_consistent(self):
+        provided = {symbol for obj in LIBRARY_OBJECTS.values()
+                    for symbol in obj.provides}
+        for obj in LIBRARY_OBJECTS.values():
+            for symbol in obj.needs:
+                assert symbol in provided, "%s needs %s" % (obj.name,
+                                                            symbol)
+
+    def test_applications_resolvable(self):
+        for name in APPLICATIONS:
+            link(name)
+
+    def test_daytime_is_50_loc(self):
+        """The paper's exact figure for the daytime server."""
+        assert APPLICATIONS["daytime"].loc == 50
+
+
+class TestLinker:
+    def test_reachability_pruning(self):
+        """The noop unikernel must not drag in the network stack."""
+        result = link("noop")
+        assert result.includes("minios-core")
+        assert not result.includes("lwip")
+        assert not result.includes("minios-netfront")
+
+    def test_daytime_pulls_lwip_and_netfront(self):
+        result = link("daytime")
+        assert result.includes("lwip")
+        assert result.includes("minios-netfront")
+        assert result.includes("newlib-mini")
+        assert not result.includes("micropython-core")
+
+    def test_undefined_symbol_is_loud(self):
+        bad = AppSource("bad", 10, needs=("quantum_teleport",))
+        with pytest.raises(LinkError, match="quantum_teleport"):
+            link(bad)
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(LinkError):
+            link("emacs")
+
+    def test_duplicate_providers_rejected(self):
+        universe = {
+            "a": LibraryObject("a", 1, provides=("sym",)),
+            "b": LibraryObject("b", 1, provides=("sym",)),
+        }
+        app = AppSource("x", 1, needs=("sym",))
+        with pytest.raises(LinkError, match="defined by both"):
+            link(app, universe=universe)
+
+    def test_image_size_is_sum_of_parts(self):
+        result = link("noop")
+        expected = (result.app.size_kb
+                    + sum(o.size_kb for o in result.objects)
+                    + result.ELF_OVERHEAD_KB)
+        assert result.image_kb == expected
+
+
+class TestBuild:
+    def test_daytime_matches_paper_sizes(self):
+        """§3.1: 480 KB image, 3.6 MB of RAM — within 20%."""
+        item = build("daytime")
+        assert item.image.kernel_size_kb == pytest.approx(480, rel=0.2)
+        assert item.image.memory_kb == pytest.approx(3686, rel=0.25)
+
+    def test_minipython_and_tls_around_1mb(self):
+        """§3.1: "both have images of around 1MB"."""
+        for name in ("minipython", "tls-proxy"):
+            item = build(name)
+            assert 700 <= item.image.kernel_size_kb <= 1400, name
+
+    def test_clickos_firewall_matches_7_1(self):
+        """§7.1: 1.7 MB image, 8 MB of RAM."""
+        item = build("clickos-firewall")
+        assert item.image.kernel_size_kb == pytest.approx(1740, rel=0.1)
+        assert item.image.memory_kb == pytest.approx(8192, rel=0.15)
+
+    def test_network_apps_get_a_vif(self):
+        assert build("daytime").image.vifs == 1
+        assert build("noop").image.vifs == 0
+
+    def test_built_image_boots_on_lightvm(self):
+        from repro.core import Host
+        item = build("daytime")
+        host = Host(variant="lightvm")
+        host.warmup(500)
+        record = host.create_vm(item.image)
+        assert record.total_ms == pytest.approx(
+            4.4, abs=2.0)  # the catalogue daytime's neighbourhood
+
+    def test_boot_time_close_to_catalogue(self):
+        item = build("daytime")
+        assert item.image.boot_cpu_ms == pytest.approx(
+            DAYTIME_UNIKERNEL.boot_cpu_ms, abs=1.2)
+
+    def test_kind_is_unikernel(self):
+        assert build("noop").image.kind is GuestKind.UNIKERNEL
+
+    def test_size_report_renders(self):
+        text = size_report([build("noop"), build("daytime")])
+        assert "unikernel-noop" in text
+        assert "KB" in text

@@ -1,0 +1,107 @@
+"""Tests for the four §7 use cases (small-scale runs)."""
+
+import pytest
+
+from repro.core.metrics import median, percentile
+from repro.core.usecases import (run_compute_service, run_jit_service,
+                                 run_personal_firewalls,
+                                 run_tls_termination)
+
+
+class TestFirewalls:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_personal_firewalls(client_counts=(1, 250, 500, 1000),
+                                      boot_fleet=60)
+
+    def test_fleet_boots(self, result):
+        assert result.booted == 60
+
+    def test_boot_sample_around_10ms(self, result):
+        """§7.1: booting one ClickOS firewall takes about 10 ms."""
+        assert result.boot_sample_ms == pytest.approx(10.0, abs=5.0)
+
+    def test_throughput_knee(self, result):
+        by_n = {p.clients: p for p in result.points}
+        assert not by_n[1].saturated
+        assert by_n[1000].saturated
+        assert by_n[1000].total_gbps > by_n[500].total_gbps
+
+    def test_migration_estimate_band(self, result):
+        """§7.1: ~150 ms over a 1 Gb/s, 10 ms link."""
+        assert result.migration_ms == pytest.approx(150.0, abs=60.0)
+
+
+class TestJit:
+    def test_clean_curve_at_slow_arrivals(self):
+        result = run_jit_service(25.0, clients=120)
+        assert median(result.rtts) == pytest.approx(13.0, abs=4.0)
+        assert percentile(result.rtts, 90) < 40.0
+        assert result.retried == 0
+
+    def test_overload_at_fast_arrivals(self):
+        result = run_jit_service(10.0, clients=120)
+        assert result.bridge_drops > 0
+        assert result.retried > 0
+        assert percentile(result.rtts, 99) > 500.0
+
+    def test_all_clients_answered(self):
+        result = run_jit_service(50.0, clients=50)
+        assert len(result.rtts) == 50
+
+    def test_deterministic_given_seed(self):
+        a = run_jit_service(25.0, clients=40, seed=3)
+        b = run_jit_service(25.0, clients=40, seed=3)
+        assert a.rtts == b.rtts
+
+
+class TestTlsTermination:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_tls_termination(instance_counts=(1, 100, 1000))
+
+    def test_boot_times(self, result):
+        """§7.3: unikernel ~6 ms, Tinyx ~190 ms."""
+        assert result.unikernel_boot_ms < 10.0
+        assert result.tinyx_boot_ms == pytest.approx(190.0, abs=40.0)
+
+    def test_tinyx_matches_bare_metal(self, result):
+        tinyx = result.series["tinyx"][-1].requests_per_s
+        bare = result.series["bare-metal"][-1].requests_per_s
+        assert tinyx == pytest.approx(bare, rel=0.1)
+
+    def test_unikernel_a_fifth(self, result):
+        tinyx = result.series["tinyx"][-1].requests_per_s
+        uni = result.series["unikernel"][-1].requests_per_s
+        assert uni == pytest.approx(tinyx / 5, rel=0.15)
+
+
+class TestComputeService:
+    def test_backlog_grows_under_overload(self):
+        result = run_compute_service("lightvm", requests=120)
+        assert result.service_ms[0] < result.service_ms[-1]
+        peak = max(count for _t, count in result.concurrency)
+        assert peak > 3  # more than the core count: genuinely backlogged
+
+    def test_split_toolstack_creations_fast_and_flat(self):
+        result = run_compute_service("lightvm", requests=120)
+        later = [c for c in result.create_ms[60:] if c > 0]
+        assert max(later) < 5.0
+
+    def test_xenstore_variant_creations_slower(self):
+        lightvm = run_compute_service("lightvm", requests=100)
+        chaos_xs = run_compute_service("chaos+xs", requests=100)
+        assert (median(chaos_xs.create_ms)
+                > median(lightvm.create_ms) * 2)
+
+    def test_noxs_completions_no_worse(self):
+        lightvm = run_compute_service("lightvm", requests=100)
+        chaos_xs = run_compute_service("chaos+xs", requests=100)
+        assert (sum(lightvm.service_ms)
+                <= sum(chaos_xs.service_ms) * 1.05)
+
+    def test_concurrency_timeline_recorded(self):
+        result = run_compute_service("lightvm", requests=60)
+        assert len(result.concurrency) > 5
+        times = [t for t, _c in result.concurrency]
+        assert times == sorted(times)

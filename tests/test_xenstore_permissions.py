@@ -1,0 +1,134 @@
+"""Tests for XenStore node permissions (ACLs)."""
+
+import pytest
+
+from repro.core import Host
+from repro.guests import DAYTIME_UNIKERNEL
+from repro.sim import Simulator
+from repro.xenstore import (NodePerms, PERM_BOTH, PERM_NONE, PERM_READ,
+                            PERM_WRITE, PermEntry, PermissionError_,
+                            XenStoreDaemon)
+
+
+def run_op(sim, gen):
+    def wrapper():
+        result = yield from gen
+        return result
+    return sim.run(until=sim.process(wrapper()))
+
+
+class TestAclModel:
+    def test_owner_always_has_full_access(self):
+        perms = NodePerms.owned_by(5)
+        assert perms.allows_read(5)
+        assert perms.allows_write(5)
+
+    def test_default_applies_to_unlisted(self):
+        closed = NodePerms.owned_by(5, default=PERM_NONE)
+        assert not closed.allows_read(7)
+        open_read = NodePerms.owned_by(5, default=PERM_READ)
+        assert open_read.allows_read(7)
+        assert not open_read.allows_write(7)
+
+    def test_grant_overrides_default(self):
+        perms = NodePerms.owned_by(5).grant(7, PERM_BOTH)
+        assert perms.allows_write(7)
+        assert not perms.allows_write(8)
+
+    def test_regrant_replaces_entry(self):
+        perms = NodePerms.owned_by(5).grant(7, PERM_BOTH)
+        perms = perms.grant(7, PERM_READ)
+        assert perms.allows_read(7)
+        assert not perms.allows_write(7)
+        assert len(perms.entries) == 2
+
+    def test_dom0_bypasses_everything(self):
+        perms = NodePerms.owned_by(5, default=PERM_NONE)
+        assert perms.allows_read(0)
+        assert perms.allows_write(0)
+
+    def test_invalid_perm_rejected(self):
+        with pytest.raises(ValueError):
+            PermEntry(1, "x")
+
+    def test_empty_acl_rejected(self):
+        with pytest.raises(ValueError):
+            NodePerms([])
+
+
+class TestDaemonEnforcement:
+    def _daemon(self, enforce=True):
+        sim = Simulator()
+        return sim, XenStoreDaemon(sim, enforce_permissions=enforce)
+
+    def test_guest_cannot_read_foreign_node(self):
+        sim, xs = self._daemon()
+        run_op(sim, xs.op_write(0, "/secret", "v"))
+        with pytest.raises(PermissionError_):
+            run_op(sim, xs.op_read(7, "/secret"))
+
+    def test_guest_can_read_after_grant(self):
+        sim, xs = self._daemon()
+        run_op(sim, xs.op_write(0, "/shared", "v"))
+        perms = NodePerms.owned_by(0).grant(7, PERM_READ)
+        run_op(sim, xs.op_set_perms(0, "/shared", perms))
+        assert run_op(sim, xs.op_read(7, "/shared")) == "v"
+        with pytest.raises(PermissionError_):
+            run_op(sim, xs.op_write(7, "/shared", "nope"))
+
+    def test_write_grant(self):
+        sim, xs = self._daemon()
+        run_op(sim, xs.op_write(0, "/box", "v"))
+        perms = NodePerms.owned_by(0).grant(7, PERM_WRITE)
+        run_op(sim, xs.op_set_perms(0, "/box", perms))
+        run_op(sim, xs.op_write(7, "/box", "mine"))
+        assert xs.tree.read("/box") == "mine"
+
+    def test_owner_reads_own_node(self):
+        sim, xs = self._daemon()
+        run_op(sim, xs.op_write(7, "/local/domain/7/data", "v"))
+        assert run_op(sim, xs.op_read(7, "/local/domain/7/data")) == "v"
+
+    def test_only_owner_or_dom0_sets_perms(self):
+        sim, xs = self._daemon()
+        run_op(sim, xs.op_write(5, "/mine", "v"))
+        with pytest.raises(PermissionError_):
+            run_op(sim, xs.op_set_perms(7, "/mine",
+                                        NodePerms.owned_by(7)))
+        run_op(sim, xs.op_set_perms(5, "/mine", NodePerms.owned_by(5)))
+
+    def test_enforcement_off_by_default(self):
+        sim, xs = self._daemon(enforce=False)
+        run_op(sim, xs.op_write(0, "/secret", "v"))
+        assert run_op(sim, xs.op_read(7, "/secret")) == "v"
+
+    def test_get_perms_reports_implicit_owner(self):
+        sim, xs = self._daemon()
+        run_op(sim, xs.op_write(5, "/node", "v"))
+        perms = run_op(sim, xs.op_get_perms(0, "/node"))
+        assert perms.owner_domid == 5
+
+
+class TestProtocolGrantsFrontendAccess:
+    def test_xl_boot_works_with_enforcement_on(self):
+        """The toolstack grants the front-end read access to its back-end
+        directory, so a guest boots even under strict ACLs."""
+        host = Host(variant="xl")
+        host.xenstore.enforce_permissions = True
+        record = host.create_vm(DAYTIME_UNIKERNEL)
+        assert record.boot_ms > 0
+
+    def test_other_guests_cannot_read_foreign_backend(self):
+        host = Host(variant="xl")
+        host.xenstore.enforce_permissions = True
+        record = host.create_vm(DAYTIME_UNIKERNEL)
+        back = "/local/domain/0/backend/vif/%d/0" % record.domain.domid
+        stranger = record.domain.domid + 1000
+
+        def snoop():
+            value = yield from host.xenstore.op_read(
+                stranger, back + "/event-channel")
+            return value
+
+        with pytest.raises(PermissionError_):
+            host.sim.run(until=host.sim.process(snoop()))

@@ -1,0 +1,148 @@
+"""Tests for XenStore optimistic transactions."""
+
+import pytest
+
+from repro.xenstore import (NoEntError, Transaction, TransactionConflict,
+                            XenStoreTree)
+
+
+def make_tx(tree, tx_id=1, domid=0):
+    return Transaction(tree, tx_id, domid)
+
+
+def test_commit_applies_writes_atomically():
+    tree = XenStoreTree()
+    tx = make_tx(tree)
+    tx.write("/a", "1")
+    tx.write("/b", "2")
+    assert not tree.exists("/a")
+    modified = tx.commit()
+    assert set(modified) == {"/a", "/b"}
+    assert tree.read("/a") == "1"
+    assert tree.read("/b") == "2"
+
+
+def test_read_own_writes():
+    tree = XenStoreTree()
+    tx = make_tx(tree)
+    tx.write("/a", "staged")
+    assert tx.read("/a") == "staged"
+
+
+def test_read_missing_records_and_raises():
+    tree = XenStoreTree()
+    tx = make_tx(tree)
+    with pytest.raises(NoEntError):
+        tx.read("/ghost")
+    assert "/ghost" in tx.read_set
+
+
+def test_conflict_on_concurrent_write_to_read_node():
+    tree = XenStoreTree()
+    tree.write("/shared", "orig")
+    tx = make_tx(tree)
+    assert tx.read("/shared") == "orig"
+    tree.write("/shared", "changed-by-other")  # concurrent writer
+    tx.write("/out", "v")
+    with pytest.raises(TransactionConflict):
+        tx.commit()
+    assert not tree.exists("/out")
+
+
+def test_conflict_on_concurrent_write_to_written_node():
+    tree = XenStoreTree()
+    tx = make_tx(tree)
+    tx.write("/contested", "mine")
+    tree.write("/contested", "theirs")
+    with pytest.raises(TransactionConflict):
+        tx.commit()
+    assert tree.read("/contested") == "theirs"
+
+
+def test_conflict_when_read_node_deleted():
+    tree = XenStoreTree()
+    tree.write("/x", "v")
+    tx = make_tx(tree)
+    tx.read("/x")
+    tree.rm("/x")
+    with pytest.raises(TransactionConflict):
+        tx.commit()
+
+
+def test_conflict_when_missing_node_appears():
+    tree = XenStoreTree()
+    tx = make_tx(tree)
+    assert not tx.exists("/new")
+    tree.write("/new", "appeared")
+    tx.write("/other", "v")
+    with pytest.raises(TransactionConflict):
+        tx.commit()
+
+
+def test_no_conflict_on_disjoint_activity():
+    tree = XenStoreTree()
+    tree.write("/mine", "v")
+    tx = make_tx(tree)
+    tx.read("/mine")
+    tx.write("/mine/child", "c")
+    tree.write("/unrelated", "other")
+    tx.commit()
+    assert tree.read("/mine/child") == "c"
+
+
+def test_rm_inside_transaction():
+    tree = XenStoreTree()
+    tree.write("/victim", "v")
+    tx = make_tx(tree)
+    tx.rm("/victim")
+    tx.commit()
+    assert not tree.exists("/victim")
+
+
+def test_rm_of_missing_node_is_noop_on_commit():
+    tree = XenStoreTree()
+    tx = make_tx(tree)
+    tx.rm("/ghost")
+    tx.commit()  # should not raise
+
+
+def test_abort_discards_writes():
+    tree = XenStoreTree()
+    tx = make_tx(tree)
+    tx.write("/a", "1")
+    tx.abort()
+    assert not tree.exists("/a")
+
+
+def test_finished_transaction_rejects_operations():
+    tree = XenStoreTree()
+    tx = make_tx(tree)
+    tx.commit()
+    with pytest.raises(RuntimeError):
+        tx.write("/a", "1")
+    with pytest.raises(RuntimeError):
+        tx.commit()
+
+
+def test_exists_sees_staged_writes():
+    tree = XenStoreTree()
+    tx = make_tx(tree)
+    tx.write("/staged", "v")
+    assert tx.exists("/staged")
+
+
+def test_retry_after_conflict_succeeds():
+    """The standard client loop: conflict, then a fresh transaction wins."""
+    tree = XenStoreTree()
+    tree.write("/shared", "orig")
+    tx1 = make_tx(tree, tx_id=1)
+    tx1.read("/shared")
+    tree.write("/shared", "interference")
+    tx1.write("/result", "a")
+    with pytest.raises(TransactionConflict):
+        tx1.commit()
+    tx2 = make_tx(tree, tx_id=2)
+    tx2.read("/shared")
+    tx2.write("/result", "b")
+    tx2.commit()
+    assert tree.read("/result") == "b"

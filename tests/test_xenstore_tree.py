@@ -1,0 +1,112 @@
+"""Tests for the XenStore tree."""
+
+import pytest
+
+from repro.xenstore import (InvalidPathError, NoEntError, XenStoreTree,
+                            split_path)
+
+
+class TestPathSplitting:
+    def test_root(self):
+        assert split_path("/") == []
+
+    def test_simple(self):
+        assert split_path("/local/domain/1") == ["local", "domain", "1"]
+
+    def test_trailing_slash_stripped(self):
+        assert split_path("/a/b/") == ["a", "b"]
+
+    def test_relative_rejected(self):
+        with pytest.raises(InvalidPathError):
+            split_path("local/domain")
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(InvalidPathError):
+            split_path("/a//b")
+
+
+class TestTree:
+    def test_write_read_roundtrip(self):
+        tree = XenStoreTree()
+        tree.write("/local/domain/1/name", "vm1")
+        assert tree.read("/local/domain/1/name") == "vm1"
+
+    def test_write_creates_parents(self):
+        tree = XenStoreTree()
+        tree.write("/a/b/c", "v")
+        assert tree.exists("/a")
+        assert tree.exists("/a/b")
+        assert tree.read("/a/b") == ""
+
+    def test_read_missing_raises(self):
+        tree = XenStoreTree()
+        with pytest.raises(NoEntError):
+            tree.read("/nope")
+
+    def test_write_to_root_rejected(self):
+        tree = XenStoreTree()
+        with pytest.raises(InvalidPathError):
+            tree.write("/", "v")
+
+    def test_directory_sorted(self):
+        tree = XenStoreTree()
+        tree.write("/d/b", "1")
+        tree.write("/d/a", "2")
+        tree.write("/d/c", "3")
+        assert tree.directory("/d") == ["a", "b", "c"]
+
+    def test_directory_of_leaf_empty(self):
+        tree = XenStoreTree()
+        tree.write("/x", "v")
+        assert tree.directory("/x") == []
+
+    def test_mkdir_idempotent(self):
+        tree = XenStoreTree()
+        tree.write("/d/child", "v")
+        tree.mkdir("/d")
+        assert tree.read("/d/child") == "v"
+
+    def test_rm_removes_subtree(self):
+        tree = XenStoreTree()
+        tree.write("/d/a", "1")
+        tree.write("/d/b/c", "2")
+        removed = tree.rm("/d")
+        assert removed == 4  # d, a, b, c
+        assert not tree.exists("/d")
+
+    def test_rm_missing_raises(self):
+        tree = XenStoreTree()
+        with pytest.raises(NoEntError):
+            tree.rm("/nope")
+
+    def test_rm_root_rejected(self):
+        tree = XenStoreTree()
+        with pytest.raises(InvalidPathError):
+            tree.rm("/")
+
+    def test_generation_bumps_on_write(self):
+        tree = XenStoreTree()
+        tree.write("/a", "1")
+        g1 = tree.generation_of("/a")
+        tree.write("/a", "2")
+        assert tree.generation_of("/a") > g1
+
+    def test_generation_untouched_for_other_nodes(self):
+        tree = XenStoreTree()
+        tree.write("/a", "1")
+        tree.write("/b", "2")
+        g_a = tree.generation_of("/a")
+        tree.write("/b", "3")
+        assert tree.generation_of("/a") == g_a
+
+    def test_owner_recorded(self):
+        tree = XenStoreTree()
+        tree.write("/a", "1", owner_domid=7)
+        # walk to check node attribute
+        assert tree._walk("/a").owner_domid == 7
+
+    def test_count_nodes(self):
+        tree = XenStoreTree()
+        tree.write("/a/b", "1")
+        tree.write("/a/c", "2")
+        assert tree.count_nodes() == 3

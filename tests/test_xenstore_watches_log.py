@@ -1,0 +1,107 @@
+"""Tests for XenStore watches and the access log."""
+
+from repro.xenstore import AccessLog, WatchManager
+
+
+class TestWatches:
+    def test_exact_path_fires(self):
+        mgr = WatchManager()
+        hits = []
+        mgr.add(0, "/backend/vif", "tok", lambda p, t: hits.append((p, t)))
+        fired = mgr.fire("/backend/vif")
+        assert len(fired) == 1
+        assert hits == [("/backend/vif", "tok")]
+
+    def test_subtree_fires(self):
+        mgr = WatchManager()
+        hits = []
+        mgr.add(0, "/backend/vif", "tok", lambda p, t: hits.append(p))
+        mgr.fire("/backend/vif/1/0/state")
+        assert hits == ["/backend/vif/1/0/state"]
+
+    def test_sibling_does_not_fire(self):
+        mgr = WatchManager()
+        hits = []
+        mgr.add(0, "/backend/vif", "tok", lambda p, t: hits.append(p))
+        mgr.fire("/backend/vbd/1")
+        assert hits == []
+
+    def test_prefix_is_component_wise(self):
+        """/backend/vif must not match /backend/vif2."""
+        mgr = WatchManager()
+        hits = []
+        mgr.add(0, "/backend/vif", "tok", lambda p, t: hits.append(p))
+        mgr.fire("/backend/vif2/1")
+        assert hits == []
+
+    def test_root_watch_fires_on_everything(self):
+        mgr = WatchManager()
+        hits = []
+        mgr.add(0, "/", "tok", lambda p, t: hits.append(p))
+        mgr.fire("/anything/at/all")
+        assert hits == ["/anything/at/all"]
+
+    def test_multiple_watches_all_fire(self):
+        mgr = WatchManager()
+        hits = []
+        for i in range(3):
+            mgr.add(i, "/d", str(i), lambda p, t: hits.append(t))
+        mgr.fire("/d/x")
+        assert sorted(hits) == ["0", "1", "2"]
+
+    def test_remove_watch(self):
+        mgr = WatchManager()
+        hits = []
+        watch = mgr.add(0, "/d", "t", lambda p, t: hits.append(p))
+        mgr.remove(watch)
+        mgr.fire("/d")
+        assert hits == []
+        assert len(mgr) == 0
+
+    def test_remove_for_domain(self):
+        mgr = WatchManager()
+        mgr.add(1, "/a", "t", lambda p, t: None)
+        mgr.add(1, "/b", "t", lambda p, t: None)
+        mgr.add(2, "/c", "t", lambda p, t: None)
+        assert mgr.remove_for_domain(1) == 2
+        assert len(mgr) == 1
+
+    def test_scan_cost_counted_per_registered_watch(self):
+        mgr = WatchManager()
+        for i in range(5):
+            mgr.add(i, "/w%d" % i, "t", lambda p, t: None)
+        mgr.fire("/w0")
+        assert mgr.scans_total == 5
+        assert mgr.fired_total == 1
+
+
+class TestAccessLog:
+    def test_no_rotation_below_threshold(self):
+        log = AccessLog(files=3, rotate_lines=10)
+        for _ in range(9):
+            assert log.record() == 0
+        assert log.lines_in(0) == 9
+
+    def test_rotation_at_threshold(self):
+        log = AccessLog(files=3, rotate_lines=10)
+        for _ in range(9):
+            log.record()
+        rotated = log.record()
+        assert rotated == 3  # all files rotate in lock-step
+        assert log.rotations == 3
+        assert log.lines_in(0) == 0
+
+    def test_disabled_log_never_rotates(self):
+        log = AccessLog(files=2, rotate_lines=5, enabled=False)
+        for _ in range(100):
+            assert log.record() == 0
+        assert log.total_lines == 0
+
+    def test_default_parameters_match_paper(self):
+        log = AccessLog()
+        assert log.files == 20
+        assert log.rotate_lines == 13215
+
+    def test_multi_line_records(self):
+        log = AccessLog(files=1, rotate_lines=10)
+        assert log.record(lines=12) == 1  # single record crosses threshold
