@@ -80,6 +80,45 @@ def _cmd_create(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from .faults import FaultPlan
+    plan = FaultPlan.uniform(args.rate, points=args.points, seed=args.seed)
+    host = Host(variant=args.variant, seed=args.seed,
+                pool_target=args.count + 32,
+                shell_memory_kb=_lookup_or_exit(args.parser_error,
+                                                args.image).memory_kb,
+                fault_plan=plan)
+    image = lookup(args.image)
+    host.warmup(20.0 * (args.count + 32))
+    creates, failures = [], 0
+    for _ in range(args.count):
+        try:
+            record = host.create_vm(image)
+        except Exception:
+            failures += 1
+            continue
+        creates.append(record.create_ms)
+    host.sim.run(until=host.sim.now + 100.0)
+    print("fault storm: %d x %s under %s at rate %.3f (%s)"
+          % (args.count, args.image, args.variant, args.rate, args.points))
+    if creates:
+        print("create: mean=%.2f median=%.2f p99=%.2f ms (%d ok, %d failed)"
+              % (mean(creates), median(creates), percentile(creates, 99),
+                 len(creates), failures))
+    else:
+        print("no creation survived (%d failed)" % failures)
+    print("%-24s %12s %10s" % ("fault point", "occurrences", "injected"))
+    for point, counters in sorted(host.fault_metrics().items()):
+        print("%-24s %12d %10d" % (point, counters["occurrences"],
+                                   counters["injected"]))
+    violations = host.check_invariants()
+    print("invariants: %s" % ("clean" if not violations
+                              else "%d violation(s)" % len(violations)))
+    for violation in violations:
+        print("  " + violation)
+    return 1 if violations else 0
+
+
 def _cmd_checkpoint(args) -> int:
     image = _lookup_or_exit(args.parser_error, args.image)
     host = Host(variant=args.variant, seed=args.seed)
@@ -192,6 +231,18 @@ def build_parser() -> argparse.ArgumentParser:
     create.add_argument("--stats", action="store_true",
                         help="print a host-wide stats snapshot at the end")
     create.set_defaults(fn=_cmd_create)
+
+    faults = sub.add_parser(
+        "faults", help="run a boot storm under injected faults")
+    faults.add_argument("--variant", choices=VARIANTS, default="lightvm")
+    faults.add_argument("--image", default="daytime")
+    faults.add_argument("--count", type=_positive_int, default=10)
+    faults.add_argument("--rate", type=float, default=0.02,
+                        help="per-occurrence fault probability")
+    faults.add_argument("--points", default="*",
+                        help="fault-point pattern, e.g. 'xenstore.*'")
+    faults.add_argument("--seed", type=int, default=0)
+    faults.set_defaults(fn=_cmd_faults)
 
     checkpoint = sub.add_parser("checkpoint",
                                 help="save/restore round trips")

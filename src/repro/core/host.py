@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import typing
 
+from ..faults.plan import FaultInjector, FaultPlan
 from ..guests.images import GuestImage
 from ..hypervisor.domain import Domain
 from ..hypervisor.hypervisor import Hypervisor
@@ -52,7 +53,8 @@ class Host:
                  xenstore_log: bool = True,
                  pool_target: int = 8,
                  shell_memory_kb: typing.Optional[int] = None,
-                 shell_vifs: int = 1):
+                 shell_vifs: int = 1,
+                 fault_plan: typing.Optional[FaultPlan] = None):
         if variant not in VARIANTS:
             raise ValueError("unknown variant %r; expected one of %s"
                              % (variant, ", ".join(VARIANTS)))
@@ -60,10 +62,16 @@ class Host:
         self.variant = variant
         self.sim = sim or Simulator()
         self.rng = RngRegistry(seed)
+        #: Deterministic fault injector shared by every control-plane
+        #: layer; with ``fault_plan=None`` it never fires and the host
+        #: behaves exactly like a fault-free one.
+        self.fault_plan = fault_plan
+        self.faults = FaultInjector(fault_plan, rng=self.rng)
         self.hypervisor = Hypervisor(
             self.sim, memory_kb=spec.memory_kb, total_cores=spec.cores,
             dom0_cores=spec.dom0_cores,
-            dom0_memory_kb=spec.dom0_memory_kb)
+            dom0_memory_kb=spec.dom0_memory_kb,
+            faults=self.faults)
         self.bridge = bridge
 
         self.xenstore: typing.Optional[XenStoreDaemon] = None
@@ -78,28 +86,37 @@ class Host:
             self.xenstore = XenStoreDaemon(
                 self.sim, implementation=xenstore_impl,
                 log_enabled=xenstore_log,
-                rng=self.rng.stream("xenstore"))
+                rng=self.rng.stream("xenstore"),
+                faults=self.faults)
         else:
-            self.noxs = NoxsModule(self.sim, self.hypervisor)
+            self.noxs = NoxsModule(self.sim, self.hypervisor,
+                                   rng=self.rng.stream("retry/noxs"))
             self.sysctl = SysctlBackend(self.sim, self.hypervisor,
                                         self.noxs)
 
+        hotplug_rng = self.rng.stream("hotplug")
         if variant == "xl":
             self.toolstack = XlToolstack(
                 self.sim, self.hypervisor, self.xenstore,
-                hotplug=BashHotplug(self.sim, bridge=bridge))
+                hotplug=BashHotplug(self.sim, bridge=bridge,
+                                    faults=self.faults, rng=hotplug_rng),
+                rng=self.rng.stream("retry/xl"))
         else:
             if uses_split:
                 self.daemon = ChaosDaemon(
                     self.sim, self.hypervisor, noxs=self.noxs,
                     xenstore=self.xenstore, pool_target=pool_target,
                     shell_memory_kb=shell_memory_kb or 4096,
-                    shell_vifs=shell_vifs)
+                    shell_vifs=shell_vifs,
+                    faults=self.faults,
+                    rng=self.rng.stream("retry/shellpool"))
                 self.daemon.start()
             self.toolstack = ChaosToolstack(
                 self.sim, self.hypervisor, xenstore=self.xenstore,
                 noxs=self.noxs, sysctl=self.sysctl, daemon=self.daemon,
-                hotplug=Xendevd(self.sim, bridge=bridge))
+                hotplug=Xendevd(self.sim, bridge=bridge,
+                                faults=self.faults, rng=hotplug_rng),
+                rng=self.rng.stream("retry/chaos"))
 
         self.checkpointer = Checkpointer(self.toolstack)
         self.power = PowerManager(self.toolstack)
@@ -175,6 +192,17 @@ class Host:
     def cpu_utilization(self) -> float:
         """Instantaneous mean utilization over all cores, in [0, 1]."""
         return self.hypervisor.scheduler.utilization()
+
+    def fault_metrics(self) -> typing.Dict[str, typing.Dict[str, int]]:
+        """Per-fault-point counters: occurrences seen, faults injected."""
+        return self.faults.metrics()
+
+    def check_invariants(self) -> typing.List[str]:
+        """Audit the host for leaked control-plane state; returns
+        violation descriptions (empty = clean).  Drain the simulator
+        first (async teardowns legitimately hold resources briefly)."""
+        from ..faults.invariants import check_host
+        return check_host(self)
 
     def set_migration_costs(self, costs: MigrationCosts) -> None:
         self.checkpointer.costs = costs

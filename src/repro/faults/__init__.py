@@ -1,0 +1,37 @@
+"""Deterministic fault injection for the simulated control plane.
+
+:class:`FaultPlan` declares *what* should fail (fault point x probability
+or Nth occurrence x kind); :class:`FaultInjector` evaluates it with draws
+from named seeded RNG streams, so a ``(seed, plan)`` pair replays the
+exact same fault schedule every run.  :mod:`repro.faults.retry` provides
+the exponential-backoff policies the surviving layers use, and
+:mod:`repro.faults.invariants` audits a host for leaked state afterwards.
+"""
+
+from .invariants import InvariantViolation, assert_clean, check_host
+from .plan import (NULL_INJECTOR, FaultInjector, FaultPlan, FaultRule,
+                   GrantMapFailure, InjectedFault, LinkInterrupted,
+                   MessageTimeout, MigrationAborted, TransientHypercallError)
+from .retry import (ROLLBACK_POLICY, RetryExhausted, RetryPolicy, retry_call,
+                    retry_generator)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "GrantMapFailure",
+    "InjectedFault",
+    "InvariantViolation",
+    "LinkInterrupted",
+    "MessageTimeout",
+    "MigrationAborted",
+    "NULL_INJECTOR",
+    "ROLLBACK_POLICY",
+    "RetryExhausted",
+    "RetryPolicy",
+    "TransientHypercallError",
+    "assert_clean",
+    "check_host",
+    "retry_call",
+    "retry_generator",
+]

@@ -1,0 +1,182 @@
+"""Resource-leak invariants checked after fault-injected experiments.
+
+A control plane that survives injected faults is only correct if its
+rollback paths actually release everything a failed operation allocated.
+:func:`check_host` audits a :class:`~repro.core.host.Host` against the
+hypervisor's view of live domains and returns a list of human-readable
+violations; :func:`assert_clean` raises on any.
+
+Checks (all duck-typed so partial hosts — e.g. noxs variants with no
+XenStore — are handled):
+
+* every ``/local/domain/<id>`` and ``/vm/<id>`` XenStore subtree belongs
+  to a live domain, and every backend directory under dom0 references one;
+* every grant-table entry's granter and grantee are alive;
+* every non-closed event channel's owner (and bound peer) are alive;
+* memory extents are owned exactly by live domains, at their stated size;
+* every pooled shell is a live domain in the ``SHELL`` state;
+* every bridge port maps to a live domain.
+
+Run the checker with the simulator drained (``host.sim.run()`` returned
+and no fault mid-flight): asynchronous teardown (e.g. the noxs save path)
+legitimately holds resources for a few simulated milliseconds.
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+class InvariantViolation(AssertionError):
+    """The host leaked control-plane state; see the message for details."""
+
+
+def _live_domains(host) -> typing.Dict[int, object]:
+    return dict(host.hypervisor.domains)
+
+
+def _check_xenstore(host, domains, violations) -> None:
+    xenstore = getattr(host, "xenstore", None)
+    if xenstore is None:
+        return
+    tree = xenstore.tree
+
+    def list_dir(path):
+        try:
+            return tree.directory(path)
+        except Exception:
+            return []
+
+    for name in list_dir("/local/domain"):
+        try:
+            domid = int(name)
+        except ValueError:
+            violations.append("/local/domain/%s: non-numeric entry" % name)
+            continue
+        if domid != 0 and domid not in domains:
+            violations.append(
+                "/local/domain/%d leaked (domain not in hypervisor)" % domid)
+    for name in list_dir("/vm"):
+        try:
+            domid = int(name)
+        except ValueError:
+            continue
+        if domid not in domains:
+            violations.append(
+                "/vm/%d leaked (domain not in hypervisor)" % domid)
+    for kind in list_dir("/local/domain/0/backend"):
+        base = "/local/domain/0/backend/%s" % kind
+        for name in list_dir(base):
+            try:
+                domid = int(name)
+            except ValueError:
+                continue
+            if domid not in domains:
+                violations.append(
+                    "%s/%d leaked backend entries" % (base, domid))
+
+
+def _check_grants(host, domains, violations) -> None:
+    grants = getattr(host.hypervisor, "grants", None)
+    if grants is None:
+        return
+    for (granter, ref), entry in sorted(getattr(grants, "_entries",
+                                                {}).items()):
+        if granter not in domains:
+            violations.append(
+                "grant ref %d leaked by dead granter dom%d" % (ref, granter))
+        grantee = getattr(entry, "grantee_domid", None)
+        if grantee is not None and grantee not in domains:
+            violations.append(
+                "grant ref %d (dom%d) references dead grantee dom%d"
+                % (ref, granter, grantee))
+
+
+def _check_event_channels(host, domains, violations) -> None:
+    table = getattr(host.hypervisor, "event_channels", None)
+    if table is None:
+        return
+    for (domid, port), channel in sorted(getattr(table, "_channels",
+                                                 {}).items()):
+        if getattr(channel, "state", "") == "closed":
+            continue  # half-torn pair awaiting the peer's close: benign
+        if domid not in domains:
+            violations.append(
+                "event channel (dom%d, port %d) leaked by dead owner"
+                % (domid, port))
+        remote = getattr(channel, "remote_domid", None)
+        if remote is not None and remote not in domains:
+            violations.append(
+                "event channel (dom%d, port %d) bound to dead dom%d"
+                % (domid, port, remote))
+
+
+def _check_memory(host, domains, violations) -> None:
+    memory = getattr(host.hypervisor, "memory", None)
+    if memory is None:
+        return
+    owners = set(memory.owners())
+    for owner in sorted(owners - set(domains)):
+        violations.append(
+            "memory extents leaked by dead dom%d (%d KB)"
+            % (owner, memory.owned_kb(owner)))
+    for domid, domain in sorted(domains.items()):
+        owned = memory.owned_kb(domid)
+        if owned != domain.memory_kb:
+            violations.append(
+                "dom%d owns %d KB of extents but claims %d KB"
+                % (domid, owned, domain.memory_kb))
+
+
+def _check_shell_pool(host, domains, violations) -> None:
+    from ..hypervisor.domain import DomainState
+
+    daemon = getattr(host, "daemon", None)
+    if daemon is None:
+        return
+    for shell in list(getattr(daemon.pool, "items", [])):
+        domain = getattr(shell, "domain", shell)
+        domid = getattr(domain, "domid", None)
+        if domid not in domains:
+            violations.append(
+                "shell pool holds dead dom%s" % domid)
+        elif domains[domid].state is not DomainState.SHELL:
+            violations.append(
+                "pooled shell dom%d is in state %s, not SHELL"
+                % (domid, domains[domid].state.name))
+
+
+def _check_bridge(host, domains, violations) -> None:
+    bridge = getattr(host, "bridge", None)
+    ports = getattr(bridge, "ports", None)
+    if not isinstance(ports, dict):
+        return
+    for devname, domid in sorted(ports.items()):
+        if domid not in domains:
+            violations.append(
+                "bridge port %s leaked by dead dom%d" % (devname, domid))
+
+
+def check_host(host) -> typing.List[str]:
+    """Audit ``host`` for leaked control-plane state.
+
+    Returns a (possibly empty) list of violation descriptions.
+    """
+    domains = _live_domains(host)
+    violations: typing.List[str] = []
+    _check_xenstore(host, domains, violations)
+    _check_grants(host, domains, violations)
+    _check_event_channels(host, domains, violations)
+    _check_memory(host, domains, violations)
+    _check_shell_pool(host, domains, violations)
+    _check_bridge(host, domains, violations)
+    return violations
+
+
+def assert_clean(host) -> None:
+    """Raise :class:`InvariantViolation` if :func:`check_host` finds leaks."""
+    violations = check_host(host)
+    if violations:
+        raise InvariantViolation(
+            "%d control-plane invariant violation(s):\n  %s"
+            % (len(violations), "\n  ".join(violations)))

@@ -1,0 +1,94 @@
+"""Pluggable retry policies: exponential backoff with seeded jitter.
+
+Every control-plane retry loop (transaction conflicts, lost XenStore
+messages, hotplug script relaunches, transient hypercall failures) takes a
+:class:`RetryPolicy` instead of hard-coding its schedule.  Jitter draws
+come from a seeded :class:`~repro.sim.rng.RngStream` handed in by the
+caller, so retry timing is bit-reproducible and de-synchronized across
+competing clients (no lock-step retry storms).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+class RetryExhausted(RuntimeError):
+    """An operation kept failing past its retry policy's budget."""
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with multiplicative jitter and a deadline."""
+
+    #: Give up after this many *retries* (the initial attempt is free).
+    max_retries: int = 8
+    #: Backoff before the first retry (ms).
+    base_ms: float = 0.5
+    #: Growth factor per retry.
+    multiplier: float = 2.0
+    #: Ceiling on a single backoff (ms).
+    cap_ms: float = 64.0
+    #: Symmetric jitter fraction: the delay is scaled by a uniform draw
+    #: from [1 - jitter, 1 + jitter].  0 disables jitter.
+    jitter: float = 0.25
+    #: Optional wall-clock budget (simulated ms) across all retries; when
+    #: exceeded the loop gives up even with retries remaining.
+    deadline_ms: typing.Optional[float] = None
+
+    def backoff_ms(self, retry: int, rng=None) -> float:
+        """Delay before the ``retry``-th retry (1-based)."""
+        delay = min(self.cap_ms,
+                    self.base_ms * self.multiplier ** max(0, retry - 1))
+        if rng is not None and self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
+
+    def give_up(self, retry: int, started_ms: float, now_ms: float) -> bool:
+        """Should the loop stop instead of retrying again?"""
+        if retry > self.max_retries:
+            return True
+        return (self.deadline_ms is not None
+                and now_ms - started_ms > self.deadline_ms)
+
+
+#: A patient policy for rollback paths: cleanup must not give up while a
+#: transient fault window passes, or partially-created state would leak.
+ROLLBACK_POLICY = RetryPolicy(max_retries=50, base_ms=0.5, cap_ms=32.0)
+
+
+def retry_call(sim, policy: RetryPolicy, rng, fn: typing.Callable,
+               retryable: typing.Tuple[type, ...]):
+    """Generator: call ``fn()`` (synchronous), retrying on ``retryable``.
+
+    Backs off between attempts per ``policy``; re-raises the last error
+    once the policy gives up.
+    """
+    retry = 0
+    started = sim.now
+    while True:
+        try:
+            return fn()
+        except retryable:
+            retry += 1
+            if policy.give_up(retry, started, sim.now):
+                raise
+            yield sim.timeout(policy.backoff_ms(retry, rng))
+
+
+def retry_generator(sim, policy: RetryPolicy, rng, make_gen,
+                    retryable: typing.Tuple[type, ...]):
+    """Generator: drive ``make_gen()`` (a generator factory), retrying on
+    ``retryable`` with backoff.  Used for simulation-process bodies that
+    can fail transiently, e.g. a XenStore removal during rollback."""
+    retry = 0
+    started = sim.now
+    while True:
+        try:
+            return (yield from make_gen())
+        except retryable:
+            retry += 1
+            if policy.give_up(retry, started, sim.now):
+                raise
+            yield sim.timeout(policy.backoff_ms(retry, rng))

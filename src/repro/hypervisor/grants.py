@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import typing
 
+from ..faults.plan import NULL_INJECTOR, GrantMapFailure
+
 
 class GrantError(RuntimeError):
     """Invalid grant operation (bad ref, busy entry, wrong peer...)."""
@@ -35,9 +37,11 @@ class GrantEntry:
 class GrantTable:
     """All grant entries on the host, keyed by (granter domid, ref)."""
 
-    def __init__(self):
+    def __init__(self, faults=None):
         self._entries: typing.Dict[typing.Tuple[int, int], GrantEntry] = {}
         self._next_ref: typing.Dict[int, int] = {}
+        #: Injector for the ``hypervisor.grant_map`` fault point.
+        self.faults = faults if faults is not None else NULL_INJECTOR
 
     def entry(self, granter_domid: int, ref: int) -> GrantEntry:
         """Look up an entry; raises on a dangling reference."""
@@ -49,7 +53,16 @@ class GrantTable:
 
     def grant_access(self, granter_domid: int, grantee_domid: int,
                      frame: int, readonly: bool = False) -> int:
-        """Create a grant; returns the grant reference."""
+        """Create a grant; returns the grant reference.
+
+        Raises :class:`GrantMapFailure` (before touching the table) when
+        the ``hypervisor.grant_map`` fault point fires: filling the entry
+        failed transiently and the granting side should retry.
+        """
+        if self.faults.fires("hypervisor.grant_map") is not None:
+            raise GrantMapFailure(
+                "transient failure filling grant entry for dom%d"
+                % granter_domid)
         ref = self._next_ref.get(granter_domid, 1)
         self._next_ref[granter_domid] = ref + 1
         self._entries[(granter_domid, ref)] = GrantEntry(

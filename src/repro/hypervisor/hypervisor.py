@@ -16,6 +16,7 @@ from __future__ import annotations
 import collections
 import typing
 
+from ..faults.plan import NULL_INJECTOR, TransientHypercallError
 from .devicepage import DevicePage, DeviceEntry, DevicePageError
 from .domain import Domain, DomainState, DomainStateError, ShutdownReason
 from .events import EventChannelTable
@@ -37,12 +38,15 @@ class Hypervisor:
     """A type-1 hypervisor model in the style of Xen 4.8."""
 
     def __init__(self, sim: "Simulator", memory_kb: int, total_cores: int,
-                 dom0_cores: int = 1, dom0_memory_kb: int = 1024 * 1024):
+                 dom0_cores: int = 1, dom0_memory_kb: int = 1024 * 1024,
+                 faults=None):
         self.sim = sim
+        #: Injector for the ``hypervisor.*`` fault points.
+        self.faults = faults if faults is not None else NULL_INJECTOR
         self.memory = MemoryAllocator(memory_kb)
         self.scheduler = HostScheduler(sim, total_cores, dom0_cores)
         self.event_channels = EventChannelTable()
-        self.grants = GrantTable()
+        self.grants = GrantTable(faults=self.faults)
         self.domains: typing.Dict[int, Domain] = {}
         self.hypercall_counts: typing.Counter = collections.Counter()
         self._next_domid = 1
@@ -82,8 +86,15 @@ class Hypervisor:
 
         ``shell=True`` creates a LightVM pre-created shell (no image, no
         name) for the split toolstack's pool.
+
+        Raises :class:`TransientHypercallError` — before any state is
+        reserved — when the ``hypervisor.hypercall`` fault point fires;
+        the toolstack retries with backoff.
         """
         self._count("domctl_create")
+        if self.faults.fires("hypervisor.hypercall") is not None:
+            raise TransientHypercallError(
+                "DOMCTL_createdomain failed transiently")
         domid = self._next_domid
         self._next_domid += 1
         domain = Domain(domid, name=name, memory_kb=memory_kb, vcpus=vcpus)

@@ -17,6 +17,8 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from ..faults.plan import GrantMapFailure
+from ..faults.retry import RetryPolicy
 from ..hypervisor.devicepage import DEV_SYSCTL, DEV_VBD, DEV_VIF, DeviceEntry
 from ..hypervisor.domain import Domain
 from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
@@ -48,10 +50,15 @@ class NoxsModule:
     """Back-end device factory reached through ``/dev/noxs`` ioctls."""
 
     def __init__(self, sim: "Simulator", hypervisor: Hypervisor,
-                 costs: typing.Optional[NoxsCosts] = None):
+                 costs: typing.Optional[NoxsCosts] = None,
+                 rng=None,
+                 retry_policy: typing.Optional[RetryPolicy] = None):
         self.sim = sim
         self.hypervisor = hypervisor
         self.costs = costs or NoxsCosts()
+        #: Retry schedule for transient grant-map failures.
+        self.rng = rng
+        self.retry_policy = retry_policy or RetryPolicy()
         self._next_frame = 0x100000
         #: frame number -> control page (both ends dereference through it).
         self.control_pages: typing.Dict[int, DeviceControlPage] = {}
@@ -90,8 +97,23 @@ class NoxsModule:
         if dev_type != DEV_SYSCTL:
             self.rings[frame] = RingPair()
             page.ring_ref = frame
-        grant_ref = self.hypervisor.grants.grant_access(
-            DOM0_ID, domain.domid, frame)
+        retry = 0
+        started = self.sim.now
+        while True:
+            try:
+                grant_ref = self.hypervisor.grants.grant_access(
+                    DOM0_ID, domain.domid, frame)
+                break
+            except GrantMapFailure:
+                retry += 1
+                if self.retry_policy.give_up(retry, started, self.sim.now):
+                    # Undo the half-built device before giving up.
+                    self.control_pages.pop(frame, None)
+                    self.rings.pop(frame, None)
+                    self.hypervisor.event_channels.close(DOM0_ID, port)
+                    raise
+                yield self.sim.timeout(
+                    self.retry_policy.backoff_ms(retry, self.rng))
         yield self.sim.timeout(self.costs.backend_setup_us / 1000.0)
 
         self.stats["devices_created"] += 1

@@ -5,12 +5,17 @@
 * :class:`ChaosDaemon` — the split toolstack's prepare phase + shell pool.
 * :class:`Checkpointer` / :func:`migrate` — save/restore and migration.
 * :class:`BashHotplug` / :class:`Xendevd` — user-space device plumbing.
+
+All of them survive injected control-plane faults (:mod:`repro.faults`)
+via pluggable retry policies and clean rollback of failed operations.
 """
 
 from .chaos import ChaosCosts, ChaosToolstack
 from .config import ConfigError, VMConfig, parse_config_text
-from .devices import DeviceSetupError, MAX_TX_RETRIES, XsDeviceManager
-from .hotplug import BashHotplug, HotplugCosts, NullBridge, Xendevd
+from .devices import (DeviceSetupError, MAX_TX_RETRIES, TX_RETRY_POLICY,
+                      XsDeviceManager, run_transaction)
+from .hotplug import (BashHotplug, HotplugCosts, HotplugError, NullBridge,
+                      Xendevd)
 from .migration import Checkpointer, MigrationCosts, SavedImage, migrate
 from .phases import PHASES, CreationRecord, PhaseRecorder
 from .power import PowerCosts, PowerManager
@@ -27,6 +32,7 @@ __all__ = [
     "CreationRecord",
     "DeviceSetupError",
     "HotplugCosts",
+    "HotplugError",
     "MAX_TX_RETRIES",
     "MigrationCosts",
     "NullBridge",
@@ -37,6 +43,7 @@ __all__ = [
     "SavedImage",
     "Shell",
     "ShellPoolCosts",
+    "TX_RETRY_POLICY",
     "ToolstackError",
     "VMConfig",
     "XlCosts",
@@ -45,4 +52,5 @@ __all__ = [
     "Xendevd",
     "migrate",
     "parse_config_text",
+    "run_transaction",
 ]

@@ -21,6 +21,8 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from ..faults.plan import TransientHypercallError
+from ..faults.retry import RetryExhausted, RetryPolicy, retry_call
 from ..guests.boot import boot_guest
 from ..hypervisor.devicepage import DEV_VBD, DEV_VIF
 from ..hypervisor.domain import Domain, DomainState
@@ -28,9 +30,8 @@ from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
 from ..noxs.module import NoxsModule
 from ..noxs.sysctl import SysctlBackend
 from ..xenstore.daemon import XenStoreDaemon
-from ..xenstore.transaction import TransactionConflict
 from .config import VMConfig
-from .devices import MAX_TX_RETRIES, XsDeviceManager
+from .devices import XsDeviceManager, _patient_rm, run_transaction
 from .hotplug import Xendevd
 from .phases import CreationRecord, PhaseRecorder
 
@@ -73,7 +74,9 @@ class ChaosToolstack:
                  sysctl: typing.Optional[SysctlBackend] = None,
                  daemon: typing.Optional["ChaosDaemon"] = None,
                  hotplug=None,
-                 costs: typing.Optional[ChaosCosts] = None):
+                 costs: typing.Optional[ChaosCosts] = None,
+                 rng=None,
+                 retry_policy: typing.Optional[RetryPolicy] = None):
         if (xenstore is None) == (noxs is None):
             raise ValueError("chaos needs exactly one control plane: "
                              "either a XenStore or a noxs module")
@@ -88,12 +91,18 @@ class ChaosToolstack:
         self.daemon = daemon
         self.costs = costs or ChaosCosts()
         self.hotplug = hotplug or Xendevd(sim)
+        #: Jitter stream + schedule for control-plane retries.
+        self.rng = rng
+        self.retry_policy = retry_policy or RetryPolicy()
         self.devices = (XsDeviceManager(sim, hypervisor, xenstore,
                                         self.hotplug,
                                         frontend_entries=2,
-                                        backend_entries=3)
+                                        backend_entries=3,
+                                        rng=rng)
                         if xenstore is not None else None)
         self.created: typing.List[CreationRecord] = []
+        #: Creations that failed and were rolled back.
+        self.rollbacks = 0
 
     @property
     def name(self) -> str:
@@ -126,50 +135,63 @@ class ChaosToolstack:
         yield self.sim.timeout(self.costs.toolstack_fixed_ms)
 
         shell = None
-        if self.daemon is not None:
-            # Execute phase: take a pre-created shell from the pool.
-            shell = yield from self.daemon.get_shell(config)
-            domain = shell.domain
-            yield self.sim.timeout(self.costs.shell_claim_ms)
-            recorder.start("hypervisor")
-            if domain.memory_kb != config.memory_kb:
-                self.hypervisor.domctl_resize_shell(domain,
-                                                    config.memory_kb)
-                yield self.sim.timeout(
-                    abs(config.memory_kb - domain.memory_kb) / 1024.0
-                    * self.costs.mem_prep_us_per_mb / 1000.0)
-            self.hypervisor.domctl_claim_shell(domain, name=config.name)
-        else:
-            recorder.start("hypervisor")
-            domain = self.hypervisor.domctl_create(
-                name=config.name, memory_kb=config.memory_kb,
-                vcpus=config.vcpus)
-            yield self.sim.timeout(self.costs.hypervisor_fixed_ms)
-            yield self.sim.timeout(config.memory_kb / 1024.0
-                                   * self.costs.mem_prep_us_per_mb / 1000.0)
-            if self.uses_noxs:
-                self.hypervisor.devpage_create(domain)
-
+        domain = None
         retries_before = (self.devices.retries_total
                           if self.devices is not None else 0)
-        if self.uses_noxs:
-            recorder.start("devices")
-            yield from self._setup_noxs_devices(domain, config, shell)
-        else:
-            recorder.start("xenstore")
-            yield from self._write_domain_entries(domain, config, shell)
-            recorder.start("devices")
-            yield from self._setup_xs_devices(domain, config, shell)
-        retries = ((self.devices.retries_total - retries_before)
-                   if self.devices is not None else 0)
+        try:
+            if self.daemon is not None:
+                # Execute phase: take a pre-created shell from the pool.
+                shell = yield from self.daemon.get_shell(config)
+                domain = shell.domain
+                yield self.sim.timeout(self.costs.shell_claim_ms)
+                recorder.start("hypervisor")
+                if domain.memory_kb != config.memory_kb:
+                    self.hypervisor.domctl_resize_shell(domain,
+                                                        config.memory_kb)
+                    yield self.sim.timeout(
+                        abs(config.memory_kb - domain.memory_kb) / 1024.0
+                        * self.costs.mem_prep_us_per_mb / 1000.0)
+                self.hypervisor.domctl_claim_shell(domain, name=config.name)
+            else:
+                # Transient DOMCTL_createdomain failures retry w/ backoff.
+                recorder.start("hypervisor")
+                domain = yield from retry_call(
+                    self.sim, self.retry_policy, self.rng,
+                    lambda: self.hypervisor.domctl_create(
+                        name=config.name, memory_kb=config.memory_kb,
+                        vcpus=config.vcpus),
+                    (TransientHypercallError,))
+                yield self.sim.timeout(self.costs.hypervisor_fixed_ms)
+                yield self.sim.timeout(
+                    config.memory_kb / 1024.0
+                    * self.costs.mem_prep_us_per_mb / 1000.0)
+                if self.uses_noxs:
+                    self.hypervisor.devpage_create(domain)
 
-        recorder.start("load")
-        yield self.sim.timeout(
-            self.costs.image_load_fixed_ms + image.toolstack_build_ms
-            + image.kernel_size_kb * self.costs.image_load_us_per_kb
-            / 1000.0)
-        domain.image = image
-        recorder.stop()
+            if self.uses_noxs:
+                recorder.start("devices")
+                yield from self._setup_noxs_devices(domain, config, shell)
+            else:
+                recorder.start("xenstore")
+                yield from self._write_domain_entries(domain, config, shell)
+                recorder.start("devices")
+                yield from self._setup_xs_devices(domain, config, shell)
+            retries = ((self.devices.retries_total - retries_before)
+                       if self.devices is not None else 0)
+
+            recorder.start("load")
+            yield self.sim.timeout(
+                self.costs.image_load_fixed_ms + image.toolstack_build_ms
+                + image.kernel_size_kb * self.costs.image_load_us_per_kb
+                / 1000.0)
+            domain.image = image
+            recorder.stop()
+        except Exception:
+            # Never leak a half-built domain — even a claimed shell is
+            # destroyed (the daemon's replenisher refills the pool).
+            if domain is not None:
+                yield from self._rollback_create(domain, config)
+            raise
 
         record = CreationRecord(
             domain=domain, config_name=config.name,
@@ -194,7 +216,9 @@ class ChaosToolstack:
     def _setup_noxs_devices(self, domain: Domain, config: VMConfig, shell):
         """Generator: ioctl-created devices recorded in the device page."""
         prepared = list(shell.prepared_devices) if shell is not None else []
-        entries = []
+        # Recorded incrementally so a mid-setup failure can roll back the
+        # devices that already exist.
+        entries = domain.notes.setdefault("noxs_devices", [])
         for index, vif in enumerate(config.vifs):
             if prepared:
                 entry = prepared.pop(0)
@@ -216,7 +240,6 @@ class ChaosToolstack:
             index_on_page = yield from self.noxs.write_devpage(domain,
                                                                entry)
             entries.append((index_on_page, entry))
-        domain.notes["noxs_devices"] = entries
         # Power operations need the sysctl pseudo-device.
         yield from self.sysctl.attach(domain)
 
@@ -232,24 +255,20 @@ class ChaosToolstack:
             # The prepare phase already wrote the skeleton; only the
             # VM-specific leaves remain.
             entry_count = 2
-        retries = 0
-        while True:
-            tx = yield from self.xenstore.transaction_start(DOM0_ID)
-            try:
+
+        def register(tx):
+            yield from self.xenstore.tx_write(
+                tx, base + "/memory/target", str(config.memory_kb))
+            for index in range(max(0, entry_count - 1)):
                 yield from self.xenstore.tx_write(
-                    tx, base + "/memory/target", str(config.memory_kb))
-                for index in range(max(0, entry_count - 1)):
-                    yield from self.xenstore.tx_write(
-                        tx, base + "/chaos/%d" % index, "x")
-                yield from self.xenstore.transaction_commit(tx)
-                return
-            except TransactionConflict:
-                retries += 1
-                if retries > MAX_TX_RETRIES:
-                    raise RuntimeError("chaos registration for %r: "
-                                       "retries exhausted" % config.name)
-                yield self.sim.timeout(
-                    self.xenstore.costs.conflict_backoff_ms * retries)
+                    tx, base + "/chaos/%d" % index, "x")
+
+        try:
+            yield from run_transaction(self.sim, self.xenstore, register,
+                                       rng=self.rng)
+        except RetryExhausted as exc:
+            raise RuntimeError("chaos registration for %r: retries "
+                               "exhausted" % config.name) from exc
 
     def _setup_xs_devices(self, domain: Domain, config: VMConfig, shell):
         """Generator: device setup via XenStore, optionally pre-created."""
@@ -273,6 +292,44 @@ class ChaosToolstack:
                                                   params=vif)
         for index, _vbd in enumerate(config.vbds):
             yield from self.devices.create_device(domain, "vbd", index)
+
+    def _rollback_create(self, domain: Domain, config: VMConfig):
+        """Generator: best-effort teardown of a failed creation on
+        whichever control plane (tolerant of not-yet-created state)."""
+        self.rollbacks += 1
+        if self.uses_noxs:
+            for _index, entry in list(domain.notes.get("noxs_devices", [])):
+                try:
+                    yield from self.noxs.ioctl_destroy_device(domain, entry)
+                except Exception:
+                    pass
+            sysctl_entry = domain.notes.pop(SysctlBackend.NOTE_KEY, None)
+            if sysctl_entry is not None:
+                try:
+                    yield from self.noxs.ioctl_destroy_device(domain,
+                                                              sysctl_entry)
+                except Exception:
+                    pass
+        else:
+            for kind, count in (("vif", len(config.vifs)),
+                                ("vbd", len(config.vbds))):
+                for index in range(count):
+                    try:
+                        yield from self.devices.destroy_device(domain, kind,
+                                                               index)
+                    except Exception:
+                        pass
+            yield from _patient_rm(self.sim, self.xenstore,
+                                   "/local/domain/%d" % domain.domid,
+                                   self.rng)
+            self.xenstore.watches.remove_for_domain(domain.domid)
+            weight = domain.notes.pop("xenstore_client", None)
+            if weight:
+                self.xenstore.unregister_client(weight)
+        try:
+            self.hypervisor.domctl_destroy(domain)
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # Destruction

@@ -11,15 +11,22 @@ The three-step dance the paper describes:
    (that part lives in :func:`repro.guests.boot.boot_guest`).
 
 The toolstack's entries are written inside a transaction (retried on
-conflict, with back-off); the back-end's response runs as its own
-simulation process, so its writes genuinely contend with whatever the
-toolstack does next.
+conflict with exponential backoff + seeded jitter, so competing clients
+de-synchronize); the back-end's response runs as its own simulation
+process, so its writes genuinely contend with whatever the toolstack does
+next.  Because the announcement watch can be dropped under fault
+injection (``xenstore.watch``), the toolstack waits on the response with
+a deadline and re-announces; because the back-end's allocation can fail
+(``hypervisor.grant_map``), the respond process retries and — if the
+request was abandoned meanwhile — rolls its allocations back.
 """
 
 from __future__ import annotations
 
 import typing
 
+from ..faults.plan import GrantMapFailure
+from ..faults.retry import ROLLBACK_POLICY, RetryExhausted, RetryPolicy
 from ..hypervisor.domain import Domain
 from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
 from ..xenstore.daemon import XenStoreDaemon
@@ -40,13 +47,49 @@ class DeviceSetupError(RuntimeError):
 #: exhausting 50 retries is ~1e-6.
 MAX_TX_RETRIES = 50
 
+#: Default conflict-retry schedule for XenStore transactions: exponential
+#: from the cost model's ``conflict_backoff_ms`` with 25% jitter, so
+#: clients that conflicted with each other don't retry in lock-step.
+TX_RETRY_POLICY = RetryPolicy(max_retries=MAX_TX_RETRIES, base_ms=1.0,
+                              multiplier=2.0, cap_ms=16.0, jitter=0.25)
+
+
+def run_transaction(sim, xenstore, body, policy: RetryPolicy = TX_RETRY_POLICY,
+                    rng=None, domid: int = DOM0_ID):
+    """Generator: run ``body(tx)`` (a generator) inside a transaction,
+    retrying conflicts with exponential backoff + jitter.
+
+    Returns the number of retries it took; raises :class:`RetryExhausted`
+    past the policy's budget.  The ``base_ms`` of the schedule scales with
+    the store's configured ``conflict_backoff_ms``.
+    """
+    retries = 0
+    started = sim.now
+    scale = xenstore.costs.conflict_backoff_ms / 1.0
+    while True:
+        tx = yield from xenstore.transaction_start(domid)
+        try:
+            yield from body(tx)
+            yield from xenstore.transaction_commit(tx)
+            return retries
+        except TransactionConflict as exc:
+            retries += 1
+            if policy.give_up(retries, started, sim.now):
+                raise RetryExhausted(
+                    "transaction retries exhausted (%d)" % retries) from exc
+            yield sim.timeout(scale * policy.backoff_ms(retries, rng))
+
 
 class XsDeviceManager:
     """Creates and destroys split-driver devices through the XenStore."""
 
     def __init__(self, sim: "Simulator", hypervisor: Hypervisor,
                  xenstore: XenStoreDaemon, hotplug,
-                 frontend_entries: int = 4, backend_entries: int = 5):
+                 frontend_entries: int = 4, backend_entries: int = 5,
+                 retry_policy: typing.Optional[RetryPolicy] = None,
+                 rng=None,
+                 response_timeout_ms: float = 250.0,
+                 response_retries: int = 8):
         self.sim = sim
         self.hypervisor = hypervisor
         self.xenstore = xenstore
@@ -55,10 +98,21 @@ class XsDeviceManager:
         #: xl writes more than chaos (part of chaos's §5 streamlining).
         self.frontend_entries = frontend_entries
         self.backend_entries = backend_entries
+        #: Conflict-retry schedule (exponential backoff + jitter).
+        self.retry_policy = retry_policy or TX_RETRY_POLICY
+        #: Jitter stream for retry backoff (None = no jitter).
+        self.rng = rng
+        #: How long to wait for the back-end's response before assuming
+        #: the announcement watch was dropped and re-announcing.
+        self.response_timeout_ms = response_timeout_ms
+        self.response_retries = response_retries
         self.retries_total = 0
+        self.respond_failures = 0
         self._backend_watch_installed = False
         #: (domid, kind, index) -> event fired when back-end has responded.
         self._pending: typing.Dict[tuple, object] = {}
+        #: Keys with a respond process currently scheduled (dedupe).
+        self._responding: typing.Set[tuple] = set()
 
     # ------------------------------------------------------------------
     # Back-end side
@@ -80,26 +134,78 @@ class XsDeviceManager:
             return
         kind, domid_text, index_text = parts[4], parts[5], parts[6]
         key = (int(domid_text), kind, int(index_text))
-        if key in self._pending and not self._pending[key].triggered:
+        if key in self._pending and not self._pending[key].triggered \
+                and key not in self._responding:
+            self._responding.add(key)
             self.sim.process(self._backend_respond(key))
 
     def _backend_respond(self, key: tuple):
-        """Process: step 2 — the back-end allocates and publishes."""
+        """Process: step 2 — the back-end allocates and publishes.
+
+        Hardened against faults: grant-map failures are retried with
+        backoff; if the toolstack abandons the request mid-flight (the
+        key left ``_pending``) the allocations are rolled back; any
+        terminal error is swallowed (counted in ``respond_failures``) —
+        the toolstack side times out and re-announces or gives up.
+        """
         domid, kind, index = key
-        port = self.hypervisor.event_channels.alloc_unbound(DOM0_ID, domid)
-        frame = 0x800000 + (domid << 8) + index
-        ref = self.hypervisor.grants.grant_access(DOM0_ID, domid, frame)
-        base = "/local/domain/%d/backend/%s/%d/%d" % (DOM0_ID, kind, domid,
-                                                      index)
-        yield from self.xenstore.op_write(DOM0_ID, base + "/event-channel",
-                                          str(port))
-        yield from self.xenstore.op_write(DOM0_ID, base + "/grant-ref",
-                                          str(ref))
-        yield from self.xenstore.op_write(DOM0_ID, base + "/state",
-                                          "initialised")
-        event = self._pending.get(key)
-        if event is not None and not event.triggered:
-            event.succeed((port, ref))
+        port = None
+        ref = None
+        try:
+            port = self.hypervisor.event_channels.alloc_unbound(DOM0_ID,
+                                                                domid)
+            retry = 0
+            frame = 0x800000 + (domid << 8) + index
+            while True:
+                try:
+                    ref = self.hypervisor.grants.grant_access(DOM0_ID, domid,
+                                                              frame)
+                    break
+                except GrantMapFailure:
+                    retry += 1
+                    if self.retry_policy.give_up(retry, self.sim.now,
+                                                 self.sim.now):
+                        raise
+                    yield self.sim.timeout(
+                        self.retry_policy.backoff_ms(retry, self.rng))
+            base = "/local/domain/%d/backend/%s/%d/%d" % (DOM0_ID, kind,
+                                                          domid, index)
+            for leaf, value in (("/event-channel", str(port)),
+                                ("/grant-ref", str(ref)),
+                                ("/state", "initialised")):
+                if key not in self._pending:
+                    # The toolstack gave up and tore the entries down;
+                    # publishing now would recreate removed nodes.
+                    self._rollback_respond(port, ref)
+                    return
+                yield from self.xenstore.op_write(DOM0_ID, base + leaf,
+                                                  value)
+            event = self._pending.get(key)
+            if event is not None and not event.triggered:
+                event.succeed((port, ref))
+            elif event is None:
+                self._rollback_respond(port, ref)
+        except Exception:
+            # A respond process must never crash the simulation: release
+            # what it allocated and let the requester's deadline handle it.
+            self.respond_failures += 1
+            self._rollback_respond(port, ref)
+        finally:
+            self._responding.discard(key)
+
+    def _rollback_respond(self, port, ref) -> None:
+        if ref is not None:
+            try:
+                entry = self.hypervisor.grants.entry(DOM0_ID, ref)
+                entry.mapped_by = None
+                self.hypervisor.grants.end_access(DOM0_ID, ref)
+            except Exception:
+                pass
+        if port is not None:
+            try:
+                self.hypervisor.event_channels.close(DOM0_ID, port)
+            except Exception:
+                pass
 
     # ------------------------------------------------------------------
     # Toolstack side
@@ -118,43 +224,39 @@ class XsDeviceManager:
         back_base = "/local/domain/%d/backend/%s/%d/%d" % (
             DOM0_ID, kind, domain.domid, index)
 
-        # Step 1: announce front+back entries in one transaction.
-        retries = 0
-        while True:
-            tx = yield from self.xenstore.transaction_start(DOM0_ID)
-            try:
+        def announce(tx):
+            # Step 1: announce front+back entries in one transaction.
+            yield from self.xenstore.tx_write(
+                tx, front_base + "/backend", back_base)
+            yield from self.xenstore.tx_write(
+                tx, front_base + "/backend-id", str(DOM0_ID))
+            yield from self.xenstore.tx_write(
+                tx, front_base + "/state", "initialising")
+            for extra in range(max(0, self.frontend_entries - 3)):
                 yield from self.xenstore.tx_write(
-                    tx, front_base + "/backend", back_base)
+                    tx, front_base + "/feature-%d" % extra, "1")
+            yield from self.xenstore.tx_write(
+                tx, back_base + "/frontend", front_base)
+            yield from self.xenstore.tx_write(
+                tx, back_base + "/frontend-id", str(domain.domid))
+            yield from self.xenstore.tx_write(
+                tx, back_base + "/online", "1")
+            if kind == "vif" and "mac" in params:
                 yield from self.xenstore.tx_write(
-                    tx, front_base + "/backend-id", str(DOM0_ID))
+                    tx, back_base + "/mac", params["mac"])
+            for extra in range(max(0, self.backend_entries - 4)):
                 yield from self.xenstore.tx_write(
-                    tx, front_base + "/state", "initialising")
-                for extra in range(max(0, self.frontend_entries - 3)):
-                    yield from self.xenstore.tx_write(
-                        tx, front_base + "/feature-%d" % extra, "1")
-                yield from self.xenstore.tx_write(
-                    tx, back_base + "/frontend", front_base)
-                yield from self.xenstore.tx_write(
-                    tx, back_base + "/frontend-id", str(domain.domid))
-                yield from self.xenstore.tx_write(
-                    tx, back_base + "/online", "1")
-                if kind == "vif" and "mac" in params:
-                    yield from self.xenstore.tx_write(
-                        tx, back_base + "/mac", params["mac"])
-                for extra in range(max(0, self.backend_entries - 4)):
-                    yield from self.xenstore.tx_write(
-                        tx, back_base + "/param-%d" % extra, "x")
-                yield from self.xenstore.transaction_commit(tx)
-                break
-            except TransactionConflict:
-                retries += 1
-                self.retries_total += 1
-                if retries > MAX_TX_RETRIES:
-                    raise DeviceSetupError(
-                        "device %s/%d for domain %d: transaction retries "
-                        "exhausted" % (kind, index, domain.domid))
-                yield self.sim.timeout(
-                    self.xenstore.costs.conflict_backoff_ms * retries)
+                    tx, back_base + "/param-%d" % extra, "x")
+
+        try:
+            self.retries_total += yield from run_transaction(
+                self.sim, self.xenstore, announce,
+                policy=self.retry_policy, rng=self.rng)
+        except RetryExhausted as exc:
+            yield from self._cleanup_failed_create(domain, kind, index)
+            raise DeviceSetupError(
+                "device %s/%d for domain %d: transaction retries "
+                "exhausted" % (kind, index, domain.domid)) from exc
 
         # The front-end domain needs read access to its back-end
         # directory (to fetch the connection details at boot) and full
@@ -168,9 +270,26 @@ class XsDeviceManager:
         yield from self.xenstore.op_set_perms(DOM0_ID, front_base,
                                               front_perms)
 
-        # The commit's watch firing triggered _backend_respond; note that
-        # the "frontend" announcement node is what the back-end keys on.
-        result = yield response
+        # The commit's watch firing triggered _backend_respond; if that
+        # delivery was dropped (or the respond process died), wait with a
+        # deadline and re-announce by rewriting the "frontend" node the
+        # back-end keys on.
+        attempt = 0
+        while not response.triggered:
+            attempt += 1
+            if attempt > self.response_retries:
+                yield from self._cleanup_failed_create(domain, kind, index)
+                raise DeviceSetupError(
+                    "device %s/%d for domain %d: back-end never responded"
+                    % (kind, index, domain.domid))
+            yield self.sim.any_of(
+                [response, self.sim.timeout(self.response_timeout_ms)])
+            if response.triggered:
+                break
+            yield from self.xenstore.op_write(DOM0_ID,
+                                              back_base + "/frontend",
+                                              front_base)
+        result = response.value
         self._pending.pop(key, None)
 
         # User-space plumbing (bridge attach) via the hotplug mechanism.
@@ -179,6 +298,28 @@ class XsDeviceManager:
             yield from self.hotplug.attach(domain.domid, devname)
         return result
 
+    def _cleanup_failed_create(self, domain: Domain, kind: str, index: int):
+        """Generator: undo a half-finished :meth:`create_device`.
+
+        Pops the pending request (so a late respond rolls itself back),
+        releases anything the back-end already published, and patiently
+        removes both subtrees — cleanup must outlast a fault window, so it
+        uses the rollback policy's larger budget.
+        """
+        key = (domain.domid, kind, index)
+        event = self._pending.pop(key, None)
+        if event is not None and event.triggered:
+            port, ref = event.value
+            self._rollback_respond(port, ref)
+        front_base = "/local/domain/%d/device/%s/%d" % (domain.domid, kind,
+                                                        index)
+        back_base = "/local/domain/%d/backend/%s/%d/%d" % (
+            DOM0_ID, kind, domain.domid, index)
+        for path in (front_base, back_base):
+            yield from _patient_rm(self.sim, self.xenstore, path, self.rng)
+        yield from _rm_backend_parent(self.sim, self.xenstore, kind,
+                                      domain.domid, self.rng)
+
     def destroy_device(self, domain: Domain, kind: str, index: int):
         """Generator: release back-end resources, remove front/back
         entries, and detach the user-space plumbing."""
@@ -186,6 +327,9 @@ class XsDeviceManager:
                                                         index)
         back_base = "/local/domain/%d/backend/%s/%d/%d" % (
             DOM0_ID, kind, domain.domid, index)
+        # Drop any in-flight request so a late respond backs out instead
+        # of recreating the nodes we are about to remove.
+        self._pending.pop((domain.domid, kind, index), None)
         # Back-end teardown: close its event channel and revoke the grant
         # it published (force-unmapping if the guest is still attached).
         tree = self.xenstore.tree
@@ -203,6 +347,34 @@ class XsDeviceManager:
             pass
         yield from self.xenstore.op_rm(DOM0_ID, front_base)
         yield from self.xenstore.op_rm(DOM0_ID, back_base)
+        yield from _rm_backend_parent(self.sim, self.xenstore, kind,
+                                      domain.domid, self.rng)
         if kind == "vif":
             devname = "vif%d.%d" % (domain.domid, index)
             yield from self.hotplug.detach(domain.domid, devname)
+
+
+def _rm_backend_parent(sim, xenstore, kind: str, domid: int, rng=None):
+    """Generator: drop ``/local/domain/0/backend/<kind>/<domid>`` once its
+    last device directory is gone — empty per-domain backend dirs outlive
+    the domain otherwise (the invariant checker flags them as leaks)."""
+    parent = "/local/domain/%d/backend/%s/%d" % (DOM0_ID, kind, domid)
+    tree = xenstore.tree
+    if tree.exists(parent) and not tree.directory(parent):
+        yield from _patient_rm(sim, xenstore, parent, rng)
+
+
+def _patient_rm(sim, xenstore, path: str, rng=None):
+    """Generator: remove ``path`` with the patient rollback policy —
+    cleanup that gives up under a fault storm would leak state."""
+    from ..faults.plan import MessageTimeout
+    from ..faults.retry import retry_generator
+
+    def attempt():
+        yield from xenstore.op_rm(DOM0_ID, path)
+
+    try:
+        yield from retry_generator(sim, ROLLBACK_POLICY, rng, attempt,
+                                   (MessageTimeout,))
+    except MessageTimeout:
+        pass  # the invariant checker will report the leak loudly

@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from ..faults.plan import NULL_INJECTOR, MigrationAborted
 from ..hypervisor.domain import Domain
 from ..net.links import Link
 from .config import VMConfig
@@ -203,23 +204,38 @@ class Checkpointer:
 
 
 def migrate(source: Checkpointer, destination: Checkpointer,
-            domain: Domain, config: VMConfig, link: Link):
+            domain: Domain, config: VMConfig, link: Link, faults=None):
     """Generator: live-migrate ``domain`` from source to destination host.
 
     Follows §5.1's flow: connect to the remote migration daemon, send the
     configuration so the remote side pre-creates the domain and devices,
     suspend the guest, stream its memory, and resume remotely.  Returns
     the new Domain on the destination.
+
+    Failure semantics: if the destination cannot create the domain (e.g.
+    it is out of memory), or the link dies mid-copy (the
+    ``migration.link`` fault point), the migration raises
+    :class:`MigrationAborted` with the source guest resumed and running
+    and nothing leaked on the destination.
     """
     sim = source.sim
     start = sim.now
+    faults = faults if faults is not None else NULL_INJECTOR
 
     # TCP connection + configuration exchange.
     yield from link.round_trip()
     yield from link.transfer(max(1, len(config.text) // 1024))
 
-    # Remote pre-creation of the domain and its devices.
-    record = yield from destination.toolstack.create_vm(config, boot=False)
+    # Remote pre-creation of the domain and its devices.  The source
+    # guest has not been touched yet, so a failure here aborts cleanly
+    # (the destination toolstack already rolled its half back).
+    try:
+        record = yield from destination.toolstack.create_vm(config,
+                                                            boot=False)
+    except Exception as exc:
+        raise MigrationAborted(
+            "destination could not pre-create %r: %s"
+            % (config.name, exc)) from exc
     remote_domain = record.domain
 
     # Suspend the source guest.
@@ -242,6 +258,15 @@ def migrate(source: Checkpointer, destination: Checkpointer,
     # Stream the guest memory over the wire (libxc send path).
     memory_kb = domain.memory_kb
     yield sim.timeout(source.costs.libxc_fixed_ms)
+    if faults.fires("migration.link") is not None:
+        # The TCP connection died mid-copy: half the memory crossed the
+        # wire for nothing.  Resume the source, roll back the remote.
+        yield from link.transfer(max(1, memory_kb // 2))
+        yield from _abort_migration(source, destination, domain, config,
+                                    remote_domain)
+        raise MigrationAborted(
+            "link interrupted while streaming %r; source resumed"
+            % config.name)
     yield from link.transfer(memory_kb)
 
     # Tear down on the source, resume on the destination.
@@ -255,3 +280,24 @@ def migrate(source: Checkpointer, destination: Checkpointer,
         yield sim.timeout(1.0)
     remote_domain.notes["migrated_in_ms"] = sim.now - start
     return remote_domain
+
+
+def _abort_migration(source: Checkpointer, destination: Checkpointer,
+                     domain: Domain, config: VMConfig,
+                     remote_domain: Domain):
+    """Generator: undo a half-done migration — resume the suspended
+    source guest and destroy the pre-created destination domain."""
+    sim = source.sim
+    ts = source.toolstack
+    if source._uses_noxs():
+        yield from ts.sysctl.complete_resume(domain)
+    else:
+        ts.hypervisor.domctl_unpause(domain)
+        yield sim.timeout(1.0)  # guest-side reconnect
+        weight = config.image.ambient_weight
+        ts.xenstore.register_client(weight)
+        domain.notes["xenstore_client"] = weight
+    try:
+        yield from destination.toolstack.destroy_vm(remote_domain)
+    except Exception:
+        pass

@@ -19,8 +19,10 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from ..faults.plan import NULL_INJECTOR, TransientHypercallError
+from ..faults.retry import RetryPolicy, retry_call
 from ..hypervisor.devicepage import DEV_VIF
-from ..hypervisor.domain import Domain
+from ..hypervisor.domain import Domain, DomainState
 from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
 from ..noxs.module import NoxsModule
 from ..sim.resources import Store
@@ -63,7 +65,9 @@ class ChaosDaemon:
                  pool_target: int = 8,
                  shell_memory_kb: int = 4096,
                  shell_vifs: int = 1,
-                 costs: typing.Optional[ShellPoolCosts] = None):
+                 costs: typing.Optional[ShellPoolCosts] = None,
+                 faults=None, rng=None,
+                 retry_policy: typing.Optional[RetryPolicy] = None):
         if (xenstore is None) == (noxs is None):
             raise ValueError("the daemon prepares shells for exactly one "
                              "control plane")
@@ -77,8 +81,15 @@ class ChaosDaemon:
         self.shell_memory_kb = shell_memory_kb
         self.shell_vifs = shell_vifs
         self.costs = costs or ShellPoolCosts()
+        #: Injector for the ``shellpool.shell`` crash point.
+        self.faults = faults if faults is not None else NULL_INJECTOR
+        self.rng = rng
+        self.retry_policy = retry_policy or RetryPolicy()
         self.pool: Store = Store(sim)
         self.shells_prepared = 0
+        #: Shells that crashed right after prepare (injected) and were
+        #: torn down + replaced.
+        self.shells_crashed = 0
         self._replenish_signal = None
         self._running = False
 
@@ -96,7 +107,8 @@ class ChaosDaemon:
         while self._running:
             if len(self.pool) < self.pool_target:
                 shell = yield from self.prepare_shell()
-                self.pool.put(shell)
+                if shell is not None:  # None = crashed and torn down
+                    self.pool.put(shell)
             else:
                 self._replenish_signal = self.sim.event()
                 yield self.sim.any_of([
@@ -118,9 +130,18 @@ class ChaosDaemon:
     # Prepare phase
     # ------------------------------------------------------------------
     def prepare_shell(self):
-        """Generator: run the prepare phase for one shell."""
-        domain = self.hypervisor.domctl_create(
-            memory_kb=self.shell_memory_kb, shell=True)
+        """Generator: run the prepare phase for one shell.
+
+        Transient DOMCTL_createdomain failures are retried.  If the
+        freshly-prepared shell crashes (the ``shellpool.shell`` fault
+        point), it is torn down completely and ``None`` is returned — the
+        replenisher simply prepares another.
+        """
+        domain = yield from retry_call(
+            self.sim, self.retry_policy, self.rng,
+            lambda: self.hypervisor.domctl_create(
+                memory_kb=self.shell_memory_kb, shell=True),
+            (TransientHypercallError,))
         yield self.sim.timeout(self.costs.hypervisor_fixed_ms)
         yield self.sim.timeout(self.shell_memory_kb / 1024.0
                                * self.costs.mem_prep_us_per_mb / 1000.0)
@@ -134,6 +155,13 @@ class ChaosDaemon:
         else:
             yield from self._prepare_xenstore_skeleton(domain)
         self.shells_prepared += 1
+        rule = self.faults.fires("shellpool.shell")
+        if rule is not None:
+            self.shells_crashed += 1
+            if rule.delay_ms:
+                yield self.sim.timeout(rule.delay_ms)
+            yield from self._teardown_shell(shell)
+            return None
         return shell
 
     def _prepare_xenstore_skeleton(self, domain: Domain):
@@ -163,13 +191,59 @@ class ChaosDaemon:
             yield from self.xenstore.op_write(
                 DOM0_ID, back_base + "/state", "initialised")
 
+    def _teardown_shell(self, shell: Shell):
+        """Generator: release everything a prepared shell holds — its
+        noxs devices or XenStore skeleton (ports, grants, nodes) and its
+        hypervisor reservation."""
+        domain = shell.domain
+        if self.noxs is not None:
+            for entry in shell.prepared_devices:
+                try:
+                    yield from self.noxs.ioctl_destroy_device(domain, entry)
+                except Exception:
+                    pass
+            shell.prepared_devices = []
+        else:
+            base = "/local/domain/%d" % domain.domid
+            tree = self.xenstore.tree
+            for index in range(self.shell_vifs):
+                back_base = "/local/domain/%d/backend/vif/%d/%d" % (
+                    DOM0_ID, domain.domid, index)
+                try:
+                    port = int(tree.read(back_base + "/event-channel"))
+                    self.hypervisor.event_channels.close(DOM0_ID, port)
+                except Exception:
+                    pass
+                try:
+                    ref = int(tree.read(back_base + "/grant-ref"))
+                    entry = self.hypervisor.grants.entry(DOM0_ID, ref)
+                    entry.mapped_by = None
+                    self.hypervisor.grants.end_access(DOM0_ID, ref)
+                except Exception:
+                    pass
+                yield from self.xenstore.op_rm(DOM0_ID, back_base)
+            from .devices import _rm_backend_parent
+            yield from _rm_backend_parent(self.sim, self.xenstore, "vif",
+                                          domain.domid, self.rng)
+            yield from self.xenstore.op_rm(DOM0_ID, base)
+        try:
+            self.hypervisor.domctl_destroy(domain)
+        except Exception:
+            pass
+
     # ------------------------------------------------------------------
     # Execute-phase interface
     # ------------------------------------------------------------------
     def get_shell(self, config: "VMConfig"):
         """Generator: claim a shell (waits if the pool is momentarily
-        empty, e.g. during a boot storm faster than the prepare rate)."""
-        self._kick()
-        shell = yield self.pool.get()
-        self._kick()
-        return shell
+        empty, e.g. during a boot storm faster than the prepare rate).
+        A shell that died while pooled is discarded and another claimed."""
+        while True:
+            self._kick()
+            shell = yield self.pool.get()
+            self._kick()
+            domain = shell.domain
+            if domain.domid in self.hypervisor.domains and \
+                    domain.state is DomainState.SHELL:
+                return shell
+            # Stale shell (e.g. torn down behind our back): skip it.

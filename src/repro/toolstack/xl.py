@@ -12,13 +12,14 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from ..faults.plan import TransientHypercallError
+from ..faults.retry import RetryExhausted, RetryPolicy, retry_call
 from ..guests.boot import boot_guest
 from ..hypervisor.domain import Domain, DomainState, ShutdownReason
 from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
 from ..xenstore.daemon import XenStoreDaemon
-from ..xenstore.transaction import TransactionConflict
 from .config import VMConfig
-from .devices import MAX_TX_RETRIES, XsDeviceManager
+from .devices import XsDeviceManager, _patient_rm, run_transaction
 from .hotplug import BashHotplug
 from .phases import CreationRecord, PhaseRecorder
 
@@ -66,18 +67,26 @@ class XlToolstack:
     def __init__(self, sim: "Simulator", hypervisor: Hypervisor,
                  xenstore: XenStoreDaemon,
                  hotplug=None,
-                 costs: typing.Optional[XlCosts] = None):
+                 costs: typing.Optional[XlCosts] = None,
+                 rng=None,
+                 retry_policy: typing.Optional[RetryPolicy] = None):
         self.sim = sim
         self.hypervisor = hypervisor
         self.xenstore = xenstore
         self.costs = costs or XlCosts()
         self.hotplug = hotplug or BashHotplug(sim)
+        #: Jitter stream + schedule for control-plane retries.
+        self.rng = rng
+        self.retry_policy = retry_policy or RetryPolicy()
         self.devices = XsDeviceManager(sim, hypervisor, xenstore,
                                        self.hotplug,
                                        frontend_entries=5,
-                                       backend_entries=6)
+                                       backend_entries=6,
+                                       rng=rng)
         #: CreationRecords in creation order.
         self.created: typing.List[CreationRecord] = []
+        #: Creations that failed and were rolled back.
+        self.rollbacks = 0
 
     # ------------------------------------------------------------------
     # VM creation (Figure 8, standard toolstack column)
@@ -106,35 +115,45 @@ class XlToolstack:
             self.costs.toolstack_fixed_ms
             + domain_count * self.costs.toolstack_per_domain_us / 1000.0)
 
-        # 1-4. HYPERVISOR RESERVATION / COMPUTE / MEMORY.
+        # 1-4. HYPERVISOR RESERVATION / COMPUTE / MEMORY.  Transient
+        # DOMCTL_createdomain failures are retried with backoff.
         recorder.start("hypervisor")
-        domain = self.hypervisor.domctl_create(
-            name=config.name, memory_kb=config.memory_kb,
-            vcpus=config.vcpus)
+        domain = yield from retry_call(
+            self.sim, self.retry_policy, self.rng,
+            lambda: self.hypervisor.domctl_create(
+                name=config.name, memory_kb=config.memory_kb,
+                vcpus=config.vcpus),
+            (TransientHypercallError,))
         yield self.sim.timeout(self.costs.hypervisor_fixed_ms)
         yield self.sim.timeout(config.memory_kb / 1024.0
                                * self.costs.mem_prep_us_per_mb / 1000.0)
 
-        # XenStore registration: name check + base entries + /vm tree.
-        recorder.start("xenstore")
-        retries = yield from self._write_domain_entries(domain, config)
+        try:
+            # XenStore registration: name check + base entries + /vm tree.
+            recorder.start("xenstore")
+            retries = yield from self._write_domain_entries(domain, config)
 
-        # 5+7. DEVICE PRE-CREATION / INITIALIZATION.
-        recorder.start("devices")
-        for index, vif in enumerate(config.vifs):
-            yield from self.devices.create_device(domain, "vif", index,
-                                                  params=vif)
-        for index, _vbd in enumerate(config.vbds):
-            yield from self.devices.create_device(domain, "vbd", index)
+            # 5+7. DEVICE PRE-CREATION / INITIALIZATION.
+            recorder.start("devices")
+            for index, vif in enumerate(config.vifs):
+                yield from self.devices.create_device(domain, "vif", index,
+                                                      params=vif)
+            for index, _vbd in enumerate(config.vbds):
+                yield from self.devices.create_device(domain, "vbd", index)
 
-        # 8. IMAGE BUILD: parse the kernel image and load it into memory.
-        recorder.start("load")
-        yield self.sim.timeout(
-            self.costs.image_load_fixed_ms + image.toolstack_build_ms
-            + image.kernel_size_kb * self.costs.image_load_us_per_kb
-            / 1000.0)
-        domain.image = image
-        recorder.stop()
+            # 8. IMAGE BUILD: parse the kernel image, load it into memory.
+            recorder.start("load")
+            yield self.sim.timeout(
+                self.costs.image_load_fixed_ms + image.toolstack_build_ms
+                + image.kernel_size_kb * self.costs.image_load_us_per_kb
+                / 1000.0)
+            domain.image = image
+            recorder.stop()
+        except Exception:
+            # A failed creation must not leak the half-built domain: tear
+            # down whatever was already registered, then re-raise.
+            yield from self._rollback_create(domain, config)
+            raise
 
         record = CreationRecord(
             domain=domain, config_name=config.name,
@@ -161,30 +180,58 @@ class XlToolstack:
                        + config.image.extra_xenstore_entries)
         base = "/local/domain/%d" % domain.domid
         vm_base = "/vm/%d" % domain.domid
-        retries = 0
-        while True:
-            tx = yield from self.xenstore.transaction_start(DOM0_ID)
+
+        def register(tx):
+            yield from self.xenstore.tx_write(tx, base + "/name",
+                                              config.name)
+            yield from self.xenstore.tx_write(
+                tx, base + "/memory/target", str(config.memory_kb))
+            yield from self.xenstore.tx_write(tx, base + "/vm", vm_base)
+            yield from self.xenstore.tx_write(
+                tx, vm_base + "/name", config.name)
+            for index in range(max(0, entry_count - 4)):
+                yield from self.xenstore.tx_write(
+                    tx, base + "/data/%d" % index, "x")
+
+        try:
+            return (yield from run_transaction(
+                self.sim, self.xenstore, register, rng=self.rng))
+        except RetryExhausted as exc:
+            raise ToolstackError(
+                "domain registration for %r: retries exhausted"
+                % config.name) from exc
+
+    def _rollback_create(self, domain: Domain, config: VMConfig):
+        """Generator: best-effort teardown of a failed creation.
+
+        Every step is independent and tolerant of not-yet-created state,
+        so however far creation got, nothing it allocated survives: device
+        entries (plus their ports/grants/bridge ports), the domain's
+        XenStore subtrees, its watches and its hypervisor resources.
+        """
+        self.rollbacks += 1
+        for index in range(len(config.vifs)):
             try:
-                yield from self.xenstore.tx_write(tx, base + "/name",
-                                                  config.name)
-                yield from self.xenstore.tx_write(
-                    tx, base + "/memory/target", str(config.memory_kb))
-                yield from self.xenstore.tx_write(tx, base + "/vm", vm_base)
-                yield from self.xenstore.tx_write(
-                    tx, vm_base + "/name", config.name)
-                for index in range(max(0, entry_count - 4)):
-                    yield from self.xenstore.tx_write(
-                        tx, base + "/data/%d" % index, "x")
-                yield from self.xenstore.transaction_commit(tx)
-                return retries
-            except TransactionConflict:
-                retries += 1
-                if retries > MAX_TX_RETRIES:
-                    raise ToolstackError(
-                        "domain registration for %r: retries exhausted"
-                        % config.name)
-                yield self.sim.timeout(
-                    self.xenstore.costs.conflict_backoff_ms * retries)
+                yield from self.devices.destroy_device(domain, "vif", index)
+            except Exception:
+                pass
+        for index in range(len(config.vbds)):
+            try:
+                yield from self.devices.destroy_device(domain, "vbd", index)
+            except Exception:
+                pass
+        yield from _patient_rm(self.sim, self.xenstore,
+                               "/local/domain/%d" % domain.domid, self.rng)
+        yield from _patient_rm(self.sim, self.xenstore,
+                               "/vm/%d" % domain.domid, self.rng)
+        self.xenstore.watches.remove_for_domain(domain.domid)
+        weight = domain.notes.pop("xenstore_client", None)
+        if weight:
+            self.xenstore.unregister_client(weight)
+        try:
+            self.hypervisor.domctl_destroy(domain)
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # Destruction

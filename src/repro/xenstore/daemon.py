@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 import typing
 
+from ..faults.plan import NULL_INJECTOR, MessageTimeout
+from ..faults.retry import RetryPolicy
 from ..sim.resources import Resource
 from .accesslog import AccessLog
 from .protocol import XenStoreCosts
@@ -46,13 +48,21 @@ class XenStoreDaemon:
                  implementation: str = "oxenstored",
                  log_enabled: bool = True,
                  rng: typing.Optional[typing.Any] = None,
-                 enforce_permissions: bool = False):
+                 enforce_permissions: bool = False,
+                 faults=None,
+                 retry_policy: typing.Optional[RetryPolicy] = None):
         if implementation not in ("oxenstored", "cxenstored"):
             raise ValueError("unknown implementation %r" % implementation)
         self.sim = sim
         self.costs = costs or XenStoreCosts()
         #: RNG stream for ambient-conflict draws (None disables them).
         self.rng = rng
+        #: Fault injector consulted at ``xenstore.*`` fault points.
+        self.faults = faults if faults is not None else NULL_INJECTOR
+        #: Resend schedule for lost message acks (``xenstore.message``).
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_retries=8, base_ms=0.5, multiplier=2.0, cap_ms=8.0,
+            jitter=0.25)
         #: When True, reads/writes are checked against node ACLs
         #: (xenstored always enforces; benchmarks leave it off since the
         #: per-op permission arithmetic is already inside process_us).
@@ -73,6 +83,8 @@ class XenStoreDaemon:
             "conflicts": 0,
             "watch_events": 0,
             "rotation_stalls": 0,
+            "timeouts": 0,
+            "watch_drops": 0,
         }
         #: Nodes created per guest domain (quota accounting).
         self._node_counts: typing.Dict[int, int] = {}
@@ -132,11 +144,32 @@ class XenStoreDaemon:
     # Internal mutation plumbing
     # ------------------------------------------------------------------
     def _charge(self, extra_us: float = 0.0):
-        """Generator: hold the worker and charge one op's latency."""
-        with self.worker.request() as req:
-            yield req
-            yield self.sim.timeout(self._op_latency_ms(extra_us))
-        self.stats["ops"] += 1
+        """Generator: hold the worker and charge one op's latency.
+
+        Under fault injection the ``xenstore.message`` point models a lost
+        ack: the client waits out its message timeout (without holding the
+        worker), backs off, and resends — each resend pays the full op
+        latency again.  Past the retry budget, :class:`MessageTimeout`.
+        """
+        attempt = 0
+        while True:
+            with self.worker.request() as req:
+                yield req
+                yield self.sim.timeout(self._op_latency_ms(extra_us))
+            self.stats["ops"] += 1
+            rule = self.faults.fires("xenstore.message")
+            if rule is None:
+                return
+            self.stats["timeouts"] += 1
+            yield self.sim.timeout(rule.delay_ms
+                                   or self.costs.message_timeout_ms)
+            attempt += 1
+            if attempt >= self.retry_policy.max_retries:
+                raise MessageTimeout(
+                    "XenStore message unacknowledged after %d resends"
+                    % attempt)
+            yield self.sim.timeout(
+                self.retry_policy.backoff_ms(attempt, self.rng))
 
     def _log_access(self):
         """Generator: write log lines, stalling on rotation."""
@@ -148,6 +181,16 @@ class XenStoreDaemon:
     def _fire_watches(self, path: str):
         """Generator: scan the registry and deliver matching events."""
         scan_us = len(self.watches) * self.costs.watch_scan_us
+        rule = self.faults.fires("xenstore.watch")
+        if rule is not None:
+            # The delivery is dropped: the daemon still pays the scan but
+            # no waiter is woken — they must time out and re-announce.
+            self.stats["watch_drops"] += 1
+            delay = (scan_us / 1000.0 * self._impl_factor()
+                     * self._load_factor() + rule.delay_ms)
+            if delay:
+                yield self.sim.timeout(delay)
+            return
         fired = self.watches.fire(path)
         deliver_us = len(fired) * self.costs.watch_deliver_us
         self.stats["watch_events"] += len(fired)
@@ -313,6 +356,12 @@ class XenStoreDaemon:
                        * self.costs.per_node_scan_us)
         yield from self._charge(
             extra_us=self.costs.txn_overhead_us + validate_us)
+        if self.faults.fires("xenstore.commit") is not None:
+            tx.abort()
+            self.stats["conflicts"] += 1
+            yield from self._log_access()
+            raise TransactionConflict(
+                "transaction %d invalidated (injected conflict)" % tx.tx_id)
         if self._ambient_clash(tx):
             tx.abort()
             self.stats["conflicts"] += 1

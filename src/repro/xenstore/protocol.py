@@ -64,6 +64,10 @@ class XenStoreCosts:
     conflict_probability_cap: float = 0.75
     #: Client back-off before retrying a conflicted transaction (ms).
     conflict_backoff_ms: float = 1.0
+    #: How long a client waits for the daemon's ack before resending the
+    #: message (ms).  Only reached under fault injection: a dropped ack
+    #: (``xenstore.message``) charges this timeout per lost round trip.
+    message_timeout_ms: float = 5.0
     #: Per-domain node quota (xenstored's defense against a guest
     #: exhausting the store — the §1 resource-DoS argument).  Dom0 is
     #: exempt.  0 disables the quota.

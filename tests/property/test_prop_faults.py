@@ -1,0 +1,50 @@
+"""Property tests: random seeded fault plans through a boot storm.
+
+Whatever fault schedule Hypothesis draws, two invariants must hold:
+
+* the host leaks nothing — every failed creation rolled back fully; and
+* the run is bit-reproducible — the same (seed, plan) pair produces the
+  exact same timeline, fault schedule, and outcome sequence.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Host
+from repro.faults import FaultPlan
+from repro.guests import DAYTIME_UNIKERNEL
+
+VARIANTS = ("xl", "chaos+xs", "lightvm")
+CREATES = 5
+
+rates = st.floats(min_value=0.0, max_value=0.3, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2 ** 31)
+
+
+def storm(variant, rate, seed):
+    """One fault-injected boot storm; returns its full observable trace."""
+    host = Host(variant=variant, seed=seed, pool_target=CREATES + 2,
+                fault_plan=FaultPlan.uniform(rate, seed=seed))
+    host.warmup(1500)
+    outcomes = []
+    for _ in range(CREATES):
+        try:
+            outcomes.append(host.create_vm(DAYTIME_UNIKERNEL).create_ms)
+        except Exception as exc:
+            outcomes.append(type(exc).__name__)
+    host.sim.run(until=host.sim.now + 500.0)
+    return (outcomes, host.sim.now, host.fault_metrics(),
+            host.check_invariants())
+
+
+@given(st.sampled_from(VARIANTS), rates, seeds)
+@settings(max_examples=15, deadline=None)
+def test_random_fault_plans_never_leak(variant, rate, seed):
+    _outcomes, _now, _metrics, violations = storm(variant, rate, seed)
+    assert violations == []
+
+
+@given(st.sampled_from(VARIANTS), rates, seeds)
+@settings(max_examples=10, deadline=None)
+def test_identical_seeds_identical_timelines(variant, rate, seed):
+    assert storm(variant, rate, seed) == storm(variant, rate, seed)

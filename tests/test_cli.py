@@ -24,6 +24,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["create", "--variant", "kvm"])
 
+    def test_faults_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.variant == "lightvm"
+        assert args.rate == 0.02
+        assert args.points == "*"
+
 
 class TestCommands:
     def test_images_lists_catalogue(self, capsys):
@@ -38,6 +44,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "booted 3 x daytime" in out
         assert "mean=" in out
+
+    def test_faults_storm_reports_clean_invariants(self, capsys):
+        assert main(["faults", "--count", "3", "--variant", "xl",
+                     "--rate", "0.1", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fault storm: 3 x daytime under xl" in out
+        assert "fault point" in out
+        assert "invariants: clean" in out
+
+    def test_faults_scoped_to_one_point(self, capsys):
+        assert main(["faults", "--count", "2", "--variant", "chaos+xs",
+                     "--rate", "1.0", "--points", "hotplug.*",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "hotplug.xendevd" in out
+        # Occurrences are counted everywhere, but only the scoped point
+        # actually injects faults.
+        for line in out.splitlines():
+            if line.startswith("xenstore."):
+                assert line.split()[-1] == "0"
+            if line.startswith("hotplug.xendevd"):
+                assert line.split()[-1] != "0"
 
     def test_checkpoint_round_trips(self, capsys):
         assert main(["checkpoint", "--cycles", "2"]) == 0

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import Host, XEON_E5_1630_2DOM0
+from repro.core import Host, HostSpec, XEON_E5_1630_2DOM0
+from repro.faults import FaultInjector, FaultPlan, MigrationAborted
 from repro.guests import DAYTIME_UNIKERNEL
 from repro.hypervisor import DomainState
 from repro.net import Link
@@ -115,3 +116,71 @@ class TestMigration:
         xl, _r, _s, _d = self._migrate("xl")
         lightvm, _r, _s, _d = self._migrate("lightvm")
         assert xl > lightvm
+
+
+#: A host whose RAM is fully consumed by Dom0 — any guest creation OOMs.
+FULL_SPEC = HostSpec(name="full", cores=4, memory_gb=1, dom0_cores=1,
+                     dom0_memory_gb=1)
+
+
+class TestMigrationFailures:
+    def _pair(self, variant, dest_spec=XEON_E5_1630_2DOM0):
+        sim = Simulator()
+        src = Host(spec=XEON_E5_1630_2DOM0, variant=variant, sim=sim)
+        dst = Host(spec=dest_spec, variant=variant, sim=sim)
+        src.warmup(500)
+        config = src.config_for(DAYTIME_UNIKERNEL)
+        record = src.create_vm(config)
+        link = Link(sim, latency_ms=0.1, bandwidth_mbps=1000.0)
+        return sim, src, dst, record.domain, config, link
+
+    def _run_migrate(self, sim, src, dst, domain, config, link,
+                     faults=None):
+        proc = sim.process(migrate(src.checkpointer, dst.checkpointer,
+                                   domain, config, link, faults=faults))
+        return sim.run(until=proc)
+
+    @pytest.mark.parametrize("variant", ["xl", "chaos+xs"])
+    def test_destination_oom_leaves_source_running(self, variant):
+        sim, src, dst, domain, config, link = self._pair(
+            variant, dest_spec=FULL_SPEC)
+        with pytest.raises(MigrationAborted):
+            self._run_migrate(sim, src, dst, domain, config, link)
+        # Pre-creation failed before the source was suspended: the guest
+        # never stopped running and the destination kept nothing.
+        assert domain.state == DomainState.RUNNING
+        assert src.running_guests == 1
+        assert dst.running_guests == 0
+        sim.run(until=sim.now + 500.0)
+        assert dst.check_invariants() == []
+        assert src.check_invariants() == []
+
+    @pytest.mark.parametrize("variant", ["xl", "lightvm"])
+    def test_link_drop_resumes_source_and_rolls_back_dest(self, variant):
+        sim, src, dst, domain, config, link = self._pair(variant)
+        faults = FaultInjector(FaultPlan.once("migration.link",
+                                              kind="drop"))
+        with pytest.raises(MigrationAborted):
+            self._run_migrate(sim, src, dst, domain, config, link,
+                              faults=faults)
+        assert domain.state == DomainState.RUNNING
+        assert src.running_guests == 1
+        assert dst.running_guests == 0
+        sim.run(until=sim.now + 500.0)
+        assert dst.check_invariants() == []
+        assert src.check_invariants() == []
+
+    def test_migration_succeeds_after_an_aborted_attempt(self):
+        sim, src, dst, domain, config, link = self._pair("lightvm")
+        faults = FaultInjector(FaultPlan.once("migration.link"))
+        with pytest.raises(MigrationAborted):
+            self._run_migrate(sim, src, dst, domain, config, link,
+                              faults=faults)
+        sim.run(until=sim.now + 500.0)
+        remote = self._run_migrate(sim, src, dst, domain, config, link)
+        assert remote.state == DomainState.RUNNING
+        assert src.running_guests == 0
+        assert dst.running_guests == 1
+        sim.run(until=sim.now + 500.0)
+        assert src.check_invariants() == []
+        assert dst.check_invariants() == []
