@@ -90,3 +90,27 @@ def test_ablation_faults(benchmark):
     assert results["xl"][-1][0] / xl_base > 1.2
     assert (results["xl"][-1][0] / xl_base
             > results["lightvm"][-1][0] / lightvm_base)
+
+
+def test_ablation_faults_replay_identity():
+    """Determinism gate: the fault-injected storm replays bit-identically
+    — the same (seed, FaultPlan) pair must schedule the exact same
+    faults, retries and rollbacks on every run, even when creations
+    fail.  This is the dual-run digest half of the PR-1 promise that a
+    FaultPlan "replays bit-identically"."""
+    from repro.analysis import assert_replay_identical
+
+    def scenario(sim):
+        plan = FaultPlan.uniform(0.05, seed=7)
+        host = Host(variant="xl", seed=7, sim=sim, fault_plan=plan)
+        for _ in range(6):
+            try:
+                host.create_vm(DAYTIME_UNIKERNEL)
+            except Exception:
+                pass
+        sim.run(until=sim.now + 500.0)
+        assert not host.check_invariants()
+
+    report = assert_replay_identical(scenario)
+    assert report.identical
+    assert report.event_counts[0] > 0

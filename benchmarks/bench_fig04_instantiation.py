@@ -118,3 +118,27 @@ def test_fig04_instantiation_and_boot(benchmark):
     assert abs(mean(procs[-200:]) - mean(procs[:200])) < 2.0
     # With small guests, creation dominates total bring-up time.
     assert uni_c[-1] > uni_b[-1]
+
+
+def test_fig04_replay_identity():
+    """Determinism gate: a scaled-down slice of this figure's experiment
+    — a VM storm, a container storm and a process storm on one simulator
+    — must produce a byte-identical event timeline on every run (no
+    FaultPlan; the faulted counterpart lives in bench_ablation_faults)."""
+    from repro.analysis import assert_replay_identical
+
+    def scenario(sim):
+        host = Host(variant="xl", seed=0, sim=sim)
+        for _ in range(8):
+            host.create_vm(DAYTIME_UNIKERNEL)
+        engine = DockerEngine(sim, RngStream(0, "docker"), 128 * 1024)
+        spawner = ProcessSpawner(sim, RngStream(0, "proc"))
+        for _ in range(8):
+            for one in (engine.start_container, spawner.spawn):
+                def drive(op=one):
+                    yield from op()
+                sim.run(until=sim.process(drive()))
+
+    report = assert_replay_identical(scenario)
+    assert report.identical
+    assert report.event_counts[0] > 0

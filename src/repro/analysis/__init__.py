@@ -1,0 +1,43 @@
+"""Static and runtime determinism analysis for the reproduction.
+
+The whole repository stands on bit-identical determinism: a ``(seed,
+config)`` pair must replay the exact same simulated timeline, or the
+paper's curves (and the fault injector's "replays bit-identically"
+promise) are not credible.  This package makes that promise
+machine-checked instead of by-convention:
+
+* :mod:`repro.analysis.lint` — an AST-based linter (``repro lint``) with
+  pluggable rules ``RPR001``… that flag determinism hazards at the
+  source level: ambient randomness, wall-clock reads, unordered
+  ``set``/dict-view iteration on sim-visible paths, ``id()``-based
+  ordering, float clock drift, and mutable default arguments.
+* :mod:`repro.analysis.sanitize` — opt-in runtime sanitizers
+  (``repro sanitize``) hooked into the simulation kernel: double-trigger
+  detection, stalled-process (deadlock/leak) detection, end-of-run
+  resource/store waiter audits, RNG stream-collision detection, and the
+  dual-run digest checker that proves replay-identity by running a
+  scenario twice and diffing a streaming SHA-256 of its event timeline.
+"""
+
+from .lint import (Finding, LintRule, RULES, lint_paths, lint_source,
+                   render_findings)
+from .sanitize import (EventTrace, ReplayDivergence, ReplayReport, Sanitizer,
+                       SanitizerViolation, assert_replay_identical,
+                       canonical, verify_replay)
+
+__all__ = [
+    "EventTrace",
+    "Finding",
+    "LintRule",
+    "RULES",
+    "ReplayDivergence",
+    "ReplayReport",
+    "Sanitizer",
+    "SanitizerViolation",
+    "assert_replay_identical",
+    "canonical",
+    "lint_paths",
+    "lint_source",
+    "render_findings",
+    "verify_replay",
+]

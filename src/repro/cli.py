@@ -7,7 +7,9 @@ Gives the library a downstream-usable front end:
 * ``checkpoint`` — save/restore round-trip timings;
 * ``tinyx-build`` — run the Tinyx pipeline for an application;
 * ``usecase`` — run one of the §7 use cases;
-* ``syscalls`` — print the Fig 1 dataset.
+* ``syscalls`` — print the Fig 1 dataset;
+* ``lint`` — run the determinism linter over Python sources;
+* ``sanitize`` — dual-run replay-digest check with runtime sanitizers.
 """
 
 from __future__ import annotations
@@ -212,6 +214,67 @@ def _cmd_syscalls(_args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import pathlib
+    import sys
+
+    from .analysis import lint_paths, render_findings
+    paths = args.paths
+    if not paths:
+        # Default to the installed package itself.
+        paths = [pathlib.Path(__file__).resolve().parent]
+    missing = [p for p in paths if not pathlib.Path(p).exists()]
+    if missing:
+        print("repro lint: error: no such file or directory: %s"
+              % ", ".join(str(p) for p in missing), file=sys.stderr)
+        return 2
+    findings = lint_paths(paths)
+    print(render_findings(findings))
+    return 1 if findings else 0
+
+
+def _cmd_sanitize(args) -> int:
+    from .analysis import EventTrace, Sanitizer
+    from .faults import FaultPlan
+    from .sim import Simulator
+
+    image = _lookup_or_exit(args.parser_error, args.image)
+    plan = (FaultPlan.uniform(args.rate, points=args.points,
+                              seed=args.seed)
+            if args.rate > 0.0 else None)
+    digests, violation_total = [], 0
+    for run in range(args.runs):
+        sim = Simulator()
+        trace = EventTrace().attach(sim)
+        sanitizer = Sanitizer().attach(sim)
+        with sanitizer.watch_rng():
+            host = Host(variant=args.variant, seed=args.seed, sim=sim,
+                        pool_target=args.count + 32,
+                        shell_memory_kb=image.memory_kb,
+                        fault_plan=plan)
+            host.warmup(20.0 * (args.count + 32))
+            failures = 0
+            for _ in range(args.count):
+                try:
+                    host.create_vm(image)
+                except Exception:
+                    failures += 1
+            # Drain in-flight teardowns before auditing.
+            sim.run(until=sim.now + 500.0)
+        violations = sanitizer.check() + host.check_invariants()
+        violation_total += len(violations)
+        digests.append(trace.digest())
+        print("run %d: %d events, %d failed create(s), digest %s"
+              % (run + 1, trace.events, failures, trace.digest()))
+        for violation in violations:
+            print("  violation: %s" % violation)
+    identical = len(set(digests)) == 1
+    print("sanitizers: %s" % ("clean" if not violation_total
+                              else "%d violation(s)" % violation_total))
+    print("replay: %s" % ("IDENTICAL" if identical else "DIVERGED"))
+    return 0 if identical and not violation_total else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -273,6 +336,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("syscalls", help="print the Fig 1 dataset") \
         .set_defaults(fn=_cmd_syscalls)
+
+    lint = sub.add_parser(
+        "lint", help="run the determinism linter (RPR rules)")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint (default: the "
+                           "installed repro package)")
+    lint.set_defaults(fn=_cmd_lint)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="dual-run replay-digest check with runtime sanitizers")
+    sanitize.add_argument("--variant", choices=VARIANTS,
+                          default="lightvm")
+    sanitize.add_argument("--image", default="daytime")
+    sanitize.add_argument("--count", type=_positive_int, default=10)
+    sanitize.add_argument("--seed", type=int, default=0)
+    sanitize.add_argument("--rate", type=float, default=0.0,
+                          help="uniform fault-injection probability "
+                               "(0 disables the FaultPlan)")
+    sanitize.add_argument("--points", default="*",
+                          help="fault-point pattern, e.g. 'xenstore.*'")
+    sanitize.add_argument("--runs", type=_positive_int, default=2,
+                          help="independent runs to digest and compare")
+    sanitize.set_defaults(fn=_cmd_sanitize)
     return parser
 
 

@@ -9,6 +9,18 @@ The kernel is a compact SimPy-style design: events are pushed onto a heap
 keyed by (time, insertion order); :meth:`Simulator.run` pops them in order
 and invokes their callbacks.  Processes (see :mod:`repro.sim.process`) are
 generators that yield events and are resumed by callbacks.
+
+**Determinism contract.**  The heap key is ``(time, insertion order)``
+and nothing else: events scheduled for the same simulated instant are
+processed in exactly the order they were pushed, every run.  Nothing in
+the kernel may break ties by hash order, object identity (``id()``), or
+any other per-process value — that contract is what makes a ``(seed,
+config)`` pair replay bit-identically, and it is machine-checked by
+:mod:`repro.analysis` (the ``repro lint`` rules and the dual-run digest
+checker).  Two opt-in hooks support that checking: ``sanitizer``
+(runtime hazard detection) and ``trace`` (streaming timeline digest);
+both default to ``None`` and cost one identity check per event when
+unused.
 """
 
 from __future__ import annotations
@@ -30,6 +42,10 @@ class Simulator:
         self._order = itertools.count()
         #: Number of events processed so far (for diagnostics/tests).
         self.processed_events = 0
+        #: Optional :class:`repro.analysis.sanitize.Sanitizer` hook.
+        self.sanitizer = None
+        #: Optional :class:`repro.analysis.sanitize.EventTrace` hook.
+        self.trace = None
 
     @property
     def now(self) -> float:
@@ -69,6 +85,9 @@ class Simulator:
     # Queue management
     # ------------------------------------------------------------------
     def _push(self, event: Event, delay: float = 0.0) -> None:
+        # (time, insertion order) is the *entire* ordering contract; see
+        # the module docstring.  The counter both breaks ties FIFO and
+        # keeps Event objects out of heap comparisons entirely.
         heapq.heappush(self._queue, (self._now + delay, next(self._order),
                                      event))
 
@@ -81,8 +100,14 @@ class Simulator:
         if not self._queue:
             raise SimulationError("no more events to process")
         when, _order, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError(
+                "clock would run backwards (%r -> %r): the heap ordering "
+                "contract was violated" % (self._now, when))
         self._now = when
         self.processed_events += 1
+        if self.trace is not None:
+            self.trace.record(when, event)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

@@ -77,6 +77,8 @@ class Event:
     def succeed(self, value: object = None) -> "Event":
         """Trigger the event successfully with ``value``."""
         if self._value is not PENDING:
+            if self.sim.sanitizer is not None:
+                self.sim.sanitizer.event_double_trigger(self)
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
@@ -86,6 +88,8 @@ class Event:
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event as failed with ``exception``."""
         if self._value is not PENDING:
+            if self.sim.sanitizer is not None:
+                self.sim.sanitizer.event_double_trigger(self)
             raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")

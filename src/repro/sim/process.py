@@ -33,6 +33,11 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: typing.Optional[Event] = None
+        #: Perpetual background services (pool replenishers, pollers) set
+        #: this so the end-of-run deadlock sanitizer does not flag them.
+        self.daemon = False
+        if sim.sanitizer is not None:
+            sim.sanitizer.track_process(self)
         # Kick off on the next queue step so creation order is respected.
         bootstrap = Event(sim)
         bootstrap._ok = True

@@ -47,6 +47,8 @@ class Resource:
         self.capacity = capacity
         self.users: typing.List[Request] = []
         self.queue: typing.Deque[Request] = collections.deque()
+        if sim.sanitizer is not None:
+            sim.sanitizer.track_resource(self)
 
     @property
     def count(self) -> int:
@@ -87,6 +89,8 @@ class Store:
         self.sim = sim
         self.items: typing.Deque[object] = collections.deque()
         self._getters: typing.Deque[Event] = collections.deque()
+        if sim.sanitizer is not None:
+            sim.sanitizer.track_store(self)
 
     def __len__(self) -> int:
         return len(self.items)

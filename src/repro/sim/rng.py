@@ -9,11 +9,17 @@ experiment is bit-reproducible from a single seed.
 from __future__ import annotations
 
 import hashlib
-import random
+import random  # noqa: RPR001 -- the one sanctioned randomness source
+import typing
 
 
 class RngStream(random.Random):
     """A ``random.Random`` seeded from ``(seed, name)`` via SHA-256."""
+
+    #: Process-wide construction observers (``stream_created(seed, name)``)
+    #: used by :class:`repro.analysis.sanitize.Sanitizer` to detect two
+    #: components deriving *correlated* streams from the same pair.
+    observers: typing.List = []
 
     def __init__(self, seed: int, name: str):
         digest = hashlib.sha256(
@@ -21,6 +27,8 @@ class RngStream(random.Random):
         super().__init__(int.from_bytes(digest[:8], "big"))
         self.name = name
         self.base_seed = seed
+        for observer in list(self.observers):
+            observer.stream_created(seed, name)
 
 
 class RngRegistry:

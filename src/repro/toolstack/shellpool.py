@@ -101,7 +101,9 @@ class ChaosDaemon:
         if self._running:
             return
         self._running = True
-        self.sim.process(self._replenisher())
+        # A perpetual service: mark it daemon so the end-of-run deadlock
+        # sanitizer (repro.analysis.sanitize) does not flag it as stalled.
+        self.sim.process(self._replenisher()).daemon = True
 
     def _replenisher(self):
         while self._running:

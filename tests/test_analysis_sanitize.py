@@ -1,0 +1,295 @@
+"""Tests for the runtime sanitizers and the dual-run digest checker."""
+
+import pytest
+
+from repro.analysis import (EventTrace, ReplayDivergence, Sanitizer,
+                            SanitizerViolation, assert_replay_identical,
+                            canonical, verify_replay)
+from repro.sim import (Resource, RngRegistry, RngStream, SimulationError,
+                       Simulator, Store)
+
+
+class TestCanonical:
+    def test_scalars(self):
+        assert canonical(None) == "None"
+        assert canonical(True) == "True"
+        assert canonical(42) == "42"
+        assert canonical("x") == "'x'"
+
+    def test_float_uses_exact_bits(self):
+        assert canonical(0.1) == (0.1).hex()
+
+    def test_containers_recurse(self):
+        assert canonical([1, (2, 3)]) == "[1,(2,3)]"
+        assert canonical({"a": 1}) == "{'a':1}"
+
+    def test_objects_collapse_to_type_name(self):
+        class Payload:
+            pass
+
+        a, b = canonical(Payload()), canonical(Payload())
+        assert a == b == "<Payload>"  # no id() addresses leak in
+
+    def test_exceptions_keep_args(self):
+        assert canonical(ValueError("boom")) == "ValueError('boom')"
+
+    def test_depth_bounded(self):
+        nested = [1]
+        for _ in range(10):
+            nested = [nested]
+        assert "..." in canonical(nested)
+
+
+class TestEventTrace:
+    def test_counts_and_digests_every_event(self):
+        sim = Simulator()
+        trace = EventTrace().attach(sim)
+        for _ in range(3):
+            sim.timeout(1.0)
+        sim.run()
+        assert trace.events == 3
+        assert len(trace.digest()) == 64
+
+    def test_identical_runs_identical_digests(self):
+        def run():
+            sim = Simulator()
+            trace = EventTrace().attach(sim)
+            sim.schedule(1.0, lambda: None)
+            sim.timeout(2.5, value="payload")
+            sim.run()
+            return trace.digest()
+
+        assert run() == run()
+
+    def test_time_sensitive(self):
+        def run(delays):
+            sim = Simulator()
+            trace = EventTrace().attach(sim)
+            for delay in delays:
+                sim.timeout(delay)
+            sim.run()
+            return trace.digest()
+
+        # Same processed order but different timestamps -> different
+        # timeline.  (Swapped *creation* order of identical timeouts is
+        # invisible by design: the processed timeline is what matters.)
+        assert run([1.0, 2.0]) != run([1.0, 3.0])
+        assert run([1.0, 2.0]) == run([1.0, 2.0])
+
+    def test_payload_sensitive(self):
+        def run(value):
+            sim = Simulator()
+            trace = EventTrace().attach(sim)
+            sim.timeout(1.0, value=value)
+            sim.run()
+            return trace.digest()
+
+        assert run("a") != run("b")
+
+
+class TestSanitizerDoubleTrigger:
+    def test_recorded_even_when_raise_is_swallowed(self):
+        sim = Simulator()
+        san = Sanitizer().attach(sim)
+        event = sim.event()
+        event.succeed("first")
+        try:
+            event.succeed("second")
+        except SimulationError:
+            pass
+        sim.run()
+        assert any("re-triggered" in v for v in san.check())
+
+    def test_fail_after_succeed_recorded(self):
+        sim = Simulator()
+        san = Sanitizer().attach(sim)
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.fail(RuntimeError("late"))
+        sim.run()
+        assert len(san.check()) == 1
+
+
+class TestSanitizerStalledProcesses:
+    def test_deadlocked_process_reported(self):
+        sim = Simulator()
+        san = Sanitizer().attach(sim)
+
+        def stuck():
+            yield sim.event()  # nobody will ever trigger this
+
+        sim.process(stuck())
+        sim.run()
+        violations = san.check()
+        assert any("never finished" in v for v in violations)
+
+    def test_finished_process_clean(self):
+        sim = Simulator()
+        san = Sanitizer().attach(sim)
+
+        def quick():
+            yield sim.timeout(1.0)
+
+        sim.process(quick())
+        sim.run()
+        san.assert_clean()
+
+    def test_daemon_processes_exempt(self):
+        sim = Simulator()
+        san = Sanitizer().attach(sim)
+
+        def forever():
+            while True:
+                yield sim.event()
+
+        sim.process(forever()).daemon = True
+        sim.run()
+        san.assert_clean()
+
+
+class TestSanitizerWaiters:
+    def test_resource_queue_waiter_reported(self):
+        sim = Simulator()
+        san = Sanitizer().attach(sim)
+        resource = Resource(sim, capacity=1)
+
+        def hog():
+            with resource.request() as req:
+                yield req
+                yield sim.event()  # hold the slot forever
+
+        def waiter():
+            with resource.request() as req:
+                yield req
+
+        sim.process(hog())
+        sim.process(waiter())
+        sim.run()
+        violations = san.check()
+        assert any("waiter(s) still queued" in v for v in violations)
+
+    def test_store_blocked_getter_reported(self):
+        sim = Simulator()
+        san = Sanitizer().attach(sim)
+        store = Store(sim)
+
+        def starved():
+            yield store.get()
+
+        sim.process(starved())
+        sim.run()
+        assert any("blocked getter" in v for v in san.check())
+
+    def test_satisfied_store_clean(self):
+        sim = Simulator()
+        san = Sanitizer().attach(sim)
+        store = Store(sim)
+        store.put("item")
+
+        def fed():
+            yield store.get()
+
+        sim.process(fed())
+        sim.run()
+        san.assert_clean()
+
+
+class TestSanitizerRngCollisions:
+    def test_duplicate_derivation_detected(self):
+        san = Sanitizer()
+        with san.watch_rng():
+            RngStream(0, "dup")
+            RngStream(0, "dup")
+        assert any("derived twice" in v for v in san.check())
+
+    def test_registry_cache_is_not_a_collision(self):
+        san = Sanitizer()
+        with san.watch_rng():
+            registry = RngRegistry(seed=0)
+            registry.stream("a")
+            registry.stream("a")  # cached, not re-derived
+        san.assert_clean()
+
+    def test_watch_scope_ends_with_context(self):
+        san = Sanitizer()
+        with san.watch_rng():
+            RngStream(0, "x")
+        RngStream(0, "x")  # outside the watch: not recorded
+        san.assert_clean()
+        assert RngStream.observers == []
+
+    def test_assert_clean_raises_with_details(self):
+        san = Sanitizer()
+        with san.watch_rng():
+            RngStream(1, "s")
+            RngStream(1, "s")
+        with pytest.raises(SanitizerViolation, match="derived twice"):
+            san.assert_clean()
+
+
+class TestVerifyReplay:
+    def test_deterministic_scenario_identical(self):
+        def scenario(sim):
+            rng = RngStream(4, "jitter")
+            for _ in range(10):
+                sim.timeout(rng.random())
+            sim.run()
+
+        report = verify_replay(scenario)
+        assert report.identical
+        assert report.event_counts == [10, 10]
+        assert "IDENTICAL" in report.render()
+
+    def test_nondeterministic_scenario_diverges(self):
+        ticket = [0]
+
+        def scenario(sim):
+            # Deliberately leaks state across runs — the exact hazard
+            # the checker exists to catch.
+            ticket[0] += 1
+            sim.timeout(float(ticket[0]))
+            sim.run()
+
+        report = verify_replay(scenario)
+        assert not report.identical
+        with pytest.raises(ReplayDivergence):
+            assert_replay_identical(scenario)
+
+    def test_requires_two_runs(self):
+        with pytest.raises(ValueError):
+            verify_replay(lambda sim: None, runs=1)
+
+    def test_host_boot_storm_replays_identically(self):
+        from repro.core import Host
+        from repro.guests import DAYTIME_UNIKERNEL
+
+        def scenario(sim):
+            host = Host(variant="lightvm", seed=11, sim=sim,
+                        pool_target=8,
+                        shell_memory_kb=DAYTIME_UNIKERNEL.memory_kb)
+            host.warmup(300.0)
+            for _ in range(3):
+                host.create_vm(DAYTIME_UNIKERNEL)
+            sim.run(until=sim.now + 50.0)
+
+        assert assert_replay_identical(scenario).identical
+
+    def test_faulted_boot_storm_replays_identically(self):
+        from repro.core import Host
+        from repro.faults import FaultPlan
+        from repro.guests import DAYTIME_UNIKERNEL
+
+        def scenario(sim):
+            host = Host(variant="xl", seed=11, sim=sim,
+                        fault_plan=FaultPlan.uniform(0.05, seed=11))
+            for _ in range(3):
+                try:
+                    host.create_vm(DAYTIME_UNIKERNEL)
+                except Exception:
+                    pass
+            sim.run(until=sim.now + 200.0)
+
+        report = assert_replay_identical(scenario)
+        assert report.identical
+        assert report.event_counts[0] > 0

@@ -30,6 +30,20 @@ class TestParser:
         assert args.rate == 0.02
         assert args.points == "*"
 
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.paths == []
+
+    def test_sanitize_defaults(self):
+        args = build_parser().parse_args(["sanitize"])
+        assert args.variant == "lightvm"
+        assert args.rate == 0.0
+        assert args.runs == 2
+
+    def test_sanitize_rejects_single_run(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sanitize", "--runs", "0"])
+
 
 class TestCommands:
     def test_images_lists_catalogue(self, capsys):
@@ -107,6 +121,62 @@ class TestCommands:
         main(["create", "--count", "3", "--seed", "5"])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestLintCommand:
+    def test_installed_package_lints_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_fail_the_run(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nfor x in {1, 2}:\n    pass\n")
+        assert main(["lint", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out
+        assert "RPR003" in out
+        assert "2 finding(s)" in out
+
+    def test_justified_suppression_passes(self, tmp_path, capsys):
+        clean = tmp_path / "suppressed.py"
+        clean.write_text(
+            "import random  # noqa: RPR001 -- fixture randomness\n")
+        assert main(["lint", str(clean)]) == 0
+
+    def test_unjustified_suppression_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bare.py"
+        bad.write_text("import random  # noqa: RPR001\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "RPR000" in capsys.readouterr().out
+
+    def test_missing_path_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "gone.py")]) == 2
+        err = capsys.readouterr().err
+        assert "no such file" in err
+        assert "Traceback" not in err
+
+
+class TestSanitizeCommand:
+    def test_fault_free_storm_is_replay_identical(self, capsys):
+        assert main(["sanitize", "--count", "3", "--variant",
+                     "chaos+noxs"]) == 0
+        out = capsys.readouterr().out
+        assert "replay: IDENTICAL" in out
+        assert "sanitizers: clean" in out
+        digests = [line.split()[-1] for line in out.splitlines()
+                   if line.startswith("run ")]
+        assert len(digests) == 2 and len(set(digests)) == 1
+
+    def test_faulted_storm_is_replay_identical(self, capsys):
+        assert main(["sanitize", "--count", "3", "--variant", "xl",
+                     "--rate", "0.1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "replay: IDENTICAL" in out
+
+    def test_three_way_replay(self, capsys):
+        assert main(["sanitize", "--count", "2", "--runs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("digest") == 3
 
 
 class TestUnikernelBuildCommand:

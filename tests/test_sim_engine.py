@@ -40,6 +40,51 @@ def test_same_time_events_fifo():
     assert seen == list(range(5))
 
 
+def test_same_time_interleaved_events_pop_in_insertion_order():
+    """The determinism contract: the heap is keyed by (time, insertion
+    order) and nothing else.  Events landing on the same timestamp via
+    *different* construction paths — direct timeouts, longer timeouts
+    created earlier, immediate succeeds fired by callbacks — must still
+    pop in exactly the order they were pushed."""
+    sim = Simulator()
+    seen = []
+    # Insertion 0: a timeout created now, firing at t=5.
+    sim.schedule(5.0, seen.append, "early-push")
+    # Insertion 1: another t=5 arrival, pushed second.
+    sim.schedule(5.0, seen.append, "second-push")
+    # Insertions made later in wall order but also landing on t=5: a
+    # callback at t=2 schedules two more t=5 events plus an immediate
+    # event succeeded at t=5 exactly.
+    def at_two():
+        sim.schedule(3.0, seen.append, "from-t2-a")
+        sim.schedule(3.0, seen.append, "from-t2-b")
+    sim.schedule(2.0, at_two)
+    # A plain event succeeded from a t=5 callback lands *after* every
+    # event already queued for t=5 (it is pushed last).
+    late = sim.event()
+    late.add_callback(lambda _e: seen.append("succeeded-at-t5"))
+    sim.schedule(5.0, late.succeed)
+
+    sim.run()
+    assert seen == ["early-push", "second-push", "from-t2-a",
+                    "from-t2-b", "succeeded-at-t5"]
+
+
+def test_clock_never_runs_backwards():
+    """A push that would rewind the clock is a contract violation the
+    kernel refuses to process silently."""
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run()
+    assert sim.now == 10.0
+    stale = Event(sim)
+    stale._ok = True
+    stale._value = None
+    sim._queue.append((5.0, -1, stale))  # forge a past-dated entry
+    with pytest.raises(SimulationError, match="backwards"):
+        sim.step()
+
+
 def test_run_until_time_stops_clock_exactly():
     sim = Simulator()
     sim.schedule(10.0, lambda: None)

@@ -1,5 +1,7 @@
 """Tests for XenStore watches and the access log."""
 
+import pytest
+
 from repro.xenstore import AccessLog, WatchManager
 
 
@@ -105,3 +107,39 @@ class TestAccessLog:
     def test_multi_line_records(self):
         log = AccessLog(files=1, rotate_lines=10)
         assert log.record(lines=12) == 1  # single record crosses threshold
+
+    def test_zero_and_negative_line_records_are_ignored(self):
+        log = AccessLog(files=2, rotate_lines=5)
+        assert log.record(lines=0) == 0
+        assert log.record(lines=-3) == 0
+        assert log.total_lines == 0
+        assert log.lines_in(0) == 0
+
+    def test_at_least_one_file_required(self):
+        with pytest.raises(ValueError):
+            AccessLog(files=0)
+
+    def test_total_lines_counts_every_file(self):
+        log = AccessLog(files=4, rotate_lines=100)
+        log.record(lines=3)
+        log.record()
+        assert log.total_lines == 4 * 4  # (3 + 1) lines x 4 files
+        assert all(log.lines_in(i) == 4 for i in range(4))
+
+    def test_rotation_resets_counter_exactly(self):
+        """A record that crosses the threshold zeroes the file; the
+        *next* record starts the count fresh (no carried remainder)."""
+        log = AccessLog(files=1, rotate_lines=10)
+        log.record(lines=25)  # one giant access still rotates once
+        assert log.rotations == 1
+        assert log.lines_in(0) == 0
+        log.record(lines=9)
+        assert log.rotations == 1
+        assert log.lines_in(0) == 9
+
+    def test_repeated_rotations_accumulate(self):
+        log = AccessLog(files=2, rotate_lines=3)
+        for _ in range(9):
+            log.record()
+        assert log.rotations == 6  # 3 rotations x 2 files
+        assert log.total_lines == 18
