@@ -14,13 +14,24 @@ counts everywhere).
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+import time
 import typing
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 FULL = os.environ.get("REPRO_BENCH_SCALE", "quick") == "full"
+
+#: Set by ``conftest.py`` when pytest was invoked with ``--json``.
+JSON_ENABLED = False
+
+#: Wall-clock seconds the most recent :func:`run_once` experiment took —
+#: the DES engine's self-timing, attached to the figure JSON by
+#: :func:`report`.
+_last_wall_s: typing.Optional[float] = None
 
 
 def scaled(full_value: int, quick_value: int) -> int:
@@ -28,10 +39,17 @@ def scaled(full_value: int, quick_value: int) -> int:
     return full_value if FULL else quick_value
 
 
-def report(figure: str, text: str) -> None:
+def report(figure: str, text: str,
+           data: typing.Optional[typing.Dict[str, object]] = None) -> None:
     """Print a figure report and persist it under
     ``benchmarks/results/<scale>/`` (so a quick run never clobbers the
-    committed full-scale series)."""
+    committed full-scale series).
+
+    With ``--json`` a machine-readable ``BENCH_<fig>.json`` is also
+    written at the repository root: the figure id/title/scale, the
+    optional ``data`` series the benchmark passes, and the wall-clock
+    seconds the DES engine spent on the experiment.
+    """
     scale = "full" if FULL else "quick"
     banner = "=" * 72
     body = "%s\n%s  [scale: %s]\n%s\n%s\n" % (banner, figure, scale,
@@ -39,13 +57,30 @@ def report(figure: str, text: str) -> None:
     print("\n" + body)
     directory = RESULTS_DIR / scale
     directory.mkdir(parents=True, exist_ok=True)
-    path = directory / ("%s.txt" % figure.split(" ")[0].lower())
+    fig_id = figure.split(" ")[0].lower()
+    path = directory / ("%s.txt" % fig_id)
     path.write_text(body)
+    if JSON_ENABLED:
+        payload = {
+            "figure": fig_id,
+            "title": figure,
+            "scale": scale,
+            "wall_clock_s": _last_wall_s,
+            "data": data if data is not None else {},
+        }
+        json_path = REPO_ROOT / ("BENCH_%s.json" % fig_id)
+        json_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def run_once(benchmark, fn: typing.Callable):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    """Run an experiment exactly once under pytest-benchmark timing,
+    recording the experiment's wall-clock duration for :func:`report`."""
+    global _last_wall_s
+    started = time.perf_counter()
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    _last_wall_s = time.perf_counter() - started
+    return result
 
 
 def paper_vs_measured(rows: typing.Sequence[typing.Tuple[str, object,

@@ -10,7 +10,9 @@ is negligible.  Log-rotation produces periodic spikes.
 from repro.core import Host
 from repro.core.metrics import sample_indices
 from repro.guests import DAYTIME_UNIKERNEL
+from repro.sim import Simulator
 from repro.toolstack import PHASES
+from repro.trace import Tracer, phase_attribution
 
 from _support import fmt, paper_vs_measured, report, run_once, scaled
 
@@ -18,17 +20,25 @@ COUNT = scaled(1000, 600)
 
 
 def run_experiment():
-    host = Host(variant="xl")
+    sim = Simulator()
+    tracer = Tracer().attach(sim)
+    host = Host(variant="xl", sim=sim)
     phase_series = {phase: [] for phase in PHASES}
     for _ in range(COUNT):
         record = host.create_vm(DAYTIME_UNIKERNEL)
         for phase in PHASES:
             phase_series[phase].append(record.phases[phase])
-    return phase_series, host.xenstore.stats
+    return phase_series, host.xenstore.stats, tracer
 
 
 def test_fig05_creation_breakdown(benchmark):
-    phase_series, xs_stats = run_once(benchmark, run_experiment)
+    phase_series, xs_stats, tracer = run_once(benchmark, run_experiment)
+
+    # Cross-check the observability layer: the per-phase totals derived
+    # from `phase.*` spans must equal the PhaseRecorder's accumulated
+    # series EXACTLY (same sim.now samples, same summation order).
+    assert phase_attribution(tracer) == {
+        phase: sum(phase_series[phase]) for phase in PHASES}
 
     first = {p: phase_series[p][0] for p in PHASES}
     last = {p: phase_series[p][-1] for p in PHASES}
@@ -53,7 +63,13 @@ def test_fig05_creation_breakdown(benchmark):
                      + "".join("%12.2f" % phase_series[p][index]
                                for p in PHASES))
     report("FIG05 creation overhead breakdown",
-           paper_vs_measured(rows) + "\n\n" + "\n".join(lines))
+           paper_vs_measured(rows) + "\n\n" + "\n".join(lines),
+           data={"count": COUNT,
+                 "phases": {p: [phase_series[p][i] for i in samples]
+                            for p in PHASES},
+                 "sampled_n": [i + 1 for i in samples],
+                 "span_attribution_ms": phase_attribution(tracer),
+                 "spans_recorded": len(tracer.spans)})
     benchmark.extra_info["last"] = last
 
     # Shape: the two main contributors at scale are XenStore and devices,

@@ -1,7 +1,21 @@
 """Make the shared `_support` helpers importable regardless of the
-directory pytest is invoked from."""
+directory pytest is invoked from, and register the ``--json`` option."""
 
 import pathlib
 import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json", action="store_true", dest="repro_bench_json",
+        help="also write machine-readable BENCH_<fig>.json files "
+             "(figure id, series, DES-engine wall-clock self-timing) "
+             "at the repository root")
+
+
+def pytest_configure(config):
+    import _support
+    _support.JSON_ENABLED = config.getoption("repro_bench_json",
+                                             default=False)

@@ -9,7 +9,10 @@ Gives the library a downstream-usable front end:
 * ``usecase`` — run one of the §7 use cases;
 * ``syscalls`` — print the Fig 1 dataset;
 * ``lint`` — run the determinism linter over Python sources;
-* ``sanitize`` — dual-run replay-digest check with runtime sanitizers.
+* ``sanitize`` — dual-run replay-digest check with runtime sanitizers;
+* ``trace`` — boot storm under the span tracer: per-phase attribution,
+  span summary, optional Chrome/Perfetto ``trace_event`` export;
+* ``metrics`` — boot storm, then print the scraped metrics registry.
 """
 
 from __future__ import annotations
@@ -275,6 +278,61 @@ def _cmd_sanitize(args) -> int:
     return 0 if identical and not violation_total else 1
 
 
+def _traced_storm(args):
+    """Run a boot storm with a tracer + metrics registry attached;
+    returns (host, tracer, registry)."""
+    from .sim import Simulator
+    from .trace import MetricsRegistry, Tracer
+
+    image = _lookup_or_exit(args.parser_error, args.image)
+    sim = Simulator()
+    registry = MetricsRegistry(sim=sim)
+    tracer = Tracer(metrics=registry).attach(sim)
+    host = Host(variant=args.variant, seed=args.seed, sim=sim,
+                pool_target=args.count + 32,
+                shell_memory_kb=image.memory_kb)
+    host.warmup(20.0 * (args.count + 32))
+    for _ in range(args.count):
+        host.create_vm(image)
+    return host, tracer, registry
+
+
+def _cmd_trace(args) -> int:
+    from .trace import (phase_attribution, render_attribution,
+                        render_span_summary, write_chrome_trace)
+
+    host, tracer, _registry = _traced_storm(args)
+    print("traced %d x %s under %s: %d spans on %d tracks"
+          % (args.count, args.image, args.variant, len(tracer.spans),
+             len(tracer.track_names)))
+    totals = phase_attribution(tracer)
+    if totals:
+        print()
+        print(render_attribution(totals, count=args.count))
+    print()
+    print(render_span_summary(tracer))
+    if args.out:
+        events = write_chrome_trace(tracer, args.out)
+        print()
+        print("wrote %d trace events to %s "
+              "(load in Perfetto or chrome://tracing)" % (events, args.out))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    from .trace import collect_host_metrics
+
+    host, _tracer, registry = _traced_storm(args)
+    collect_host_metrics(host, registry)
+    if args.json:
+        print(json.dumps(registry.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(registry.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -360,6 +418,29 @@ def build_parser() -> argparse.ArgumentParser:
     sanitize.add_argument("--runs", type=_positive_int, default=2,
                           help="independent runs to digest and compare")
     sanitize.set_defaults(fn=_cmd_sanitize)
+
+    trace = sub.add_parser(
+        "trace", help="boot storm under the span tracer "
+                      "(phase attribution + Perfetto export)")
+    trace.add_argument("--variant", choices=VARIANTS, default="lightvm")
+    trace.add_argument("--image", default="daytime")
+    trace.add_argument("--count", type=_positive_int, default=10)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", metavar="FILE",
+                       help="write a Chrome/Perfetto trace_event JSON "
+                            "file")
+    trace.set_defaults(fn=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="boot storm, then print the metrics registry")
+    metrics.add_argument("--variant", choices=VARIANTS,
+                         default="lightvm")
+    metrics.add_argument("--image", default="daytime")
+    metrics.add_argument("--count", type=_positive_int, default=10)
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--json", action="store_true",
+                         help="emit the registry as JSON")
+    metrics.set_defaults(fn=_cmd_metrics)
     return parser
 
 

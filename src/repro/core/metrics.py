@@ -6,6 +6,7 @@ same rows/series the paper's figures report.
 
 from __future__ import annotations
 
+import bisect
 import math
 import typing
 
@@ -42,28 +43,46 @@ def mean(values: typing.Sequence[float]) -> float:
 
 def cdf_points(values: typing.Sequence[float],
                points: int = 50) -> typing.List[typing.Tuple[float, float]]:
-    """(value, cumulative fraction) pairs suitable for plotting a CDF."""
+    """(value, cumulative fraction) pairs suitable for plotting a CDF.
+
+    Semantics: every pair ``(v, f)`` satisfies ``f == P(X <= v)`` over the
+    input sample, the ``v`` are strictly increasing, and the series always
+    terminates at ``(max(values), 1.0)``.
+    """
     if not values:
         raise ValueError("cdf of empty sequence")
     ordered = sorted(values)
     n = len(ordered)
     step = max(1, n // points)
-    out = []
+    out: typing.List[typing.Tuple[float, float]] = []
     for index in range(0, n, step):
-        out.append((ordered[index], (index + 1) / n))
-    # The CDF must terminate at (max value, 1.0) even when the subsampling
-    # step skipped the tail or the maximum duplicates an earlier value.
+        value = ordered[index]
+        if out and out[-1][0] == value:
+            continue  # a duplicate maps to the same (v, f) pair
+        # The subsample may land on any copy of a duplicated value, so the
+        # sampled index's own rank under-reports the fraction; the CDF at
+        # v is the rank of v's *last* occurrence.
+        out.append((value, bisect.bisect_right(ordered, value) / n))
+    # Terminate at (max value, 1.0) even when the subsampling step
+    # skipped the tail entirely.
     if out[-1] != (ordered[-1], 1.0):
         out.append((ordered[-1], 1.0))
     return out
 
 
 def sample_indices(total: int, samples: int) -> typing.List[int]:
-    """Evenly spaced indices (always including first and last)."""
+    """Evenly spaced indices, including first and last when ``samples``
+    allows (a single sample pins to index 0)."""
     if total <= 0:
         raise ValueError("total must be positive")
+    if samples <= 0:
+        raise ValueError("samples must be positive")
     if samples >= total:
         return list(range(total))
+    if samples == 1:
+        # The even-spacing formula below divides by (samples - 1); with a
+        # single sample there is no spacing to compute — pin to the start.
+        return [0]
     step = (total - 1) / (samples - 1)
     return sorted({round(i * step) for i in range(samples)})
 

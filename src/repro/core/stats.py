@@ -11,7 +11,6 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from ..hypervisor.domain import DomainState
 from .host import Host
 
 
@@ -60,33 +59,40 @@ class HostStats:
 
 
 def snapshot(host: Host) -> HostStats:
-    """Collect a :class:`HostStats` from a live host."""
+    """Collect a :class:`HostStats` from a live host.
+
+    The scraping itself lives in
+    :func:`repro.trace.collect_host_metrics` (one walk shared with the
+    ``repro metrics`` command); this folds the registry back into the
+    flat dataclass older callers and the examples expect.
+    """
+    from ..trace import collect_host_metrics
+    registry = collect_host_metrics(host)
+
+    def value(name: str, default: float = 0.0) -> float:
+        metric = registry.get(name)
+        return metric.value if metric is not None else default
+
     by_state: typing.Dict[str, int] = {}
-    for domain in host.hypervisor.domains.values():
-        if domain.domid == 0:
-            continue
-        key = domain.state.value
-        by_state[key] = by_state.get(key, 0) + 1
+    hypercalls: typing.Dict[str, int] = {}
+    for name in registry.names():
+        if name.startswith("domains/"):
+            by_state[name[len("domains/"):]] = int(value(name))
+        elif name.startswith("hypervisor/hypercalls/"):
+            hypercalls[name.rsplit("/", 1)[1]] = int(value(name))
 
-    shell_kb = sum(d.memory_kb for d in host.hypervisor.domains.values()
-                   if d.state is DomainState.SHELL)
-    guest_kb = (host.hypervisor.memory.used_kb
-                - host.spec.dom0_memory_kb - shell_kb)
-
-    xs = host.xenstore
     return HostStats(
         sim_time_ms=host.sim.now,
         domains_by_state=by_state,
-        guest_memory_mb=guest_kb / 1024.0,
-        free_memory_mb=host.hypervisor.memory.free_kb / 1024.0,
-        cpu_utilization_pct=host.cpu_utilization() * 100.0,
-        hypercalls=dict(host.hypervisor.hypercall_counts),
-        xenstore_ops=xs.stats["ops"] if xs else 0,
-        xenstore_conflicts=xs.stats["conflicts"] if xs else 0,
-        xenstore_watches=len(xs.watches) if xs else 0,
-        xenstore_nodes=xs.tree.count_nodes() if xs else 0,
-        noxs_devices_created=(host.noxs.stats["devices_created"]
-                              if host.noxs else 0),
-        event_channels_dom0=host.hypervisor.event_channels.count_for(0),
-        grants_dom0=host.hypervisor.grants.count_for(0),
+        guest_memory_mb=value("memory/guest_kb") / 1024.0,
+        free_memory_mb=value("memory/free_kb") / 1024.0,
+        cpu_utilization_pct=value("cpu/utilization") * 100.0,
+        hypercalls=hypercalls,
+        xenstore_ops=int(value("xenstore/ops")),
+        xenstore_conflicts=int(value("xenstore/conflicts")),
+        xenstore_watches=int(value("xenstore/watches")),
+        xenstore_nodes=int(value("xenstore/nodes")),
+        noxs_devices_created=int(value("noxs/devices_created")),
+        event_channels_dom0=int(value("hypervisor/event_channels/dom0")),
+        grants_dom0=int(value("hypervisor/grants/dom0")),
     )

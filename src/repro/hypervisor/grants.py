@@ -12,6 +12,7 @@ from __future__ import annotations
 import typing
 
 from ..faults.plan import NULL_INJECTOR, GrantMapFailure
+from ..trace.tracer import tracer_of
 
 
 class GrantError(RuntimeError):
@@ -37,11 +38,14 @@ class GrantEntry:
 class GrantTable:
     """All grant entries on the host, keyed by (granter domid, ref)."""
 
-    def __init__(self, faults=None):
+    def __init__(self, faults=None, sim=None):
         self._entries: typing.Dict[typing.Tuple[int, int], GrantEntry] = {}
         self._next_ref: typing.Dict[int, int] = {}
         #: Injector for the ``hypervisor.grant_map`` fault point.
         self.faults = faults if faults is not None else NULL_INJECTOR
+        #: Simulator handle for span instants (optional; the table is
+        #: time-free otherwise).
+        self.sim = sim
 
     def entry(self, granter_domid: int, ref: int) -> GrantEntry:
         """Look up an entry; raises on a dangling reference."""
@@ -67,6 +71,8 @@ class GrantTable:
         self._next_ref[granter_domid] = ref + 1
         self._entries[(granter_domid, ref)] = GrantEntry(
             ref, granter_domid, grantee_domid, frame, readonly)
+        tracer_of(self.sim).instant("grant.access", granter=granter_domid,
+                                    grantee=grantee_domid)
         return ref
 
     def map_ref(self, mapper_domid: int, granter_domid: int,
@@ -80,6 +86,8 @@ class GrantTable:
         if entry.mapped_by is not None:
             raise GrantError("grant %d already mapped" % ref)
         entry.mapped_by = mapper_domid
+        tracer_of(self.sim).instant("grant.map", granter=granter_domid,
+                                    mapper=mapper_domid)
         return entry.frame
 
     def unmap_ref(self, mapper_domid: int, granter_domid: int,

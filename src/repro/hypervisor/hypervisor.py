@@ -18,6 +18,7 @@ import typing
 
 from ..faults.plan import NULL_INJECTOR, TransientHypercallError
 from .devicepage import DevicePage, DeviceEntry, DevicePageError
+from ..trace.tracer import tracer_of
 from .domain import Domain, DomainState, DomainStateError, ShutdownReason
 from .events import EventChannelTable
 from .grants import GrantTable
@@ -46,7 +47,7 @@ class Hypervisor:
         self.memory = MemoryAllocator(memory_kb)
         self.scheduler = HostScheduler(sim, total_cores, dom0_cores)
         self.event_channels = EventChannelTable()
-        self.grants = GrantTable(faults=self.faults)
+        self.grants = GrantTable(faults=self.faults, sim=sim)
         self.domains: typing.Dict[int, Domain] = {}
         self.hypercall_counts: typing.Counter = collections.Counter()
         self._next_domid = 1
@@ -76,6 +77,7 @@ class Hypervisor:
 
     def _count(self, op: str) -> None:
         self.hypercall_counts[op] += 1
+        tracer_of(self.sim).instant("hypercall." + op)
 
     # ------------------------------------------------------------------
     # Domain lifecycle hypercalls

@@ -96,6 +96,17 @@ class MemoryAllocator:
                 break
         # Pass 2: gather smaller extents until satisfied.
         while remaining > 0:
+            if not self._free:
+                # The free list ran dry mid-gather (possible only if the
+                # free accounting and the list disagree — but an
+                # allocator must fail atomically either way): put the
+                # partial grab back and raise the typed error instead of
+                # an IndexError that leaks ``taken`` outside ``_owned``.
+                for grabbed in taken:
+                    self._insert_free(grabbed)
+                raise OutOfMemoryError(
+                    "free list exhausted with %d KiB of %d KiB still "
+                    "unsatisfied" % (remaining, size_kb))
             extent = self._free[0]
             take = min(extent.size_kb, remaining)
             taken.append(Extent(extent.start_kb, take))

@@ -23,6 +23,7 @@ from ..hypervisor.devicepage import DEV_SYSCTL, DEV_VBD, DEV_VIF, DeviceEntry
 from ..hypervisor.domain import Domain
 from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
 from ..hypervisor.rings import RingPair
+from ..trace.tracer import tracer_of
 from .devctrl import DeviceControlPage
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -84,6 +85,13 @@ class NoxsModule:
         """
         if dev_type not in (DEV_VIF, DEV_VBD, DEV_SYSCTL):
             raise ValueError("unsupported noxs device type %r" % dev_type)
+        with tracer_of(self.sim).span("noxs.ioctl_create",
+                                      domid=domain.domid,
+                                      dev_type=dev_type):
+            entry = yield from self._ioctl_create(domain, dev_type, mac)
+        return entry
+
+    def _ioctl_create(self, domain: Domain, dev_type: int, mac: bytes):
         yield self.sim.timeout(self.costs.ioctl_us / 1000.0)
 
         # Back-end: allocate the communication channel and control page.
@@ -123,6 +131,11 @@ class NoxsModule:
 
     def ioctl_destroy_device(self, domain: Domain, entry):
         """Generator: tear down one back-end device (unoptimized path)."""
+        with tracer_of(self.sim).span("noxs.ioctl_destroy",
+                                      domid=domain.domid):
+            yield from self._ioctl_destroy(domain, entry)
+
+    def _ioctl_destroy(self, domain: Domain, entry):
         yield self.sim.timeout(self.costs.ioctl_us / 1000.0)
         # Force-revoke the control-page grant: the guest may be gone.
         grant = self.hypervisor.grants._entries.get(
@@ -141,6 +154,8 @@ class NoxsModule:
 
     def write_devpage(self, domain: Domain, entry: DeviceEntry):
         """Generator: hypercall adding ``entry`` to the domain's page."""
-        index = self.hypervisor.devpage_write(DOM0_ID, domain, entry)
-        yield self.sim.timeout(self.costs.hypercall_us / 1000.0)
+        with tracer_of(self.sim).span("noxs.devpage_write",
+                                      domid=domain.domid):
+            index = self.hypervisor.devpage_write(DOM0_ID, domain, entry)
+            yield self.sim.timeout(self.costs.hypercall_us / 1000.0)
         return index

@@ -46,6 +46,14 @@ class Simulator:
         self.sanitizer = None
         #: Optional :class:`repro.analysis.sanitize.EventTrace` hook.
         self.trace = None
+        #: Optional :class:`repro.trace.Tracer` hook (span recording).
+        #: Like the two above it is timeline-read-only: attaching one
+        #: must never change the event schedule.
+        self.tracer = None
+        #: The :class:`Process` whose generator is currently executing
+        #: (``None`` between resumptions).  Maintained by the process
+        #: machinery; the tracer keys its open-span stacks on it.
+        self.active_process = None
 
     @property
     def now(self) -> float:

@@ -70,19 +70,28 @@ class Process(Event):
         if self._waiting_on is not None and event is not self._waiting_on:
             return  # stale wakeup from an event we stopped waiting on
         self._waiting_on = None
+        # Expose this process as the running one while its generator
+        # executes (restored on exit so nested resumptions — a process
+        # succeeding and synchronously waking its joiner — stay correct).
+        # The span tracer keys parent/child nesting on it.
+        prev = self.sim.active_process
+        self.sim.active_process = self
         try:
-            if event._ok:
-                target = self._generator.send(event._value)
-            else:
-                event.defused = True
-                target = self._generator.throw(
-                    typing.cast(BaseException, event._value))
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:
-            self.fail(exc)
-            return
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    event.defused = True
+                    target = self._generator.throw(
+                        typing.cast(BaseException, event._value))
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                return
+        finally:
+            self.sim.active_process = prev
         self._wait_for(target)
 
     def _wait_for(self, target: object) -> None:

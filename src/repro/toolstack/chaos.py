@@ -29,6 +29,7 @@ from ..hypervisor.domain import Domain, DomainState
 from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
 from ..noxs.module import NoxsModule
 from ..noxs.sysctl import SysctlBackend
+from ..trace.tracer import tracer_of
 from ..xenstore.daemon import XenStoreDaemon
 from .config import VMConfig
 from .devices import XsDeviceManager, _patient_rm, run_transaction
@@ -122,6 +123,24 @@ class ChaosToolstack:
     def create_vm(self, config: VMConfig, boot: bool = True):
         """Generator: create (and optionally boot) a VM; returns the
         :class:`CreationRecord`."""
+        tracer = tracer_of(self.sim)
+        with tracer.span("chaos.create_vm", config=config.name,
+                         split=self.daemon is not None) as span:
+            record = yield from self._create_vm(config, span)
+        if boot:
+            domain = record.domain
+            boot_start = self.sim.now
+            with tracer.span("chaos.boot", config=config.name,
+                             domid=domain.domid):
+                self.hypervisor.domctl_unpause(domain)
+                report = yield from boot_guest(self.sim, self.hypervisor,
+                                               domain, config.image,
+                                               xenstore=self.xenstore)
+            record.boot_ms = self.sim.now - boot_start
+            domain.notes["boot_report"] = report
+        return record
+
+    def _create_vm(self, config: VMConfig, span):
         recorder = PhaseRecorder(self.sim)
         image = config.image
         start = self.sim.now
@@ -143,6 +162,7 @@ class ChaosToolstack:
                 # Execute phase: take a pre-created shell from the pool.
                 shell = yield from self.daemon.get_shell(config)
                 domain = shell.domain
+                span.set(domid=domain.domid, shell=True)
                 yield self.sim.timeout(self.costs.shell_claim_ms)
                 recorder.start("hypervisor")
                 if domain.memory_kb != config.memory_kb:
@@ -161,6 +181,7 @@ class ChaosToolstack:
                         name=config.name, memory_kb=config.memory_kb,
                         vcpus=config.vcpus),
                     (TransientHypercallError,))
+                span.set(domid=domain.domid)
                 yield self.sim.timeout(self.costs.hypervisor_fixed_ms)
                 yield self.sim.timeout(
                     config.memory_kb / 1024.0
@@ -199,15 +220,6 @@ class ChaosToolstack:
             create_ms=self.sim.now - start,
             xenstore_retries=retries)
         self.created.append(record)
-
-        if boot:
-            boot_start = self.sim.now
-            self.hypervisor.domctl_unpause(domain)
-            report = yield from boot_guest(self.sim, self.hypervisor,
-                                           domain, image,
-                                           xenstore=self.xenstore)
-            record.boot_ms = self.sim.now - boot_start
-            domain.notes["boot_report"] = report
         return record
 
     # ------------------------------------------------------------------
@@ -297,6 +309,8 @@ class ChaosToolstack:
         """Generator: best-effort teardown of a failed creation on
         whichever control plane (tolerant of not-yet-created state)."""
         self.rollbacks += 1
+        tracer_of(self.sim).instant("chaos.rollback", config=config.name,
+                                    domid=domain.domid)
         if self.uses_noxs:
             for _index, entry in list(domain.notes.get("noxs_devices", [])):
                 try:
@@ -336,6 +350,11 @@ class ChaosToolstack:
     # ------------------------------------------------------------------
     def destroy_vm(self, domain: Domain):
         """Generator: tear the VM down on whichever control plane."""
+        with tracer_of(self.sim).span("chaos.destroy_vm",
+                                      domid=domain.domid):
+            yield from self._destroy_vm(domain)
+
+    def _destroy_vm(self, domain: Domain):
         if domain.state == DomainState.RUNNING:
             self.hypervisor.domctl_pause(domain)
         if self.uses_noxs:

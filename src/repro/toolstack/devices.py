@@ -29,6 +29,7 @@ from ..faults.plan import GrantMapFailure
 from ..faults.retry import ROLLBACK_POLICY, RetryExhausted, RetryPolicy
 from ..hypervisor.domain import Domain
 from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
+from ..trace.tracer import tracer_of
 from ..xenstore.daemon import XenStoreDaemon
 from ..xenstore.permissions import NodePerms, PERM_BOTH, PERM_READ
 from ..xenstore.transaction import TransactionConflict
@@ -66,18 +67,23 @@ def run_transaction(sim, xenstore, body, policy: RetryPolicy = TX_RETRY_POLICY,
     retries = 0
     started = sim.now
     scale = xenstore.costs.conflict_backoff_ms / 1.0
-    while True:
-        tx = yield from xenstore.transaction_start(domid)
-        try:
-            yield from body(tx)
-            yield from xenstore.transaction_commit(tx)
-            return retries
-        except TransactionConflict as exc:
-            retries += 1
-            if policy.give_up(retries, started, sim.now):
-                raise RetryExhausted(
-                    "transaction retries exhausted (%d)" % retries) from exc
-            yield sim.timeout(scale * policy.backoff_ms(retries, rng))
+    with tracer_of(sim).span("xenstore.txn", domid=domid) as txn_span:
+        while True:
+            tx = yield from xenstore.transaction_start(domid)
+            try:
+                yield from body(tx)
+                yield from xenstore.transaction_commit(tx)
+                if retries:
+                    txn_span.set(retries=retries)
+                return retries
+            except TransactionConflict as exc:
+                retries += 1
+                if policy.give_up(retries, started, sim.now):
+                    txn_span.set(retries=retries)
+                    raise RetryExhausted(
+                        "transaction retries exhausted (%d)"
+                        % retries) from exc
+                yield sim.timeout(scale * policy.backoff_ms(retries, rng))
 
 
 class XsDeviceManager:
@@ -213,6 +219,14 @@ class XsDeviceManager:
     def create_device(self, domain: Domain, kind: str, index: int,
                       params: typing.Optional[dict] = None):
         """Generator: steps 1-2 plus hotplug; returns (port, grant_ref)."""
+        with tracer_of(self.sim).span("device.create", kind=kind,
+                                      domid=domain.domid, index=index):
+            result = yield from self._create_device(domain, kind, index,
+                                                    params)
+        return result
+
+    def _create_device(self, domain: Domain, kind: str, index: int,
+                       params: typing.Optional[dict] = None):
         yield from self.install_backend_watch()
         params = params or {}
         key = (domain.domid, kind, index)
@@ -323,6 +337,11 @@ class XsDeviceManager:
     def destroy_device(self, domain: Domain, kind: str, index: int):
         """Generator: release back-end resources, remove front/back
         entries, and detach the user-space plumbing."""
+        with tracer_of(self.sim).span("device.destroy", kind=kind,
+                                      domid=domain.domid, index=index):
+            yield from self._destroy_device(domain, kind, index)
+
+    def _destroy_device(self, domain: Domain, kind: str, index: int):
         front_base = "/local/domain/%d/device/%s/%d" % (domain.domid, kind,
                                                         index)
         back_base = "/local/domain/%d/backend/%s/%d/%d" % (

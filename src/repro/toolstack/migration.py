@@ -24,6 +24,7 @@ import typing
 from ..faults.plan import NULL_INJECTOR, MigrationAborted
 from ..hypervisor.domain import Domain
 from ..net.links import Link
+from ..trace.tracer import tracer_of
 from .config import VMConfig
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -97,6 +98,13 @@ class Checkpointer:
 
         Returns a :class:`SavedImage`.
         """
+        with tracer_of(self.sim).span("migration.save",
+                                      domid=domain.domid,
+                                      config=config.name):
+            saved = yield from self._save(domain, config)
+        return saved
+
+    def _save(self, domain: Domain, config: VMConfig):
         ts = self.toolstack
         if self._is_xl():
             yield self.sim.timeout(self.costs.xl_save_overhead_ms)
@@ -181,6 +189,12 @@ class Checkpointer:
         restore is its slowest operation), then load memory and resume —
         no guest kernel boot.
         """
+        with tracer_of(self.sim).span("migration.restore",
+                                      config=saved.config.name):
+            domain = yield from self._restore(saved)
+        return domain
+
+    def _restore(self, saved: SavedImage):
         ts = self.toolstack
         if self._is_xl():
             yield self.sim.timeout(self.costs.xl_restore_overhead_ms)
@@ -221,6 +235,18 @@ def migrate(source: Checkpointer, destination: Checkpointer,
     sim = source.sim
     start = sim.now
     faults = faults if faults is not None else NULL_INJECTOR
+
+    with tracer_of(sim).span("migration.migrate", config=config.name,
+                             domid=domain.domid):
+        remote_domain = yield from _migrate(source, destination, domain,
+                                            config, link, faults)
+    remote_domain.notes["migrated_in_ms"] = sim.now - start
+    return remote_domain
+
+
+def _migrate(source: Checkpointer, destination: Checkpointer,
+             domain: Domain, config: VMConfig, link: Link, faults):
+    sim = source.sim
 
     # TCP connection + configuration exchange.
     yield from link.round_trip()
@@ -278,7 +304,6 @@ def migrate(source: Checkpointer, destination: Checkpointer,
     else:
         destination.toolstack.hypervisor.domctl_unpause(remote_domain)
         yield sim.timeout(1.0)
-    remote_domain.notes["migrated_in_ms"] = sim.now - start
     return remote_domain
 
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from ..trace.tracer import tracer_of
+
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..hypervisor.domain import Domain
     from ..sim.engine import Simulator
@@ -28,6 +30,7 @@ class PhaseRecorder:
         self.totals: typing.Dict[str, float] = {phase: 0.0
                                                 for phase in PHASES}
         self._open: typing.Optional[typing.Tuple[str, float]] = None
+        self._span = None
 
     def start(self, phase: str) -> None:
         """Begin attributing time to ``phase`` (closing any open phase)."""
@@ -36,6 +39,15 @@ class PhaseRecorder:
                              % (phase, ", ".join(PHASES)))
         self.stop()
         self._open = (phase, self.sim.now)
+        # Mirror the accounting as a span so the Figure 5 breakdown can
+        # be regenerated from trace data alone.  Begin/end land at the
+        # same ``sim.now`` samples as the totals, so span-derived phase
+        # sums equal ``totals`` exactly (same floats, same order).
+        tracer = tracer_of(self.sim)
+        if tracer.enabled:
+            span = tracer.span("phase." + phase)
+            tracer._begin(span)
+            self._span = span
 
     def stop(self) -> None:
         """Close the currently open phase, if any."""
@@ -43,6 +55,9 @@ class PhaseRecorder:
             phase, started = self._open
             self.totals[phase] += self.sim.now - started
             self._open = None
+            if self._span is not None:
+                self._span.tracer._end(self._span)
+                self._span = None
 
     @property
     def total_ms(self) -> float:

@@ -26,6 +26,7 @@ from ..hypervisor.domain import Domain, DomainState
 from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
 from ..noxs.module import NoxsModule
 from ..sim.resources import Store
+from ..trace.tracer import tracer_of
 from ..xenstore.daemon import XenStoreDaemon
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -139,32 +140,35 @@ class ChaosDaemon:
         point), it is torn down completely and ``None`` is returned — the
         replenisher simply prepares another.
         """
-        domain = yield from retry_call(
-            self.sim, self.retry_policy, self.rng,
-            lambda: self.hypervisor.domctl_create(
-                memory_kb=self.shell_memory_kb, shell=True),
-            (TransientHypercallError,))
-        yield self.sim.timeout(self.costs.hypervisor_fixed_ms)
-        yield self.sim.timeout(self.shell_memory_kb / 1024.0
-                               * self.costs.mem_prep_us_per_mb / 1000.0)
-        shell = Shell(domain=domain)
-        if self.noxs is not None:
-            self.hypervisor.devpage_create(domain)
-            for _ in range(self.shell_vifs):
-                entry = yield from self.noxs.ioctl_create_device(
-                    domain, DEV_VIF)
-                shell.prepared_devices.append(entry)
-        else:
-            yield from self._prepare_xenstore_skeleton(domain)
-        self.shells_prepared += 1
-        rule = self.faults.fires("shellpool.shell")
-        if rule is not None:
-            self.shells_crashed += 1
-            if rule.delay_ms:
-                yield self.sim.timeout(rule.delay_ms)
-            yield from self._teardown_shell(shell)
-            return None
-        return shell
+        with tracer_of(self.sim).span("shellpool.prepare") as span:
+            domain = yield from retry_call(
+                self.sim, self.retry_policy, self.rng,
+                lambda: self.hypervisor.domctl_create(
+                    memory_kb=self.shell_memory_kb, shell=True),
+                (TransientHypercallError,))
+            span.set(domid=domain.domid)
+            yield self.sim.timeout(self.costs.hypervisor_fixed_ms)
+            yield self.sim.timeout(self.shell_memory_kb / 1024.0
+                                   * self.costs.mem_prep_us_per_mb / 1000.0)
+            shell = Shell(domain=domain)
+            if self.noxs is not None:
+                self.hypervisor.devpage_create(domain)
+                for _ in range(self.shell_vifs):
+                    entry = yield from self.noxs.ioctl_create_device(
+                        domain, DEV_VIF)
+                    shell.prepared_devices.append(entry)
+            else:
+                yield from self._prepare_xenstore_skeleton(domain)
+            self.shells_prepared += 1
+            rule = self.faults.fires("shellpool.shell")
+            if rule is not None:
+                self.shells_crashed += 1
+                span.set(crashed=True)
+                if rule.delay_ms:
+                    yield self.sim.timeout(rule.delay_ms)
+                yield from self._teardown_shell(shell)
+                return None
+            return shell
 
     def _prepare_xenstore_skeleton(self, domain: Domain):
         """Generator: pre-write the per-domain XenStore state, including
@@ -198,6 +202,8 @@ class ChaosDaemon:
         noxs devices or XenStore skeleton (ports, grants, nodes) and its
         hypervisor reservation."""
         domain = shell.domain
+        tracer_of(self.sim).instant("shellpool.teardown",
+                                    domid=domain.domid)
         if self.noxs is not None:
             for entry in shell.prepared_devices:
                 try:
@@ -240,12 +246,16 @@ class ChaosDaemon:
         """Generator: claim a shell (waits if the pool is momentarily
         empty, e.g. during a boot storm faster than the prepare rate).
         A shell that died while pooled is discarded and another claimed."""
-        while True:
-            self._kick()
-            shell = yield self.pool.get()
-            self._kick()
-            domain = shell.domain
-            if domain.domid in self.hypervisor.domains and \
-                    domain.state is DomainState.SHELL:
-                return shell
-            # Stale shell (e.g. torn down behind our back): skip it.
+        with tracer_of(self.sim).span(
+                "shellpool.claim",
+                config=getattr(config, "name", None)) as span:
+            while True:
+                self._kick()
+                shell = yield self.pool.get()
+                self._kick()
+                domain = shell.domain
+                if domain.domid in self.hypervisor.domains and \
+                        domain.state is DomainState.SHELL:
+                    span.set(domid=domain.domid)
+                    return shell
+                # Stale shell (e.g. torn down behind our back): skip it.

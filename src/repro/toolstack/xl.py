@@ -17,6 +17,7 @@ from ..faults.retry import RetryExhausted, RetryPolicy, retry_call
 from ..guests.boot import boot_guest
 from ..hypervisor.domain import Domain, DomainState, ShutdownReason
 from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
+from ..trace.tracer import tracer_of
 from ..xenstore.daemon import XenStoreDaemon
 from .config import VMConfig
 from .devices import XsDeviceManager, _patient_rm, run_transaction
@@ -100,75 +101,86 @@ class XlToolstack:
         recorder = PhaseRecorder(self.sim)
         image = config.image
         start = self.sim.now
+        tracer = tracer_of(self.sim)
 
-        # 6. CONFIGURATION PARSING (order per Figure 5's instrumentation:
-        # xl parses before anything else).
-        recorder.start("config")
-        lines = max(1, config.text.count("\n"))
-        yield self.sim.timeout(self.costs.parse_fixed_ms
-                               + lines * self.costs.parse_per_line_ms)
+        with tracer.span("xl.create_vm", config=config.name) as create_span:
+            # 6. CONFIGURATION PARSING (order per Figure 5's
+            # instrumentation: xl parses before anything else).
+            recorder.start("config")
+            lines = max(1, config.text.count("\n"))
+            yield self.sim.timeout(self.costs.parse_fixed_ms
+                                   + lines * self.costs.parse_per_line_ms)
 
-        # Internal toolstack bookkeeping.
-        recorder.start("toolstack")
-        domain_count = self.hypervisor.domain_count()
-        yield self.sim.timeout(
-            self.costs.toolstack_fixed_ms
-            + domain_count * self.costs.toolstack_per_domain_us / 1000.0)
-
-        # 1-4. HYPERVISOR RESERVATION / COMPUTE / MEMORY.  Transient
-        # DOMCTL_createdomain failures are retried with backoff.
-        recorder.start("hypervisor")
-        domain = yield from retry_call(
-            self.sim, self.retry_policy, self.rng,
-            lambda: self.hypervisor.domctl_create(
-                name=config.name, memory_kb=config.memory_kb,
-                vcpus=config.vcpus),
-            (TransientHypercallError,))
-        yield self.sim.timeout(self.costs.hypervisor_fixed_ms)
-        yield self.sim.timeout(config.memory_kb / 1024.0
-                               * self.costs.mem_prep_us_per_mb / 1000.0)
-
-        try:
-            # XenStore registration: name check + base entries + /vm tree.
-            recorder.start("xenstore")
-            retries = yield from self._write_domain_entries(domain, config)
-
-            # 5+7. DEVICE PRE-CREATION / INITIALIZATION.
-            recorder.start("devices")
-            for index, vif in enumerate(config.vifs):
-                yield from self.devices.create_device(domain, "vif", index,
-                                                      params=vif)
-            for index, _vbd in enumerate(config.vbds):
-                yield from self.devices.create_device(domain, "vbd", index)
-
-            # 8. IMAGE BUILD: parse the kernel image, load it into memory.
-            recorder.start("load")
+            # Internal toolstack bookkeeping.
+            recorder.start("toolstack")
+            domain_count = self.hypervisor.domain_count()
             yield self.sim.timeout(
-                self.costs.image_load_fixed_ms + image.toolstack_build_ms
-                + image.kernel_size_kb * self.costs.image_load_us_per_kb
+                self.costs.toolstack_fixed_ms
+                + domain_count * self.costs.toolstack_per_domain_us
                 / 1000.0)
-            domain.image = image
-            recorder.stop()
-        except Exception:
-            # A failed creation must not leak the half-built domain: tear
-            # down whatever was already registered, then re-raise.
-            yield from self._rollback_create(domain, config)
-            raise
 
-        record = CreationRecord(
-            domain=domain, config_name=config.name,
-            phases=dict(recorder.totals),
-            create_ms=self.sim.now - start,
-            xenstore_retries=retries + self.devices.retries_total)
-        self.created.append(record)
+            # 1-4. HYPERVISOR RESERVATION / COMPUTE / MEMORY.  Transient
+            # DOMCTL_createdomain failures are retried with backoff.
+            recorder.start("hypervisor")
+            domain = yield from retry_call(
+                self.sim, self.retry_policy, self.rng,
+                lambda: self.hypervisor.domctl_create(
+                    name=config.name, memory_kb=config.memory_kb,
+                    vcpus=config.vcpus),
+                (TransientHypercallError,))
+            create_span.set(domid=domain.domid)
+            yield self.sim.timeout(self.costs.hypervisor_fixed_ms)
+            yield self.sim.timeout(config.memory_kb / 1024.0
+                                   * self.costs.mem_prep_us_per_mb / 1000.0)
+
+            try:
+                # XenStore registration: name check + base entries +
+                # /vm tree.
+                recorder.start("xenstore")
+                retries = yield from self._write_domain_entries(domain,
+                                                                config)
+
+                # 5+7. DEVICE PRE-CREATION / INITIALIZATION.
+                recorder.start("devices")
+                for index, vif in enumerate(config.vifs):
+                    yield from self.devices.create_device(domain, "vif",
+                                                          index, params=vif)
+                for index, _vbd in enumerate(config.vbds):
+                    yield from self.devices.create_device(domain, "vbd",
+                                                          index)
+
+                # 8. IMAGE BUILD: parse the kernel image, load it into
+                # memory.
+                recorder.start("load")
+                yield self.sim.timeout(
+                    self.costs.image_load_fixed_ms
+                    + image.toolstack_build_ms
+                    + image.kernel_size_kb * self.costs.image_load_us_per_kb
+                    / 1000.0)
+                domain.image = image
+                recorder.stop()
+            except Exception:
+                # A failed creation must not leak the half-built domain:
+                # tear down whatever was already registered, then re-raise.
+                yield from self._rollback_create(domain, config)
+                raise
+
+            record = CreationRecord(
+                domain=domain, config_name=config.name,
+                phases=dict(recorder.totals),
+                create_ms=self.sim.now - start,
+                xenstore_retries=retries + self.devices.retries_total)
+            self.created.append(record)
 
         # 9. VIRTUAL MACHINE BOOT.
         if boot:
             boot_start = self.sim.now
-            self.hypervisor.domctl_unpause(domain)
-            report = yield from boot_guest(self.sim, self.hypervisor,
-                                           domain, image,
-                                           xenstore=self.xenstore)
+            with tracer.span("xl.boot", config=config.name,
+                             domid=domain.domid):
+                self.hypervisor.domctl_unpause(domain)
+                report = yield from boot_guest(self.sim, self.hypervisor,
+                                               domain, image,
+                                               xenstore=self.xenstore)
             record.boot_ms = self.sim.now - boot_start
             domain.notes["boot_report"] = report
         return record
@@ -210,6 +222,8 @@ class XlToolstack:
         XenStore subtrees, its watches and its hypervisor resources.
         """
         self.rollbacks += 1
+        tracer_of(self.sim).instant("xl.rollback", config=config.name,
+                                    domid=domain.domid)
         for index in range(len(config.vifs)):
             try:
                 yield from self.devices.destroy_device(domain, "vif", index)
@@ -238,22 +252,27 @@ class XlToolstack:
     # ------------------------------------------------------------------
     def destroy_vm(self, domain: Domain):
         """Generator: tear down devices, XenStore state and the domain."""
-        if domain.state == DomainState.RUNNING:
-            self.hypervisor.domctl_pause(domain)
-        image = domain.image
-        if image is not None:
-            for index in range(image.vifs):
-                yield from self.devices.destroy_device(domain, "vif", index)
-            for index in range(image.vbds):
-                yield from self.devices.destroy_device(domain, "vbd", index)
-        yield from self.xenstore.op_rm(
-            DOM0_ID, "/local/domain/%d" % domain.domid)
-        yield from self.xenstore.op_rm(DOM0_ID, "/vm/%d" % domain.domid)
-        self.xenstore.watches.remove_for_domain(domain.domid)
-        weight = domain.notes.pop("xenstore_client", None)
-        if weight:
-            self.xenstore.unregister_client(weight)
-        self.hypervisor.domctl_destroy(domain)
+        with tracer_of(self.sim).span("xl.destroy_vm",
+                                      domid=domain.domid):
+            if domain.state == DomainState.RUNNING:
+                self.hypervisor.domctl_pause(domain)
+            image = domain.image
+            if image is not None:
+                for index in range(image.vifs):
+                    yield from self.devices.destroy_device(domain, "vif",
+                                                           index)
+                for index in range(image.vbds):
+                    yield from self.devices.destroy_device(domain, "vbd",
+                                                           index)
+            yield from self.xenstore.op_rm(
+                DOM0_ID, "/local/domain/%d" % domain.domid)
+            yield from self.xenstore.op_rm(DOM0_ID,
+                                           "/vm/%d" % domain.domid)
+            self.xenstore.watches.remove_for_domain(domain.domid)
+            weight = domain.notes.pop("xenstore_client", None)
+            if weight:
+                self.xenstore.unregister_client(weight)
+            self.hypervisor.domctl_destroy(domain)
 
     # ------------------------------------------------------------------
     # Shutdown helper used by save/migrate
@@ -261,11 +280,13 @@ class XlToolstack:
     def suspend_guest(self, domain: Domain):
         """Generator: ask the guest to suspend via the XenStore control
         node, then wait for it to acknowledge (the pre-noxs way)."""
-        control = "/local/domain/%d/control/shutdown" % domain.domid
-        yield from self.xenstore.op_write(DOM0_ID, control, "suspend")
-        # Guest-side: reads the node, quiesces, saves state.
-        yield self.sim.timeout(3.0)
-        weight = domain.notes.pop("xenstore_client", None)
-        if weight:
-            self.xenstore.unregister_client(weight)
-        self.hypervisor.domctl_shutdown(domain, ShutdownReason.SUSPEND)
+        with tracer_of(self.sim).span("xl.suspend", domid=domain.domid):
+            control = "/local/domain/%d/control/shutdown" % domain.domid
+            yield from self.xenstore.op_write(DOM0_ID, control, "suspend")
+            # Guest-side: reads the node, quiesces, saves state.
+            yield self.sim.timeout(3.0)
+            weight = domain.notes.pop("xenstore_client", None)
+            if weight:
+                self.xenstore.unregister_client(weight)
+            self.hypervisor.domctl_shutdown(domain,
+                                            ShutdownReason.SUSPEND)

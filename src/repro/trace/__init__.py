@@ -1,0 +1,32 @@
+"""Observability for the simulated stack: spans, metrics, exporters.
+
+The package has three layers:
+
+* :mod:`repro.trace.tracer` — the span tracer.  Attach a
+  :class:`Tracer` to a simulator and every instrumented control-plane
+  path records nested sim-time spans; leave it detached and the
+  instrumentation collapses to the no-op :data:`NULL_TRACER`.
+* :mod:`repro.trace.metrics` — counters, gauges and sim-time-weighted
+  histograms behind a :class:`MetricsRegistry`;
+  :func:`collect_host_metrics` scrapes a live host into one.
+* :mod:`repro.trace.export` — Chrome/Perfetto ``trace_event`` JSON and
+  the Figure 5 phase-attribution table regenerated from spans.
+
+Tracing is timeline-read-only by construction: replay digests are
+byte-identical whether or not a tracer is attached.
+"""
+
+from .collect import collect_host_metrics
+from .export import (phase_attribution, render_attribution,
+                     render_span_summary, span_summary, trace_events,
+                     write_chrome_trace)
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      DEFAULT_BUCKETS)
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer, tracer_of
+
+__all__ = [
+    "Counter", "DEFAULT_BUCKETS", "Gauge", "Histogram", "MetricsRegistry",
+    "NULL_TRACER", "NullTracer", "Span", "Tracer", "collect_host_metrics",
+    "phase_attribution", "render_attribution", "render_span_summary",
+    "span_summary", "trace_events", "tracer_of", "write_chrome_trace",
+]

@@ -1,0 +1,135 @@
+"""Exporters: Perfetto/Chrome ``trace_event`` JSON and phase attribution.
+
+Two consumers are served from one span timeline:
+
+* :func:`write_chrome_trace` emits the Chrome ``trace_event`` JSON array
+  format, loadable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``.  Sim-time milliseconds become microsecond
+  timestamps; each tracer track becomes one named thread so interleaved
+  VM creations render as parallel swimlanes.
+* :func:`phase_attribution` regenerates the Figure 5 per-phase cost
+  breakdown directly from ``phase.*`` spans.  It sums span durations per
+  phase **in completion order**, which is exactly the order
+  :class:`~repro.toolstack.phases.PhaseRecorder` accumulates its totals
+  in — so the result matches the recorder float-for-float, and the
+  benchmark cross-check can assert equality rather than closeness.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from .tracer import Span, Tracer
+
+#: Synthetic process id used for all tracks (the simulation is one
+#: process; tracks distinguish simulated activities, not OS pids).
+TRACE_PID = 1
+
+
+def _event_args(span: Span) -> typing.Dict[str, object]:
+    return {key: span.attrs[key] for key in sorted(span.attrs)}
+
+
+def trace_events(tracer: Tracer) -> typing.List[typing.Dict[str, object]]:
+    """The span timeline as Chrome ``trace_event`` dicts.
+
+    Finished spans become complete (``"ph": "X"``) events; zero-duration
+    spans become instants (``"ph": "i"``).  Track-name metadata events
+    come first so viewers label the lanes before any slice renders.
+    """
+    events: typing.List[typing.Dict[str, object]] = []
+    for track, name in enumerate(tracer.track_names):
+        events.append({
+            "ph": "M", "pid": TRACE_PID, "tid": track,
+            "name": "thread_name", "args": {"name": name},
+        })
+    for span in tracer.spans:
+        ts_us = span.begin_ms * 1000.0
+        if span.duration_ms > 0.0:
+            event = {"ph": "X", "pid": TRACE_PID, "tid": span.track,
+                     "name": span.name, "cat": span.name.split(".")[0],
+                     "ts": ts_us, "dur": span.duration_ms * 1000.0}
+        else:
+            event = {"ph": "i", "pid": TRACE_PID, "tid": span.track,
+                     "name": span.name, "cat": span.name.split(".")[0],
+                     "ts": ts_us, "s": "t"}
+        if span.attrs:
+            event["args"] = _event_args(span)
+        events.append(event)
+    # Stable chronological order (ties broken by span id via enumerate
+    # position): viewers do not require sorting, but diffs do.
+    events[len(tracer.track_names):] = sorted(
+        events[len(tracer.track_names):],
+        key=lambda e: (e["ts"], e["tid"]))
+    return events
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write the Perfetto-loadable JSON file; returns the event count."""
+    events = trace_events(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"traceEvents": events,
+                   "displayTimeUnit": "ms"}, handle, indent=1)
+        handle.write("\n")
+    return len(events)
+
+
+# ----------------------------------------------------------------------
+# Figure 5 attribution
+# ----------------------------------------------------------------------
+def phase_attribution(tracer: Tracer,
+                      prefix: str = "phase.") -> typing.Dict[str, float]:
+    """Per-phase simulated-ms totals summed from ``phase.*`` spans.
+
+    Spans are visited in completion order and added phase-by-phase, the
+    same order ``PhaseRecorder.stop()`` performs its float additions —
+    equality with the recorder's totals is exact, not approximate.
+    """
+    totals: typing.Dict[str, float] = {}
+    for span in tracer.spans:
+        if span.name.startswith(prefix):
+            phase = span.name[len(prefix):]
+            totals[phase] = totals.get(phase, 0.0) + span.duration_ms
+    return totals
+
+
+def render_attribution(totals: typing.Mapping[str, float],
+                       count: int = 0) -> str:
+    """The attribution table as text (phases sorted by descending cost)."""
+    lines = []
+    if count:
+        lines.append("phase attribution over %d creation(s)" % count)
+    lines.append("%-12s %12s %8s" % ("phase", "total ms", "share"))
+    grand = sum(totals.values())
+    ordered = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+    for phase, total in ordered:
+        share = (total / grand * 100.0) if grand else 0.0
+        lines.append("%-12s %12.3f %7.1f%%" % (phase, total, share))
+    lines.append("%-12s %12.3f %8s" % ("total", grand, ""))
+    return "\n".join(lines)
+
+
+def span_summary(tracer: Tracer) -> typing.Dict[str, typing.Dict[str, float]]:
+    """Aggregate count/total/max duration per span name (sorted keys)."""
+    summary: typing.Dict[str, typing.Dict[str, float]] = {}
+    for span in tracer.spans:
+        entry = summary.setdefault(span.name,
+                                   {"count": 0, "total_ms": 0.0,
+                                    "max_ms": 0.0})
+        entry["count"] += 1
+        entry["total_ms"] += span.duration_ms
+        if span.duration_ms > entry["max_ms"]:
+            entry["max_ms"] = span.duration_ms
+    return {name: summary[name] for name in sorted(summary)}
+
+
+def render_span_summary(tracer: Tracer) -> str:
+    """Per-span-name aggregate table (sorted by name)."""
+    lines = ["%-28s %8s %12s %12s" % ("span", "count", "total ms",
+                                      "max ms")]
+    for name, entry in span_summary(tracer).items():
+        lines.append("%-28s %8d %12.3f %12.3f"
+                     % (name, entry["count"], entry["total_ms"],
+                        entry["max_ms"]))
+    return "\n".join(lines)

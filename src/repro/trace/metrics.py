@@ -1,0 +1,257 @@
+"""The metrics registry: counters, gauges, sim-time-weighted histograms.
+
+One :class:`MetricsRegistry` is the single scrape point for everything
+the subsystems count.  Three instrument kinds cover the repo's needs:
+
+* :class:`Counter` — monotonically increasing totals (hypercalls issued,
+  XenStore ops served, devices created);
+* :class:`Gauge` — instantaneous levels that also integrate over
+  *simulated* time, so ``time_weighted_mean()`` answers "how full was
+  the shell pool on average", not "how full was it when I looked";
+* :class:`Histogram` — fixed-boundary distributions whose observations
+  may carry a weight; span durations land here (weight 1 per span), and
+  time-in-state samples use the dwell time as the weight.
+
+Instruments are created on first use (``registry.counter("x").inc()``)
+and re-fetched by name thereafter; asking for an existing name with a
+different kind is an error, not a silent shadow.  Rendering sorts by
+name so output is stable regardless of creation order.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.engine import Simulator
+
+#: Default histogram boundaries (upper edges), tuned for the repo's
+#: millisecond latencies: 1 µs up to 100 s, roughly 1-2-5 per decade.
+DEFAULT_BUCKETS = (0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+                   1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+                   1000.0, 2000.0, 5000.0, 10000.0, 100000.0)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up (got %r)" % amount)
+        self.value += amount
+
+    def describe(self) -> str:
+        return "%d" % self.value
+
+
+class Gauge:
+    """An instantaneous level with a sim-time-weighted integral.
+
+    ``set()``/``inc()``/``dec()`` update the level; when the gauge was
+    built with a simulator, every change accumulates ``level × dwell``
+    so :meth:`time_weighted_mean` reports the average level over the
+    observed interval (the right statistic for pool depths, queue
+    lengths and utilization).
+    """
+
+    kind = "gauge"
+    __slots__ = ("name", "value", "_sim", "_since", "_integral")
+
+    def __init__(self, name: str, sim: typing.Optional["Simulator"] = None):
+        self.name = name
+        self.value = 0.0
+        self._sim = sim
+        self._since = sim.now if sim is not None else 0.0
+        self._integral = 0.0
+
+    def _accumulate(self) -> None:
+        if self._sim is not None:
+            now = self._sim.now
+            self._integral += self.value * (now - self._since)
+            self._since = now
+
+    def set(self, value: float) -> None:
+        self._accumulate()
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.set(self.value - amount)
+
+    def time_weighted_mean(self, start_ms: float = 0.0) -> float:
+        """Average level from ``start_ms`` to now (current level if no
+        simulator or no time has passed)."""
+        self._accumulate()
+        if self._sim is None:
+            return self.value
+        elapsed = self._sim.now - start_ms
+        if elapsed <= 0.0:
+            return self.value
+        return self._integral / elapsed
+
+    def describe(self) -> str:
+        return "%g" % self.value
+
+
+class Histogram:
+    """A fixed-boundary distribution of weighted observations."""
+
+    kind = "histogram"
+    __slots__ = ("name", "bounds", "bucket_weights", "count", "total",
+                 "weight", "min", "max")
+
+    def __init__(self, name: str,
+                 buckets: typing.Optional[typing.Sequence[float]] = None):
+        self.name = name
+        self.bounds = tuple(sorted(buckets if buckets is not None
+                                   else DEFAULT_BUCKETS))
+        #: One weight accumulator per bucket, plus the overflow bucket.
+        self.bucket_weights = [0.0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.weight = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float, weight: float = 1.0) -> None:
+        """Record one observation (``weight`` defaults to a plain count;
+        pass a dwell time for sim-time-weighted distributions)."""
+        if weight < 0:
+            raise ValueError("negative weight %r" % weight)
+        self.count += 1
+        self.total += value * weight
+        self.weight += weight
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.bucket_weights[self._bucket(value)] += weight
+
+    def _bucket(self, value: float) -> int:
+        low, high = 0, len(self.bounds)
+        while low < high:
+            mid = (low + high) // 2
+            if value <= self.bounds[mid]:
+                high = mid
+            else:
+                low = mid + 1
+        return low
+
+    def mean(self) -> float:
+        return self.total / self.weight if self.weight else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate weighted q-quantile (0..1) from the buckets.
+
+        Returns the interpolated position inside the bucket containing
+        the q-th weight; exact at bucket edges, clamped to the observed
+        min/max so tiny samples do not report impossible tails.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1], got %r" % q)
+        if self.weight == 0.0:
+            return 0.0
+        target = q * self.weight
+        cumulative = 0.0
+        for index, bucket_weight in enumerate(self.bucket_weights):
+            if cumulative + bucket_weight >= target and bucket_weight > 0:
+                lower = (self.bounds[index - 1] if index > 0 else 0.0)
+                upper = (self.bounds[index] if index < len(self.bounds)
+                         else self.max)
+                fraction = ((target - cumulative) / bucket_weight
+                            if bucket_weight else 0.0)
+                estimate = lower + (upper - lower) * fraction
+                return min(self.max, max(self.min, estimate))
+            cumulative += bucket_weight
+        return self.max
+
+    def describe(self) -> str:
+        if self.count == 0:
+            return "empty"
+        return ("n=%d mean=%.3f min=%.3f p50=%.3f p99=%.3f max=%.3f"
+                % (self.count, self.mean(), self.min, self.quantile(0.5),
+                   self.quantile(0.99), self.max))
+
+
+Instrument = typing.Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self, sim: typing.Optional["Simulator"] = None):
+        self.sim = sim
+        self._instruments: typing.Dict[str, Instrument] = {}
+
+    def _get_or_create(self, name: str, kind: str, factory) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif instrument.kind != kind:
+            raise TypeError("metric %r is a %s, not a %s"
+                            % (name, instrument.kind, kind))
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return typing.cast(Counter, self._get_or_create(
+            name, "counter", lambda: Counter(name)))
+
+    def gauge(self, name: str) -> Gauge:
+        return typing.cast(Gauge, self._get_or_create(
+            name, "gauge", lambda: Gauge(name, sim=self.sim)))
+
+    def histogram(self, name: str,
+                  buckets: typing.Optional[typing.Sequence[float]] = None
+                  ) -> Histogram:
+        return typing.cast(Histogram, self._get_or_create(
+            name, "histogram", lambda: Histogram(name, buckets=buckets)))
+
+    def get(self, name: str) -> typing.Optional[Instrument]:
+        """Look up an instrument without creating it."""
+        return self._instruments.get(name)
+
+    def names(self) -> typing.List[str]:
+        return sorted(self._instruments)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def as_dict(self) -> typing.Dict[str, typing.Dict[str, object]]:
+        """A JSON-ready snapshot of every instrument, sorted by name."""
+        out: typing.Dict[str, typing.Dict[str, object]] = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if instrument.kind == "histogram":
+                histogram = typing.cast(Histogram, instrument)
+                out[name] = {
+                    "kind": "histogram", "count": histogram.count,
+                    "mean": histogram.mean(),
+                    "min": histogram.min if histogram.count else 0.0,
+                    "max": histogram.max if histogram.count else 0.0,
+                    "p50": histogram.quantile(0.5),
+                    "p90": histogram.quantile(0.9),
+                    "p99": histogram.quantile(0.99),
+                }
+            else:
+                out[name] = {"kind": instrument.kind,
+                             "value": instrument.value}
+        return out
+
+    def render(self) -> str:
+        """A fixed-width table, one instrument per line, sorted by name."""
+        lines = ["%-44s %-9s %s" % ("metric", "kind", "value")]
+        for name in self.names():
+            instrument = self._instruments[name]
+            lines.append("%-44s %-9s %s" % (name, instrument.kind,
+                                            instrument.describe()))
+        return "\n".join(lines)

@@ -16,12 +16,14 @@ fire watches and write log lines — reproducing every §4.2 overhead:
 
 from __future__ import annotations
 
+import functools
 import math
 import typing
 
 from ..faults.plan import NULL_INJECTOR, MessageTimeout
 from ..faults.retry import RetryPolicy
 from ..sim.resources import Resource
+from ..trace.tracer import tracer_of
 from .accesslog import AccessLog
 from .protocol import XenStoreCosts
 from .store import NoEntError, XenStoreTree
@@ -30,6 +32,19 @@ from .watches import Watch, WatchManager
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sim.engine import Simulator
+
+
+def _traced(name: str):
+    """Wrap a generator op so it runs inside a ``xenstore.<op>`` span
+    (a no-op when no tracer is attached to the simulator)."""
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            with tracer_of(self.sim).span(name):
+                result = yield from fn(self, *args, **kwargs)
+            return result
+        return wrapper
+    return decorate
 
 
 class DuplicateNameError(RuntimeError):
@@ -194,6 +209,9 @@ class XenStoreDaemon:
         fired = self.watches.fire(path)
         deliver_us = len(fired) * self.costs.watch_deliver_us
         self.stats["watch_events"] += len(fired)
+        if fired:
+            tracer_of(self.sim).instant("xenstore.watch_fire",
+                                        delivered=len(fired))
         delay = (scan_us + deliver_us) / 1000.0 * self._impl_factor()
         if delay:
             yield self.sim.timeout(delay * self._load_factor())
@@ -216,6 +234,7 @@ class XenStoreDaemon:
                 "domain %d may not %s %s" % (
                     domid, "write" if write else "read", path))
 
+    @_traced("xenstore.read")
     def op_read(self, domid: int, path: str):
         """Generator: XS_READ."""
         yield from self._charge()
@@ -223,6 +242,7 @@ class XenStoreDaemon:
         yield from self._log_access()
         return self.tree.read(path)
 
+    @_traced("xenstore.write")
     def op_write(self, domid: int, path: str, value: str):
         """Generator: XS_WRITE (fires watches)."""
         yield from self._charge()
@@ -232,12 +252,14 @@ class XenStoreDaemon:
         yield from self._fire_watches(path)
         yield from self._log_access()
 
+    @_traced("xenstore.get_perms")
     def op_get_perms(self, domid: int, path: str):
         """Generator: XS_GET_PERMS."""
         yield from self._charge()
         yield from self._log_access()
         return self.tree.get_perms(path)
 
+    @_traced("xenstore.set_perms")
     def op_set_perms(self, domid: int, path: str, perms):
         """Generator: XS_SET_PERMS (owner or Dom0 only)."""
         yield from self._charge()
@@ -249,6 +271,7 @@ class XenStoreDaemon:
         self.tree.set_perms(path, perms)
         yield from self._log_access()
 
+    @_traced("xenstore.mkdir")
     def op_mkdir(self, domid: int, path: str):
         """Generator: XS_MKDIR."""
         yield from self._charge()
@@ -256,6 +279,7 @@ class XenStoreDaemon:
         yield from self._fire_watches(path)
         yield from self._log_access()
 
+    @_traced("xenstore.rm")
     def op_rm(self, domid: int, path: str):
         """Generator: XS_RM (recursive; fires watches)."""
         yield from self._charge()
@@ -270,12 +294,14 @@ class XenStoreDaemon:
         yield from self._log_access()
         return removed
 
+    @_traced("xenstore.directory")
     def op_directory(self, domid: int, path: str):
         """Generator: XS_DIRECTORY."""
         yield from self._charge()
         yield from self._log_access()
         return self.tree.directory(path)
 
+    @_traced("xenstore.watch")
     def op_watch(self, domid: int, path: str, token: str, callback):
         """Generator: XS_WATCH registration."""
         yield from self._charge()
@@ -283,6 +309,7 @@ class XenStoreDaemon:
         yield from self._log_access()
         return watch
 
+    @_traced("xenstore.unwatch")
     def op_unwatch(self, domid: int, watch: Watch):
         """Generator: XS_UNWATCH."""
         yield from self._charge()
@@ -292,6 +319,7 @@ class XenStoreDaemon:
     # ------------------------------------------------------------------
     # The O(N) unique-name admission check
     # ------------------------------------------------------------------
+    @_traced("xenstore.check_unique_name")
     def op_check_unique_name(self, domid: int, name: str):
         """Generator: compare ``name`` against every running guest's name.
 
@@ -314,6 +342,7 @@ class XenStoreDaemon:
     # ------------------------------------------------------------------
     # Transactions
     # ------------------------------------------------------------------
+    @_traced("xenstore.txn_start")
     def transaction_start(self, domid: int):
         """Generator: XS_TRANSACTION_START; returns a Transaction."""
         yield from self._charge(extra_us=self.costs.txn_overhead_us)
@@ -322,30 +351,35 @@ class XenStoreDaemon:
         self._next_tx_id += 1
         return tx
 
+    @_traced("xenstore.tx_read")
     def tx_read(self, tx: Transaction, path: str):
         """Generator: XS_READ inside a transaction."""
         yield from self._charge()
         yield from self._log_access()
         return tx.read(path)
 
+    @_traced("xenstore.tx_exists")
     def tx_exists(self, tx: Transaction, path: str):
         """Generator: existence check inside a transaction."""
         yield from self._charge()
         yield from self._log_access()
         return tx.exists(path)
 
+    @_traced("xenstore.tx_write")
     def tx_write(self, tx: Transaction, path: str, value: str):
         """Generator: XS_WRITE inside a transaction (staged)."""
         yield from self._charge()
         tx.write(path, value)
         yield from self._log_access()
 
+    @_traced("xenstore.tx_rm")
     def tx_rm(self, tx: Transaction, path: str):
         """Generator: XS_RM inside a transaction (staged)."""
         yield from self._charge()
         tx.rm(path)
         yield from self._log_access()
 
+    @_traced("xenstore.txn_commit")
     def transaction_commit(self, tx: Transaction):
         """Generator: XS_TRANSACTION_END(commit=True).
 
@@ -398,6 +432,7 @@ class XenStoreDaemon:
                           1.0 - math.exp(-rate * duration))
         return self.rng.random() < probability
 
+    @_traced("xenstore.txn_abort")
     def transaction_abort(self, tx: Transaction):
         """Generator: XS_TRANSACTION_END(commit=False)."""
         yield from self._charge()

@@ -75,6 +75,32 @@ def test_freeing_everything_restores_single_extent(script):
     assert mem.fragments() == 1
 
 
+@given(alloc_scripts())
+@settings(max_examples=200, deadline=None)
+def test_free_list_stays_coalesced_and_in_bounds(script):
+    """After every operation the free list is sorted, strictly separated
+    (no adjacent or overlapping extents — they must have coalesced), has
+    no empty extents, and stays inside [0, total)."""
+    mem = MemoryAllocator(TOTAL_KB)
+    for op, owner, size in script:
+        if op == "alloc":
+            try:
+                mem.allocate(owner, size)
+            except OutOfMemoryError:
+                pass
+        else:
+            mem.free(owner)
+        extents = mem._free
+        assert extents == sorted(extents, key=lambda e: e.start_kb)
+        assert all(e.size_kb > 0 for e in extents)
+        assert all(0 <= e.start_kb and e.end_kb <= TOTAL_KB
+                   for e in extents)
+        for left, right in zip(extents, extents[1:]):
+            # A gap must separate neighbours: end == start would mean
+            # _insert_free failed to coalesce them.
+            assert left.end_kb < right.start_kb
+
+
 @given(st.lists(st.integers(min_value=1, max_value=512), min_size=1,
                 max_size=20))
 @settings(max_examples=100, deadline=None)

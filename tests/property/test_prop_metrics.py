@@ -1,5 +1,7 @@
 """Property-based tests for the metrics helpers."""
 
+import bisect
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -49,20 +51,30 @@ def test_cdf_is_a_distribution(values, points):
     cdf = cdf_points(values, points=points)
     xs = [x for x, _f in cdf]
     fs = [f for _x, f in cdf]
-    assert xs == sorted(xs)
+    assert xs == sorted(set(xs))  # strictly increasing values
     assert fs == sorted(fs)
     assert fs[-1] == pytest.approx(1.0)
     assert all(0 < f <= 1 for f in fs)
     assert xs[-1] == max(values)
 
 
+@given(value_lists, st.integers(min_value=2, max_value=40))
+@settings(max_examples=200, deadline=None)
+def test_cdf_fractions_are_exact(values, points):
+    """Every emitted (v, f) satisfies f == P(X <= v) over the sample."""
+    ordered = sorted(values)
+    for value, fraction in cdf_points(values, points=points):
+        assert fraction == bisect.bisect_right(ordered, value) / len(ordered)
+
+
 @given(st.integers(min_value=1, max_value=100000),
-       st.integers(min_value=2, max_value=50))
+       st.integers(min_value=1, max_value=50))
 @settings(max_examples=300, deadline=None)
 def test_sample_indices_valid_and_cover_endpoints(total, samples):
     indices = sample_indices(total, samples)
     assert indices == sorted(set(indices))
     assert indices[0] == 0
-    assert indices[-1] == total - 1
+    if samples >= 2 or total == 1:
+        assert indices[-1] == total - 1
     assert len(indices) <= max(samples, total)
     assert all(0 <= i < total for i in indices)

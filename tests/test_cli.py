@@ -44,6 +44,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sanitize", "--runs", "0"])
 
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.variant == "lightvm"
+        assert args.count == 10
+        assert args.out is None
+
+    def test_metrics_defaults(self):
+        args = build_parser().parse_args(["metrics"])
+        assert args.variant == "lightvm"
+        assert args.json is False
+
 
 class TestCommands:
     def test_images_lists_catalogue(self, capsys):
@@ -119,6 +130,41 @@ class TestCommands:
         main(["create", "--count", "3", "--seed", "5"])
         first = capsys.readouterr().out
         main(["create", "--count", "3", "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_trace_reports_attribution(self, capsys, tmp_path):
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", "--count", "3", "--variant", "xl",
+                     "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "traced 3 x daytime under xl" in out
+        assert "phase attribution" in out
+        assert "xenstore" in out
+        assert "wrote" in out
+        import json
+        document = json.loads(out_file.read_text())
+        assert document["traceEvents"]
+
+    def test_metrics_renders_registry(self, capsys):
+        assert main(["metrics", "--count", "3",
+                     "--variant", "chaos+noxs"]) == 0
+        out = capsys.readouterr().out
+        assert "hypervisor/hypercalls/domctl_create" in out
+        assert "span/noxs.ioctl_create" in out
+
+    def test_metrics_json_mode(self, capsys):
+        assert main(["metrics", "--count", "3", "--variant", "lightvm",
+                     "--json"]) == 0
+        import json
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["memory/guest_kb"]["kind"] == "gauge"
+        assert payload["shellpool/target"]["value"] >= 3
+
+    def test_trace_deterministic_output(self, capsys):
+        main(["trace", "--count", "3", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["trace", "--count", "3", "--seed", "5"])
         second = capsys.readouterr().out
         assert first == second
 

@@ -78,6 +78,49 @@ def test_fragmented_allocation_spans_extents():
     assert sum(e.size_kb for e in extents) == 150
 
 
+def test_exact_exhaustion_spanning_all_fragments():
+    """A gather that consumes the free list exactly must succeed (the
+    loop must not index past the now-empty list)."""
+    mem = MemoryAllocator(300)
+    mem.allocate("a", 100)
+    mem.allocate("b", 100)
+    mem.allocate("c", 100)
+    mem.free("a")
+    mem.free("c")  # free space: [0,100) + [200,300)
+    extents = mem.allocate("d", 200)
+    assert sum(e.size_kb for e in extents) == 200
+    assert mem.free_kb == 0
+    assert mem.fragments() == 0
+    # And the memory comes back intact.
+    assert mem.free("d") == 200
+
+
+def test_gather_exhaustion_rolls_back_and_raises_typed_error():
+    """If the free list runs dry mid-gather (free accounting drifted from
+    the list), allocate must fail atomically with OutOfMemoryError — not
+    leak the partial grab through an IndexError."""
+    class DriftingAllocator(MemoryAllocator):
+        # Over-reports free memory so allocate() passes its precondition
+        # and reaches the gather loop with too little actually free.
+        @property
+        def free_kb(self):
+            return super().free_kb + 64
+
+    mem = DriftingAllocator(300)
+    mem.allocate("a", 100)
+    mem.allocate("b", 100)
+    mem.allocate("c", 100)
+    mem.free("a")
+    mem.free("c")  # really free: 200 KiB, reported: 264 KiB
+    before = list(mem._free)
+    with pytest.raises(OutOfMemoryError):
+        mem.allocate("d", 232)
+    # Atomic failure: no partial grab leaked, free list restored exactly.
+    assert mem.owned_kb("d") == 0
+    assert "d" not in mem.owners()
+    assert mem._free == before
+
+
 def test_coalescing_restores_single_extent():
     mem = MemoryAllocator(300)
     mem.allocate("a", 100)

@@ -57,6 +57,38 @@ class TestCdf:
         with pytest.raises(ValueError):
             cdf_points([])
 
+    def test_single_value(self):
+        assert cdf_points([7.5]) == [(7.5, 1.0)]
+
+    def test_two_values(self):
+        assert cdf_points([2.0, 1.0]) == [(1.0, 0.5), (2.0, 1.0)]
+
+    def test_two_equal_values_collapse(self):
+        """Duplicates map to one point at the full cumulative fraction."""
+        assert cdf_points([3.0, 3.0]) == [(3.0, 1.0)]
+
+    def test_duplicated_value_reports_full_fraction(self):
+        """P(X <= v) counts every copy of v, not the sampled copy's rank."""
+        points = cdf_points([1.0, 2.0, 2.0, 2.0])
+        assert points == [(1.0, 0.25), (2.0, 1.0)]
+
+    def test_duplicated_maximum_after_subsampling(self):
+        """A subsample landing on an early copy of the maximum must not
+        emit a fraction below 1.0 for it."""
+        values = list(range(50)) + [49.0] * 50
+        points = cdf_points(values, points=10)
+        xs = [x for x, _f in points]
+        assert xs == sorted(set(xs))  # strictly increasing
+        assert points[-1] == (49.0, 1.0)
+        # The maximum appears exactly once, at fraction 1.0.
+        assert [f for x, f in points if x == 49.0] == [1.0]
+
+    def test_values_strictly_increasing(self):
+        points = cdf_points([5, 5, 1, 1, 3, 3, 3], points=50)
+        xs = [x for x, _f in points]
+        assert xs == sorted(set(xs))
+        assert points == [(1, 2 / 7), (3, 5 / 7), (5, 1.0)]
+
 
 class TestSampling:
     def test_includes_endpoints(self):
@@ -70,6 +102,27 @@ class TestSampling:
     def test_invalid_total(self):
         with pytest.raises(ValueError):
             sample_indices(0, 5)
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            sample_indices(10, 0)
+        with pytest.raises(ValueError):
+            sample_indices(10, -3)
+
+    def test_single_sample_pins_to_start(self):
+        """samples == 1 used to divide by zero; it pins to index 0."""
+        assert sample_indices(1000, 1) == [0]
+        assert sample_indices(1, 1) == [0]
+
+    def test_two_samples_cover_endpoints(self):
+        assert sample_indices(1000, 2) == [0, 999]
+
+    def test_two_value_percentiles(self):
+        """n == 2 interpolates linearly between the two order statistics."""
+        assert percentile([10.0, 20.0], 0) == 10.0
+        assert percentile([10.0, 20.0], 50) == 15.0
+        assert percentile([10.0, 20.0], 90) == pytest.approx(19.0)
+        assert percentile([10.0, 20.0], 100) == 20.0
 
 
 class TestFormatSeries:
