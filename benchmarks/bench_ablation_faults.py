@@ -61,7 +61,17 @@ def test_ablation_faults(benchmark):
                  % (fmt(p99, 2), fmt(p99 / base_p99, 2), failures,
                     len(violations))))
     report("ABLATION-FAULTS robustness under injected control-plane "
-           "faults", paper_vs_measured(rows))
+           "faults", paper_vs_measured(rows),
+           data={
+               "count": COUNT,
+               "rates": list(RATES),
+               "p99_create_ms": {
+                   v: [p99 for p99, _f, _viol in results[v]]
+                   for v in VARIANTS},
+               "failures": {
+                   v: [f for _p99, f, _viol in results[v]]
+                   for v in VARIANTS},
+           })
 
     # Zero invariant violations at every swept rate, every variant.
     for variant in VARIANTS:

@@ -72,7 +72,16 @@ def test_ablation_hypervisor_landscape(benchmark):
         ("same with page sharing (GB)", "much lower", fmt(dedup_gb, 2)),
     ]
     report("ABLATION-HYPERVISORS ukvm landscape + dedup what-if",
-           paper_vs_measured(rows))
+           paper_vs_measured(rows),
+           data={
+               "count": COUNT,
+               "mean_total_ms": {"lightvm": mean(lightvm),
+                                 "ukvm": mean(ukvm), "xl": mean(xl)},
+               "xl_last_total_ms": xl[-1],
+               "dedup_guests": DEDUP_GUESTS,
+               "plain_gb": plain_gb,
+               "dedup_gb": dedup_gb,
+           })
 
     # Landscape: LightVM < ukvm << xl-at-scale; ukvm flat like LightVM.
     assert mean(lightvm) < mean(ukvm) < xl[-1]

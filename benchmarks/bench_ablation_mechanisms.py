@@ -74,7 +74,13 @@ def test_ablation_mechanisms(benchmark):
          fmt(pools["big-pool"], 2)),
     ]
     report("ABLATION-MECHANISMS hotplug / split / pool",
-           paper_vs_measured(rows))
+           paper_vs_measured(rows),
+           data={
+               "burst": BURST,
+               "hotplug_create_ms": hotplug,
+               "split_create_ms": split,
+               "pool_burst_mean_ms": pools,
+           })
 
     assert hotplug["bash"] - hotplug["xendevd"] > 25
     assert split["split"] < split["inline"] / 2

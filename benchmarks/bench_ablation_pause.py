@@ -33,7 +33,15 @@ def test_ablation_pause_density(benchmark):
          fmt(result.boot_after_ms)),
     ]
     report("ABLATION-PAUSE freezing idle instances",
-           paper_vs_measured(rows))
+           paper_vs_measured(rows),
+           data={
+               "fleet": result.fleet,
+               "paused": result.paused,
+               "utilization_before_pct": result.utilization_before * 100,
+               "utilization_after_pct": result.utilization_after * 100,
+               "boot_before_ms": result.boot_before_ms,
+               "boot_after_ms": result.boot_after_ms,
+           })
 
     assert result.utilization_after < result.utilization_before
     assert result.boot_after_ms <= result.boot_before_ms

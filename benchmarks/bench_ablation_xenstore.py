@@ -55,7 +55,18 @@ def test_ablation_xenstore(benchmark):
          fmt(results["watchless-guests"][-1])),
     ]
     report("ABLATION-XENSTORE daemon design points",
-           paper_vs_measured(rows))
+           paper_vs_measured(rows),
+           data={
+               "count": COUNT,
+               "last_create_ms": {
+                   name: series[-1] for name, series in results.items()},
+               "mean_create_ms": {
+                   name: mean(series)
+                   for name, series in results.items()},
+               "max_create_ms": {
+                   name: max(series)
+                   for name, series in results.items()},
+           })
 
     # cxenstored: strictly worse, by a large factor at scale.
     assert results["cxenstored"][-1] > base[-1] * 1.8

@@ -1,0 +1,154 @@
+"""DES kernel events-per-second microbench (optimized vs naive kernel).
+
+Not a paper figure: this measures the simulator itself, on the event
+shapes the figure benchmarks are made of —
+
+* ``timer_wheel`` — steady-state self-rescheduling ``call_later`` timers
+  (the CPU scheduler's hot path); the **primary, gated** metric, where
+  the pooled/closure-free fast path engages fully;
+* ``same_instant`` — many events per simulated instant (creation storms
+  hammering the XenStore worker queue); exercises the batch drain;
+* ``process_chain`` — generator processes yielding timeouts (toolstack
+  phase code); dominated by generator sends, so it bounds how much the
+  kernel can matter;
+* ``allof_fanout`` — wide ``AllOf`` joins (shell-pool prepare), covering
+  the incremental condition collection.
+
+Each shape runs on the optimized kernel *and* on the frozen seed kernel
+(``tests/reference_kernel.py``), so the reported speedup is a same-host
+ratio — comparable across machines, unlike raw events/sec.  The ratio
+for the primary metric is asserted against ``required_speedup`` in the
+committed ``benchmarks/baseline_engine.json``; ``repro bench-gate``
+applies the same check (plus an absolute tolerance band) in CI.
+"""
+
+import json
+import sys
+
+import pytest
+
+from _support import REPO_ROOT, report, run_once, scaled
+
+sys.path.insert(0, str(REPO_ROOT / "tests"))
+
+from repro.sim import Simulator  # noqa: E402
+from reference_kernel import Simulator as RefSimulator  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "baseline_engine.json"
+
+TIMER_EVENTS = scaled(600_000, 120_000)
+INSTANT_ROUNDS = scaled(1_500, 400)
+INSTANT_WIDTH = 150
+CHAIN_PROCESSES = scaled(4_000, 1_000)
+CHAIN_STEPS = 30
+FANOUT_GROUPS = scaled(40, 10)
+FANOUT_WIDTH = 400
+
+#: Best-of-N timing per (shape, kernel) to shave scheduler noise.
+ROUNDS = 3
+
+
+def _throughput(fn, sim_cls) -> float:
+    import time
+    best = 0.0
+    for _ in range(ROUNDS):
+        sim, started = sim_cls(), time.perf_counter()
+        fn(sim)
+        elapsed = time.perf_counter() - started
+        best = max(best, sim.processed_events / elapsed)
+    return best
+
+
+def shape_timer_wheel(sim) -> None:
+    fired = [0]
+
+    def tick(slot):
+        fired[0] += 1
+        if fired[0] < TIMER_EVENTS:
+            sim.call_later(float(1 + (slot & 7)), tick, slot)
+
+    for i in range(64):
+        sim.call_later(float(1 + (i & 7)), tick, i)
+    sim.run()
+
+
+def shape_same_instant(sim) -> None:
+    sink = int  # any cheap callable; closure-free on purpose
+    for instant in range(INSTANT_ROUNDS):
+        for _ in range(INSTANT_WIDTH):
+            sim.schedule(float(instant), sink)
+    sim.run()
+
+
+def shape_process_chain(sim) -> None:
+    def worker():
+        for _ in range(CHAIN_STEPS):
+            yield sim.timeout(1.0)
+
+    for _ in range(CHAIN_PROCESSES):
+        sim.process(worker())
+    sim.run()
+
+
+def shape_allof_fanout(sim) -> None:
+    def waiter(delay):
+        yield sim.timeout(delay)
+
+    for _ in range(FANOUT_GROUPS):
+        procs = [sim.process(waiter(float(i % 5)))
+                 for i in range(FANOUT_WIDTH)]
+        sim.run(until=sim.all_of(procs))
+
+
+SHAPES = [
+    ("timer_wheel", shape_timer_wheel),
+    ("same_instant", shape_same_instant),
+    ("process_chain", shape_process_chain),
+    ("allof_fanout", shape_allof_fanout),
+]
+
+
+def _measure() -> dict:
+    results = {}
+    for name, fn in SHAPES:
+        opt = _throughput(fn, Simulator)
+        ref = _throughput(fn, RefSimulator)
+        results[name] = {
+            "opt_events_per_sec": round(opt),
+            "ref_events_per_sec": round(ref),
+            "speedup": round(opt / ref, 3),
+        }
+    return results
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_events_per_second(benchmark):
+    results = run_once(benchmark, _measure)
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    primary = baseline["metric"]
+    required = baseline["required_speedup"]
+
+    rows = ["%-15s %14s %14s %9s" % ("shape", "optimized", "naive ref",
+                                     "speedup")]
+    for name, _ in SHAPES:
+        entry = results[name]
+        rows.append("%-15s %11d/s %11d/s %8.2fx"
+                    % (name, entry["opt_events_per_sec"],
+                       entry["ref_events_per_sec"], entry["speedup"]))
+    rows.append("")
+    rows.append("primary metric: %s (required speedup >= %.1fx, committed "
+                "pre-opt baseline %d ev/s)"
+                % (primary, required, baseline["preopt_events_per_sec"]))
+    report("ENGINE events/sec microbench (optimized vs naive kernel)",
+           "\n".join(rows),
+           data=dict(results, primary_metric=primary,
+                     required_speedup=required))
+
+    speedup = results[primary]["speedup"]
+    assert speedup >= required, (
+        "kernel fast path regressed: %s speedup %.2fx < required %.1fx "
+        "(opt %d ev/s vs naive %d ev/s)"
+        % (primary, speedup, required,
+           results[primary]["opt_events_per_sec"],
+           results[primary]["ref_events_per_sec"]))

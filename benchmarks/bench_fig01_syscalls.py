@@ -22,7 +22,9 @@ def test_fig01_syscall_growth(benchmark):
     ]
     report("FIG01 syscall API growth",
            paper_vs_measured(rows) + "\n\nyear   syscalls\n"
-           + "\n".join(lines))
+           + "\n".join(lines),
+           data={"years": years, "syscalls": counts,
+                 "growth_per_year": growth_per_year()})
     benchmark.extra_info["series"] = series
 
     # Shape: monotone growth across the figure's axis span.

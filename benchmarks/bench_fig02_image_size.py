@@ -33,7 +33,10 @@ def test_fig02_boot_vs_image_size(benchmark):
     ]
     table = "\n".join("%6d MB  %10.1f ms" % (s, t) for s, t in results)
     report("FIG02 boot time vs image size",
-           paper_vs_measured(rows) + "\n\n" + table)
+           paper_vs_measured(rows) + "\n\n" + table,
+           data={"size_mb": [s for s, _t in results],
+                 "total_ms": [t for _s, t in results],
+                 "slope_ms_per_mb": per_mb})
     benchmark.extra_info["series"] = results
 
     # Shape: linear growth — the slope between consecutive points is

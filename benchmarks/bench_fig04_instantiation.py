@@ -105,7 +105,20 @@ def test_fig04_instantiation_and_boot(benchmark):
         "n=%4d  uni create=%9.1f boot=%8.1f" % (i + 1, uni_c[i], uni_b[i])
         for i in samples)
     report("FIG04 instantiation and boot times",
-           paper_vs_measured(rows) + "\n\n" + series)
+           paper_vs_measured(rows) + "\n\n" + series,
+           data={
+               "counts": {name: len(data[name][0]) for name in data},
+               "first_create_ms": {"debian": deb_c[0], "tinyx": tin_c[0],
+                                   "daytime": uni_c[0]},
+               "last_create_ms": {"debian": deb_c[-1], "tinyx": tin_c[-1],
+                                  "daytime": uni_c[-1]},
+               "first_boot_ms": {"debian": deb_b[0], "tinyx": tin_b[0],
+                                 "daytime": uni_b[0]},
+               "docker_mean_ms": mean(docker),
+               "process_mean_ms": mean(procs),
+               "unikernel_create_samples": [
+                   [i + 1, uni_c[i]] for i in samples],
+           })
     benchmark.extra_info["unikernel_create"] = [uni_c[i] for i in samples]
 
     # Shape assertions.

@@ -64,7 +64,17 @@ def test_fig09_toolstack_variants(benchmark):
                      + "".join("%16.2f" % results[v][0][index]
                                for v in VARIANTS))
     report("FIG09 creation times across mechanisms",
-           paper_vs_measured(rows) + "\n\n" + "\n".join(lines))
+           paper_vs_measured(rows) + "\n\n" + "\n".join(lines),
+           data={
+               "count": COUNT,
+               "first_create_ms": {v: results[v][0][0] for v in VARIANTS},
+               "last_create_ms": {v: results[v][0][-1] for v in VARIANTS},
+               "lightvm_last_total_ms": results["lightvm"][1][-1],
+               "noop_floor_total_ms": noop[1][-1],
+               "create_samples": {
+                   v: [[i + 1, results[v][0][i]] for i in samples]
+                   for v in VARIANTS},
+           })
     benchmark.extra_info["last_create"] = {
         v: results[v][0][-1] for v in VARIANTS}
 

@@ -69,7 +69,18 @@ def test_fig10_density(benchmark):
     lines = ["n=%5d  lightvm=%8.2f ms" % (i + 1, lightvm[i])
              for i in samples]
     report("FIG10 density: LightVM vs Docker",
-           paper_vs_measured(rows) + "\n\n" + "\n".join(lines))
+           paper_vs_measured(rows) + "\n\n" + "\n".join(lines),
+           data={
+               "lightvm_count": len(lightvm),
+               "lightvm_first_boot_ms": lightvm[0],
+               "lightvm_last_boot_ms": lightvm[-1],
+               "lightvm_max_boot_ms": max(lightvm),
+               "lightvm_boot_samples": [
+                   [i + 1, lightvm[i]] for i in samples],
+               "docker_first_start_ms": docker[0],
+               "docker_last_start_ms": docker[-1],
+               "docker_died_at": died_at,
+           })
     benchmark.extra_info["docker_died_at"] = died_at
 
     # Shape: LightVM flat into the thousands; Docker ramps and dies.

@@ -64,7 +64,16 @@ def test_fig11_boot_times(benchmark):
     lines = ["n=%4d  tinyx=%8.1f  docker=%8.1f  unikernel=%6.2f"
              % (i + 1, tinyx[i], docker[i], uni[i]) for i in samples]
     report("FIG11 boot times: Tinyx vs Docker vs unikernel",
-           paper_vs_measured(rows) + "\n\n" + "\n".join(lines))
+           paper_vs_measured(rows) + "\n\n" + "\n".join(lines),
+           data={
+               "count": COUNT,
+               "crossover_n": crossover,
+               "tinyx_boot_samples": [[i + 1, tinyx[i]] for i in samples],
+               "docker_start_samples": [
+                   [i + 1, docker[i]] for i in samples],
+               "unikernel_boot_samples": [
+                   [i + 1, uni[i]] for i in samples],
+           })
 
     # Shape: unikernel fastest and flat; Tinyx grows with contention;
     # Docker and unikernels do not.

@@ -70,7 +70,12 @@ def test_fig12_save_restore(benchmark):
                         for v in VARIANTS)
         lines.append("%-7d%s" % (n, cells))
     report("FIG12 checkpoint (save/restore) times",
-           paper_vs_measured(rows) + "\n\n" + "\n".join(lines))
+           paper_vs_measured(rows) + "\n\n" + "\n".join(lines),
+           data={
+               "points": list(POINTS),
+               "save_ms": {v: results[v][0] for v in VARIANTS},
+               "restore_ms": {v: results[v][1] for v in VARIANTS},
+           })
 
     # Shape: LightVM flat and fast in both directions; xl slow, restore
     # slowest, and growing with N.

@@ -74,7 +74,11 @@ def test_fig13_migration(benchmark):
         lines.append("%-7d" % n + "".join("%16.1f" % results[v][row]
                                           for v in VARIANTS))
     report("FIG13 migration times",
-           paper_vs_measured(rows) + "\n\n" + "\n".join(lines))
+           paper_vs_measured(rows) + "\n\n" + "\n".join(lines),
+           data={
+               "points": list(POINTS),
+               "migration_ms": {v: results[v] for v in VARIANTS},
+           })
 
     lightvm = results["lightvm"]
     # Shape: LightVM flat around 60 ms; chaos+XS wins at low N (the

@@ -74,7 +74,8 @@ def test_fig14_memory_scalability(benchmark):
         ("process (GB)", "lowest", fmt(usage["process"], 2)),
     ]
     report("FIG14 memory usage at %d guests" % COUNT,
-           paper_vs_measured(rows))
+           paper_vs_measured(rows),
+           data={"count": COUNT, "usage_gb": usage})
     benchmark.extra_info["usage_gb"] = usage
 
     # Shape: strict ordering debian >> tinyx >> unikernel/docker > proc,

@@ -50,7 +50,8 @@ def test_fig15_cpu_usage(benchmark):
         ("unikernel (%)", "docker + epsilon", fmt(util["unikernel"], 3)),
         ("docker (%)", "lowest", fmt(util["docker"], 3)),
     ]
-    report("FIG15 idle-fleet CPU utilization", paper_vs_measured(rows))
+    report("FIG15 idle-fleet CPU utilization", paper_vs_measured(rows),
+           data={"count": COUNT, "utilization_pct": util})
     benchmark.extra_info["util_pct"] = util
 
     # Shape: debian >> tinyx >> unikernel > docker, unikernel within a

@@ -33,7 +33,16 @@ def test_fig16a_personal_firewalls(benchmark):
         % (p.clients, p.total_gbps, p.per_client_mbps, p.rtt_ms)
         for p in result.points)
     report("FIG16a personal firewalls", paper_vs_measured(rows)
-           + "\n\n" + series)
+           + "\n\n" + series,
+           data={
+               "boot_sample_ms": result.boot_sample_ms,
+               "migration_ms": result.migration_ms,
+               "points": [
+                   {"clients": p.clients, "total_gbps": p.total_gbps,
+                    "per_client_mbps": p.per_client_mbps,
+                    "rtt_ms": p.rtt_ms, "saturated": p.saturated}
+                   for p in result.points],
+           })
 
     assert not by_n[100].saturated
     assert by_n[500].saturated

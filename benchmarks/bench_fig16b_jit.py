@@ -39,7 +39,23 @@ def test_fig16b_jit_instantiation(benchmark):
                          % rate + "  ".join("%.0fms:%.2f" % (v, f)
                                             for v, f in pts))
     report("FIG16b JIT instantiation ping CDFs",
-           paper_vs_measured(rows) + "\n\n" + "\n".join(cdf_lines))
+           paper_vs_measured(rows) + "\n\n" + "\n".join(cdf_lines),
+           data={
+               "clients": CLIENTS,
+               "rates_ms": list(RATES_MS),
+               "median_rtt_ms": {
+                   "%g" % rate: median(results[rate].rtts)
+                   for rate in RATES_MS},
+               "p90_rtt_ms": {
+                   "%g" % rate: percentile(results[rate].rtts, 90)
+                   for rate in RATES_MS},
+               "bridge_drops": {
+                   "%g" % rate: results[rate].bridge_drops
+                   for rate in RATES_MS},
+               "retried": {
+                   "%g" % rate: results[rate].retried
+                   for rate in RATES_MS},
+           })
 
     # Shape: clean sub-40ms curves at 25/50/100 ms; long tail at 10 ms.
     for rate in (25.0, 50.0, 100.0):

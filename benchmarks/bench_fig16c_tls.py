@@ -31,7 +31,15 @@ def test_fig16c_tls_termination(benchmark):
                      % (point.instances, bare[i].requests_per_s,
                         tinyx[i].requests_per_s, uni[i].requests_per_s))
     report("FIG16c TLS termination throughput",
-           paper_vs_measured(rows) + "\n\n" + "\n".join(lines))
+           paper_vs_measured(rows) + "\n\n" + "\n".join(lines),
+           data={
+               "unikernel_boot_ms": result.unikernel_boot_ms,
+               "tinyx_boot_ms": result.tinyx_boot_ms,
+               "instances": [p.instances for p in bare],
+               "requests_per_s": {
+                   name: [p.requests_per_s for p in series]
+                   for name, series in result.series.items()},
+           })
 
     # Shape: throughput grows with N then saturates; Tinyx ≈ bare metal;
     # unikernel ≈ 1/5.

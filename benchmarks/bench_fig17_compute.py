@@ -50,7 +50,17 @@ def test_fig17_compute_service(benchmark):
                      % (i + 1, lightvm.service_ms[i] / 1000.0,
                         chaos_xs.service_ms[i] / 1000.0))
     report("FIG17 compute service completion times",
-           paper_vs_measured(rows) + "\n\n" + "\n".join(lines))
+           paper_vs_measured(rows) + "\n\n" + "\n".join(lines),
+           data={
+               "requests": REQUESTS,
+               "mean_create_ms": {
+                   name: mean(results[name].create_ms)
+                   for name in results},
+               "service_samples_s": {
+                   name: [[i + 1, results[name].service_ms[i] / 1000.0]
+                          for i in samples]
+                   for name in results},
+           })
 
     # Shape: split creations tiny and flat; noxs creations small with a
     # slight upward drift; completions rise with the backlog; the

@@ -51,7 +51,16 @@ def test_fig18_concurrent_vms(benchmark):
         lines.append("%-9s %8d %10d" % (fmt(t, 0), _at(lightvm, t),
                                         _at(chaos_xs, t)))
     report("FIG18 concurrent compute VMs over time",
-           paper_vs_measured(rows) + "\n\n" + "\n".join(lines))
+           paper_vs_measured(rows) + "\n\n" + "\n".join(lines),
+           data={
+               "requests": REQUESTS,
+               "peak_backlog": peaks,
+               "sample_times_s": times,
+               "backlog_at_samples": {
+                   "lightvm": [_at(lightvm, t) for t in times],
+                   "chaos+xs": [_at(chaos_xs, t) for t in times],
+               },
+           })
 
     # Shape: backlog accumulates under slight overload; the XenStore
     # stack backlogs at least as hard as LightVM at every sampled time.

@@ -19,6 +19,8 @@ machine-checked instead of by-convention:
   scenario twice and diffing a streaming SHA-256 of its event timeline.
 """
 
+from .bench import (BenchResultError, bench_gate, bench_trend,
+                    load_results)
 from .lint import (Finding, LintRule, RULES, lint_paths, lint_source,
                    render_findings)
 from .sanitize import (EventTrace, ReplayDivergence, ReplayReport, Sanitizer,
@@ -26,6 +28,10 @@ from .sanitize import (EventTrace, ReplayDivergence, ReplayReport, Sanitizer,
                        canonical, verify_replay)
 
 __all__ = [
+    "BenchResultError",
+    "bench_gate",
+    "bench_trend",
+    "load_results",
     "EventTrace",
     "Finding",
     "LintRule",

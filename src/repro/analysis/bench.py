@@ -1,0 +1,137 @@
+"""Benchmark result trajectory tools: ``repro bench-trend`` / ``bench-gate``.
+
+The figure benchmarks write machine-readable ``BENCH_<fig>.json`` files
+when run with ``--json`` (see ``benchmarks/_support.py``): figure id,
+title, scale, the measured data series, and ``wall_clock_s`` — the DES
+engine's self-timed wall-clock cost of regenerating that figure.  Two
+consumers live here:
+
+* :func:`bench_trend` compares two result sets (directories of
+  ``BENCH_*.json``) and prints the wall-clock delta per figure — the
+  before/after view for any performance work on the simulator.
+* :func:`bench_gate` checks the engine microbench
+  (``BENCH_engine.json``) against the committed
+  ``benchmarks/baseline_engine.json``: the machine-independent
+  optimized-vs-naive speedup must meet ``required_speedup``, and the
+  absolute events/sec must sit inside the baseline's ``tolerance`` band.
+  Failures name the regression percentage instead of a bare assert.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing
+
+
+class BenchResultError(ValueError):
+    """A result or baseline file is missing or malformed."""
+
+
+def load_results(location: typing.Union[str, pathlib.Path]) \
+        -> typing.Dict[str, dict]:
+    """Load ``BENCH_*.json`` payloads from a directory (or a single
+    file); returns ``{figure_id: payload}``."""
+    path = pathlib.Path(location)
+    if path.is_file():
+        files = [path]
+    elif path.is_dir():
+        files = sorted(path.glob("BENCH_*.json"))
+    else:
+        raise BenchResultError("no such file or directory: %s" % path)
+    if not files:
+        raise BenchResultError("no BENCH_*.json files under %s" % path)
+    results = {}
+    for file in files:
+        try:
+            payload = json.loads(file.read_text())
+        except ValueError as exc:
+            raise BenchResultError("unparsable %s: %s" % (file, exc))
+        figure = payload.get("figure")
+        if not figure:
+            raise BenchResultError("%s has no 'figure' field" % file)
+        results[figure] = payload
+    return results
+
+
+def _fmt_seconds(value: typing.Optional[float]) -> str:
+    return "%.2fs" % value if isinstance(value, (int, float)) else "-"
+
+
+def bench_trend(old: typing.Dict[str, dict],
+                new: typing.Dict[str, dict]) -> str:
+    """Render the per-figure wall-clock deltas between two result sets."""
+    lines = ["%-12s %10s %10s %10s   %s"
+             % ("figure", "old", "new", "delta", "scale")]
+    for figure in sorted(set(old) | set(new)):
+        before = old.get(figure, {})
+        after = new.get(figure, {})
+        old_s = before.get("wall_clock_s")
+        new_s = after.get("wall_clock_s")
+        if isinstance(old_s, (int, float)) and \
+                isinstance(new_s, (int, float)) and old_s > 0:
+            delta = "%+.1f%%" % ((new_s - old_s) / old_s * 100.0)
+        elif figure not in old:
+            delta = "new"
+        elif figure not in new:
+            delta = "gone"
+        else:
+            delta = "-"
+        scales = "/".join(sorted({str(payload.get("scale"))
+                                  for payload in (before, after)
+                                  if payload}))
+        lines.append("%-12s %10s %10s %10s   %s"
+                     % (figure, _fmt_seconds(old_s), _fmt_seconds(new_s),
+                        delta, scales))
+    return "\n".join(lines)
+
+
+def bench_gate(result: dict, baseline: dict) -> typing.Tuple[bool, str]:
+    """Check an engine-bench result against the committed baseline.
+
+    Returns ``(passed, report)``.  Two checks:
+
+    1. **Speedup** (machine-independent): the optimized/naive ratio on
+       the baseline's primary metric must be >= ``required_speedup``.
+    2. **Absolute band**: optimized events/sec must be >=
+       ``events_per_sec * (1 - tolerance)``.  The band is wide because
+       CI hardware differs from the machine that committed the baseline;
+       the ratio check is the sharp one.
+    """
+    metric = baseline.get("metric")
+    required = baseline.get("required_speedup")
+    committed = baseline.get("events_per_sec")
+    tolerance = baseline.get("tolerance", 0.5)
+    data = result.get("data", {})
+    entry = data.get(metric)
+    if not isinstance(entry, dict):
+        return False, ("bench-gate: result has no data for primary metric "
+                       "%r (figures present: %s)"
+                       % (metric, ", ".join(sorted(data)) or "none"))
+    opt = entry.get("opt_events_per_sec")
+    ref = entry.get("ref_events_per_sec")
+    speedup = entry.get("speedup")
+    lines = ["bench-gate: metric %s" % metric,
+             "  optimized: %d events/sec" % opt,
+             "  naive ref: %d events/sec" % ref,
+             "  speedup:   %.2fx (required >= %.2fx)" % (speedup, required),
+             "  baseline:  %d events/sec (tolerance %d%%)"
+             % (committed, tolerance * 100)]
+    passed = True
+    if speedup < required:
+        shortfall = (required - speedup) / required * 100.0
+        lines.append(
+            "  FAIL: speedup regressed %.1f%% below the required %.2fx "
+            "(got %.2fx)" % (shortfall, required, speedup))
+        passed = False
+    floor = committed * (1.0 - tolerance)
+    if opt < floor:
+        regression = (committed - opt) / committed * 100.0
+        lines.append(
+            "  FAIL: optimized throughput is %.1f%% below the committed "
+            "baseline %d events/sec (floor %d after %d%% tolerance)"
+            % (regression, committed, floor, tolerance * 100))
+        passed = False
+    if passed:
+        lines.append("  PASS")
+    return passed, "\n".join(lines)

@@ -31,6 +31,11 @@ ID          severity   hazard
                        absolute event times
 ``RPR007``  error      mutable default argument (shared across calls, so
                        call order leaks into behaviour)
+``RPR008``  warning    per-event closure allocation in kernel modules
+                       (``repro/sim``): a ``lambda`` handed to
+                       ``add_callback``/``schedule``/``call_later`` or
+                       appended to ``callbacks`` allocates one closure
+                       cell per event — pass ``(callback, args)`` instead
 ``RPR000``  error      a ``# noqa: RPRxxx`` suppression without a
                        justification
 ==========  =========  ====================================================
@@ -512,6 +517,50 @@ class MutableDefaultRule(LintRule):
                         module, default,
                         "mutable default argument is shared across "
                         "calls; default to None and allocate inside")
+
+
+@register
+class KernelClosureRule(LintRule):
+    """RPR008: the DES kernel's hot path must not allocate a closure per
+    event.  A ``lambda`` passed to ``add_callback``/``schedule``/
+    ``call_later`` — or appended to an event's ``callbacks`` list —
+    costs one code object call plus one closure cell *per scheduled
+    event*; the kernel's tuple protocol (``(callback, args)`` entries)
+    carries the same binding with a plain tuple.  Only kernel modules
+    (paths under ``repro/sim``) are in scope: user code may trade the
+    allocation for readability."""
+
+    id = "RPR008"
+    severity = "warning"
+    synopsis = "per-event closure allocation in a kernel module"
+
+    _KERNEL_PATH = re.compile(r"repro[\\/]sim[\\/]")
+    _CALLBACK_CALLS = frozenset({"add_callback", "schedule", "call_later"})
+
+    def check(self, module: ModuleContext) -> typing.Iterator[Finding]:
+        if not self._KERNEL_PATH.search(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            is_callbacks_append = (
+                name == "append"
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Attribute)
+                and node.func.value.attr == "callbacks")
+            if name not in self._CALLBACK_CALLS \
+                    and not is_callbacks_append:
+                continue
+            arguments = list(node.args) + [kw.value
+                                           for kw in node.keywords]
+            for argument in arguments:
+                if isinstance(argument, ast.Lambda):
+                    yield self.finding(
+                        module, argument,
+                        "lambda allocates a closure per event on the "
+                        "kernel hot path; pass a (callback, args) tuple "
+                        "entry instead")
 
 
 # ----------------------------------------------------------------------

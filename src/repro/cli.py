@@ -9,6 +9,8 @@ Gives the library a downstream-usable front end:
 * ``usecase`` — run one of the §7 use cases;
 * ``syscalls`` — print the Fig 1 dataset;
 * ``lint`` — run the determinism linter over Python sources;
+* ``bench-trend`` — wall-clock deltas between two BENCH_*.json sets;
+* ``bench-gate`` — engine microbench vs the committed perf baseline;
 * ``sanitize`` — dual-run replay-digest check with runtime sanitizers;
 * ``trace`` — boot storm under the span tracer: per-phase attribution,
   span summary, optional Chrome/Perfetto ``trace_event`` export;
@@ -236,6 +238,36 @@ def _cmd_lint(args) -> int:
     return 1 if findings else 0
 
 
+def _cmd_bench_trend(args) -> int:
+    from .analysis import BenchResultError, bench_trend, load_results
+    try:
+        old = load_results(args.old)
+        new = load_results(args.new)
+    except BenchResultError as exc:
+        print("repro bench-trend: error: %s" % exc, file=sys.stderr)
+        return 2
+    print(bench_trend(old, new))
+    return 0
+
+
+def _cmd_bench_gate(args) -> int:
+    import json
+    import pathlib
+
+    from .analysis import bench_gate
+    result_path = pathlib.Path(args.result)
+    baseline_path = pathlib.Path(args.baseline)
+    for path in (result_path, baseline_path):
+        if not path.is_file():
+            print("repro bench-gate: error: no such file: %s" % path,
+                  file=sys.stderr)
+            return 2
+    passed, report = bench_gate(json.loads(result_path.read_text()),
+                                json.loads(baseline_path.read_text()))
+    print(report)
+    return 0 if passed else 1
+
+
 def _cmd_sanitize(args) -> int:
     from .analysis import EventTrace, Sanitizer
     from .faults import FaultPlan
@@ -401,6 +433,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="files/directories to lint (default: the "
                            "installed repro package)")
     lint.set_defaults(fn=_cmd_lint)
+
+    bench_trend = sub.add_parser(
+        "bench-trend",
+        help="wall-clock deltas between two BENCH_*.json result sets")
+    bench_trend.add_argument("old", help="directory (or file) with the "
+                                         "older BENCH_*.json results")
+    bench_trend.add_argument("new", help="directory (or file) with the "
+                                         "newer BENCH_*.json results")
+    bench_trend.set_defaults(fn=_cmd_bench_trend)
+
+    bench_gate = sub.add_parser(
+        "bench-gate",
+        help="check the engine microbench against the committed baseline")
+    bench_gate.add_argument("--result", default="BENCH_engine.json",
+                            help="BENCH_engine.json from a --json bench "
+                                 "run (default: ./BENCH_engine.json)")
+    bench_gate.add_argument("--baseline",
+                            default="benchmarks/baseline_engine.json",
+                            help="committed baseline JSON")
+    bench_gate.set_defaults(fn=_cmd_bench_gate)
 
     sanitize = sub.add_parser(
         "sanitize",

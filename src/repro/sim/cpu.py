@@ -158,7 +158,9 @@ class PSCore:
         # Overshooting by a few ULPs is harmless (work goes negative and
         # the completion check catches it).
         minimum = max(1e-9, abs(self.sim.now) * 1e-12)
-        self.sim.schedule(max(delay, minimum), self._on_timer, generation)
+        # call_later, not schedule: the timer event is fire-and-forget
+        # (stale generations are ignored), so the kernel may recycle it.
+        self.sim.call_later(max(delay, minimum), self._on_timer, generation)
 
     def _on_timer(self, generation: int) -> None:
         if generation != self._timer_generation:

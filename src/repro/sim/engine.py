@@ -21,6 +21,23 @@ checker).  Two opt-in hooks support that checking: ``sanitizer``
 (runtime hazard detection) and ``trace`` (streaming timeline digest);
 both default to ``None`` and cost one identity check per event when
 unused.
+
+**Fast-path invariants.**  The run loop is tuned (hot attributes bound to
+locals, same-instant events drained in a batch, ``call_later`` timeouts
+pooled) under invariants that ``tests/test_reference_kernel.py`` proves
+against the naive seed kernel via byte-identical replay digests:
+
+* delays are never negative, so a callback can only push events at the
+  current instant or later — draining everything at the head timestamp
+  before re-checking ``until`` cannot skip a stop point, and same-instant
+  pushes join the batch in insertion order exactly as the one-at-a-time
+  loop would process them;
+* the ``trace``/``sanitizer``/``tracer`` hooks are attached before
+  ``run()`` is entered, never swapped mid-run (they are rebound once per
+  timestamp batch, not per event);
+* pooled timeouts are only ever created by :meth:`call_later`, which
+  returns ``None`` — user code cannot hold a reference to a recycled
+  event, so reuse is unobservable.
 """
 
 from __future__ import annotations
@@ -32,6 +49,27 @@ import typing
 from .events import AllOf, AnyOf, Event, SimulationError, Timeout
 from .process import Process
 
+#: Upper bound on pooled ``call_later`` timeouts kept for reuse; beyond
+#: this the extras are dropped to the garbage collector.
+_TIMEOUT_POOL_CAP = 256
+
+
+class _StopFlag:
+    """Callback object marking the ``until`` event as processed.
+
+    A tiny class instead of a closure: the run loop registers exactly one
+    per ``run(until=event)`` call, and the kernel keeps itself free of
+    per-event closure allocation (lint rule RPR008).
+    """
+
+    __slots__ = ("hit",)
+
+    def __init__(self):
+        self.hit = False
+
+    def __call__(self, _event) -> None:
+        self.hit = True
+
 
 class Simulator:
     """A discrete-event simulator with a millisecond float clock."""
@@ -40,6 +78,7 @@ class Simulator:
         self._now = float(start)
         self._queue: list = []
         self._order = itertools.count()
+        self._timeout_pool: list = []
         #: Number of events processed so far (for diagnostics/tests).
         self.processed_events = 0
         #: Optional :class:`repro.analysis.sanitize.Sanitizer` hook.
@@ -84,10 +123,44 @@ class Simulator:
         return AnyOf(self, events)
 
     def schedule(self, delay: float, callback, *args) -> Event:
-        """Run ``callback(*args)`` after ``delay`` ms; returns the event."""
-        event = self.timeout(delay)
-        event.add_callback(lambda _evt: callback(*args))
+        """Run ``callback(*args)`` after ``delay`` ms; returns the event.
+
+        Closure-free: the ``(callback, args)`` pair is stored directly on
+        the event's callback list and dispatched by the run loop, instead
+        of allocating a wrapper lambda per call.
+        """
+        event = Timeout(self, delay)
+        event.callbacks.append((callback, args))
         return event
+
+    def call_later(self, delay: float, callback, *args) -> None:
+        """Fire-and-forget :meth:`schedule`: no event handle is returned.
+
+        Because the caller cannot observe the event, the run loop recycles
+        the :class:`Timeout` object through a small pool — per-tick timer
+        traffic (e.g. the CPU scheduler's quantum timers) then allocates
+        nothing in steady state.  Use :meth:`schedule` whenever the event
+        handle is needed.
+        """
+        if delay < 0:
+            raise ValueError("timeout delay must be >= 0, got %r" % delay)
+        pool = self._timeout_pool
+        if pool:
+            event = pool.pop()
+            # A recycled timeout's state is known-clean: tuple-form
+            # callbacks never expose the event object, so nothing could
+            # have touched _ok (True), _value (None) or defused (False)
+            # since the run loop dispatched it.  Only the callback pair,
+            # the recycle flag and the queue entry need refreshing.
+            event.delay = delay
+            event.callbacks = (callback, args)
+            event.recycle = True
+            heapq.heappush(self._queue, (self._now + delay,
+                                         next(self._order), event))
+        else:
+            event = Timeout(self, delay)
+            event.recycle = True
+            event.callbacks = (callback, args)
 
     # ------------------------------------------------------------------
     # Queue management
@@ -104,7 +177,12 @@ class Simulator:
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one event.
+
+        Kept for manual stepping (tests, debuggers); :meth:`run` drains
+        the queue with an inlined copy of this dispatch.  ``step`` does
+        not recycle pooled timeouts — only the run loop does.
+        """
         if not self._queue:
             raise SimulationError("no more events to process")
         when, _order, event = heapq.heappop(self._queue)
@@ -117,8 +195,14 @@ class Simulator:
         if self.trace is not None:
             self.trace.record(when, event)
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        if callbacks.__class__ is tuple:
+            callbacks[0](*callbacks[1])
+        else:
+            for callback in callbacks:
+                if callback.__class__ is tuple:
+                    callback[0](*callback[1])
+                else:
+                    callback(event)
         if not event._ok and not event.defused:
             # A failure nobody handled: escalate to the run() caller so
             # broken models do not fail silently.
@@ -135,26 +219,73 @@ class Simulator:
           (re-raising its exception if it failed).
         """
         stop_event: typing.Optional[Event] = None
-        stop_processed = [False]
+        stop_flag: typing.Optional[_StopFlag] = None
         stop_time = float("inf")
         if isinstance(until, Event):
             stop_event = until
             stop_event.defused = True
-            stop_event.add_callback(
-                lambda _evt: stop_processed.__setitem__(0, True))
+            stop_flag = _StopFlag()
+            stop_event.add_callback(stop_flag)
         elif until is not None:
             stop_time = float(until)
             if stop_time < self._now:
                 raise ValueError("until=%r is in the past (now=%r)"
                                  % (until, self._now))
 
-        while self._queue:
-            if stop_processed[0]:
-                break
-            if self.peek() > stop_time:
-                self._now = stop_time
-                return None
-            self.step()
+        queue = self._queue
+        pool = self._timeout_pool
+        heappop = heapq.heappop
+        processed = 0
+        try:
+            while queue:
+                if stop_flag is not None and stop_flag.hit:
+                    break
+                head = queue[0][0]
+                if head > stop_time:
+                    self._now = stop_time
+                    return None
+                if head < self._now:
+                    raise SimulationError(
+                        "clock would run backwards (%r -> %r): the heap "
+                        "ordering contract was violated" % (self._now, head))
+                trace = self.trace
+                self._now = head
+                # Drain every event scheduled at this instant.  Delays
+                # are never negative, so callbacks can only append to
+                # this batch (same time, later insertion order) or push
+                # later — the stop-time check above stays valid for the
+                # whole batch.
+                while True:
+                    event = heappop(queue)[2]
+                    processed += 1
+                    if trace is not None:
+                        trace.record(head, event)
+                    callbacks, event.callbacks = event.callbacks, None
+                    if callbacks.__class__ is tuple:
+                        callbacks[0](*callbacks[1])
+                    else:
+                        for callback in callbacks:
+                            if callback.__class__ is tuple:
+                                callback[0](*callback[1])
+                            else:
+                                callback(event)
+                    if not event._ok and not event.defused:
+                        # A failure nobody handled: escalate to the
+                        # run() caller so broken models do not fail
+                        # silently.
+                        raise typing.cast(BaseException, event._value)
+                    if event.__class__ is Timeout and event.recycle:
+                        event.recycle = False
+                        if len(pool) < _TIMEOUT_POOL_CAP:
+                            pool.append(event)
+                    if stop_flag is not None and stop_flag.hit:
+                        break
+                    if not queue or queue[0][0] != head:
+                        break
+        finally:
+            # Flushed once per run, not per event; exact again by the
+            # time run() returns or an escalated failure escapes.
+            self.processed_events += processed
 
         if stop_event is not None:
             if not stop_event.triggered:

@@ -6,6 +6,25 @@ event is *triggered* (via :meth:`Event.succeed` or :meth:`Event.fail`) it is
 placed on the simulator queue and its callbacks run when the simulator
 reaches it.  The design intentionally mirrors the well-known SimPy kernel so
 that toolstack code reads like straight-line prose with ``yield`` points.
+
+Fast-path notes (the invariants are spelled out in DESIGN.md under
+"Modeled cost vs host cost"):
+
+* Every kernel event type uses ``__slots__``.  ``Event`` keeps a
+  ``__weakref__`` slot because the runtime sanitizer tracks processes
+  (and anything else built on ``Event``) through ``WeakSet``\\ s.
+* ``Event.callbacks`` entries are either a plain callable invoked as
+  ``callback(event)`` or a ``(callback, args)`` pair invoked as
+  ``callback(*args)`` — the closure-free form used by
+  :meth:`repro.sim.engine.Simulator.schedule`, which avoids allocating a
+  lambda per scheduled call.  ``callbacks`` may also *be* a single bare
+  ``(callback, args)`` pair (no list at all) on fire-and-forget
+  ``call_later`` events.  The dispatch lives in the simulator loop;
+  :meth:`Event.add_callback` promotes a bare pair to a list if a
+  subscriber ever shows up.
+* ``Timeout`` carries a ``recycle`` flag so the simulator can pool
+  fire-and-forget timeouts created by ``call_later`` (never ones handed
+  to user code).
 """
 
 from __future__ import annotations
@@ -40,6 +59,9 @@ class Event:
     Events start *pending*; calling :meth:`succeed` or :meth:`fail` triggers
     them, after which ``value`` holds the result (or the exception).
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "defused",
+                 "__weakref__")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -104,10 +126,15 @@ class Event:
         If the event was already processed the callback runs immediately;
         this keeps late subscribers (e.g. joining a finished process) safe.
         """
-        if self.callbacks is None:
+        cbs = self.callbacks
+        if cbs is None:
             callback(self)
+        elif cbs.__class__ is tuple:
+            # A bare (callback, args) pair from the fire-and-forget fast
+            # path; promote it to a regular list to take the subscriber.
+            self.callbacks = [cbs, callback]
         else:
-            self.callbacks.append(callback)
+            cbs.append(callback)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "pending" if self._value is PENDING else (
@@ -118,11 +145,16 @@ class Event:
 class Timeout(Event):
     """An event that succeeds automatically after a fixed delay."""
 
+    __slots__ = ("delay", "recycle")
+
     def __init__(self, sim: "Simulator", delay: float, value: object = None):
         if delay < 0:
             raise ValueError("timeout delay must be >= 0, got %r" % delay)
         super().__init__(sim)
         self.delay = delay
+        #: Pool eligibility: only ``Simulator.call_later`` timeouts — which
+        #: are never visible to user code — are recycled by the run loop.
+        self.recycle = False
         self._ok = True
         self._value = value
         sim._push(self, delay=delay)
@@ -131,12 +163,23 @@ class Timeout(Event):
 class Condition(Event):
     """Base for composite events over a list of child events."""
 
+    __slots__ = ("events", "_remaining", "_values")
+
+    #: Subclasses that can build their result dict one child at a time
+    #: (see AllOf) set this; the dict is then prefilled in child order so
+    #: its insertion order — which the replay digest canonicalizes —
+    #: matches what a full `_collect()` walk would produce.
+    _incremental = False
+
     def __init__(self, sim: "Simulator", events: typing.Sequence[Event]):
         super().__init__(sim)
         self.events = list(events)
+        self._values: typing.Optional[dict] = None
         if not self.events:
-            self.succeed(self._collect())
+            self.succeed({})
             return
+        if self._incremental:
+            self._values = dict.fromkeys(self.events, PENDING)
         self._remaining = len(self.events)
         for event in self.events:
             event.add_callback(self._check)
@@ -154,25 +197,47 @@ class Condition(Event):
 
 
 class AllOf(Condition):
-    """Succeeds when every child event has succeeded."""
+    """Succeeds when every child event has succeeded.
+
+    Collection is *incremental*: each ``_check`` drops the child's value
+    into the prefilled dict in O(1), so an ``AllOf`` over N children costs
+    O(N) total instead of the O(N) re-walk per trigger (O(N^2) total) the
+    naive ``_collect`` path pays.  By the time ``_remaining`` hits zero
+    every child has been processed successfully, so the prefilled dict is
+    exactly ``_collect()``'s output — same keys, same insertion order.
+    """
+
+    __slots__ = ()
+
+    _incremental = True
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
         if not event._ok:
             event.defused = True
             self.fail(typing.cast(BaseException, event._value))
             return
+        self._values[event] = event._value
         self._remaining -= 1
         if self._remaining == 0:
-            self.succeed(self._collect())
+            self.succeed(self._values)
 
 
 class AnyOf(Condition):
-    """Succeeds as soon as one child event succeeds."""
+    """Succeeds as soon as one child event succeeds.
+
+    Unlike :class:`AllOf` this keeps the collect-at-trigger walk: when
+    several children are already processed at construction time (or fire
+    at the same instant), the result must include *all* of them, not just
+    the one whose ``_check`` ran first — incremental collection would
+    change the payload, and with it the replay digest.
+    """
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
         if not event._ok:
             event.defused = True

@@ -24,6 +24,8 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class Process(Event):
     """Drives a generator through the simulation, acting as its own event."""
 
+    __slots__ = ("_generator", "name", "_waiting_on", "daemon")
+
     def __init__(self, sim: "Simulator", generator: typing.Generator,
                  name: typing.Optional[str] = None):
         super().__init__(sim)

@@ -19,6 +19,8 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class Request(Event):
     """A pending claim on a :class:`Resource`; usable as a context manager."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.sim)
         self.resource = resource

@@ -28,7 +28,10 @@ class AccessLog:
         self.files = files
         self.rotate_lines = rotate_lines
         self.enabled = enabled
-        self._lines: typing.List[int] = [0] * files
+        # Every access appends the same line count to every file, so all
+        # per-file counters are identical at all times — one counter
+        # models the lot (rotation still reports `files` rotated files).
+        self._count = 0
         self.rotations = 0
         self.total_lines = 0
 
@@ -42,15 +45,17 @@ class AccessLog:
         if not self.enabled or lines <= 0:
             return 0
         rotated = 0
-        for index in range(self.files):
-            self._lines[index] += lines
-            if self._lines[index] >= self.rotate_lines:
-                self._lines[index] = 0
-                rotated += 1
+        count = self._count + lines
+        if count >= self.rotate_lines:
+            count = 0
+            rotated = self.files
+        self._count = count
         self.rotations += rotated
         self.total_lines += lines * self.files
         return rotated
 
     def lines_in(self, index: int) -> int:
         """Current line count of log file ``index``."""
-        return self._lines[index]
+        # Preserve list-style index checking over the modeled files.
+        range(self.files)[index]
+        return self._count

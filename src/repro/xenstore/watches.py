@@ -29,16 +29,28 @@ class Watch(typing.NamedTuple):
     callback: typing.Callable[[str, str], None]  # (fired_path, token)
 
 
-def _ancestors(path: str) -> typing.Iterator[str]:
-    """Yield '/', then every prefix of ``path`` including itself."""
-    yield "/"
-    if path == "/":
-        return
-    parts = path.strip("/").split("/")
-    prefix = ""
-    for part in parts:
-        prefix += "/" + part
-        yield prefix
+#: Memo of ancestor-prefix chains keyed by (already normalized) path.
+#: The toolstack touches the same guest paths over and over, so fires hit
+#: this cache nearly always; bounded like the store's split-path memo.
+_ANCESTOR_CACHE: typing.Dict[str, typing.Tuple[str, ...]] = {}
+_ANCESTOR_CACHE_CAP = 65536
+
+
+def _ancestors(path: str) -> typing.Tuple[str, ...]:
+    """'/', then every prefix of ``path`` including itself."""
+    cached = _ANCESTOR_CACHE.get(path)
+    if cached is not None:
+        return cached
+    chain = ["/"]
+    if path != "/":
+        prefix = ""
+        for part in path.strip("/").split("/"):
+            prefix += "/" + part
+            chain.append(prefix)
+    result = tuple(chain)
+    if len(_ANCESTOR_CACHE) < _ANCESTOR_CACHE_CAP:
+        _ANCESTOR_CACHE[path] = result
+    return result
 
 
 class WatchManager:

@@ -61,6 +61,34 @@ def test_watch_matches_iff_naive_prefix_match(watch_paths, fired):
     assert set(hits) == expected
 
 
+@given(st.lists(paths, min_size=1, max_size=12),
+       st.lists(paths, min_size=1, max_size=6))
+@settings(max_examples=150, deadline=None)
+def test_watch_fire_order_matches_linear_scan(watch_paths, fired_paths):
+    """The prefix index must deliver the *same watches in the same
+    order* as a naive daemon that linearly scans its registration list:
+    matches sorted shallowest-prefix-first, registration order within a
+    prefix.  The delivery order feeds the event heap, so this is part of
+    the determinism contract, not a cosmetic detail."""
+    manager = WatchManager()
+    registered = []
+    for index, path in enumerate(watch_paths):
+        registered.append(manager.add(index % 3, path, "t%d" % index,
+                                      lambda _p, token: None))
+
+    for fired in fired_paths:
+        normalized = fired.rstrip("/") or "/"
+
+        def matches(watch):
+            return (watch.path == "/" or normalized == watch.path
+                    or normalized.startswith(watch.path + "/"))
+
+        expected = sorted(
+            (w for w in registered if matches(w)),
+            key=lambda w: 0 if w.path == "/" else w.path.count("/"))
+        assert manager.fire(fired) == expected
+
+
 @given(st.dictionaries(paths, st.text(max_size=5), min_size=1,
                        max_size=8),
        st.dictionaries(paths, st.text(max_size=5), min_size=0,
@@ -113,3 +141,52 @@ def test_interference_on_read_set_always_conflicts(writes):
     except TransactionConflict:
         conflicted = True
     assert conflicted
+
+
+name_ops = st.lists(st.tuples(
+    st.sampled_from(("set-name", "deep-write", "rm-name", "rm-domain",
+                     "rm-all")),
+    st.integers(min_value=1, max_value=5),       # domid
+    st.text(alphabet="xyz", min_size=0, max_size=2)),  # name value
+    min_size=1, max_size=25)
+
+
+@given(name_ops)
+@settings(max_examples=150, deadline=None)
+def test_name_index_matches_linear_scan(operations):
+    """``name_in_use`` (the O(1) admission index) must agree with the
+    naive scan of ``/local/domain/*/name`` after any interleaving of
+    name writes, implicit name-node creation, and subtree removals."""
+    tree = XenStoreTree()
+    for op, domid, value in operations:
+        base = "/local/domain/%d" % domid
+        try:
+            if op == "set-name":
+                tree.write(base + "/name", value)
+            elif op == "deep-write":
+                # Implicitly creates the name node with value "".
+                tree.write(base + "/name/sub", value)
+            elif op == "rm-name":
+                tree.rm(base + "/name")
+            elif op == "rm-domain":
+                tree.rm(base)
+            else:
+                tree.rm("/local/domain")
+        except NoEntError:
+            pass
+
+    def naive_names():
+        try:
+            domains = tree.directory("/local/domain")
+        except NoEntError:
+            return []
+        out = []
+        for domid in domains:
+            path = "/local/domain/%s/name" % domid
+            if tree.exists(path):
+                out.append(tree.read(path))
+        return out
+
+    in_use = naive_names()
+    for name in set(in_use) | {"", "x", "y", "zz", "other"}:
+        assert tree.name_in_use(name) == (name in in_use), name

@@ -1,0 +1,323 @@
+"""The naive reference DES kernel (pre-optimization seed semantics).
+
+This module freezes the simulation kernel exactly as it stood *before*
+the fast-path work (slotted events, closure-free ``schedule``, pooled
+timeouts, the inlined run loop, incremental ``AllOf`` collection): a
+straight copy of the seed implementations of ``Event``/``Timeout``/
+``Condition``/``Process`` and the ``Simulator`` queue loop.  It exists
+for one purpose — to *prove* the optimizations preserve the timeline.
+``tests/test_reference_kernel.py`` drives the same figure workloads
+(fig04 / fig09 / fig10 slices) once on the optimized kernel and once on
+this one and asserts the :class:`~repro.analysis.sanitize.EventTrace`
+digests are byte-identical; ``benchmarks/bench_engine.py`` runs the same
+microbench on both to measure the speedup.
+
+Implementation notes:
+
+* Every class *subclasses* its optimized counterpart so that shared
+  machinery (``repro.sim.resources``, ``repro.sim.cpu``, the toolstack)
+  keeps working unmodified on a reference run: a ``Request`` yielded to
+  a reference ``Process`` still passes the kernel's ``isinstance``
+  checks in both directions.
+* Class ``__name__``s deliberately shadow the optimized ones ("Event",
+  "Timeout", ...) because the replay digest encodes
+  ``type(event).__name__``; a reference run must hash the same type
+  names as an optimized run.
+* ``__init__`` overrides call ``Event.__init__`` explicitly instead of
+  ``super().__init__`` — going through the MRO would execute the
+  *optimized* initializers (bootstrap pushes, pool bookkeeping) a
+  second time.
+
+Do not "improve" this module: it is the measuring stick, not the code
+under test.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing
+
+from repro.sim import engine as _engine
+from repro.sim import events as _events
+from repro.sim import process as _process
+from repro.sim.events import PENDING, Interrupt, SimulationError
+
+__all__ = ["Event", "Timeout", "AllOf", "AnyOf", "Process", "Simulator"]
+
+
+class Event(_events.Event):
+    """Seed-state event: plain ``__dict__`` object, list-only callbacks."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self.defused = False
+
+    def succeed(self, value: object = None) -> "Event":
+        if self._value is not PENDING:
+            if self.sim.sanitizer is not None:
+                self.sim.sanitizer.event_double_trigger(self)
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._push(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self._value is not PENDING:
+            if self.sim.sanitizer is not None:
+                self.sim.sanitizer.event_double_trigger(self)
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._push(self)
+        return self
+
+    def add_callback(self, callback) -> None:
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """Seed-state timeout: generic event machinery, no pooling."""
+
+    def __init__(self, sim, delay: float, value: object = None):
+        if delay < 0:
+            raise ValueError("timeout delay must be >= 0, got %r" % delay)
+        Event.__init__(self, sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._push(self, delay=delay)
+
+
+class Condition(Event):
+    """Seed-state composite event: collects by re-walking ``events``."""
+
+    def __init__(self, sim, events: typing.Sequence[_events.Event]):
+        Event.__init__(self, sim)
+        self.events = list(events)
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        self._remaining = len(self.events)
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            event: event._value
+            for event in self.events
+            if event.processed and event._ok
+        }
+
+    def _check(self, event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    def _check(self, event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(typing.cast(BaseException, event._value))
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    def _check(self, event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(typing.cast(BaseException, event._value))
+            return
+        self.succeed(self._collect())
+
+
+class Process(_process.Process):
+    """Seed-state process driver (per-resume attribute traffic kept)."""
+
+    def __init__(self, sim, generator: typing.Generator,
+                 name: typing.Optional[str] = None):
+        Event.__init__(self, sim)
+        if not hasattr(generator, "send"):
+            raise TypeError("Process requires a generator, got %r"
+                            % (generator,))
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on = None
+        self.daemon = False
+        if sim.sanitizer is not None:
+            sim.sanitizer.track_process(self)
+        bootstrap = Event(sim)
+        bootstrap._ok = True
+        bootstrap._value = None
+        sim._push(bootstrap)
+        bootstrap.add_callback(self._resume)
+
+    def interrupt(self, cause: object = None) -> None:
+        if not self.is_alive:
+            raise RuntimeError("cannot interrupt a finished process")
+        kick = Event(self.sim)
+        kick._ok = False
+        kick._value = Interrupt(cause)
+        kick.defused = True
+        self._waiting_on = kick
+        self.sim._push(kick)
+        kick.add_callback(self._resume)
+
+    def _resume(self, event) -> None:
+        if not self.is_alive:
+            return
+        if self._waiting_on is not None and event is not self._waiting_on:
+            return
+        self._waiting_on = None
+        prev = self.sim.active_process
+        self.sim.active_process = self
+        try:
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    event.defused = True
+                    target = self._generator.throw(
+                        typing.cast(BaseException, event._value))
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                return
+        finally:
+            self.sim.active_process = prev
+        self._wait_for(target)
+
+    def _wait_for(self, target: object) -> None:
+        if isinstance(target, (int, float)):
+            try:
+                target = self.sim.timeout(target)
+            except ValueError as exc:
+                self._generator.close()
+                self.fail(exc)
+                return
+        # isinstance against the *shared* base class: a reference run
+        # still yields Requests/Stores built on the optimized Event.
+        if not isinstance(target, _events.Event):
+            self._generator.close()
+            self.fail(TypeError(
+                "process %r yielded %r; expected an Event, Process or a "
+                "numeric delay" % (self.name, target)))
+            return
+        if target.sim is not self.sim:
+            self.fail(ValueError("yielded event belongs to another "
+                                 "simulator"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Simulator(_engine.Simulator):
+    """Seed-state queue loop: per-event ``peek``/``step`` calls, a fresh
+    lambda per ``schedule``, no same-instant batching, no pooling."""
+
+    def __init__(self, start: float = 0.0):
+        super().__init__(start)
+
+    # -- event factories (return the naive classes) --------------------
+    def event(self):
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None):
+        return Timeout(self, delay, value)
+
+    def process(self, generator: typing.Generator):
+        return Process(self, generator)
+
+    def all_of(self, events):
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        return AnyOf(self, events)
+
+    def schedule(self, delay: float, callback, *args):
+        event = self.timeout(delay)
+        event.add_callback(lambda _evt: callback(*args))
+        return event
+
+    def call_later(self, delay: float, callback, *args) -> None:
+        # Seed equivalent of the optimized fire-and-forget fast path:
+        # a plain scheduled timeout (pays the closure and the object).
+        self.schedule(delay, callback, *args)
+
+    # -- queue management ----------------------------------------------
+    def _push(self, event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._order),
+                                     event))
+
+    def peek(self) -> float:
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        if not self._queue:
+            raise SimulationError("no more events to process")
+        when, _order, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError(
+                "clock would run backwards (%r -> %r): the heap ordering "
+                "contract was violated" % (self._now, when))
+        self._now = when
+        self.processed_events += 1
+        if self.trace is not None:
+            self.trace.record(when, event)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            raise typing.cast(BaseException, event._value)
+
+    def run(self, until=None) -> object:
+        stop_event = None
+        stop_processed = [False]
+        stop_time = float("inf")
+        if isinstance(until, _events.Event):
+            stop_event = until
+            stop_event.defused = True
+            stop_event.add_callback(
+                lambda _evt: stop_processed.__setitem__(0, True))
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError("until=%r is in the past (now=%r)"
+                                 % (until, self._now))
+
+        while self._queue:
+            if stop_processed[0]:
+                break
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "simulation ran out of events before the awaited event "
+                    "triggered")
+            if not stop_event.ok:
+                raise typing.cast(BaseException, stop_event.value)
+            return stop_event.value
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

@@ -1,0 +1,133 @@
+"""Tests for the bench-trend / bench-gate tooling (repro.analysis.bench)."""
+
+import json
+
+import pytest
+
+from repro.analysis import (BenchResultError, bench_gate, bench_trend,
+                            load_results)
+
+
+def write_result(directory, figure, wall_clock_s=1.0, scale="quick",
+                 data=None, name=None):
+    payload = {"figure": figure, "title": figure.upper(), "scale": scale,
+               "wall_clock_s": wall_clock_s, "data": data or {}}
+    path = directory / (name or "BENCH_%s.json" % figure)
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestLoadResults:
+    def test_directory_globs_bench_files(self, tmp_path):
+        write_result(tmp_path, "fig04")
+        write_result(tmp_path, "fig10")
+        (tmp_path / "unrelated.json").write_text("{}")
+        results = load_results(tmp_path)
+        assert sorted(results) == ["fig04", "fig10"]
+
+    def test_single_file(self, tmp_path):
+        path = write_result(tmp_path, "engine")
+        results = load_results(path)
+        assert list(results) == ["engine"]
+
+    def test_missing_location_raises(self, tmp_path):
+        with pytest.raises(BenchResultError):
+            load_results(tmp_path / "nope")
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(BenchResultError):
+            load_results(tmp_path)
+
+    def test_unparsable_json_raises(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        with pytest.raises(BenchResultError):
+            load_results(tmp_path)
+
+    def test_missing_figure_field_raises(self, tmp_path):
+        (tmp_path / "BENCH_x.json").write_text('{"title": "no id"}')
+        with pytest.raises(BenchResultError):
+            load_results(tmp_path)
+
+
+class TestBenchTrend:
+    def test_delta_percentage(self, tmp_path):
+        old_dir = tmp_path / "old"
+        new_dir = tmp_path / "new"
+        old_dir.mkdir()
+        new_dir.mkdir()
+        write_result(old_dir, "fig10", wall_clock_s=4.0)
+        write_result(new_dir, "fig10", wall_clock_s=1.0)
+        text = bench_trend(load_results(old_dir), load_results(new_dir))
+        assert "fig10" in text
+        assert "-75.0%" in text
+
+    def test_new_and_gone_figures(self, tmp_path):
+        old_dir = tmp_path / "old"
+        new_dir = tmp_path / "new"
+        old_dir.mkdir()
+        new_dir.mkdir()
+        write_result(old_dir, "fig04", wall_clock_s=2.0)
+        write_result(new_dir, "fig10", wall_clock_s=1.0)
+        text = bench_trend(load_results(old_dir), load_results(new_dir))
+        assert "gone" in text
+        assert "new" in text
+
+    def test_missing_wall_clock_renders_dash(self):
+        old = {"fig04": {"figure": "fig04", "scale": "quick"}}
+        new = {"fig04": {"figure": "fig04", "scale": "quick"}}
+        text = bench_trend(old, new)
+        assert text.splitlines()[1].split()[1] == "-"
+
+
+BASELINE = {"metric": "timer_wheel", "required_speedup": 2.0,
+            "events_per_sec": 800_000, "tolerance": 0.5}
+
+
+def engine_result(opt, ref):
+    return {"figure": "engine",
+            "data": {"timer_wheel": {"opt_events_per_sec": opt,
+                                     "ref_events_per_sec": ref,
+                                     "speedup": opt / ref}}}
+
+
+class TestBenchGate:
+    def test_pass(self):
+        passed, report = bench_gate(engine_result(900_000, 400_000),
+                                    BASELINE)
+        assert passed
+        assert "PASS" in report
+
+    def test_speedup_shortfall_fails_with_percentage(self):
+        passed, report = bench_gate(engine_result(600_000, 400_000),
+                                    BASELINE)
+        assert not passed
+        assert "FAIL" in report
+        assert "25.0%" in report  # 1.5x vs required 2.0x
+
+    def test_absolute_floor_fails_with_regression_pct(self):
+        # Speedup fine (2.5x) but throughput collapsed below the band.
+        passed, report = bench_gate(engine_result(250_000, 100_000),
+                                    BASELINE)
+        assert not passed
+        assert "below the committed" in report
+        # (800k - 250k) / 800k = 68.75% regression.
+        assert "68.8%" in report
+
+    def test_missing_metric_fails_loudly(self):
+        passed, report = bench_gate({"figure": "engine", "data": {}},
+                                    BASELINE)
+        assert not passed
+        assert "timer_wheel" in report
+
+
+class TestCommittedBaseline:
+    def test_baseline_file_is_wellformed(self):
+        import pathlib
+        path = pathlib.Path(__file__).resolve().parents[1] / \
+            "benchmarks" / "baseline_engine.json"
+        baseline = json.loads(path.read_text())
+        assert baseline["metric"] == "timer_wheel"
+        assert baseline["required_speedup"] >= 2.0
+        assert 0.0 < baseline["tolerance"] < 1.0
+        assert baseline["events_per_sec"] > \
+            baseline["preopt_events_per_sec"]

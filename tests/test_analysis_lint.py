@@ -165,6 +165,41 @@ class TestMutableDefaults:
         assert ids("def f(x=None, y=()):\n    pass\n") == []
 
 
+class TestKernelClosure:
+    KERNEL = "src/repro/sim/engine.py"
+
+    def test_lambda_to_add_callback_flagged(self):
+        src = "def f(event):\n" \
+              "    event.add_callback(lambda _evt: None)\n"
+        assert ids(src, self.KERNEL) == ["RPR008"]
+
+    def test_lambda_to_schedule_flagged(self):
+        src = "def f(sim, cb):\n" \
+              "    sim.schedule(1.0, lambda: cb())\n"
+        assert ids(src, self.KERNEL) == ["RPR008"]
+
+    def test_lambda_appended_to_callbacks_flagged(self):
+        src = "def f(event, cb):\n" \
+              "    event.callbacks.append(lambda _evt: cb())\n"
+        assert ids(src, self.KERNEL) == ["RPR008"]
+
+    def test_tuple_protocol_clean(self):
+        src = "def f(event, cb, args):\n" \
+              "    event.callbacks.append((cb, args))\n"
+        assert ids(src, self.KERNEL) == []
+
+    def test_non_kernel_module_out_of_scope(self):
+        src = "def f(event):\n" \
+              "    event.add_callback(lambda _evt: None)\n"
+        assert ids(src, "src/repro/core/host.py") == []
+
+    def test_justified_noqa_silences(self):
+        src = ("def f(event):\n"
+               "    event.add_callback(lambda _evt: None)"
+               "  # noqa: RPR008 -- cold path, runs once per sim\n")
+        assert ids(src, self.KERNEL) == []
+
+
 class TestSuppression:
     def test_justified_noqa_silences(self):
         assert ids("import random  # noqa: RPR001 -- test fixture\n") == []

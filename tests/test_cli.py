@@ -238,3 +238,58 @@ class TestUnikernelBuildCommand:
         out = capsys.readouterr().out
         assert "unikernel-noop" in out
         assert "unikernel-clickos-firewall" in out
+
+
+class TestBenchCommands:
+    @staticmethod
+    def _write(directory, figure, wall_clock_s):
+        import json
+        (directory / ("BENCH_%s.json" % figure)).write_text(json.dumps(
+            {"figure": figure, "title": figure, "scale": "quick",
+             "wall_clock_s": wall_clock_s, "data": {}}))
+
+    def test_bench_trend_prints_deltas(self, tmp_path, capsys):
+        old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+        old_dir.mkdir()
+        new_dir.mkdir()
+        self._write(old_dir, "fig10", 4.0)
+        self._write(new_dir, "fig10", 2.0)
+        assert main(["bench-trend", str(old_dir), str(new_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "-50.0%" in out
+
+    def test_bench_trend_missing_input_exits_2(self, tmp_path, capsys):
+        assert main(["bench-trend", str(tmp_path / "a"),
+                     str(tmp_path / "b")]) == 2
+        assert "no such" in capsys.readouterr().err.lower()
+
+    def test_bench_gate_pass_and_fail(self, tmp_path, capsys):
+        import json
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            {"metric": "timer_wheel", "required_speedup": 2.0,
+             "events_per_sec": 100, "tolerance": 0.5}))
+
+        def result_file(speedup):
+            path = tmp_path / "BENCH_engine.json"
+            path.write_text(json.dumps(
+                {"figure": "engine", "data": {"timer_wheel": {
+                    "opt_events_per_sec": int(100 * speedup),
+                    "ref_events_per_sec": 100, "speedup": speedup}}}))
+            return path
+
+        good = result_file(2.5)
+        assert main(["bench-gate", "--result", str(good),
+                     "--baseline", str(baseline)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+        bad = result_file(1.2)
+        assert main(["bench-gate", "--result", str(bad),
+                     "--baseline", str(baseline)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_bench_gate_missing_result_exits_2(self, tmp_path, capsys):
+        assert main(["bench-gate", "--result",
+                     str(tmp_path / "missing.json")]) == 2
+        assert capsys.readouterr().err

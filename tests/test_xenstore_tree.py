@@ -8,13 +8,20 @@ from repro.xenstore import (InvalidPathError, NoEntError, XenStoreTree,
 
 class TestPathSplitting:
     def test_root(self):
-        assert split_path("/") == []
+        assert split_path("/") == ()
 
     def test_simple(self):
-        assert split_path("/local/domain/1") == ["local", "domain", "1"]
+        assert split_path("/local/domain/1") == ("local", "domain", "1")
 
     def test_trailing_slash_stripped(self):
-        assert split_path("/a/b/") == ["a", "b"]
+        assert split_path("/a/b/") == ("a", "b")
+
+    def test_memo_returns_equal_parse(self):
+        # split_path memoizes successful parses; a second call must give
+        # the same (immutable) components.
+        first = split_path("/memo/check/path")
+        assert split_path("/memo/check/path") == first
+        assert isinstance(first, tuple)
 
     def test_relative_rejected(self):
         with pytest.raises(InvalidPathError):
@@ -110,3 +117,81 @@ class TestTree:
         tree.write("/a/b", "1")
         tree.write("/a/c", "2")
         assert tree.count_nodes() == 3
+
+
+class TestNameIndex:
+    """Coherence of the O(1) name-admission index against the tree."""
+
+    def test_write_registers_name(self):
+        tree = XenStoreTree()
+        tree.write("/local/domain/1/name", "vm-a")
+        assert tree.name_in_use("vm-a")
+        assert not tree.name_in_use("vm-b")
+
+    def test_overwrite_moves_name(self):
+        tree = XenStoreTree()
+        tree.write("/local/domain/1/name", "old")
+        tree.write("/local/domain/1/name", "new")
+        assert not tree.name_in_use("old")
+        assert tree.name_in_use("new")
+
+    def test_same_name_on_two_domains_counted(self):
+        tree = XenStoreTree()
+        tree.write("/local/domain/1/name", "dup")
+        tree.write("/local/domain/2/name", "dup")
+        tree.rm("/local/domain/1")
+        assert tree.name_in_use("dup")
+        tree.rm("/local/domain/2")
+        assert not tree.name_in_use("dup")
+
+    def test_implicit_name_node_indexed_as_empty(self):
+        # A deeper write creates /local/domain/3/name with value "".
+        tree = XenStoreTree()
+        tree.write("/local/domain/3/name/sub", "x")
+        assert tree.name_in_use("")
+        tree.write("/local/domain/3/name", "real")
+        assert tree.name_in_use("real")
+        assert not tree.name_in_use("")
+
+    def test_rm_name_node_unregisters(self):
+        tree = XenStoreTree()
+        tree.write("/local/domain/1/name", "vm-a")
+        tree.rm("/local/domain/1/name")
+        assert not tree.name_in_use("vm-a")
+
+    def test_rm_domain_subtree_unregisters(self):
+        tree = XenStoreTree()
+        tree.write("/local/domain/1/name", "vm-a")
+        tree.write("/local/domain/1/memory", "65536")
+        tree.rm("/local/domain/1")
+        assert not tree.name_in_use("vm-a")
+
+    def test_rm_whole_domain_dir_unregisters_all(self):
+        tree = XenStoreTree()
+        tree.write("/local/domain/1/name", "vm-a")
+        tree.write("/local/domain/2/name", "vm-b")
+        tree.rm("/local/domain")
+        assert not tree.name_in_use("vm-a")
+        assert not tree.name_in_use("vm-b")
+
+    def test_unrelated_paths_never_indexed(self):
+        tree = XenStoreTree()
+        tree.write("/tool/xenstored/name", "ghost")
+        tree.write("/local/domain/1/device/name", "ghost")
+        assert not tree.name_in_use("ghost")
+
+    def test_transactional_write_lands_in_index(self):
+        from repro.xenstore import Transaction
+        tree = XenStoreTree()
+        tx = Transaction(tree, 1, 0)
+        tx.write("/local/domain/4/name", "tx-vm")
+        assert not tree.name_in_use("tx-vm")  # staged, not committed
+        tx.commit()
+        assert tree.name_in_use("tx-vm")
+
+    def test_child_count(self):
+        tree = XenStoreTree()
+        assert tree.child_count("/local/domain") == 0
+        tree.write("/local/domain/1/name", "a")
+        tree.write("/local/domain/2/name", "b")
+        assert tree.child_count("/local/domain") == 2
