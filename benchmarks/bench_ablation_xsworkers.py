@@ -1,0 +1,108 @@
+"""Ablation: XenStore worker pool and request batching (PR 5).
+
+§4.2 blames VM-creation collapse on the serialized, chatty XenStore
+control plane.  The redesigned daemon makes both villains tunable:
+
+* ``workers`` shards the store (per-subtree locks, deterministic
+  shard-ordered dispatch).  ``workers=1`` is oxenstored, byte-identical
+  to the pre-redesign daemon (see tests/test_xenstore_digest_identity).
+* ``batch_ops`` lets clients coalesce N ops into one message round trip
+  via :meth:`repro.xenstore.XsClient.batch`.
+
+This sweep plots where the creation-time knee (first creation costing
+2x the workers=1 floor) moves as the knobs turn: more workers divide the
+ambient-load factor, batching shaves round trips per creation, and the
+knee shifts right — the "what-if oxenstored were concurrent" ablation
+the paper gestures at.  Guests carry 4 vifs so the batched device
+publication stretch is long enough to matter.
+"""
+
+import dataclasses
+
+from repro.core import Host
+from repro.core.metrics import mean
+from repro.guests import DAYTIME_UNIKERNEL
+
+from _support import fmt, paper_vs_measured, report, run_once, scaled
+
+COUNT = scaled(1600, 600)
+KNEE_FACTOR = 2.0
+#: The sweep grid: (workers, batch_ops).
+GRID = [(1, False), (1, True), (2, False), (2, True), (4, False), (4, True)]
+
+#: Multi-vif guests make the coalescable device-publication stretch long
+#: enough for batching to be visible next to the linear-scan terms.
+IMAGE = dataclasses.replace(DAYTIME_UNIKERNEL, vifs=4)
+
+
+def label(workers, batch):
+    return "w%d-%s" % (workers, "batch" if batch else "nobatch")
+
+
+def storm(workers, batch):
+    host = Host(variant="chaos+xs", xenstore_workers=workers,
+                xenstore_batch=batch)
+    return [host.create_vm(IMAGE).create_ms for _ in range(COUNT)]
+
+
+def knee_index(series, floor):
+    """First creation costing ``KNEE_FACTOR`` times the common floor
+    (the median of the baseline config's first 20 creations); COUNT if
+    the series never crosses."""
+    threshold = floor * KNEE_FACTOR
+    for index, value in enumerate(series):
+        if value > threshold:
+            return index
+    return len(series)
+
+
+def run_experiment():
+    return {label(w, b): storm(w, b) for w, b in GRID}
+
+
+def test_ablation_xsworkers(benchmark):
+    results = run_once(benchmark, run_experiment)
+
+    baseline = results[label(1, False)]
+    floor = sorted(baseline[:20])[10]  # median of the cold start
+    knees = {name: knee_index(series, floor)
+             for name, series in results.items()}
+
+    rows = [("%s knee (n) / %dth create (ms)" % (name, COUNT),
+             "shifts right" if name != label(1, False) else "baseline",
+             "%d / %s" % (knees[name], fmt(series[-1])))
+            for name, series in results.items()]
+    report("ABLATION-XSWORKERS XenStore worker pool and batching",
+           paper_vs_measured(rows),
+           data={
+               "count": COUNT,
+               "knee_factor": KNEE_FACTOR,
+               "floor_ms": floor,
+               "knee_index": knees,
+               "last_create_ms": {
+                   name: series[-1] for name, series in results.items()},
+               "mean_create_ms": {
+                   name: mean(series) for name, series in results.items()},
+           })
+    benchmark.extra_info["knee_index"] = knees
+
+    # The knee moves right as the worker pool grows (the ambient-load
+    # factor divides by `workers`) ...
+    for batch in (False, True):
+        assert knees[label(1, batch)] < knees[label(2, batch)] \
+            < knees[label(4, batch)], knees
+    # ... and as batching trims round trips per creation.
+    for workers in (1, 2, 4):
+        assert knees[label(workers, True)] > knees[label(workers, False)], \
+            knees
+    # Late-density creation cost drops with the pool size; batching never
+    # makes anything slower.
+    for batch in (False, True):
+        assert results[label(4, batch)][-1] < results[label(2, batch)][-1] \
+            < results[label(1, batch)][-1]
+    for workers in (1, 2, 4):
+        assert results[label(workers, True)][-1] \
+            <= results[label(workers, False)][-1]
+    # workers=1 is the paper-faithful oxenstored: it must still show the
+    # paper's collapse shape (the knee exists well before the end).
+    assert knees[label(1, False)] < COUNT // 2

@@ -20,7 +20,7 @@ machine-checked instead of by-convention:
 """
 
 from .bench import (BenchResultError, bench_gate, bench_trend,
-                    load_results)
+                    figure_gate, load_results)
 from .lint import (Finding, LintRule, RULES, lint_paths, lint_source,
                    render_findings)
 from .sanitize import (EventTrace, ReplayDivergence, ReplayReport, Sanitizer,
@@ -31,6 +31,7 @@ __all__ = [
     "BenchResultError",
     "bench_gate",
     "bench_trend",
+    "figure_gate",
     "load_results",
     "EventTrace",
     "Finding",

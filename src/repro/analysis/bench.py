@@ -15,6 +15,14 @@ consumers live here:
   optimized-vs-naive speedup must meet ``required_speedup``, and the
   absolute events/sec must sit inside the baseline's ``tolerance`` band.
   Failures name the regression percentage instead of a bare assert.
+* :func:`figure_gate` checks figure-level requirements the baseline's
+  ``figures`` section declares (``repro bench-gate --figures DIR``):
+  each entry names a figure id, an optional required ``scale``, and
+  per-metric ``min`` / ``max`` / ``equals`` bounds on the figure's
+  ``data`` payload.  The committed entry pins Fig 10's density storm at
+  full paper scale (n=8000) on the single-worker daemon even at quick
+  CI — the PR-5 scaling win cannot silently regress to a smaller n or
+  be bought with the multi-worker ablation knobs.
 """
 
 from __future__ import annotations
@@ -134,4 +142,67 @@ def bench_gate(result: dict, baseline: dict) -> typing.Tuple[bool, str]:
         passed = False
     if passed:
         lines.append("  PASS")
+    return passed, "\n".join(lines)
+
+
+def figure_gate(results: typing.Dict[str, dict],
+                baseline: dict) -> typing.Tuple[bool, str]:
+    """Check figure results against the baseline's ``figures`` section.
+
+    ``results`` is a :func:`load_results` mapping; ``baseline`` is the
+    committed baseline JSON.  Each ``figures`` entry may declare:
+
+    * ``scale`` — the result's scale must match exactly (so a gate on a
+      quick-CI guarantee is not satisfied by a full-scale run);
+    * ``require`` — ``{metric: {"min"|"max"|"equals": bound}}`` checks
+      on the figure's ``data`` payload.
+
+    Returns ``(passed, report)``; a figure named by the baseline but
+    absent from the results fails (the gate exists to catch exactly
+    that kind of silent disappearance).
+    """
+    figures = baseline.get("figures")
+    if not isinstance(figures, dict) or not figures:
+        return False, ("bench-gate: baseline declares no 'figures' "
+                       "entries to check")
+    passed = True
+    lines = []
+    for figure, spec in sorted(figures.items()):
+        lines.append("bench-gate: figure %s" % figure)
+        payload = results.get(figure)
+        if payload is None:
+            lines.append("  FAIL: no BENCH_%s.json in the result set "
+                         "(figures present: %s)"
+                         % (figure, ", ".join(sorted(results)) or "none"))
+            passed = False
+            continue
+        scale = spec.get("scale")
+        if scale and payload.get("scale") != scale:
+            lines.append("  FAIL: result scale is %r, baseline requires %r"
+                         % (payload.get("scale"), scale))
+            passed = False
+        data = payload.get("data", {})
+        for metric, bounds in sorted(spec.get("require", {}).items()):
+            value = data.get(metric)
+            if not isinstance(value, (int, float)):
+                lines.append("  FAIL: %s: missing from the result data"
+                             % metric)
+                passed = False
+                continue
+            ok = True
+            if "min" in bounds and value < bounds["min"]:
+                lines.append("  FAIL: %s = %s, below the required minimum "
+                             "%s" % (metric, value, bounds["min"]))
+                ok = passed = False
+            if "max" in bounds and value > bounds["max"]:
+                lines.append("  FAIL: %s = %s, above the allowed maximum "
+                             "%s" % (metric, value, bounds["max"]))
+                ok = passed = False
+            if "equals" in bounds and value != bounds["equals"]:
+                lines.append("  FAIL: %s = %s, baseline requires exactly "
+                             "%s" % (metric, value, bounds["equals"]))
+                ok = passed = False
+            if ok:
+                lines.append("  %s = %s: ok" % (metric, value))
+    lines.append("  PASS" if passed else "  FAIL")
     return passed, "\n".join(lines)

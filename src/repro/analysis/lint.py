@@ -36,6 +36,9 @@ ID          severity   hazard
                        ``add_callback``/``schedule``/``call_later`` or
                        appended to ``callbacks`` allocates one closure
                        cell per event — pass ``(callback, args)`` instead
+``RPR009``  error      deprecated XenStore surface: a ``.op_*`` /
+                       ``.tx_*`` daemon call outside ``repro/xenstore``
+                       — go through ``repro.xenstore.client.XsClient``
 ``RPR000``  error      a ``# noqa: RPRxxx`` suppression without a
                        justification
 ==========  =========  ====================================================
@@ -561,6 +564,48 @@ class KernelClosureRule(LintRule):
                         "lambda allocates a closure per event on the "
                         "kernel hot path; pass a (callback, args) tuple "
                         "entry instead")
+
+
+@register
+class LegacyXenStoreSurfaceRule(LintRule):
+    """RPR009: the pre-redesign daemon surface is shimmed, not current.
+
+    ``daemon.op_read``/``op_write``/... and ``tx_read``/``tx_write``/...
+    are deprecation shims kept for old callers; new code goes through
+    :class:`repro.xenstore.client.XsClient` (which binds the domid once
+    and unlocks batching).  Only the ``repro/xenstore`` package itself —
+    the shims, the client, and their tests' frozen reference — may spell
+    the legacy names.
+    """
+
+    id = "RPR009"
+    severity = "error"
+    synopsis = "deprecated XenStore op_*/tx_* call outside repro/xenstore"
+
+    _EXEMPT_PATH = re.compile(r"repro[\\/]xenstore[\\/]")
+    #: The exact legacy method names (not a prefix match: ``op_base_ms``
+    #: and friends are legitimate cost-model calls).
+    _LEGACY_CALLS = frozenset({
+        "op_read", "op_write", "op_get_perms", "op_set_perms",
+        "op_mkdir", "op_rm", "op_directory", "op_watch", "op_unwatch",
+        "op_check_unique_name",
+        "tx_read", "tx_exists", "tx_write", "tx_rm",
+    })
+
+    def check(self, module: ModuleContext) -> typing.Iterator[Finding]:
+        if self._EXEMPT_PATH.search(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in self._LEGACY_CALLS:
+                yield self.finding(
+                    module, node,
+                    "deprecated XenStore surface .%s(); use an XsClient "
+                    "handle (repro.xenstore.client) instead" % func.attr)
 
 
 # ----------------------------------------------------------------------

@@ -254,17 +254,40 @@ def _cmd_bench_gate(args) -> int:
     import json
     import pathlib
 
-    from .analysis import bench_gate
+    from .analysis import (BenchResultError, bench_gate, figure_gate,
+                           load_results)
     result_path = pathlib.Path(args.result)
     baseline_path = pathlib.Path(args.baseline)
-    for path in (result_path, baseline_path):
-        if not path.is_file():
-            print("repro bench-gate: error: no such file: %s" % path,
-                  file=sys.stderr)
+    if not baseline_path.is_file():
+        print("repro bench-gate: error: no such file: %s" % baseline_path,
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+
+    passed = True
+    if result_path.is_file():
+        engine_ok, report = bench_gate(json.loads(result_path.read_text()),
+                                       baseline)
+        print(report)
+        passed = passed and engine_ok
+    elif args.figures is None:
+        print("repro bench-gate: error: no such file: %s" % result_path,
+              file=sys.stderr)
+        return 2
+    else:
+        # Figure-only invocation (e.g. the bench-smoke CI job, which
+        # produces BENCH_fig*.json but not the engine microbench).
+        print("bench-gate: no %s; skipping the engine check" % result_path)
+
+    if args.figures is not None:
+        try:
+            results = load_results(args.figures)
+        except BenchResultError as exc:
+            print("repro bench-gate: error: %s" % exc, file=sys.stderr)
             return 2
-    passed, report = bench_gate(json.loads(result_path.read_text()),
-                                json.loads(baseline_path.read_text()))
-    print(report)
+        figures_ok, report = figure_gate(results, baseline)
+        print(report)
+        passed = passed and figures_ok
     return 0 if passed else 1
 
 
@@ -452,6 +475,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_gate.add_argument("--baseline",
                             default="benchmarks/baseline_engine.json",
                             help="committed baseline JSON")
+    bench_gate.add_argument("--figures", default=None, metavar="DIR",
+                            help="also check the baseline's figure-level "
+                                 "requirements against the BENCH_*.json "
+                                 "results in DIR (skips the engine check "
+                                 "if --result is absent)")
     bench_gate.set_defaults(fn=_cmd_bench_gate)
 
     sanitize = sub.add_parser(

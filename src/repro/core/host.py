@@ -51,6 +51,8 @@ class Host:
                  bridge=None,
                  xenstore_impl: str = "oxenstored",
                  xenstore_log: bool = True,
+                 xenstore_workers: int = 1,
+                 xenstore_batch: bool = False,
                  pool_target: int = 8,
                  shell_memory_kb: typing.Optional[int] = None,
                  shell_vifs: int = 1,
@@ -83,11 +85,17 @@ class Host:
         uses_split = variant in ("chaos+xs+split", "lightvm")
 
         if uses_xenstore:
+            # workers=1 / batch off is the paper-faithful oxenstored;
+            # the ablation benchmark turns the knobs to model a
+            # concurrent/batched daemon (ROADMAP: async/batched control
+            # plane).
             self.xenstore = XenStoreDaemon(
                 self.sim, implementation=xenstore_impl,
                 log_enabled=xenstore_log,
                 rng=self.rng.stream("xenstore"),
-                faults=self.faults)
+                faults=self.faults,
+                workers=xenstore_workers,
+                batch_ops=xenstore_batch)
         else:
             self.noxs = NoxsModule(self.sim, self.hypervisor,
                                    rng=self.rng.stream("retry/noxs"))

@@ -75,6 +75,24 @@ def _check_xenstore(host, domains, violations) -> None:
                 violations.append(
                     "%s/%d leaked backend entries" % (base, domid))
 
+    # Ambient-traffic accounting: the daemon's weighted client count
+    # must equal the sum of the live domains' registered weights.  Every
+    # register_client must be paired with an unregister on destruction /
+    # suspension — an unmatched register inflates the 1/(1-rho) load
+    # factor forever (and the unregister clamp at zero would silently
+    # mask double-unregisters, so drift in either direction is a bug).
+    expected = 0.0
+    for domain in domains.values():
+        notes = getattr(domain, "notes", {})
+        expected += notes.get("xenstore_client", 0.0) or 0.0
+        # A paused guest parks its weight under another key; it is still
+        # not ambient load, so only the active registration counts.
+    if abs(xenstore.ambient_clients - expected) > 1e-9:
+        violations.append(
+            "xenstore ambient_clients=%.6f but live domains register "
+            "%.6f (unbalanced register/unregister_client)"
+            % (xenstore.ambient_clients, expected))
+
 
 def _check_grants(host, domains, violations) -> None:
     grants = getattr(host.hypervisor, "grants", None)

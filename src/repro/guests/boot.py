@@ -112,6 +112,8 @@ def _bring_up_xenstore_devices(sim: "Simulator", hypervisor: Hypervisor,
                                xenstore: "XenStoreDaemon",
                                costs: GuestCosts):
     """Generator: the Fig 7a guest path — read back-end info via XenStore."""
+    from ..xenstore.client import XsClient
+    xs = XsClient(xenstore, domain.domid)  # guest-side handle
     yield sim.timeout(costs.xenbus_connect_us / 1000.0)
     # Register the guest's persistent xenbus watches (frontend state,
     # shutdown control, console...).  These live for the VM's lifetime and
@@ -119,9 +121,9 @@ def _bring_up_xenstore_devices(sim: "Simulator", hypervisor: Hypervisor,
     # the root of §4.2's superlinear growth.
     registered = []
     for index in range(image.xenbus_watches):
-        watch = yield from xenstore.op_watch(
-            domain.domid, "/local/domain/%d/watch/%d"
-            % (domain.domid, index), "guest", lambda _p, _t: None)
+        watch = yield from xs.watch(
+            "/local/domain/%d/watch/%d" % (domain.domid, index),
+            "guest", lambda _p, _t: None)
         registered.append(watch)
     domain.notes["xenbus_watches"] = registered
     connected = 0
@@ -130,10 +132,8 @@ def _bring_up_xenstore_devices(sim: "Simulator", hypervisor: Hypervisor,
             base = "/local/domain/%d/backend/%s/%d/%d" % (
                 DOM0_ID, kind, domain.domid, index)
             try:
-                port = int((yield from xenstore.op_read(
-                    domain.domid, base + "/event-channel")))
-                ref = int((yield from xenstore.op_read(
-                    domain.domid, base + "/grant-ref")))
+                port = int((yield from xs.read(base + "/event-channel")))
+                ref = int((yield from xs.read(base + "/grant-ref")))
             except Exception as exc:
                 raise GuestBootError(
                     "domain %d: back-end never published %s/%d: %s"
@@ -154,7 +154,7 @@ def _bring_up_xenstore_devices(sim: "Simulator", hypervisor: Hypervisor,
             # Announce the front-end is connected (fires back-end watches).
             front = "/local/domain/%d/device/%s/%d/state" % (
                 domain.domid, kind, index)
-            yield from xenstore.op_write(domain.domid, front, "connected")
+            yield from xs.write(front, "connected")
             connected += 1
     return connected
 

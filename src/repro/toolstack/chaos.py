@@ -30,9 +30,10 @@ from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
 from ..noxs.module import NoxsModule
 from ..noxs.sysctl import SysctlBackend
 from ..trace.tracer import tracer_of
+from ..xenstore.client import XsClient
 from ..xenstore.daemon import XenStoreDaemon
 from .config import VMConfig
-from .devices import XsDeviceManager, _patient_rm, run_transaction
+from .devices import XsDeviceManager, _patient_rm
 from .hotplug import Xendevd
 from .phases import CreationRecord, PhaseRecorder
 
@@ -87,6 +88,9 @@ class ChaosToolstack:
         self.sim = sim
         self.hypervisor = hypervisor
         self.xenstore = xenstore
+        #: Dom0 connection handle (None on the noxs control plane).
+        self.xs = XsClient(xenstore, DOM0_ID) if xenstore is not None \
+            else None
         self.noxs = noxs
         self.sysctl = sysctl
         self.daemon = daemon
@@ -268,16 +272,14 @@ class ChaosToolstack:
             # VM-specific leaves remain.
             entry_count = 2
 
-        def register(tx):
-            yield from self.xenstore.tx_write(
-                tx, base + "/memory/target", str(config.memory_kb))
+        def register(txn):
+            yield from txn.write(base + "/memory/target",
+                                 str(config.memory_kb))
             for index in range(max(0, entry_count - 1)):
-                yield from self.xenstore.tx_write(
-                    tx, base + "/chaos/%d" % index, "x")
+                yield from txn.write(base + "/chaos/%d" % index, "x")
 
         try:
-            yield from run_transaction(self.sim, self.xenstore, register,
-                                       rng=self.rng)
+            yield from self.xs.transaction(register, rng=self.rng)
         except RetryExhausted as exc:
             raise RuntimeError("chaos registration for %r: retries "
                                "exhausted" % config.name) from exc
@@ -290,12 +292,12 @@ class ChaosToolstack:
             for index, vif in enumerate(config.vifs):
                 back_base = "/local/domain/%d/backend/vif/%d/%d" % (
                     DOM0_ID, domain.domid, index)
-                if "mac" in vif:
-                    yield from self.xenstore.op_write(
-                        DOM0_ID, back_base + "/mac", vif["mac"])
-                for extra in range(self.costs.split_device_entries - 1):
-                    yield from self.xenstore.op_write(
-                        DOM0_ID, back_base + "/final-%d" % extra, "x")
+                with self.xs.batch() as batch:
+                    if "mac" in vif:
+                        batch.write(back_base + "/mac", vif["mac"])
+                    for extra in range(self.costs.split_device_entries - 1):
+                        batch.write(back_base + "/final-%d" % extra, "x")
+                    yield from batch.commit()
                 devname = "vif%d.%d" % (domain.domid, index)
                 yield from self.hotplug.attach(domain.domid, devname)
             return
@@ -333,7 +335,7 @@ class ChaosToolstack:
                                                                index)
                     except Exception:
                         pass
-            yield from _patient_rm(self.sim, self.xenstore,
+            yield from _patient_rm(self.sim, self.xs,
                                    "/local/domain/%d" % domain.domid,
                                    self.rng)
             self.xenstore.watches.remove_for_domain(domain.domid)
@@ -373,8 +375,7 @@ class ChaosToolstack:
                 for index in range(image.vbds):
                     yield from self.devices.destroy_device(domain, "vbd",
                                                            index)
-            yield from self.xenstore.op_rm(
-                DOM0_ID, "/local/domain/%d" % domain.domid)
+            yield from self.xs.rm("/local/domain/%d" % domain.domid)
             self.xenstore.watches.remove_for_domain(domain.domid)
             weight = domain.notes.pop("xenstore_client", None)
             if weight:

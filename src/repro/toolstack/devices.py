@@ -24,12 +24,15 @@ request was abandoned meanwhile — rolls its allocations back.
 from __future__ import annotations
 
 import typing
+import warnings
 
 from ..faults.plan import GrantMapFailure
-from ..faults.retry import ROLLBACK_POLICY, RetryExhausted, RetryPolicy
+from ..faults.retry import RetryExhausted, RetryPolicy, ROLLBACK_POLICY
 from ..hypervisor.domain import Domain
 from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
 from ..trace.tracer import tracer_of
+from ..xenstore.client import (MAX_TX_RETRIES, TX_RETRY_POLICY,  # noqa: F401
+                               XsClient)
 from ..xenstore.daemon import XenStoreDaemon
 from ..xenstore.permissions import NodePerms, PERM_BOTH, PERM_READ
 from ..xenstore.transaction import TransactionConflict
@@ -42,28 +45,19 @@ class DeviceSetupError(RuntimeError):
     """Device creation failed permanently (retries exhausted)."""
 
 
-#: Transaction retry budget; xenstored clients retry EAGAIN indefinitely,
-#: but a bound keeps broken models loud instead of livelocked.  With the
-#: conflict-probability ceiling of 0.75 the chance of a legitimate run
-#: exhausting 50 retries is ~1e-6.
-MAX_TX_RETRIES = 50
-
-#: Default conflict-retry schedule for XenStore transactions: exponential
-#: from the cost model's ``conflict_backoff_ms`` with 25% jitter, so
-#: clients that conflicted with each other don't retry in lock-step.
-TX_RETRY_POLICY = RetryPolicy(max_retries=MAX_TX_RETRIES, base_ms=1.0,
-                              multiplier=2.0, cap_ms=16.0, jitter=0.25)
-
-
 def run_transaction(sim, xenstore, body, policy: RetryPolicy = TX_RETRY_POLICY,
                     rng=None, domid: int = DOM0_ID):
-    """Generator: run ``body(tx)`` (a generator) inside a transaction,
-    retrying conflicts with exponential backoff + jitter.
+    """Deprecated: use :meth:`repro.xenstore.client.XsClient.transaction`.
 
-    Returns the number of retries it took; raises :class:`RetryExhausted`
-    past the policy's budget.  The ``base_ms`` of the schedule scales with
-    the store's configured ``conflict_backoff_ms``.
+    Generator: run ``body(tx)`` (a generator taking a **raw**
+    :class:`~repro.xenstore.transaction.Transaction` — the pre-redesign
+    body signature) inside a transaction, retrying conflicts with
+    exponential backoff + jitter.  Returns the number of retries;
+    raises :class:`RetryExhausted` past the policy's budget.
     """
+    warnings.warn(
+        "run_transaction is deprecated; use XsClient.transaction",
+        DeprecationWarning, stacklevel=2)
     retries = 0
     started = sim.now
     scale = xenstore.costs.conflict_backoff_ms / 1.0
@@ -99,6 +93,8 @@ class XsDeviceManager:
         self.sim = sim
         self.hypervisor = hypervisor
         self.xenstore = xenstore
+        #: Dom0 connection handle — all toolstack-side store traffic.
+        self.xs = XsClient(xenstore, DOM0_ID)
         self.hotplug = hotplug
         #: How many nodes the toolstack writes per device on each side;
         #: xl writes more than chaos (part of chaos's §5 streamlining).
@@ -128,8 +124,8 @@ class XsDeviceManager:
         if self._backend_watch_installed:
             return
         self._backend_watch_installed = True
-        yield from self.xenstore.op_watch(
-            DOM0_ID, "/local/domain/%d/backend" % DOM0_ID, "backend",
+        yield from self.xs.watch(
+            "/local/domain/%d/backend" % DOM0_ID, "backend",
             self._on_backend_event)
 
     def _on_backend_event(self, path: str, _token: str) -> None:
@@ -184,8 +180,10 @@ class XsDeviceManager:
                     # publishing now would recreate removed nodes.
                     self._rollback_respond(port, ref)
                     return
-                yield from self.xenstore.op_write(DOM0_ID, base + leaf,
-                                                  value)
+                # Sequential on purpose (not a batch): the abandonment
+                # check between writes is what lets a mid-flight teardown
+                # stop the publication.
+                yield from self.xs.write(base + leaf, value)
             event = self._pending.get(key)
             if event is not None and not event.triggered:
                 event.succeed((port, ref))
@@ -238,34 +236,25 @@ class XsDeviceManager:
         back_base = "/local/domain/%d/backend/%s/%d/%d" % (
             DOM0_ID, kind, domain.domid, index)
 
-        def announce(tx):
+        def announce(txn):
             # Step 1: announce front+back entries in one transaction.
-            yield from self.xenstore.tx_write(
-                tx, front_base + "/backend", back_base)
-            yield from self.xenstore.tx_write(
-                tx, front_base + "/backend-id", str(DOM0_ID))
-            yield from self.xenstore.tx_write(
-                tx, front_base + "/state", "initialising")
+            yield from txn.write(front_base + "/backend", back_base)
+            yield from txn.write(front_base + "/backend-id", str(DOM0_ID))
+            yield from txn.write(front_base + "/state", "initialising")
             for extra in range(max(0, self.frontend_entries - 3)):
-                yield from self.xenstore.tx_write(
-                    tx, front_base + "/feature-%d" % extra, "1")
-            yield from self.xenstore.tx_write(
-                tx, back_base + "/frontend", front_base)
-            yield from self.xenstore.tx_write(
-                tx, back_base + "/frontend-id", str(domain.domid))
-            yield from self.xenstore.tx_write(
-                tx, back_base + "/online", "1")
+                yield from txn.write(front_base + "/feature-%d" % extra, "1")
+            yield from txn.write(back_base + "/frontend", front_base)
+            yield from txn.write(back_base + "/frontend-id",
+                                 str(domain.domid))
+            yield from txn.write(back_base + "/online", "1")
             if kind == "vif" and "mac" in params:
-                yield from self.xenstore.tx_write(
-                    tx, back_base + "/mac", params["mac"])
+                yield from txn.write(back_base + "/mac", params["mac"])
             for extra in range(max(0, self.backend_entries - 4)):
-                yield from self.xenstore.tx_write(
-                    tx, back_base + "/param-%d" % extra, "x")
+                yield from txn.write(back_base + "/param-%d" % extra, "x")
 
         try:
-            self.retries_total += yield from run_transaction(
-                self.sim, self.xenstore, announce,
-                policy=self.retry_policy, rng=self.rng)
+            self.retries_total += yield from self.xs.transaction(
+                announce, policy=self.retry_policy, rng=self.rng)
         except RetryExhausted as exc:
             yield from self._cleanup_failed_create(domain, kind, index)
             raise DeviceSetupError(
@@ -277,12 +266,10 @@ class XsDeviceManager:
         # access to its own front-end directory (to drive its state).
         back_perms = NodePerms.owned_by(DOM0_ID).grant(domain.domid,
                                                        PERM_READ)
-        yield from self.xenstore.op_set_perms(DOM0_ID, back_base,
-                                              back_perms)
+        yield from self.xs.set_perms(back_base, back_perms)
         front_perms = NodePerms.owned_by(DOM0_ID).grant(domain.domid,
                                                         PERM_BOTH)
-        yield from self.xenstore.op_set_perms(DOM0_ID, front_base,
-                                              front_perms)
+        yield from self.xs.set_perms(front_base, front_perms)
 
         # The commit's watch firing triggered _backend_respond; if that
         # delivery was dropped (or the respond process died), wait with a
@@ -300,9 +287,7 @@ class XsDeviceManager:
                 [response, self.sim.timeout(self.response_timeout_ms)])
             if response.triggered:
                 break
-            yield from self.xenstore.op_write(DOM0_ID,
-                                              back_base + "/frontend",
-                                              front_base)
+            yield from self.xs.write(back_base + "/frontend", front_base)
         result = response.value
         self._pending.pop(key, None)
 
@@ -330,8 +315,8 @@ class XsDeviceManager:
         back_base = "/local/domain/%d/backend/%s/%d/%d" % (
             DOM0_ID, kind, domain.domid, index)
         for path in (front_base, back_base):
-            yield from _patient_rm(self.sim, self.xenstore, path, self.rng)
-        yield from _rm_backend_parent(self.sim, self.xenstore, kind,
+            yield from _patient_rm(self.sim, self.xs, path, self.rng)
+        yield from _rm_backend_parent(self.sim, self.xs, kind,
                                       domain.domid, self.rng)
 
     def destroy_device(self, domain: Domain, kind: str, index: int):
@@ -364,33 +349,35 @@ class XsDeviceManager:
             self.hypervisor.grants.end_access(DOM0_ID, ref)
         except Exception:
             pass
-        yield from self.xenstore.op_rm(DOM0_ID, front_base)
-        yield from self.xenstore.op_rm(DOM0_ID, back_base)
-        yield from _rm_backend_parent(self.sim, self.xenstore, kind,
+        with self.xs.batch() as batch:
+            batch.rm(front_base)
+            batch.rm(back_base)
+            yield from batch.commit()
+        yield from _rm_backend_parent(self.sim, self.xs, kind,
                                       domain.domid, self.rng)
         if kind == "vif":
             devname = "vif%d.%d" % (domain.domid, index)
             yield from self.hotplug.detach(domain.domid, devname)
 
 
-def _rm_backend_parent(sim, xenstore, kind: str, domid: int, rng=None):
+def _rm_backend_parent(sim, xs: XsClient, kind: str, domid: int, rng=None):
     """Generator: drop ``/local/domain/0/backend/<kind>/<domid>`` once its
     last device directory is gone — empty per-domain backend dirs outlive
     the domain otherwise (the invariant checker flags them as leaks)."""
     parent = "/local/domain/%d/backend/%s/%d" % (DOM0_ID, kind, domid)
-    tree = xenstore.tree
+    tree = xs.tree
     if tree.exists(parent) and not tree.directory(parent):
-        yield from _patient_rm(sim, xenstore, parent, rng)
+        yield from _patient_rm(sim, xs, parent, rng)
 
 
-def _patient_rm(sim, xenstore, path: str, rng=None):
+def _patient_rm(sim, xs: XsClient, path: str, rng=None):
     """Generator: remove ``path`` with the patient rollback policy —
     cleanup that gives up under a fault storm would leak state."""
     from ..faults.plan import MessageTimeout
     from ..faults.retry import retry_generator
 
     def attempt():
-        yield from xenstore.op_rm(DOM0_ID, path)
+        yield from xs.rm(path)
 
     try:
         yield from retry_generator(sim, ROLLBACK_POLICY, rng, attempt,

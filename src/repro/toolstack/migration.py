@@ -116,8 +116,8 @@ class Checkpointer:
             # chaos on the XenStore plane: control-node suspend, but with
             # chaos's lean tooling around it.
             yield self.sim.timeout(self.costs.chaos_overhead_ms)
-            yield from ts.xenstore.op_write(
-                0, "/local/domain/%d/control/shutdown" % domain.domid,
+            yield from ts.xs.write(
+                "/local/domain/%d/control/shutdown" % domain.domid,
                 "suspend")
             yield self.sim.timeout(3.0)
             weight = domain.notes.pop("xenstore_client", None)
@@ -166,8 +166,7 @@ class Checkpointer:
                 for index in range(domain.image.vbds):
                     yield from ts.devices.destroy_device(domain, "vbd",
                                                          index)
-            yield from ts.xenstore.op_rm(
-                0, "/local/domain/%d" % domain.domid)
+            yield from ts.xs.rm("/local/domain/%d" % domain.domid)
             ts.xenstore.watches.remove_for_domain(domain.domid)
         else:
             for _index, entry in domain.notes.get("noxs_devices", []):
@@ -271,8 +270,8 @@ def _migrate(source: Checkpointer, destination: Checkpointer,
     elif source._uses_noxs():
         yield from ts.sysctl.request_suspend(domain)
     else:
-        yield from ts.xenstore.op_write(
-            0, "/local/domain/%d/control/shutdown" % domain.domid,
+        yield from ts.xs.write(
+            "/local/domain/%d/control/shutdown" % domain.domid,
             "suspend")
         yield sim.timeout(3.0)
         weight = domain.notes.pop("xenstore_client", None)
@@ -303,7 +302,14 @@ def _migrate(source: Checkpointer, destination: Checkpointer,
             remote_domain)
     else:
         destination.toolstack.hypervisor.domctl_unpause(remote_domain)
-        yield sim.timeout(1.0)
+        yield sim.timeout(1.0)  # guest-side reconnect
+        # The resumed guest's xenbus is live on the destination daemon:
+        # register its ambient traffic there (mirrors _restore; without
+        # this the migrated-in guest ran load-free forever and the
+        # ambient-weight invariant had a hole).
+        weight = config.image.ambient_weight
+        destination.toolstack.xenstore.register_client(weight)
+        remote_domain.notes["xenstore_client"] = weight
     return remote_domain
 
 

@@ -18,9 +18,10 @@ from ..guests.boot import boot_guest
 from ..hypervisor.domain import Domain, DomainState, ShutdownReason
 from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
 from ..trace.tracer import tracer_of
+from ..xenstore.client import XsClient
 from ..xenstore.daemon import XenStoreDaemon
 from .config import VMConfig
-from .devices import XsDeviceManager, _patient_rm, run_transaction
+from .devices import XsDeviceManager, _patient_rm
 from .hotplug import BashHotplug
 from .phases import CreationRecord, PhaseRecorder
 
@@ -74,6 +75,8 @@ class XlToolstack:
         self.sim = sim
         self.hypervisor = hypervisor
         self.xenstore = xenstore
+        #: Dom0 connection handle — all toolstack-side store traffic.
+        self.xs = XsClient(xenstore, DOM0_ID)
         self.costs = costs or XlCosts()
         self.hotplug = hotplug or BashHotplug(sim)
         #: Jitter stream + schedule for control-plane retries.
@@ -187,27 +190,23 @@ class XlToolstack:
 
     def _write_domain_entries(self, domain: Domain, config: VMConfig):
         """Generator: the domain's XenStore registration (with retries)."""
-        yield from self.xenstore.op_check_unique_name(DOM0_ID, config.name)
+        yield from self.xs.check_unique_name(config.name)
         entry_count = (self.costs.base_entries + self.costs.vm_entries
                        + config.image.extra_xenstore_entries)
         base = "/local/domain/%d" % domain.domid
         vm_base = "/vm/%d" % domain.domid
 
-        def register(tx):
-            yield from self.xenstore.tx_write(tx, base + "/name",
-                                              config.name)
-            yield from self.xenstore.tx_write(
-                tx, base + "/memory/target", str(config.memory_kb))
-            yield from self.xenstore.tx_write(tx, base + "/vm", vm_base)
-            yield from self.xenstore.tx_write(
-                tx, vm_base + "/name", config.name)
+        def register(txn):
+            yield from txn.write(base + "/name", config.name)
+            yield from txn.write(base + "/memory/target",
+                                 str(config.memory_kb))
+            yield from txn.write(base + "/vm", vm_base)
+            yield from txn.write(vm_base + "/name", config.name)
             for index in range(max(0, entry_count - 4)):
-                yield from self.xenstore.tx_write(
-                    tx, base + "/data/%d" % index, "x")
+                yield from txn.write(base + "/data/%d" % index, "x")
 
         try:
-            return (yield from run_transaction(
-                self.sim, self.xenstore, register, rng=self.rng))
+            return (yield from self.xs.transaction(register, rng=self.rng))
         except RetryExhausted as exc:
             raise ToolstackError(
                 "domain registration for %r: retries exhausted"
@@ -234,9 +233,9 @@ class XlToolstack:
                 yield from self.devices.destroy_device(domain, "vbd", index)
             except Exception:
                 pass
-        yield from _patient_rm(self.sim, self.xenstore,
+        yield from _patient_rm(self.sim, self.xs,
                                "/local/domain/%d" % domain.domid, self.rng)
-        yield from _patient_rm(self.sim, self.xenstore,
+        yield from _patient_rm(self.sim, self.xs,
                                "/vm/%d" % domain.domid, self.rng)
         self.xenstore.watches.remove_for_domain(domain.domid)
         weight = domain.notes.pop("xenstore_client", None)
@@ -264,10 +263,10 @@ class XlToolstack:
                 for index in range(image.vbds):
                     yield from self.devices.destroy_device(domain, "vbd",
                                                            index)
-            yield from self.xenstore.op_rm(
-                DOM0_ID, "/local/domain/%d" % domain.domid)
-            yield from self.xenstore.op_rm(DOM0_ID,
-                                           "/vm/%d" % domain.domid)
+            with self.xs.batch() as batch:
+                batch.rm("/local/domain/%d" % domain.domid)
+                batch.rm("/vm/%d" % domain.domid)
+                yield from batch.commit()
             self.xenstore.watches.remove_for_domain(domain.domid)
             weight = domain.notes.pop("xenstore_client", None)
             if weight:
@@ -282,7 +281,7 @@ class XlToolstack:
         node, then wait for it to acknowledge (the pre-noxs way)."""
         with tracer_of(self.sim).span("xl.suspend", domid=domain.domid):
             control = "/local/domain/%d/control/shutdown" % domain.domid
-            yield from self.xenstore.op_write(DOM0_ID, control, "suspend")
+            yield from self.xs.write(control, "suspend")
             # Guest-side: reads the node, quiesces, saves state.
             yield self.sim.timeout(3.0)
             weight = domain.notes.pop("xenstore_client", None)

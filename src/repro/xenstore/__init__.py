@@ -6,7 +6,10 @@ subsystem; :mod:`repro.noxs` is its replacement.
 """
 
 from .accesslog import DEFAULT_LOG_FILES, DEFAULT_ROTATE_LINES, AccessLog
-from .daemon import DuplicateNameError, QuotaExceededError, XenStoreDaemon
+from .client import (DOM0_ID, MAX_TX_RETRIES, TX_RETRY_POLICY,
+                     BatchNotCommitted, XsBatch, XsClient, XsTxn)
+from .daemon import (BatchError, DuplicateNameError, QuotaExceededError,
+                     XenStoreDaemon)
 from .permissions import (NodePerms, PERM_BOTH, PERM_NONE, PERM_READ,
                           PERM_WRITE, PermEntry, PermissionError_)
 from .protocol import XenStoreCosts
@@ -17,9 +20,14 @@ from .watches import Watch, WatchManager
 
 __all__ = [
     "AccessLog",
+    "BatchError",
+    "BatchNotCommitted",
     "DEFAULT_LOG_FILES",
     "DEFAULT_ROTATE_LINES",
+    "DOM0_ID",
     "DuplicateNameError",
+    "MAX_TX_RETRIES",
+    "TX_RETRY_POLICY",
     "InvalidPathError",
     "NoEntError",
     "Node",
@@ -39,5 +47,8 @@ __all__ = [
     "XenStoreCosts",
     "XenStoreDaemon",
     "XenStoreTree",
+    "XsBatch",
+    "XsClient",
+    "XsTxn",
     "split_path",
 ]

@@ -1,10 +1,12 @@
-"""The XenStore daemon (oxenstored model).
+"""The XenStore daemon (oxenstored model, worker-pool capable).
 
 Ties the tree, watches, transactions and access log together behind the
 message protocol.  All public operations are **generators** meant to be
-driven inside a simulation process (``yield from xs.op_write(...)``): they
-serialize on the daemon's single worker thread, charge protocol latency,
-fire watches and write log lines — reproducing every §4.2 overhead:
+driven inside a simulation process — normally via a
+:class:`repro.xenstore.client.XsClient` handle (``yield from
+client.write(...)``): they serialize on the daemon's worker shards,
+charge protocol latency, fire watches and write log lines — reproducing
+every §4.2 overhead:
 
 * per-op message/ack round trips (software interrupts + domain crossings);
 * watch scans over a registry that grows with the number of VMs;
@@ -12,6 +14,21 @@ fire watches and write log lines — reproducing every §4.2 overhead:
 * transaction conflicts that force clients to retry;
 * log rotation spikes;
 * queueing inflation as ambient guest traffic loads the daemon.
+
+The default ``workers=1`` is the paper-faithful oxenstored: a single
+worker thread all requests serialize on (byte-identical EventTrace
+digests vs the frozen pre-redesign daemon are pinned by
+``tests/test_xenstore_digest_identity.py``).  ``workers > 1`` models a
+sharded store — each ``/local/domain/<id>`` subtree is pinned to one
+shard, ops acquire their shard locks in ascending index order
+(deterministic, deadlock-free), and global ops (unique-name admission,
+transaction commit validation) take every shard.  ``batch_ops=True``
+additionally lets clients coalesce N mutations into a single message
+round trip (:meth:`XenStoreDaemon.apply_batch`).
+
+The pre-redesign ``op_*`` / ``tx_*`` method names remain as thin
+deprecation shims that forward to the canonical verbs; new code goes
+through :class:`repro.xenstore.client.XsClient`.
 """
 
 from __future__ import annotations
@@ -19,6 +36,8 @@ from __future__ import annotations
 import functools
 import math
 import typing
+import warnings
+import zlib
 
 from ..faults.plan import NULL_INJECTOR, MessageTimeout
 from ..faults.retry import RetryPolicy
@@ -26,7 +45,7 @@ from ..sim.resources import Resource
 from ..trace.tracer import tracer_of
 from .accesslog import AccessLog
 from .protocol import XenStoreCosts
-from .store import NoEntError, XenStoreTree
+from .store import NoEntError, XenStoreTree, split_path
 from .transaction import Transaction, TransactionConflict
 from .watches import Watch, WatchManager
 
@@ -60,6 +79,14 @@ class QuotaExceededError(RuntimeError):
     """A guest hit its per-domain node quota (E2BIG)."""
 
 
+class BatchError(ValueError):
+    """A malformed batch was submitted (unknown op kind)."""
+
+
+#: Valid op kinds inside a coalesced batch message.
+_BATCH_KINDS = ("write", "mkdir", "rm")
+
+
 class XenStoreDaemon:
     """oxenstored/cxenstored behind the Xen bus protocol."""
 
@@ -70,9 +97,13 @@ class XenStoreDaemon:
                  rng: typing.Optional[typing.Any] = None,
                  enforce_permissions: bool = False,
                  faults=None,
-                 retry_policy: typing.Optional[RetryPolicy] = None):
+                 retry_policy: typing.Optional[RetryPolicy] = None,
+                 workers: int = 1,
+                 batch_ops: bool = False):
         if implementation not in ("oxenstored", "cxenstored"):
             raise ValueError("unknown implementation %r" % implementation)
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got %r" % (workers,))
         self.sim = sim
         self.costs = costs or XenStoreCosts()
         #: RNG stream for ambient-conflict draws (None disables them).
@@ -88,11 +119,17 @@ class XenStoreDaemon:
         #: per-op permission arithmetic is already inside process_us).
         self.enforce_permissions = enforce_permissions
         self.implementation = implementation
+        #: Worker-pool width.  1 = the paper's single-threaded oxenstored.
+        self.workers = workers
+        #: When True, :meth:`apply_batch` coalesces N ops into one round
+        #: trip; when False it degrades to N canonical round trips.
+        self.batch_ops = batch_ops
         self.tree = XenStoreTree()
         self.watches = WatchManager()
         self.log = AccessLog(enabled=log_enabled)
-        #: The daemon is single-threaded; requests serialize here.
-        self.worker = Resource(sim, capacity=1)
+        #: Worker shards; requests serialize per shard.  With one worker
+        #: this is exactly the pre-redesign single-threaded daemon.
+        self._shards = [Resource(sim, capacity=1) for _ in range(workers)]
         self._next_tx_id = 1
         #: Weighted count of connected running guests generating ambient
         #: traffic (see :meth:`register_client`).
@@ -105,9 +142,17 @@ class XenStoreDaemon:
             "rotation_stalls": 0,
             "timeouts": 0,
             "watch_drops": 0,
+            "batches": 0,
+            "batched_ops": 0,
         }
         #: Nodes created per guest domain (quota accounting).
         self._node_counts: typing.Dict[int, int] = {}
+
+    @property
+    def worker(self) -> Resource:
+        """Compat alias: the first shard (with ``workers=1``, *the*
+        single oxenstored worker thread of the pre-redesign daemon)."""
+        return self._shards[0]
 
     def _charge_quota(self, domid: int, path: str) -> None:
         """Count a node creation against the writer's quota."""
@@ -138,9 +183,15 @@ class XenStoreDaemon:
         return 1.0
 
     def _load_factor(self) -> float:
-        """Queueing inflation from ambient guest traffic: 1 / (1 - rho)."""
+        """Queueing inflation from ambient guest traffic: 1 / (1 - rho).
+
+        Ambient traffic spreads across the shards (guests hash to shards
+        by domid), so per-worker utilisation divides by the pool width;
+        with ``workers=1`` this is exactly the pre-redesign formula.
+        """
         rho = min(self.costs.ambient_util_cap,
-                  self.ambient_clients * self.costs.ambient_util_per_client)
+                  self.ambient_clients * self.costs.ambient_util_per_client
+                  / self.workers)
         return 1.0 / (1.0 - rho)
 
     def _op_latency_ms(self, extra_us: float = 0.0) -> float:
@@ -161,21 +212,72 @@ class XenStoreDaemon:
         self.ambient_clients = max(0.0, self.ambient_clients - weight)
 
     # ------------------------------------------------------------------
+    # Shard routing
+    # ------------------------------------------------------------------
+    def _shard_index(self, path: typing.Optional[str]) -> int:
+        """Deterministically pin ``path`` to one worker shard.
+
+        Guest subtrees (``/local/domain/<id>``) hash by domid so one
+        guest's control traffic stays on one shard; Dom0's per-guest
+        backend state (``/local/domain/0/backend/<kind>/<frontend>/…``)
+        follows the *frontend* guest so a device handshake never
+        straddles shards.  Everything else hashes its first path
+        component through crc32 (stable across processes — no salted
+        ``hash()``).
+        """
+        if self.workers == 1 or path is None:
+            return 0
+        parts = split_path(path)
+        if len(parts) >= 3 and parts[0] == "local" and parts[1] == "domain":
+            if (len(parts) >= 6 and parts[2] == "0"
+                    and parts[3] == "backend" and parts[5].isdigit()):
+                return int(parts[5]) % self.workers
+            if parts[2].isdigit():
+                return int(parts[2]) % self.workers
+        if len(parts) >= 2 and parts[0] == "vm" and parts[1].isdigit():
+            return int(parts[1]) % self.workers
+        head = parts[0] if parts else ""
+        return zlib.crc32(head.encode("utf-8")) % self.workers
+
+    def _shards_for(self, paths) -> typing.Tuple[int, ...]:
+        """Ascending, de-duplicated shard indices for a path set."""
+        if self.workers == 1:
+            return (0,)
+        return tuple(sorted({self._shard_index(p) for p in paths}))
+
+    #: Sentinel shard set meaning "every shard" (global ops).
+    def _all_shards(self) -> typing.Tuple[int, ...]:
+        return tuple(range(self.workers))
+
+    # ------------------------------------------------------------------
     # Internal mutation plumbing
     # ------------------------------------------------------------------
-    def _charge(self, extra_us: float = 0.0):
-        """Generator: hold the worker and charge one op's latency.
+    def _charge(self, extra_us: float = 0.0, path: typing.Optional[str] = None,
+                shards: typing.Optional[typing.Tuple[int, ...]] = None):
+        """Generator: hold the op's worker shard(s) and charge latency.
+
+        Single-shard ops (the common case, and *every* op at
+        ``workers=1``) keep the pre-redesign shape exactly: acquire one
+        Resource, charge one timeout.  Multi-shard ops acquire their
+        shard locks in ascending index order — the deterministic
+        dispatch order that makes ``workers>1`` replayable — and release
+        in reverse.
 
         Under fault injection the ``xenstore.message`` point models a lost
         ack: the client waits out its message timeout (without holding the
         worker), backs off, and resends — each resend pays the full op
         latency again.  Past the retry budget, :class:`MessageTimeout`.
         """
+        if shards is None:
+            shards = (self._shard_index(path),)
         attempt = 0
         while True:
-            with self.worker.request() as req:
-                yield req
-                yield self.sim.timeout(self._op_latency_ms(extra_us))
+            if len(shards) == 1:
+                with self._shards[shards[0]].request() as req:
+                    yield req
+                    yield self.sim.timeout(self._op_latency_ms(extra_us))
+            else:
+                yield from self._acquire_shards(shards, extra_us)
             self.stats["ops"] += 1
             rule = self.faults.fires("xenstore.message")
             if rule is None:
@@ -191,9 +293,33 @@ class XenStoreDaemon:
             yield self.sim.timeout(
                 self.retry_policy.backoff_ms(attempt, self.rng))
 
-    def _log_access(self):
+    def _acquire_shards(self, shards: typing.Tuple[int, ...],
+                        extra_us: float):
+        """Generator: take several shard locks (ascending order) for one
+        charged op, releasing all of them afterwards."""
+        tracer = self.sim.tracer
+        requests = []
+        try:
+            if tracer is None:
+                for index in shards:
+                    request = self._shards[index].request()
+                    requests.append(request)
+                    yield request
+            else:
+                with tracer_of(self.sim).span("xenstore.shard_wait",
+                                              shards=len(shards)):
+                    for index in shards:
+                        request = self._shards[index].request()
+                        requests.append(request)
+                        yield request
+            yield self.sim.timeout(self._op_latency_ms(extra_us))
+        finally:
+            for request in reversed(requests):
+                request.resource.release(request)
+
+    def _log_access(self, lines: int = 1):
         """Generator: write log lines, stalling on rotation."""
-        rotated = self.log.record(self.costs.log_lines_per_op)
+        rotated = self.log.record(self.costs.log_lines_per_op * lines)
         if rotated:
             self.stats["rotation_stalls"] += 1
             yield self.sim.timeout(self.costs.log_rotation_ms)
@@ -240,17 +366,17 @@ class XenStoreDaemon:
                     domid, "write" if write else "read", path))
 
     @_traced("xenstore.read")
-    def op_read(self, domid: int, path: str):
+    def read(self, domid: int, path: str):
         """Generator: XS_READ."""
-        yield from self._charge()
+        yield from self._charge(path=path)
         self._check_access(domid, path, write=False)
         yield from self._log_access()
         return self.tree.read(path)
 
     @_traced("xenstore.write")
-    def op_write(self, domid: int, path: str, value: str):
+    def write(self, domid: int, path: str, value: str):
         """Generator: XS_WRITE (fires watches)."""
-        yield from self._charge()
+        yield from self._charge(path=path)
         self._check_access(domid, path, write=True)
         self._charge_quota(domid, path)
         self.tree.write(path, value, owner_domid=domid)
@@ -258,16 +384,16 @@ class XenStoreDaemon:
         yield from self._log_access()
 
     @_traced("xenstore.get_perms")
-    def op_get_perms(self, domid: int, path: str):
+    def get_perms(self, domid: int, path: str):
         """Generator: XS_GET_PERMS."""
-        yield from self._charge()
+        yield from self._charge(path=path)
         yield from self._log_access()
         return self.tree.get_perms(path)
 
     @_traced("xenstore.set_perms")
-    def op_set_perms(self, domid: int, path: str, perms):
+    def set_perms(self, domid: int, path: str, perms):
         """Generator: XS_SET_PERMS (owner or Dom0 only)."""
-        yield from self._charge()
+        yield from self._charge(path=path)
         current = self.tree.get_perms(path)
         if domid != 0 and domid != current.owner_domid:
             from .permissions import PermissionError_
@@ -277,17 +403,17 @@ class XenStoreDaemon:
         yield from self._log_access()
 
     @_traced("xenstore.mkdir")
-    def op_mkdir(self, domid: int, path: str):
+    def mkdir(self, domid: int, path: str):
         """Generator: XS_MKDIR."""
-        yield from self._charge()
+        yield from self._charge(path=path)
         self.tree.mkdir(path, owner_domid=domid)
         yield from self._fire_watches(path)
         yield from self._log_access()
 
     @_traced("xenstore.rm")
-    def op_rm(self, domid: int, path: str):
+    def rm(self, domid: int, path: str):
         """Generator: XS_RM (recursive; fires watches)."""
-        yield from self._charge()
+        yield from self._charge(path=path)
         try:
             owner = self.tree._walk(path).owner_domid
             removed = self.tree.rm(path)
@@ -300,24 +426,24 @@ class XenStoreDaemon:
         return removed
 
     @_traced("xenstore.directory")
-    def op_directory(self, domid: int, path: str):
+    def directory(self, domid: int, path: str):
         """Generator: XS_DIRECTORY."""
-        yield from self._charge()
+        yield from self._charge(path=path)
         yield from self._log_access()
         return self.tree.directory(path)
 
     @_traced("xenstore.watch")
-    def op_watch(self, domid: int, path: str, token: str, callback):
+    def watch(self, domid: int, path: str, token: str, callback):
         """Generator: XS_WATCH registration."""
-        yield from self._charge()
+        yield from self._charge(path=path)
         watch = self.watches.add(domid, path, token, callback)
         yield from self._log_access()
         return watch
 
     @_traced("xenstore.unwatch")
-    def op_unwatch(self, domid: int, watch: Watch):
+    def unwatch(self, domid: int, watch: Watch):
         """Generator: XS_UNWATCH."""
-        yield from self._charge()
+        yield from self._charge(path=watch.path)
         self.watches.remove(watch)
         yield from self._log_access()
 
@@ -325,7 +451,7 @@ class XenStoreDaemon:
     # The O(N) unique-name admission check
     # ------------------------------------------------------------------
     @_traced("xenstore.check_unique_name")
-    def op_check_unique_name(self, domid: int, name: str):
+    def check_unique_name(self, domid: int, name: str):
         """Generator: compare ``name`` against every running guest's name.
 
         §4.2: "writing certain types of information, such as unique guest
@@ -339,10 +465,107 @@ class XenStoreDaemon:
         # tests pin the equivalence on the figure workloads).
         scan_us = ((self.tree.child_count("/local/domain") + 1)
                    * self.costs.per_node_scan_us)
-        yield from self._charge(extra_us=scan_us)
+        # Name admission is global: it must see every shard's subtree,
+        # so it takes the whole pool (at workers=1: the one worker).
+        yield from self._charge(extra_us=scan_us, shards=self._all_shards())
         if self.tree.name_in_use(name):
             raise DuplicateNameError(name)
         yield from self._log_access()
+
+    # ------------------------------------------------------------------
+    # Batched mutations (one message round trip for N ops)
+    # ------------------------------------------------------------------
+    @_traced("xenstore.batch")
+    def apply_batch(self, domid: int, ops):
+        """Generator: apply ``ops`` — ``(kind, path, value)`` tuples with
+        kind in ``{"write", "mkdir", "rm"}`` — as one message round trip.
+
+        Semantics match the sequential equivalent except for cost: the
+        batch pays one ``op_base_ms`` round trip plus ``batch_op_us`` per
+        additional op instead of N full round trips.  The batch is
+        atomic: every op is validated (path syntax, ACLs, quota — charged
+        per *node created*, not per batch) before anything mutates the
+        tree, so a failing op leaves the store untouched.  Watches fire
+        once per effective mutation, in op order.
+
+        With ``batch_ops=False`` the batch degrades to the canonical
+        per-op round trips — digest-identical to the unbatched call
+        sites, which is what keeps ``workers=1`` replays byte-identical.
+        Returns the list of modified paths.
+        """
+        ops = list(ops)
+        if not ops:
+            return []
+        if not self.batch_ops:
+            modified = []
+            for kind, path, value in ops:
+                if kind == "write":
+                    yield from self.write(domid, path, value)
+                    modified.append(path)
+                elif kind == "mkdir":
+                    yield from self.mkdir(domid, path)
+                    modified.append(path)
+                elif kind == "rm":
+                    if (yield from self.rm(domid, path)):
+                        modified.append(path)
+                else:
+                    raise BatchError("unknown batch op kind %r" % (kind,))
+            return modified
+        # --- one coalesced round trip -------------------------------
+        shards = self._shards_for(path for _kind, path, _value in ops)
+        extra_us = self.costs.batch_op_us * (len(ops) - 1)
+        yield from self._charge(extra_us=extra_us, shards=shards)
+        # Validate everything before mutating anything: a batch is
+        # atomic, so a quota/permission/path failure must not leak the
+        # ops that preceded it.
+        new_nodes = 0
+        staged_new: typing.Set[str] = set()
+        staged_rm: typing.Set[str] = set()
+        for kind, path, value in ops:
+            if kind not in _BATCH_KINDS:
+                raise BatchError("unknown batch op kind %r" % (kind,))
+            split_path(path)
+            if kind == "rm":
+                staged_rm.add(path)
+                continue
+            self._check_access(domid, path, write=True)
+            exists = ((self.tree.exists(path) or path in staged_new)
+                      and path not in staged_rm)
+            if not exists:
+                staged_new.add(path)
+                new_nodes += 1
+            staged_rm.discard(path)
+        if (domid != 0 and self.costs.quota_nodes_per_domain
+                and new_nodes):
+            count = self._node_counts.get(domid, 0)
+            if count + new_nodes > self.costs.quota_nodes_per_domain:
+                raise QuotaExceededError(
+                    "domain %d exceeded its %d-node XenStore quota"
+                    % (domid, self.costs.quota_nodes_per_domain))
+            self._node_counts[domid] = count + new_nodes
+        modified = []
+        for kind, path, value in ops:
+            if kind == "write":
+                self.tree.write(path, value, owner_domid=domid)
+                modified.append(path)
+            elif kind == "mkdir":
+                self.tree.mkdir(path, owner_domid=domid)
+                modified.append(path)
+            else:
+                try:
+                    owner = self.tree._walk(path).owner_domid
+                    removed = self.tree.rm(path)
+                    self._release_quota(owner, removed)
+                except NoEntError:
+                    removed = 0
+                if removed:
+                    modified.append(path)
+        self.stats["batches"] += 1
+        self.stats["batched_ops"] += len(ops)
+        for path in modified:
+            yield from self._fire_watches(path)
+        yield from self._log_access(lines=len(ops))
+        return modified
 
     # ------------------------------------------------------------------
     # Transactions
@@ -357,32 +580,68 @@ class XenStoreDaemon:
         return tx
 
     @_traced("xenstore.tx_read")
-    def tx_read(self, tx: Transaction, path: str):
+    def txn_read(self, tx: Transaction, path: str):
         """Generator: XS_READ inside a transaction."""
-        yield from self._charge()
+        yield from self._charge(path=path)
         yield from self._log_access()
         return tx.read(path)
 
     @_traced("xenstore.tx_exists")
-    def tx_exists(self, tx: Transaction, path: str):
+    def txn_exists(self, tx: Transaction, path: str):
         """Generator: existence check inside a transaction."""
-        yield from self._charge()
+        yield from self._charge(path=path)
         yield from self._log_access()
         return tx.exists(path)
 
     @_traced("xenstore.tx_write")
-    def tx_write(self, tx: Transaction, path: str, value: str):
+    def txn_write(self, tx: Transaction, path: str, value: str):
         """Generator: XS_WRITE inside a transaction (staged)."""
-        yield from self._charge()
+        yield from self._charge(path=path)
         tx.write(path, value)
         yield from self._log_access()
 
     @_traced("xenstore.tx_rm")
-    def tx_rm(self, tx: Transaction, path: str):
+    def txn_rm(self, tx: Transaction, path: str):
         """Generator: XS_RM inside a transaction (staged)."""
-        yield from self._charge()
+        yield from self._charge(path=path)
         tx.rm(path)
         yield from self._log_access()
+
+    @_traced("xenstore.batch")
+    def txn_flush_staged(self, tx: Transaction, staged):
+        """Generator: stage ``(kind, path, value)`` ops — kind in
+        ``{"write", "rm"}`` — into ``tx`` with one batched round trip.
+
+        The batched counterpart of N ``txn_write``/``txn_rm`` round
+        trips; used by :class:`repro.xenstore.client.XsTxn` when the
+        daemon was built with ``batch_ops=True``.  Falls back to the
+        canonical per-op round trips otherwise.
+        """
+        staged = list(staged)
+        if not staged:
+            return
+        if not self.batch_ops:
+            for kind, path, value in staged:
+                if kind == "write":
+                    yield from self.txn_write(tx, path, value)
+                elif kind == "rm":
+                    yield from self.txn_rm(tx, path)
+                else:
+                    raise BatchError("unknown txn op kind %r" % (kind,))
+            return
+        shards = self._shards_for(path for _kind, path, _value in staged)
+        extra_us = self.costs.batch_op_us * (len(staged) - 1)
+        yield from self._charge(extra_us=extra_us, shards=shards)
+        for kind, path, value in staged:
+            if kind == "write":
+                tx.write(path, value)
+            elif kind == "rm":
+                tx.rm(path)
+            else:
+                raise BatchError("unknown txn op kind %r" % (kind,))
+        self.stats["batches"] += 1
+        self.stats["batched_ops"] += len(staged)
+        yield from self._log_access(lines=len(staged))
 
     @_traced("xenstore.txn_commit")
     def transaction_commit(self, tx: Transaction):
@@ -393,8 +652,12 @@ class XenStoreDaemon:
         """
         validate_us = ((len(tx.read_set) + len(tx.write_set))
                        * self.costs.per_node_scan_us)
+        # Commit validation checks generations across the whole store,
+        # so it serializes against every shard (at workers=1: the one
+        # worker, exactly as before).
         yield from self._charge(
-            extra_us=self.costs.txn_overhead_us + validate_us)
+            extra_us=self.costs.txn_overhead_us + validate_us,
+            shards=self._all_shards())
         if self.faults.fires("xenstore.commit") is not None:
             tx.abort()
             self.stats["conflicts"] += 1
@@ -443,3 +706,43 @@ class XenStoreDaemon:
         yield from self._charge()
         tx.abort()
         yield from self._log_access()
+
+
+# ----------------------------------------------------------------------
+# Legacy surface: pre-redesign op_*/tx_* names as deprecation shims
+# ----------------------------------------------------------------------
+def _legacy_shim(legacy_name: str, new_name: str):
+    def shim(self, *args, **kwargs):
+        warnings.warn(
+            "XenStoreDaemon.%s is deprecated; go through "
+            "repro.xenstore.client.XsClient (daemon verb: %s)"
+            % (legacy_name, new_name),
+            DeprecationWarning, stacklevel=2)
+        return (yield from getattr(self, new_name)(*args, **kwargs))
+    shim.__name__ = legacy_name
+    shim.__qualname__ = "XenStoreDaemon.%s" % legacy_name
+    shim.__doc__ = ("Deprecated pre-redesign alias for "
+                    ":meth:`XenStoreDaemon.%s`." % new_name)
+    return shim
+
+
+_LEGACY_NAMES = {
+    "op_read": "read",
+    "op_write": "write",
+    "op_get_perms": "get_perms",
+    "op_set_perms": "set_perms",
+    "op_mkdir": "mkdir",
+    "op_rm": "rm",
+    "op_directory": "directory",
+    "op_watch": "watch",
+    "op_unwatch": "unwatch",
+    "op_check_unique_name": "check_unique_name",
+    "tx_read": "txn_read",
+    "tx_exists": "txn_exists",
+    "tx_write": "txn_write",
+    "tx_rm": "txn_rm",
+}
+
+for _legacy, _new in _LEGACY_NAMES.items():
+    setattr(XenStoreDaemon, _legacy, _legacy_shim(_legacy, _new))
+del _legacy, _new

@@ -72,9 +72,24 @@ class XenStoreCosts:
     #: exhausting the store — the §1 resource-DoS argument).  Dom0 is
     #: exempt.  0 disables the quota.
     quota_nodes_per_domain: int = 1000
+    #: Daemon-side cost per *additional* operation carried in a batched
+    #: message (µs): the marshalling + processing of one more op inside
+    #: an already-open round trip.  A batch of N ops costs one
+    #: ``op_base_ms`` round trip (interrupts + crossings paid once) plus
+    #: ``(N - 1) * batch_op_us`` — this is the §4.2 fix of cutting
+    #: round trips per operation, available when the daemon is built
+    #: with ``batch_ops=True``.
+    batch_op_us: float = 8.0
 
     def op_base_ms(self) -> float:
         """Base latency of a single message/ack round-trip, in ms."""
         return (self.interrupts_per_op * self.interrupt_us
                 + self.crossings_per_op * self.crossing_us
                 + self.process_us) / 1000.0
+
+    def batch_ms(self, op_count: int) -> float:
+        """Base latency of one batched round trip carrying ``op_count``
+        operations, in ms (before implementation/load factors)."""
+        if op_count <= 0:
+            return 0.0
+        return self.op_base_ms() + (op_count - 1) * self.batch_op_us / 1000.0

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.analysis import (BenchResultError, bench_gate, bench_trend,
-                            load_results)
+                            figure_gate, load_results)
 
 
 def write_result(directory, figure, wall_clock_s=1.0, scale="quick",
@@ -131,3 +131,93 @@ class TestCommittedBaseline:
         assert 0.0 < baseline["tolerance"] < 1.0
         assert baseline["events_per_sec"] > \
             baseline["preopt_events_per_sec"]
+
+
+FIGURE_BASELINE = {
+    "figures": {
+        "fig10": {
+            "scale": "quick",
+            "require": {
+                "lightvm_count": {"min": 8000},
+                "lightvm_max_boot_ms": {"max": 20.0},
+                "xenstore_workers": {"equals": 1},
+            },
+        },
+    },
+}
+
+
+class TestFigureGate:
+    def good_data(self):
+        return {"lightvm_count": 8000, "lightvm_max_boot_ms": 2.5,
+                "xenstore_workers": 1}
+
+    def test_pass(self):
+        results = {"fig10": {"figure": "fig10", "scale": "quick",
+                             "data": self.good_data()}}
+        passed, report = figure_gate(results, FIGURE_BASELINE)
+        assert passed, report
+        assert "lightvm_count = 8000: ok" in report
+
+    def test_min_violation_fails(self):
+        data = dict(self.good_data(), lightvm_count=2000)
+        results = {"fig10": {"figure": "fig10", "scale": "quick",
+                             "data": data}}
+        passed, report = figure_gate(results, FIGURE_BASELINE)
+        assert not passed
+        assert "below the required minimum 8000" in report
+
+    def test_max_violation_fails(self):
+        data = dict(self.good_data(), lightvm_max_boot_ms=55.0)
+        passed, report = figure_gate(
+            {"fig10": {"figure": "fig10", "scale": "quick", "data": data}},
+            FIGURE_BASELINE)
+        assert not passed
+        assert "above the allowed maximum" in report
+
+    def test_equals_violation_fails(self):
+        data = dict(self.good_data(), xenstore_workers=4)
+        passed, report = figure_gate(
+            {"fig10": {"figure": "fig10", "scale": "quick", "data": data}},
+            FIGURE_BASELINE)
+        assert not passed
+        assert "requires exactly 1" in report
+
+    def test_wrong_scale_fails(self):
+        passed, report = figure_gate(
+            {"fig10": {"figure": "fig10", "scale": "full",
+                       "data": self.good_data()}},
+            FIGURE_BASELINE)
+        assert not passed
+        assert "baseline requires 'quick'" in report
+
+    def test_missing_figure_fails(self):
+        passed, report = figure_gate({"fig04": {"figure": "fig04"}},
+                                     FIGURE_BASELINE)
+        assert not passed
+        assert "no BENCH_fig10.json" in report
+
+    def test_missing_metric_fails(self):
+        data = {"lightvm_count": 8000}
+        passed, report = figure_gate(
+            {"fig10": {"figure": "fig10", "scale": "quick", "data": data}},
+            FIGURE_BASELINE)
+        assert not passed
+        assert "missing from the result data" in report
+
+    def test_baseline_without_figures_fails(self):
+        passed, report = figure_gate({}, {"metric": "timer_wheel"})
+        assert not passed
+
+
+class TestCommittedFigureBaseline:
+    def test_fig10_entry_pins_full_scale_on_one_worker(self):
+        import pathlib
+        path = pathlib.Path(__file__).resolve().parents[1] / \
+            "benchmarks" / "baseline_engine.json"
+        baseline = json.loads(path.read_text())
+        entry = baseline["figures"]["fig10"]
+        assert entry["scale"] == "quick"
+        require = entry["require"]
+        assert require["lightvm_count"]["min"] >= 8000
+        assert require["xenstore_workers"]["equals"] == 1

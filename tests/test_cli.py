@@ -293,3 +293,34 @@ class TestBenchCommands:
         assert main(["bench-gate", "--result",
                      str(tmp_path / "missing.json")]) == 2
         assert capsys.readouterr().err
+
+    def test_bench_gate_figures_only(self, tmp_path, capsys):
+        import json
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            {"figures": {"fig10": {"scale": "quick", "require": {
+                "lightvm_count": {"min": 8000}}}}}))
+        figures = tmp_path / "results"
+        figures.mkdir()
+
+        def fig10(count):
+            (figures / "BENCH_fig10.json").write_text(json.dumps(
+                {"figure": "fig10", "scale": "quick",
+                 "data": {"lightvm_count": count}}))
+
+        # No --result file: the engine check is skipped, figures gate.
+        fig10(8000)
+        assert main(["bench-gate", "--result",
+                     str(tmp_path / "missing.json"),
+                     "--baseline", str(baseline),
+                     "--figures", str(figures)]) == 0
+        out = capsys.readouterr().out
+        assert "skipping the engine check" in out
+        assert "PASS" in out
+
+        fig10(2000)
+        assert main(["bench-gate", "--result",
+                     str(tmp_path / "missing.json"),
+                     "--baseline", str(baseline),
+                     "--figures", str(figures)]) == 1
+        assert "below the required minimum" in capsys.readouterr().out

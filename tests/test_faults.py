@@ -245,7 +245,7 @@ class TestInvariantChecker:
 
     def test_orphaned_xenstore_subtree_is_reported(self):
         host = Host(variant="xl")
-        proc = host.sim.process(host.xenstore.op_write(
+        proc = host.sim.process(host.xenstore.write(
             0, "/local/domain/99/name", "ghost"))
         host.sim.run(until=proc)
         violations = host.check_invariants()

@@ -159,7 +159,7 @@ class TestQuota:
         xs.costs.quota_nodes_per_domain = 10
         with pytest.raises(QuotaExceededError):
             for index in range(50):
-                run(sim, xs.op_write(7, "/local/domain/7/junk%d" % index,
+                run(sim, xs.write(7, "/local/domain/7/junk%d" % index,
                                      "x"))
 
     def test_dom0_exempt_from_quota(self):
@@ -167,22 +167,22 @@ class TestQuota:
         xs = XenStoreDaemon(sim)
         xs.costs.quota_nodes_per_domain = 5
         for index in range(50):
-            run(sim, xs.op_write(0, "/admin/%d" % index, "x"))
+            run(sim, xs.write(0, "/admin/%d" % index, "x"))
 
     def test_overwrite_does_not_consume_quota(self):
         sim = Simulator()
         xs = XenStoreDaemon(sim)
         xs.costs.quota_nodes_per_domain = 3
-        run(sim, xs.op_write(7, "/local/domain/7/a", "1"))
+        run(sim, xs.write(7, "/local/domain/7/a", "1"))
         for _ in range(30):
-            run(sim, xs.op_write(7, "/local/domain/7/a", "again"))
+            run(sim, xs.write(7, "/local/domain/7/a", "again"))
 
     def test_quota_disabled_with_zero(self):
         sim = Simulator()
         xs = XenStoreDaemon(sim)
         xs.costs.quota_nodes_per_domain = 0
         for index in range(100):
-            run(sim, xs.op_write(7, "/spam/%d" % index, "x"))
+            run(sim, xs.write(7, "/spam/%d" % index, "x"))
 
 
 class TestReviewFixes:
@@ -194,8 +194,8 @@ class TestReviewFixes:
         xs.costs.quota_nodes_per_domain = 5
         # Write/remove cycles must not exhaust the quota.
         for cycle in range(20):
-            run(sim, xs.op_write(7, "/local/domain/7/tmp", "x"))
-            run(sim, xs.op_rm(7, "/local/domain/7/tmp"))
+            run(sim, xs.write(7, "/local/domain/7/tmp", "x"))
+            run(sim, xs.rm(7, "/local/domain/7/tmp"))
 
     def test_shell_resize_oom_rolls_back(self):
         import pytest as _pytest

@@ -23,30 +23,30 @@ def make_daemon(**kwargs):
 
 def test_write_then_read():
     sim, xs = make_daemon()
-    run_op(sim, xs.op_write(0, "/local/domain/1/name", "vm1"))
-    value = run_op(sim, xs.op_read(0, "/local/domain/1/name"))
+    run_op(sim, xs.write(0, "/local/domain/1/name", "vm1"))
+    value = run_op(sim, xs.read(0, "/local/domain/1/name"))
     assert value == "vm1"
 
 
 def test_ops_take_simulated_time():
     sim, xs = make_daemon()
-    run_op(sim, xs.op_write(0, "/a", "1"))
+    run_op(sim, xs.write(0, "/a", "1"))
     assert sim.now > 0
     assert sim.now == pytest.approx(xs.costs.op_base_ms(), rel=0.5)
 
 
 def test_ops_counted():
     sim, xs = make_daemon()
-    run_op(sim, xs.op_write(0, "/a", "1"))
-    run_op(sim, xs.op_read(0, "/a"))
+    run_op(sim, xs.write(0, "/a", "1"))
+    run_op(sim, xs.read(0, "/a"))
     assert xs.stats["ops"] == 2
 
 
 def test_cxenstored_slower_than_oxenstored():
     sim_o, xs_o = make_daemon(implementation="oxenstored")
-    run_op(sim_o, xs_o.op_write(0, "/a", "1"))
+    run_op(sim_o, xs_o.write(0, "/a", "1"))
     sim_c, xs_c = make_daemon(implementation="cxenstored")
-    run_op(sim_c, xs_c.op_write(0, "/a", "1"))
+    run_op(sim_c, xs_c.write(0, "/a", "1"))
     assert sim_c.now > sim_o.now
 
 
@@ -58,11 +58,11 @@ def test_unknown_implementation_rejected():
 
 def test_ambient_clients_inflate_latency():
     sim_idle, xs_idle = make_daemon()
-    run_op(sim_idle, xs_idle.op_write(0, "/a", "1"))
+    run_op(sim_idle, xs_idle.write(0, "/a", "1"))
     sim_busy, xs_busy = make_daemon()
     for _ in range(1000):
         xs_busy.register_client()
-    run_op(sim_busy, xs_busy.op_write(0, "/a", "1"))
+    run_op(sim_busy, xs_busy.write(0, "/a", "1"))
     assert sim_busy.now > sim_idle.now * 1.5
 
 
@@ -83,9 +83,9 @@ def test_unregister_client_floor_at_zero():
 def test_watch_registration_and_delivery():
     sim, xs = make_daemon()
     hits = []
-    run_op(sim, xs.op_watch(0, "/backend/vif", "tok",
+    run_op(sim, xs.watch(0, "/backend/vif", "tok",
                             lambda p, t: hits.append(p)))
-    run_op(sim, xs.op_write(0, "/backend/vif/1/0", "new"))
+    run_op(sim, xs.write(0, "/backend/vif/1/0", "new"))
     assert hits == ["/backend/vif/1/0"]
     assert xs.stats["watch_events"] == 1
 
@@ -94,9 +94,9 @@ def test_more_watches_cost_more_time():
     def timed_write(n_watches):
         sim, xs = make_daemon()
         for i in range(n_watches):
-            run_op(sim, xs.op_watch(0, "/w/%d" % i, "t", lambda p, t: None))
+            run_op(sim, xs.watch(0, "/w/%d" % i, "t", lambda p, t: None))
         start = sim.now
-        run_op(sim, xs.op_write(0, "/target", "v"))
+        run_op(sim, xs.write(0, "/target", "v"))
         return sim.now - start
 
     assert timed_write(2000) > timed_write(0)
@@ -104,10 +104,10 @@ def test_more_watches_cost_more_time():
 
 def test_unique_name_check_passes_and_fails():
     sim, xs = make_daemon()
-    run_op(sim, xs.op_write(0, "/local/domain/1/name", "alpha"))
-    run_op(sim, xs.op_check_unique_name(0, "beta"))  # ok
+    run_op(sim, xs.write(0, "/local/domain/1/name", "alpha"))
+    run_op(sim, xs.check_unique_name(0, "beta"))  # ok
     with pytest.raises(DuplicateNameError):
-        run_op(sim, xs.op_check_unique_name(0, "alpha"))
+        run_op(sim, xs.check_unique_name(0, "alpha"))
 
 
 def test_unique_name_check_cost_scales_with_domains():
@@ -116,7 +116,7 @@ def test_unique_name_check_cost_scales_with_domains():
         for i in range(n_domains):
             xs.tree.write("/local/domain/%d/name" % i, "vm%d" % i)
         start = sim.now
-        run_op(sim, xs.op_check_unique_name(0, "fresh"))
+        run_op(sim, xs.check_unique_name(0, "fresh"))
         return sim.now - start
 
     assert timed_check(1000) > timed_check(1)
@@ -127,8 +127,8 @@ def test_transaction_through_daemon():
 
     def flow():
         tx = yield from xs.transaction_start(0)
-        yield from xs.tx_write(tx, "/device/a", "1")
-        yield from xs.tx_write(tx, "/device/b", "2")
+        yield from xs.txn_write(tx, "/device/a", "1")
+        yield from xs.txn_write(tx, "/device/b", "2")
         yield from xs.transaction_commit(tx)
 
     proc = sim.process(flow())
@@ -143,10 +143,10 @@ def test_transaction_conflict_counted_and_raised():
 
     def flow():
         tx = yield from xs.transaction_start(0)
-        yield from xs.tx_read(tx, "/shared")
+        yield from xs.txn_read(tx, "/shared")
         # Interference arrives while the transaction is open.
         xs.tree.write("/shared", "other")
-        yield from xs.tx_write(tx, "/out", "v")
+        yield from xs.txn_write(tx, "/out", "v")
         try:
             yield from xs.transaction_commit(tx)
         except TransactionConflict:
@@ -165,7 +165,7 @@ def test_log_rotation_stalls_request():
     durations = []
     for i in range(6):
         start = sim.now
-        run_op(sim, xs.op_read(0, "/"))  # reads of root are fine
+        run_op(sim, xs.read(0, "/"))  # reads of root are fine
         durations.append(sim.now - start)
     # One of the six requests hit the rotation and took >= 50 ms extra.
     assert max(durations) >= 50.0
@@ -176,17 +176,17 @@ def test_log_disabled_no_stalls():
     sim, xs = make_daemon(log_enabled=False)
     xs.log.rotate_lines = 2
     for _ in range(10):
-        run_op(sim, xs.op_read(0, "/"))
+        run_op(sim, xs.read(0, "/"))
     assert xs.stats["rotation_stalls"] == 0
 
 
 def test_rm_returns_removed_count():
     sim, xs = make_daemon()
-    run_op(sim, xs.op_write(0, "/d/a", "1"))
-    run_op(sim, xs.op_write(0, "/d/b", "2"))
-    removed = run_op(sim, xs.op_rm(0, "/d"))
+    run_op(sim, xs.write(0, "/d/a", "1"))
+    run_op(sim, xs.write(0, "/d/b", "2"))
+    removed = run_op(sim, xs.rm(0, "/d"))
     assert removed == 3
-    assert run_op(sim, xs.op_rm(0, "/d")) == 0
+    assert run_op(sim, xs.rm(0, "/d")) == 0
 
 
 def test_requests_serialize_on_single_worker():
@@ -194,7 +194,7 @@ def test_requests_serialize_on_single_worker():
     finish_times = []
 
     def client(i):
-        yield from xs.op_write(0, "/c%d" % i, "v")
+        yield from xs.write(0, "/c%d" % i, "v")
         finish_times.append(sim.now)
 
     for i in range(3):

@@ -63,49 +63,49 @@ class TestDaemonEnforcement:
 
     def test_guest_cannot_read_foreign_node(self):
         sim, xs = self._daemon()
-        run_op(sim, xs.op_write(0, "/secret", "v"))
+        run_op(sim, xs.write(0, "/secret", "v"))
         with pytest.raises(PermissionError_):
-            run_op(sim, xs.op_read(7, "/secret"))
+            run_op(sim, xs.read(7, "/secret"))
 
     def test_guest_can_read_after_grant(self):
         sim, xs = self._daemon()
-        run_op(sim, xs.op_write(0, "/shared", "v"))
+        run_op(sim, xs.write(0, "/shared", "v"))
         perms = NodePerms.owned_by(0).grant(7, PERM_READ)
-        run_op(sim, xs.op_set_perms(0, "/shared", perms))
-        assert run_op(sim, xs.op_read(7, "/shared")) == "v"
+        run_op(sim, xs.set_perms(0, "/shared", perms))
+        assert run_op(sim, xs.read(7, "/shared")) == "v"
         with pytest.raises(PermissionError_):
-            run_op(sim, xs.op_write(7, "/shared", "nope"))
+            run_op(sim, xs.write(7, "/shared", "nope"))
 
     def test_write_grant(self):
         sim, xs = self._daemon()
-        run_op(sim, xs.op_write(0, "/box", "v"))
+        run_op(sim, xs.write(0, "/box", "v"))
         perms = NodePerms.owned_by(0).grant(7, PERM_WRITE)
-        run_op(sim, xs.op_set_perms(0, "/box", perms))
-        run_op(sim, xs.op_write(7, "/box", "mine"))
+        run_op(sim, xs.set_perms(0, "/box", perms))
+        run_op(sim, xs.write(7, "/box", "mine"))
         assert xs.tree.read("/box") == "mine"
 
     def test_owner_reads_own_node(self):
         sim, xs = self._daemon()
-        run_op(sim, xs.op_write(7, "/local/domain/7/data", "v"))
-        assert run_op(sim, xs.op_read(7, "/local/domain/7/data")) == "v"
+        run_op(sim, xs.write(7, "/local/domain/7/data", "v"))
+        assert run_op(sim, xs.read(7, "/local/domain/7/data")) == "v"
 
     def test_only_owner_or_dom0_sets_perms(self):
         sim, xs = self._daemon()
-        run_op(sim, xs.op_write(5, "/mine", "v"))
+        run_op(sim, xs.write(5, "/mine", "v"))
         with pytest.raises(PermissionError_):
-            run_op(sim, xs.op_set_perms(7, "/mine",
+            run_op(sim, xs.set_perms(7, "/mine",
                                         NodePerms.owned_by(7)))
-        run_op(sim, xs.op_set_perms(5, "/mine", NodePerms.owned_by(5)))
+        run_op(sim, xs.set_perms(5, "/mine", NodePerms.owned_by(5)))
 
     def test_enforcement_off_by_default(self):
         sim, xs = self._daemon(enforce=False)
-        run_op(sim, xs.op_write(0, "/secret", "v"))
-        assert run_op(sim, xs.op_read(7, "/secret")) == "v"
+        run_op(sim, xs.write(0, "/secret", "v"))
+        assert run_op(sim, xs.read(7, "/secret")) == "v"
 
     def test_get_perms_reports_implicit_owner(self):
         sim, xs = self._daemon()
-        run_op(sim, xs.op_write(5, "/node", "v"))
-        perms = run_op(sim, xs.op_get_perms(0, "/node"))
+        run_op(sim, xs.write(5, "/node", "v"))
+        perms = run_op(sim, xs.get_perms(0, "/node"))
         assert perms.owner_domid == 5
 
 
@@ -126,7 +126,7 @@ class TestProtocolGrantsFrontendAccess:
         stranger = record.domain.domid + 1000
 
         def snoop():
-            value = yield from host.xenstore.op_read(
+            value = yield from host.xenstore.read(
                 stranger, back + "/event-channel")
             return value
 
