@@ -14,7 +14,10 @@ Gives the library a downstream-usable front end:
 * ``sanitize`` — dual-run replay-digest check with runtime sanitizers;
 * ``trace`` — boot storm under the span tracer: per-phase attribution,
   span summary, optional Chrome/Perfetto ``trace_event`` export;
-* ``metrics`` — boot storm, then print the scraped metrics registry.
+* ``metrics`` — boot storm, then print the scraped metrics registry;
+* ``chaos`` — N seeded fault campaigns against a scenario, invariants
+  audited after every recovery, failing schedules delta-debugged down to
+  minimal replayable JSON reproducers.
 """
 
 from __future__ import annotations
@@ -388,6 +391,48 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import json
+
+    from .recovery import campaign
+
+    if args.replay:
+        with open(args.replay) as handle:
+            data = json.load(handle)
+        documents = data if isinstance(data, list) else [data]
+        reproduced = True
+        for document in documents:
+            result = campaign.replay(document)
+            same = (result.violations == document.get("violations")
+                    and result.digest == document.get("digest"))
+            reproduced = reproduced and same
+            print("seed %d: %d violation(s), digest %s — %s"
+                  % (result.seed, len(result.violations),
+                     result.digest[:12],
+                     "reproduced" if same else "DIVERGED from record"))
+            for violation in result.violations:
+                print("  violation: %s" % violation)
+        return 0 if reproduced else 1
+
+    _lookup_or_exit(args.parser_error, args.image)
+    report = campaign.run_campaign(
+        seeds=args.seeds, base_seed=args.seed, scenario=args.scenario,
+        variant=args.variant, image=args.image, count=args.count,
+        queue_cap=args.queue_cap, reap=not args.no_reap,
+        do_shrink=not args.no_shrink, max_rules=args.rules,
+        max_occurrence=args.occurrences, log=print)
+    print()
+    print("campaign: %d seeded run(s), %d failure(s)%s"
+          % (len(report.runs), len(report.failures),
+             "" if report.ok else " — reproducers shrunk"))
+    if args.out and report.failures:
+        with open(args.out, "w") as handle:
+            json.dump(report.failures, handle, indent=2, sort_keys=True)
+        print("wrote %d reproducer(s) to %s"
+              % (len(report.failures), args.out))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -521,6 +566,36 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--json", action="store_true",
                          help="emit the registry as JSON")
     metrics.set_defaults(fn=_cmd_metrics)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault campaigns with shrinking reproducers")
+    chaos.add_argument("--variant", choices=VARIANTS, default="chaos+xs")
+    chaos.add_argument("--image", default="daytime")
+    chaos.add_argument("--scenario", choices=("boot-storm", "churn"),
+                       default="boot-storm")
+    chaos.add_argument("--seeds", type=_positive_int, default=16,
+                       help="number of independent seeded schedules")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="base seed (run i uses seed base+i)")
+    chaos.add_argument("--count", type=_positive_int, default=8,
+                       help="guests each scenario run creates")
+    chaos.add_argument("--rules", type=_positive_int, default=3,
+                       help="max fault rules per generated schedule")
+    chaos.add_argument("--occurrences", type=_positive_int, default=40,
+                       help="max occurrence number a rule may target")
+    chaos.add_argument("--queue-cap", type=_positive_int, default=None,
+                       help="daemon admission-queue depth (enables "
+                            "load shedding)")
+    chaos.add_argument("--no-reap", action="store_true",
+                       help="skip the recovery pass (self-test: crashed "
+                            "schedules must then fail the audit)")
+    chaos.add_argument("--no-shrink", action="store_true",
+                       help="report failing schedules without ddmin")
+    chaos.add_argument("--out", metavar="FILE",
+                       help="write failing reproducers as JSON")
+    chaos.add_argument("--replay", metavar="FILE",
+                       help="re-run reproducer JSON instead of a campaign")
+    chaos.set_defaults(fn=_cmd_chaos)
     return parser
 
 

@@ -56,7 +56,9 @@ class Host:
                  pool_target: int = 8,
                  shell_memory_kb: typing.Optional[int] = None,
                  shell_vifs: int = 1,
-                 fault_plan: typing.Optional[FaultPlan] = None):
+                 fault_plan: typing.Optional[FaultPlan] = None,
+                 xenstore_queue_cap: typing.Optional[int] = None,
+                 recovery: bool = False):
         if variant not in VARIANTS:
             raise ValueError("unknown variant %r; expected one of %s"
                              % (variant, ", ".join(VARIANTS)))
@@ -95,7 +97,8 @@ class Host:
                 rng=self.rng.stream("xenstore"),
                 faults=self.faults,
                 workers=xenstore_workers,
-                batch_ops=xenstore_batch)
+                batch_ops=xenstore_batch,
+                queue_cap=xenstore_queue_cap)
         else:
             self.noxs = NoxsModule(self.sim, self.hypervisor,
                                    rng=self.rng.stream("retry/noxs"))
@@ -129,6 +132,15 @@ class Host:
         self.checkpointer = Checkpointer(self.toolstack)
         self.power = PowerManager(self.toolstack)
         self._vm_counter = 0
+
+        #: Crash/restart layer (``recovery=True``): op journal + watchdog
+        #: on the daemon, intent records on the toolstack, orphan reaper.
+        #: None = the recovery fault points are never consulted and the
+        #: host's timelines match pre-recovery builds exactly.
+        self.recovery = None
+        if recovery:
+            from ..recovery import RecoveryManager
+            self.recovery = RecoveryManager(self)
 
     # ------------------------------------------------------------------
     # Convenience synchronous API (drives the simulator)
@@ -176,6 +188,15 @@ class Host:
     def pause_vm(self, domain: Domain) -> None:
         """Freeze a running guest (keeps memory, releases CPU)."""
         proc = self.sim.process(self.power.pause(domain))
+        self.sim.run(until=proc)
+
+    def recover(self) -> None:
+        """Run one recovery pass: reap crashed toolstack operations and
+        sweep the store for orphans (requires ``recovery=True``)."""
+        if self.recovery is None:
+            raise RuntimeError(
+                "host was built without recovery=True; nothing to recover")
+        proc = self.sim.process(self.recovery.recover())
         self.sim.run(until=proc)
 
     def unpause_vm(self, domain: Domain) -> None:

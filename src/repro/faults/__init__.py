@@ -9,13 +9,15 @@ the exponential-backoff policies the surviving layers use, and
 """
 
 from .invariants import InvariantViolation, assert_clean, check_host
-from .plan import (NULL_INJECTOR, FaultInjector, FaultPlan, FaultRule,
-                   GrantMapFailure, InjectedFault, LinkInterrupted,
-                   MessageTimeout, MigrationAborted, TransientHypercallError)
-from .retry import (ROLLBACK_POLICY, RetryExhausted, RetryPolicy, retry_call,
-                    retry_generator)
+from .plan import (NULL_INJECTOR, DaemonRestarted, FaultInjector, FaultPlan,
+                   FaultRule, GrantMapFailure, InjectedFault, LinkInterrupted,
+                   MessageTimeout, MigrationAborted, Overloaded,
+                   ToolstackCrashed, TransientHypercallError)
+from .retry import (ROLLBACK_POLICY, RetryBudgetExhausted, RetryExhausted,
+                    RetryPolicy, retry_call, retry_generator)
 
 __all__ = [
+    "DaemonRestarted",
     "FaultInjector",
     "FaultPlan",
     "FaultRule",
@@ -26,9 +28,12 @@ __all__ = [
     "MessageTimeout",
     "MigrationAborted",
     "NULL_INJECTOR",
+    "Overloaded",
     "ROLLBACK_POLICY",
+    "RetryBudgetExhausted",
     "RetryExhausted",
     "RetryPolicy",
+    "ToolstackCrashed",
     "TransientHypercallError",
     "assert_clean",
     "check_host",

@@ -175,6 +175,49 @@ def _check_bridge(host, domains, violations) -> None:
                 "bridge port %s leaked by dead dom%d" % (devname, domid))
 
 
+def _check_recovery_residue(host, violations) -> None:
+    """Recovered runs must leave no residue behind (opt-in: only hosts
+    built with ``recovery=True`` are held to this).
+
+    After the reaper has run and the simulator drained there must be no
+    open intent records (an open intent is a crashed operation nobody
+    recovered), the daemon must be back up, no request may still be
+    queued on a daemon shard, and the tracer must have no open spans
+    (an open span is a process that died mid-operation)."""
+    recovery = getattr(host, "recovery", None)
+    if recovery is None:
+        return
+    for intent in recovery.intents.open_intents():
+        violations.append(
+            "intent #%d (%s %s) still open after recovery%s"
+            % (intent.intent_id, intent.op,
+               getattr(intent.config, "name", None)
+               or getattr(intent.domain, "name", "?"),
+               " [crashed at phase %r]" % intent.phase
+               if intent.crashed else ""))
+    daemon = getattr(host, "xenstore", None)
+    if daemon is not None:
+        if daemon.crashed:
+            violations.append(
+                "xenstore daemon still down (epoch %d, %d crash(es), "
+                "%d restart(s)) — watchdog never completed the restart"
+                % (daemon.epoch, daemon.stats["crashes"],
+                   daemon.stats["restarts"]))
+        for index, shard in enumerate(daemon._shards):
+            queued = len(getattr(shard, "queue", ()))
+            if queued:
+                violations.append(
+                    "daemon shard %d drained with %d request(s) still "
+                    "queued" % (index, queued))
+    tracer = getattr(host.sim, "tracer", None)
+    open_spans = getattr(tracer, "open_spans", None)
+    if open_spans is not None:
+        for span in open_spans():
+            violations.append(
+                "tracer span %r opened at t=%.3f never closed"
+                % (span.name, span.begin_ms))
+
+
 def check_host(host) -> typing.List[str]:
     """Audit ``host`` for leaked control-plane state.
 
@@ -188,6 +231,7 @@ def check_host(host) -> typing.List[str]:
     _check_memory(host, domains, violations)
     _check_shell_pool(host, domains, violations)
     _check_bridge(host, domains, violations)
+    _check_recovery_residue(host, violations)
     return violations
 
 

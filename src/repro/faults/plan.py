@@ -31,6 +31,27 @@ point                       effect when fired
 ``migration.link``          the migration TCP connection dies mid-copy;
                             the source resumes, the destination rolls back
 ==========================  =================================================
+
+The **recovery fault points** below are additionally gated on the
+recovery layer being attached (``repro.recovery``): a host built without
+it never consults them, so plans with ``points="*"`` keep their exact
+pre-recovery schedules and digests.
+
+==========================  =================================================
+point                       effect when fired (recovery layer attached)
+==========================  =================================================
+``xenstore.daemon_crash``   the daemon dies mid-op: the in-flight request
+                            aborts with :class:`DaemonRestarted`, open
+                            transactions are invalidated, and the watchdog
+                            restarts the daemon by replaying its op journal
+``toolstack.create``        the toolstack process dies mid-create, leaving
+                            a half-built guest for the orphan reaper
+``toolstack.destroy``       the toolstack dies mid-destroy; the reaper
+                            rolls the teardown forward
+``toolstack.migrate``       the migrating toolstack dies mid-memory-copy;
+                            the reaper resumes the source and reaps the
+                            destination's partial state
+==========================  =================================================
 """
 
 from __future__ import annotations
@@ -64,6 +85,32 @@ class LinkInterrupted(InjectedFault):
 
 class MigrationAborted(RuntimeError):
     """A migration was aborted; the source domain was left intact."""
+
+
+class DaemonRestarted(InjectedFault):
+    """The XenStore daemon crashed while this request was in flight.
+
+    The op (or open transaction) had no durable effect — the crash fires
+    before any mutation — so the caller can retry safely once the
+    watchdog has replayed the journal.  ``XsClient.transaction()`` and
+    ``XsBatch.commit()`` retry it via their :class:`RetryPolicy`."""
+
+
+class ToolstackCrashed(InjectedFault):
+    """The toolstack process died mid-operation (create/destroy/migrate).
+
+    Unlike an ordinary failure, *no inline rollback runs* — the process
+    is gone.  The per-phase intent record stays open; the orphan reaper
+    (:class:`repro.recovery.OrphanReaper`) rolls the operation back or
+    forward on the next recovery pass."""
+
+
+class Overloaded(RuntimeError):
+    """The daemon shed this request: its admission queue is full.
+
+    Deliberately *not* an :class:`InjectedFault` — load shedding is a
+    policy decision (bounded queue depth), not an injected failure, and
+    can trigger without any fault plan."""
 
 
 @dataclasses.dataclass(frozen=True)

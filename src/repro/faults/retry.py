@@ -18,6 +18,17 @@ class RetryExhausted(RuntimeError):
     """An operation kept failing past its retry policy's budget."""
 
 
+class RetryBudgetExhausted(RetryExhausted):
+    """An operation's cumulative backoff budget was spent.
+
+    Distinct from plain :class:`RetryExhausted` (which counts attempts):
+    this one bounds the total *backoff time* one operation may burn, so
+    a recovery storm — many clients retrying against a daemon that just
+    restarted — cannot pile unbounded simulated hours of sleep onto a
+    single request.  Raised by the retry helpers when the next backoff
+    would push the cumulative sleep past ``RetryPolicy.budget_ms``."""
+
+
 @dataclasses.dataclass(frozen=True)
 class RetryPolicy:
     """Exponential backoff with multiplicative jitter and a deadline."""
@@ -36,6 +47,13 @@ class RetryPolicy:
     #: Optional wall-clock budget (simulated ms) across all retries; when
     #: exceeded the loop gives up even with retries remaining.
     deadline_ms: typing.Optional[float] = None
+    #: Optional cap on the *cumulative backoff* one operation may sleep
+    #: (simulated ms, summed over all its retries).  ``None`` — the
+    #: default everywhere, which keeps existing replay digests unchanged
+    #: — disables the cap; a finite value makes the retry helpers raise
+    #: :class:`RetryBudgetExhausted` instead of scheduling a backoff
+    #: that would overspend it.
+    budget_ms: typing.Optional[float] = None
 
     def backoff_ms(self, retry: int, rng=None) -> float:
         """Delay before the ``retry``-th retry (1-based)."""
@@ -52,6 +70,15 @@ class RetryPolicy:
         return (self.deadline_ms is not None
                 and now_ms - started_ms > self.deadline_ms)
 
+    def over_budget(self, slept_ms: float, next_delay_ms: float) -> bool:
+        """Would sleeping ``next_delay_ms`` overspend the backoff budget?
+
+        ``slept_ms`` is the backoff this operation has already paid.  The
+        check runs *before* the sleep is scheduled, so a loop never burns
+        part of a backoff it cannot afford."""
+        return (self.budget_ms is not None
+                and slept_ms + next_delay_ms > self.budget_ms)
+
 
 #: A patient policy for rollback paths: cleanup must not give up while a
 #: transient fault window passes, or partially-created state would leak.
@@ -67,14 +94,21 @@ def retry_call(sim, policy: RetryPolicy, rng, fn: typing.Callable,
     """
     retry = 0
     started = sim.now
+    slept = 0.0
     while True:
         try:
             return fn()
-        except retryable:
+        except retryable as exc:
             retry += 1
             if policy.give_up(retry, started, sim.now):
                 raise
-            yield sim.timeout(policy.backoff_ms(retry, rng))
+            delay = policy.backoff_ms(retry, rng)
+            if policy.over_budget(slept, delay):
+                raise RetryBudgetExhausted(
+                    "retry backoff budget (%.1f ms) spent after %d retries"
+                    % (policy.budget_ms, retry - 1)) from exc
+            slept += delay
+            yield sim.timeout(delay)
 
 
 def retry_generator(sim, policy: RetryPolicy, rng, make_gen,
@@ -84,11 +118,18 @@ def retry_generator(sim, policy: RetryPolicy, rng, make_gen,
     can fail transiently, e.g. a XenStore removal during rollback."""
     retry = 0
     started = sim.now
+    slept = 0.0
     while True:
         try:
             return (yield from make_gen())
-        except retryable:
+        except retryable as exc:
             retry += 1
             if policy.give_up(retry, started, sim.now):
                 raise
-            yield sim.timeout(policy.backoff_ms(retry, rng))
+            delay = policy.backoff_ms(retry, rng)
+            if policy.over_budget(slept, delay):
+                raise RetryBudgetExhausted(
+                    "retry backoff budget (%.1f ms) spent after %d retries"
+                    % (policy.budget_ms, retry - 1)) from exc
+            slept += delay
+            yield sim.timeout(delay)

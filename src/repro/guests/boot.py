@@ -107,6 +107,25 @@ def _bring_up_noxs_devices(sim: "Simulator", hypervisor: Hypervisor,
     return len(entries)
 
 
+def _until_admitted(sim: "Simulator", make_gen):
+    """Generator: drive ``make_gen()``, waiting out daemon load shedding.
+
+    A frontend's xenbus requests have nowhere else to go: when the
+    daemon's bounded admission queue sheds one (:class:`Overloaded`,
+    only possible on hosts built with a ``queue_cap``), the guest parks
+    and re-issues it.  Shedding happens before the daemon mutates
+    anything, so the re-issue is idempotent; the backoff is
+    deterministic (no jitter), so replays digest identically."""
+    from ..faults.plan import Overloaded
+    delay_ms = 0.5
+    while True:
+        try:
+            return (yield from make_gen())
+        except Overloaded:
+            yield sim.timeout(delay_ms)
+            delay_ms = min(delay_ms * 2.0, 8.0)
+
+
 def _bring_up_xenstore_devices(sim: "Simulator", hypervisor: Hypervisor,
                                domain: Domain, image: GuestImage,
                                xenstore: "XenStoreDaemon",
@@ -121,9 +140,9 @@ def _bring_up_xenstore_devices(sim: "Simulator", hypervisor: Hypervisor,
     # the root of §4.2's superlinear growth.
     registered = []
     for index in range(image.xenbus_watches):
-        watch = yield from xs.watch(
-            "/local/domain/%d/watch/%d" % (domain.domid, index),
-            "guest", lambda _p, _t: None)
+        path = "/local/domain/%d/watch/%d" % (domain.domid, index)
+        watch = yield from _until_admitted(
+            sim, lambda: xs.watch(path, "guest", lambda _p, _t: None))
         registered.append(watch)
     domain.notes["xenbus_watches"] = registered
     connected = 0
@@ -132,8 +151,10 @@ def _bring_up_xenstore_devices(sim: "Simulator", hypervisor: Hypervisor,
             base = "/local/domain/%d/backend/%s/%d/%d" % (
                 DOM0_ID, kind, domain.domid, index)
             try:
-                port = int((yield from xs.read(base + "/event-channel")))
-                ref = int((yield from xs.read(base + "/grant-ref")))
+                port = int((yield from _until_admitted(
+                    sim, lambda: xs.read(base + "/event-channel"))))
+                ref = int((yield from _until_admitted(
+                    sim, lambda: xs.read(base + "/grant-ref"))))
             except Exception as exc:
                 raise GuestBootError(
                     "domain %d: back-end never published %s/%d: %s"
@@ -154,7 +175,8 @@ def _bring_up_xenstore_devices(sim: "Simulator", hypervisor: Hypervisor,
             # Announce the front-end is connected (fires back-end watches).
             front = "/local/domain/%d/device/%s/%d/state" % (
                 domain.domid, kind, index)
-            yield from xs.write(front, "connected")
+            yield from _until_admitted(
+                sim, lambda: xs.write(front, "connected"))
             connected += 1
     return connected
 

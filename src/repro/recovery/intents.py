@@ -1,0 +1,114 @@
+"""Per-phase intent records for toolstack crash consistency.
+
+A toolstack operation (create/destroy/migrate) that can die mid-flight
+opens an :class:`Intent` before touching shared state and advances it at
+each phase boundary.  Normal completion closes the record; a crash
+(:class:`~repro.faults.plan.ToolstackCrashed` — the process is gone, no
+inline rollback runs) leaves it open, and the orphan reaper
+(:class:`repro.recovery.reaper.OrphanReaper`) later walks the open
+intents in id order and rolls each operation back or forward
+deterministically:
+
+=============  =====================================================
+op             recovery action
+=============  =====================================================
+``create``     roll **back**: tear down whatever the half-built guest
+               already acquired (devices, store subtrees, watches,
+               ambient weight, the domain itself)
+``destroy``    roll **forward**: the user asked for the guest to go;
+               finish the teardown
+``migrate``    resume the suspended source guest, destroy the
+               destination's partial state
+=============  =====================================================
+
+The ``toolstack.create`` / ``toolstack.destroy`` / ``toolstack.migrate``
+fault points are consulted through :func:`crash_check` at each phase
+boundary — only when an intent is open, so toolstacks without the
+recovery layer attached never consult them and existing fault plans keep
+their exact schedules and digests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..faults.plan import ToolstackCrashed
+
+
+@dataclasses.dataclass
+class Intent:
+    """One in-flight toolstack operation's crash-recovery record."""
+
+    intent_id: int
+    #: Operation kind: "create", "destroy" or "migrate".
+    op: str
+    toolstack: typing.Any = None
+    #: The domain the op concerns (None until one is allocated).
+    domain: typing.Any = None
+    config: typing.Any = None
+    #: Last phase boundary the op reached ("" = opened, nothing done).
+    phase: str = ""
+    #: True while the op is in flight (or crashed); closed on completion
+    #: and by the reaper after recovery.
+    open: bool = True
+    #: True once the op's crash point fired.
+    crashed: bool = False
+    #: Op-specific references (migration: source/destination/remote).
+    notes: typing.Dict[str, typing.Any] = dataclasses.field(
+        default_factory=dict)
+
+    def advance(self, phase: str) -> None:
+        """Record that the op completed the work up to ``phase``."""
+        self.phase = phase
+
+    def close(self) -> None:
+        """Normal completion (or recovery done): nothing left to reap."""
+        self.open = False
+
+
+class IntentLog:
+    """Append-only log of toolstack operation intents."""
+
+    def __init__(self):
+        self.intents: typing.List[Intent] = []
+        self._next_id = 1
+
+    def __len__(self) -> int:
+        return len(self.intents)
+
+    def open(self, op: str, toolstack=None, domain=None, config=None,
+             **notes) -> Intent:
+        intent = Intent(self._next_id, op, toolstack=toolstack,
+                        domain=domain, config=config, notes=dict(notes))
+        self._next_id += 1
+        self.intents.append(intent)
+        return intent
+
+    def open_intents(self) -> typing.List[Intent]:
+        """Open records in intent-id order — the reaper's work list."""
+        return [intent for intent in self.intents if intent.open]
+
+
+def crash_check(faults, intent: typing.Optional[Intent],
+                phase: str) -> None:
+    """Advance ``intent`` to ``phase`` and consult its op's crash point.
+
+    A no-op when no intent is open (the toolstack runs without the
+    recovery layer), so the ``toolstack.*`` points are only counted on
+    recovery-enabled hosts.  When the point fires the toolstack process
+    is considered dead: marks the intent crashed and raises
+    :class:`ToolstackCrashed` — callers must *not* run inline rollback
+    on it (the reaper owns recovery).
+    """
+    if intent is None:
+        return
+    intent.advance(phase)
+    if faults is None:
+        return
+    if faults.fires("toolstack.%s" % intent.op) is not None:
+        intent.crashed = True
+        raise ToolstackCrashed(
+            "toolstack died during %s of %r (phase %s)"
+            % (intent.op, getattr(intent.config, "name", None)
+               or getattr(intent.domain, "name", "?"), phase))

@@ -1,0 +1,135 @@
+"""Write-ahead op journal for the XenStore daemon.
+
+oxenstored persists its store to a database (``tdb``) and replays it on
+restart; clients then re-announce their watches.  The journal models that
+durability boundary: the daemon appends one entry per *committed* effect
+— tree mutations, quota deltas, ambient-client registrations — and a
+restart rebuilds the whole daemon state by replaying the entries in
+order against a fresh tree.
+
+The crash point (``xenstore.daemon_crash``) fires inside the daemon's
+charge path *before* the current op mutates anything, so at crash time
+the journal is exactly the committed history: replay is deterministic
+re-execution and reproduces the tree (values, owners, ACLs, generation
+counters), the per-domain quota counts and the ambient-weight float
+bit-for-bit.  Watches are daemon-side callback registrations held by
+live client objects; the restart keeps the registry (modeling clients
+re-announcing during the recovery window) and charges reconciliation
+latency per registered watch.
+
+Entries are in-memory tuples — the journal is a simulation artifact, not
+a file format.  Entry kinds:
+
+=============  ========================================  =================
+kind           payload                                   appended by
+=============  ========================================  =================
+``write``      ``(domid, path, value)``                  write / batch / tx
+``mkdir``      ``(domid, path)``                         mkdir / batch
+``rm``         ``(path,)``                               rm / batch / tx
+``perms``      ``(domid, path, perms)``                  set_perms
+``quota``      ``(domid, delta)`` (the *applied* delta)  quota accounting
+``register``   ``(weight,)``                             register_client
+``unregister`` ``(weight,)``                             unregister_client
+=============  ========================================  =================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..xenstore.store import NoEntError, XenStoreTree
+
+
+@dataclasses.dataclass(frozen=True)
+class JournalCosts:
+    """Latency constants for the crash/restart model (ms unless noted)."""
+
+    #: Crash detection + daemon re-exec before replay starts (the
+    #: watchdog's health-check interval is modeled separately).
+    restart_downtime_ms: float = 5.0
+    #: Replaying one journal entry into the fresh tree (µs).
+    replay_us_per_entry: float = 1.0
+    #: Reconciling one registered watch on restart (µs) — the client
+    #: re-announces and the daemon re-indexes it.
+    watch_reconcile_us: float = 2.0
+
+
+class OpJournal:
+    """Append-only journal of the daemon's committed effects."""
+
+    def __init__(self):
+        self.entries: typing.List[tuple] = []
+        #: Total entries ever appended (survives :meth:`reset`).
+        self.appended_total = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- append (called by the daemon at each committed effect) ---------
+    def _append(self, entry: tuple) -> None:
+        self.entries.append(entry)
+        self.appended_total += 1
+
+    def record_write(self, domid: int, path: str, value: str) -> None:
+        self._append(("write", domid, path, value))
+
+    def record_mkdir(self, domid: int, path: str) -> None:
+        self._append(("mkdir", domid, path))
+
+    def record_rm(self, path: str) -> None:
+        self._append(("rm", path))
+
+    def record_perms(self, domid: int, path: str, perms) -> None:
+        self._append(("perms", domid, path, perms))
+
+    def record_quota(self, domid: int, delta: int) -> None:
+        """Record the quota delta *actually applied* (clamps included),
+        so replay is unconditional addition — no re-derivation drift."""
+        if delta:
+            self._append(("quota", domid, delta))
+
+    def record_register(self, weight: float) -> None:
+        self._append(("register", weight))
+
+    def record_unregister(self, weight: float) -> None:
+        self._append(("unregister", weight))
+
+    # -- replay ---------------------------------------------------------
+    def replay(self) -> typing.Tuple[XenStoreTree,
+                                     typing.Dict[int, int], float]:
+        """Rebuild ``(tree, node_counts, ambient_clients)`` from scratch.
+
+        Replays the committed history in append order; every formula
+        mirrors the daemon's original mutation site (including the
+        ``max(0.0, ...)`` clamp on unregister), so the rebuilt state is
+        bit-identical to the pre-crash state.
+        """
+        tree = XenStoreTree()
+        counts: typing.Dict[int, int] = {}
+        ambient = 0.0
+        for entry in self.entries:
+            kind = entry[0]
+            if kind == "write":
+                _, domid, path, value = entry
+                tree.write(path, value, owner_domid=domid)
+            elif kind == "mkdir":
+                tree.mkdir(entry[2], owner_domid=entry[1])
+            elif kind == "rm":
+                try:
+                    tree.rm(entry[1])
+                except NoEntError:
+                    pass
+            elif kind == "perms":
+                _, _domid, path, perms = entry
+                tree.set_perms(path, perms)
+            elif kind == "quota":
+                _, domid, delta = entry
+                counts[domid] = counts.get(domid, 0) + delta
+            elif kind == "register":
+                ambient = ambient + entry[1]
+            elif kind == "unregister":
+                ambient = max(0.0, ambient - entry[1])
+            else:  # pragma: no cover - the daemon only appends the above
+                raise ValueError("unknown journal entry kind %r" % (kind,))
+        return tree, counts, ambient

@@ -21,7 +21,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from ..faults.plan import TransientHypercallError
+from ..faults.plan import ToolstackCrashed, TransientHypercallError
 from ..faults.retry import RetryExhausted, RetryPolicy, retry_call
 from ..guests.boot import boot_guest
 from ..hypervisor.devicepage import DEV_VBD, DEV_VIF
@@ -29,6 +29,7 @@ from ..hypervisor.domain import Domain, DomainState
 from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
 from ..noxs.module import NoxsModule
 from ..noxs.sysctl import SysctlBackend
+from ..recovery.intents import crash_check
 from ..trace.tracer import tracer_of
 from ..xenstore.client import XsClient
 from ..xenstore.daemon import XenStoreDaemon
@@ -108,6 +109,18 @@ class ChaosToolstack:
         self.created: typing.List[CreationRecord] = []
         #: Creations that failed and were rolled back.
         self.rollbacks = 0
+        #: Intent log + crash injector (attached by the recovery layer;
+        #: None = no toolstack crash model, ``toolstack.*`` fault points
+        #: never consulted).
+        self.intents = None
+        self._crash_faults = None
+
+    def attach_intents(self, intents, faults=None) -> None:
+        """Attach per-phase intent records and the injector whose
+        ``toolstack.create`` / ``toolstack.destroy`` crash points they
+        consult (see :mod:`repro.recovery.intents`)."""
+        self.intents = intents
+        self._crash_faults = faults
 
     @property
     def name(self) -> str:
@@ -159,6 +172,8 @@ class ChaosToolstack:
 
         shell = None
         domain = None
+        intent = (self.intents.open("create", toolstack=self, config=config)
+                  if self.intents is not None else None)
         retries_before = (self.devices.retries_total
                           if self.devices is not None else 0)
         try:
@@ -192,6 +207,9 @@ class ChaosToolstack:
                     * self.costs.mem_prep_us_per_mb / 1000.0)
                 if self.uses_noxs:
                     self.hypervisor.devpage_create(domain)
+            if intent is not None:
+                intent.domain = domain
+            crash_check(self._crash_faults, intent, "hypervisor")
 
             if self.uses_noxs:
                 recorder.start("devices")
@@ -199,8 +217,10 @@ class ChaosToolstack:
             else:
                 recorder.start("xenstore")
                 yield from self._write_domain_entries(domain, config, shell)
+                crash_check(self._crash_faults, intent, "xenstore")
                 recorder.start("devices")
                 yield from self._setup_xs_devices(domain, config, shell)
+            crash_check(self._crash_faults, intent, "devices")
             retries = ((self.devices.retries_total - retries_before)
                        if self.devices is not None else 0)
 
@@ -210,12 +230,20 @@ class ChaosToolstack:
                 + image.kernel_size_kb * self.costs.image_load_us_per_kb
                 / 1000.0)
             domain.image = image
+            crash_check(self._crash_faults, intent, "load")
             recorder.stop()
+        except ToolstackCrashed:
+            # The toolstack process is gone: no inline rollback runs.
+            # The open intent hands the half-built domain to the orphan
+            # reaper.
+            raise
         except Exception:
             # Never leak a half-built domain — even a claimed shell is
             # destroyed (the daemon's replenisher refills the pool).
             if domain is not None:
                 yield from self._rollback_create(domain, config)
+            if intent is not None:
+                intent.close()  # rolled back inline: nothing to reap
             raise
 
         record = CreationRecord(
@@ -224,6 +252,8 @@ class ChaosToolstack:
             create_ms=self.sim.now - start,
             xenstore_retries=retries)
         self.created.append(record)
+        if intent is not None:
+            intent.close()
         return record
 
     # ------------------------------------------------------------------
@@ -357,8 +387,12 @@ class ChaosToolstack:
             yield from self._destroy_vm(domain)
 
     def _destroy_vm(self, domain: Domain):
+        intent = (self.intents.open("destroy", toolstack=self,
+                                    domain=domain)
+                  if self.intents is not None else None)
         if domain.state == DomainState.RUNNING:
             self.hypervisor.domctl_pause(domain)
+        crash_check(self._crash_faults, intent, "paused")
         if self.uses_noxs:
             for _index, entry in domain.notes.get("noxs_devices", []):
                 yield from self.noxs.ioctl_destroy_device(domain, entry)
@@ -375,12 +409,16 @@ class ChaosToolstack:
                 for index in range(image.vbds):
                     yield from self.devices.destroy_device(domain, "vbd",
                                                            index)
+            crash_check(self._crash_faults, intent, "devices")
             yield from self.xs.rm("/local/domain/%d" % domain.domid)
+            crash_check(self._crash_faults, intent, "xenstore")
             self.xenstore.watches.remove_for_domain(domain.domid)
             weight = domain.notes.pop("xenstore_client", None)
             if weight:
                 self.xenstore.unregister_client(weight)
         self.hypervisor.domctl_destroy(domain)
+        if intent is not None:
+            intent.close()
 
 
 def _parse_mac(text: typing.Optional[str]) -> bytes:

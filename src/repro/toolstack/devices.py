@@ -373,14 +373,17 @@ def _rm_backend_parent(sim, xs: XsClient, kind: str, domid: int, rng=None):
 def _patient_rm(sim, xs: XsClient, path: str, rng=None):
     """Generator: remove ``path`` with the patient rollback policy —
     cleanup that gives up under a fault storm would leak state."""
-    from ..faults.plan import MessageTimeout
+    from ..faults.plan import DaemonRestarted, MessageTimeout, Overloaded
     from ..faults.retry import retry_generator
 
     def attempt():
         yield from xs.rm(path)
 
+    # Daemon restarts and shed requests are retried like lost acks:
+    # cleanup must survive the very crashes it is cleaning up after.
+    retryable = (MessageTimeout, DaemonRestarted, Overloaded)
     try:
         yield from retry_generator(sim, ROLLBACK_POLICY, rng, attempt,
-                                   (MessageTimeout,))
-    except MessageTimeout:
+                                   retryable)
+    except retryable:
         pass  # the invariant checker will report the leak loudly

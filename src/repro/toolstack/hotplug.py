@@ -20,7 +20,7 @@ import dataclasses
 import typing
 
 from ..faults.plan import NULL_INJECTOR
-from ..faults.retry import RetryPolicy
+from ..faults.retry import RetryBudgetExhausted, RetryPolicy
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sim.engine import Simulator
@@ -91,6 +91,7 @@ class _FaultTolerantHandler:
         """Generator: run the handler, relaunching on injected failures."""
         retry = 0
         started = self.sim.now
+        slept = 0.0
         while True:
             yield self.sim.timeout(self._run_cost_ms())
             self.invocations += 1
@@ -105,8 +106,13 @@ class _FaultTolerantHandler:
             if self.retry_policy.give_up(retry, started, self.sim.now):
                 raise HotplugError(
                     "%s handler failed %d times" % (self.fault_point, retry))
-            yield self.sim.timeout(
-                self.retry_policy.backoff_ms(retry, self.rng))
+            delay = self.retry_policy.backoff_ms(retry, self.rng)
+            if self.retry_policy.over_budget(slept, delay):
+                raise RetryBudgetExhausted(
+                    "%s handler spent its %.1f ms backoff budget"
+                    % (self.fault_point, self.retry_policy.budget_ms))
+            slept += delay
+            yield self.sim.timeout(delay)
 
 
 class BashHotplug(_FaultTolerantHandler):

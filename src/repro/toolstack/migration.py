@@ -21,7 +21,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from ..faults.plan import NULL_INJECTOR, MigrationAborted
+from ..faults.plan import NULL_INJECTOR, MigrationAborted, ToolstackCrashed
 from ..hypervisor.domain import Domain
 from ..net.links import Link
 from ..trace.tracer import tracer_of
@@ -217,7 +217,8 @@ class Checkpointer:
 
 
 def migrate(source: Checkpointer, destination: Checkpointer,
-            domain: Domain, config: VMConfig, link: Link, faults=None):
+            domain: Domain, config: VMConfig, link: Link, faults=None,
+            intents=None):
     """Generator: live-migrate ``domain`` from source to destination host.
 
     Follows §5.1's flow: connect to the remote migration daemon, send the
@@ -230,6 +231,12 @@ def migrate(source: Checkpointer, destination: Checkpointer,
     ``migration.link`` fault point), the migration raises
     :class:`MigrationAborted` with the source guest resumed and running
     and nothing leaked on the destination.
+
+    With an :class:`~repro.recovery.intents.IntentLog` attached
+    (``intents``), the ``toolstack.migrate`` crash point can additionally
+    kill the migrating process mid-memory-copy: no inline abort runs —
+    the open intent leaves recovery (resume source, reap destination) to
+    the orphan reaper.
     """
     sim = source.sim
     start = sim.now
@@ -238,14 +245,19 @@ def migrate(source: Checkpointer, destination: Checkpointer,
     with tracer_of(sim).span("migration.migrate", config=config.name,
                              domid=domain.domid):
         remote_domain = yield from _migrate(source, destination, domain,
-                                            config, link, faults)
+                                            config, link, faults, intents)
     remote_domain.notes["migrated_in_ms"] = sim.now - start
     return remote_domain
 
 
 def _migrate(source: Checkpointer, destination: Checkpointer,
-             domain: Domain, config: VMConfig, link: Link, faults):
+             domain: Domain, config: VMConfig, link: Link, faults,
+             intents=None):
     sim = source.sim
+    intent = (intents.open("migrate", toolstack=source.toolstack,
+                           domain=domain, config=config, source=source,
+                           destination=destination, remote_domain=None)
+              if intents is not None else None)
 
     # TCP connection + configuration exchange.
     yield from link.round_trip()
@@ -258,10 +270,15 @@ def _migrate(source: Checkpointer, destination: Checkpointer,
         record = yield from destination.toolstack.create_vm(config,
                                                             boot=False)
     except Exception as exc:
+        if intent is not None:
+            intent.close()  # aborted cleanly: nothing for the reaper
         raise MigrationAborted(
             "destination could not pre-create %r: %s"
             % (config.name, exc)) from exc
     remote_domain = record.domain
+    if intent is not None:
+        intent.notes["remote_domain"] = remote_domain
+        intent.advance("pre_created")
 
     # Suspend the source guest.
     ts = source.toolstack
@@ -283,12 +300,25 @@ def _migrate(source: Checkpointer, destination: Checkpointer,
     # Stream the guest memory over the wire (libxc send path).
     memory_kb = domain.memory_kb
     yield sim.timeout(source.costs.libxc_fixed_ms)
+    if intent is not None and \
+            faults.fires("toolstack.migrate") is not None:
+        # The migrating chaos/xl process dies mid-copy: the source guest
+        # stays suspended, the destination keeps its empty pre-created
+        # domain, and half the memory crossed the wire for nothing.  No
+        # inline abort — the reaper owns recovery via the open intent.
+        intent.advance("memory_copy")
+        intent.crashed = True
+        yield from link.transfer(max(1, memory_kb // 2))
+        raise ToolstackCrashed(
+            "migration toolstack died streaming %r" % config.name)
     if faults.fires("migration.link") is not None:
         # The TCP connection died mid-copy: half the memory crossed the
         # wire for nothing.  Resume the source, roll back the remote.
         yield from link.transfer(max(1, memory_kb // 2))
         yield from _abort_migration(source, destination, domain, config,
                                     remote_domain)
+        if intent is not None:
+            intent.close()  # aborted inline: nothing for the reaper
         raise MigrationAborted(
             "link interrupted while streaming %r; source resumed"
             % config.name)
@@ -310,6 +340,8 @@ def _migrate(source: Checkpointer, destination: Checkpointer,
         weight = config.image.ambient_weight
         destination.toolstack.xenstore.register_client(weight)
         remote_domain.notes["xenstore_client"] = weight
+    if intent is not None:
+        intent.close()
     return remote_domain
 
 

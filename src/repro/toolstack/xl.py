@@ -12,9 +12,10 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from ..faults.plan import TransientHypercallError
+from ..faults.plan import ToolstackCrashed, TransientHypercallError
 from ..faults.retry import RetryExhausted, RetryPolicy, retry_call
 from ..guests.boot import boot_guest
+from ..recovery.intents import crash_check
 from ..hypervisor.domain import Domain, DomainState, ShutdownReason
 from ..hypervisor.hypervisor import DOM0_ID, Hypervisor
 from ..trace.tracer import tracer_of
@@ -91,6 +92,18 @@ class XlToolstack:
         self.created: typing.List[CreationRecord] = []
         #: Creations that failed and were rolled back.
         self.rollbacks = 0
+        #: Intent log + crash injector (attached by the recovery layer;
+        #: None = no toolstack crash model, ``toolstack.*`` fault points
+        #: never consulted).
+        self.intents = None
+        self._crash_faults = None
+
+    def attach_intents(self, intents, faults=None) -> None:
+        """Attach per-phase intent records and the injector whose
+        ``toolstack.create`` / ``toolstack.destroy`` crash points they
+        consult (see :mod:`repro.recovery.intents`)."""
+        self.intents = intents
+        self._crash_faults = faults
 
     # ------------------------------------------------------------------
     # VM creation (Figure 8, standard toolstack column)
@@ -105,6 +118,8 @@ class XlToolstack:
         image = config.image
         start = self.sim.now
         tracer = tracer_of(self.sim)
+        intent = (self.intents.open("create", toolstack=self, config=config)
+                  if self.intents is not None else None)
 
         with tracer.span("xl.create_vm", config=config.name) as create_span:
             # 6. CONFIGURATION PARSING (order per Figure 5's
@@ -135,6 +150,9 @@ class XlToolstack:
             yield self.sim.timeout(self.costs.hypervisor_fixed_ms)
             yield self.sim.timeout(config.memory_kb / 1024.0
                                    * self.costs.mem_prep_us_per_mb / 1000.0)
+            if intent is not None:
+                intent.domain = domain
+            crash_check(self._crash_faults, intent, "hypervisor")
 
             try:
                 # XenStore registration: name check + base entries +
@@ -142,6 +160,7 @@ class XlToolstack:
                 recorder.start("xenstore")
                 retries = yield from self._write_domain_entries(domain,
                                                                 config)
+                crash_check(self._crash_faults, intent, "xenstore")
 
                 # 5+7. DEVICE PRE-CREATION / INITIALIZATION.
                 recorder.start("devices")
@@ -151,6 +170,7 @@ class XlToolstack:
                 for index, _vbd in enumerate(config.vbds):
                     yield from self.devices.create_device(domain, "vbd",
                                                           index)
+                crash_check(self._crash_faults, intent, "devices")
 
                 # 8. IMAGE BUILD: parse the kernel image, load it into
                 # memory.
@@ -161,11 +181,19 @@ class XlToolstack:
                     + image.kernel_size_kb * self.costs.image_load_us_per_kb
                     / 1000.0)
                 domain.image = image
+                crash_check(self._crash_faults, intent, "load")
                 recorder.stop()
+            except ToolstackCrashed:
+                # The toolstack process is gone: no inline rollback runs.
+                # The open intent hands the half-built domain to the
+                # orphan reaper.
+                raise
             except Exception:
                 # A failed creation must not leak the half-built domain:
                 # tear down whatever was already registered, then re-raise.
                 yield from self._rollback_create(domain, config)
+                if intent is not None:
+                    intent.close()  # rolled back inline: nothing to reap
                 raise
 
             record = CreationRecord(
@@ -174,6 +202,8 @@ class XlToolstack:
                 create_ms=self.sim.now - start,
                 xenstore_retries=retries + self.devices.retries_total)
             self.created.append(record)
+            if intent is not None:
+                intent.close()
 
         # 9. VIRTUAL MACHINE BOOT.
         if boot:
@@ -251,10 +281,14 @@ class XlToolstack:
     # ------------------------------------------------------------------
     def destroy_vm(self, domain: Domain):
         """Generator: tear down devices, XenStore state and the domain."""
+        intent = (self.intents.open("destroy", toolstack=self,
+                                    domain=domain)
+                  if self.intents is not None else None)
         with tracer_of(self.sim).span("xl.destroy_vm",
                                       domid=domain.domid):
             if domain.state == DomainState.RUNNING:
                 self.hypervisor.domctl_pause(domain)
+            crash_check(self._crash_faults, intent, "paused")
             image = domain.image
             if image is not None:
                 for index in range(image.vifs):
@@ -263,15 +297,19 @@ class XlToolstack:
                 for index in range(image.vbds):
                     yield from self.devices.destroy_device(domain, "vbd",
                                                            index)
+            crash_check(self._crash_faults, intent, "devices")
             with self.xs.batch() as batch:
                 batch.rm("/local/domain/%d" % domain.domid)
                 batch.rm("/vm/%d" % domain.domid)
                 yield from batch.commit()
+            crash_check(self._crash_faults, intent, "xenstore")
             self.xenstore.watches.remove_for_domain(domain.domid)
             weight = domain.notes.pop("xenstore_client", None)
             if weight:
                 self.xenstore.unregister_client(weight)
             self.hypervisor.domctl_destroy(domain)
+            if intent is not None:
+                intent.close()
 
     # ------------------------------------------------------------------
     # Shutdown helper used by save/migrate

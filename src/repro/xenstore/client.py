@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import typing
 
+from ..faults.plan import DaemonRestarted, Overloaded
 from ..faults.retry import RetryExhausted, RetryPolicy
 from ..trace.tracer import tracer_of
 from .transaction import Transaction, TransactionConflict
@@ -55,6 +56,15 @@ MAX_TX_RETRIES = 50
 #: clients that conflicted with each other don't retry in lock-step.
 TX_RETRY_POLICY = RetryPolicy(max_retries=MAX_TX_RETRIES, base_ms=1.0,
                               multiplier=2.0, cap_ms=16.0, jitter=0.25)
+
+#: Crash/overload retry schedule: a request that hit a daemon restart
+#: (:class:`DaemonRestarted` — no durable effect, safe to resend) or was
+#: shed (:class:`Overloaded`) backs off briefly and resends a few times,
+#: then propagates.  Jitter-free so replays keep identical timelines,
+#: and deliberately small so *sustained* overload surfaces as real
+#: ``Overloaded`` rejections instead of unbounded client-side queueing.
+RECOVERY_RETRY_POLICY = RetryPolicy(max_retries=3, base_ms=2.0,
+                                    multiplier=2.0, cap_ms=32.0)
 
 
 def _resolve(daemon, name: str, legacy: str):
@@ -178,21 +188,26 @@ class XsClient:
         daemon = self.daemon
         sim = daemon.sim
         retries = 0
+        shed = 0
         started = sim.now
         scale = daemon.costs.conflict_backoff_ms / 1.0
         with tracer_of(sim).span("xenstore.txn",
                                  domid=self.domid) as txn_span:
             while True:
-                tx = yield from daemon.transaction_start(self.domid)
-                txn = XsTxn(self, tx)
                 try:
+                    tx = yield from daemon.transaction_start(self.domid)
+                    txn = XsTxn(self, tx)
                     yield from body(txn)
                     yield from txn._flush()
                     yield from daemon.transaction_commit(tx)
                     if retries:
                         txn_span.set(retries=retries)
                     return retries
-                except TransactionConflict as exc:
+                except (TransactionConflict, DaemonRestarted) as exc:
+                    # A conflict aborted the transaction, or the daemon
+                    # crashed mid-transaction (nothing committed either
+                    # way): back off and rerun the whole body.  The next
+                    # transaction_start parks until the restart finishes.
                     retries += 1
                     if policy.give_up(retries, started, sim.now):
                         txn_span.set(retries=retries)
@@ -201,6 +216,16 @@ class XsClient:
                             % retries) from exc
                     yield sim.timeout(
                         scale * policy.backoff_ms(retries, rng))
+                except Overloaded:
+                    # Shed at admission: resend a few times, then let the
+                    # rejection surface (sustained overload must be
+                    # visible, not absorbed by client-side retry).
+                    shed += 1
+                    if shed > RECOVERY_RETRY_POLICY.max_retries:
+                        txn_span.set(shed=shed)
+                        raise
+                    yield sim.timeout(
+                        RECOVERY_RETRY_POLICY.backoff_ms(shed, None))
 
 
 class XsBatch:
@@ -259,9 +284,23 @@ class XsBatch:
         return self._commit_sequential(ops)
 
     def _commit_via_daemon(self, apply_batch, ops):
-        modified = yield from apply_batch(self.client.domid, ops)
-        self.modified = modified
-        return modified
+        attempt = 0
+        while True:
+            try:
+                modified = yield from apply_batch(self.client.domid, ops)
+            except (DaemonRestarted, Overloaded):
+                # The batch had no durable effect (the crash point fires
+                # before mutation; shedding happens at admission), so
+                # resending is safe.  Bounded: persistent failure
+                # propagates to the caller's own recovery path.
+                attempt += 1
+                if attempt > RECOVERY_RETRY_POLICY.max_retries:
+                    raise
+                yield self.client.daemon.sim.timeout(
+                    RECOVERY_RETRY_POLICY.backoff_ms(attempt, None))
+                continue
+            self.modified = modified
+            return modified
 
     def _commit_sequential(self, ops):
         # Pre-batching daemons (the frozen digest reference): replay the

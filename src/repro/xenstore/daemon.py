@@ -39,8 +39,9 @@ import typing
 import warnings
 import zlib
 
-from ..faults.plan import NULL_INJECTOR, MessageTimeout
-from ..faults.retry import RetryPolicy
+from ..faults.plan import (NULL_INJECTOR, DaemonRestarted, MessageTimeout,
+                           Overloaded)
+from ..faults.retry import RetryBudgetExhausted, RetryPolicy
 from ..sim.resources import Resource
 from ..trace.tracer import tracer_of
 from .accesslog import AccessLog
@@ -99,7 +100,8 @@ class XenStoreDaemon:
                  faults=None,
                  retry_policy: typing.Optional[RetryPolicy] = None,
                  workers: int = 1,
-                 batch_ops: bool = False):
+                 batch_ops: bool = False,
+                 queue_cap: typing.Optional[int] = None):
         if implementation not in ("oxenstored", "cxenstored"):
             raise ValueError("unknown implementation %r" % implementation)
         if workers < 1:
@@ -144,9 +146,33 @@ class XenStoreDaemon:
             "watch_drops": 0,
             "batches": 0,
             "batched_ops": 0,
+            "crashes": 0,
+            "restarts": 0,
+            "replayed": 0,
+            "shed": 0,
         }
         #: Nodes created per guest domain (quota accounting).
         self._node_counts: typing.Dict[int, int] = {}
+        #: Admission control: requests queued per shard beyond this depth
+        #: are shed with :class:`~repro.faults.plan.Overloaded` (None =
+        #: unbounded, the pre-recovery behaviour).
+        self.queue_cap = queue_cap
+        #: Write-ahead op journal (attached by the recovery layer via
+        #: :meth:`attach_journal`; None = no crash model, zero overhead —
+        #: the ``xenstore.daemon_crash`` fault point is never consulted).
+        self.journal = None
+        self.journal_costs = None
+        #: Restart epoch: bumped on every crash.  Transactions stamped
+        #: with an older epoch are invalidated with
+        #: :class:`~repro.faults.plan.DaemonRestarted`.
+        self.epoch = 0
+        self._crashed = False
+        #: Triggered when the daemon crashes (the watchdog waits on it);
+        #: re-armed by :meth:`restart`.  None until a journal is attached.
+        self.crash_event = None
+        #: Triggered when a restart completes; requests arriving while
+        #: the daemon is down park on it (queued, then resumed).
+        self._resume_event = None
 
     @property
     def worker(self) -> Resource:
@@ -166,13 +192,18 @@ class XenStoreDaemon:
                 "domain %d exceeded its %d-node XenStore quota"
                 % (domid, self.costs.quota_nodes_per_domain))
         self._node_counts[domid] = count + 1
+        if self.journal is not None:
+            self.journal.record_quota(domid, 1)
 
     def _release_quota(self, owner: int, removed: int) -> None:
         """Return removed nodes to their owner's quota (xenstored
         decrements on delete)."""
         if removed and owner and owner in self._node_counts:
-            self._node_counts[owner] = max(
-                0, self._node_counts[owner] - removed)
+            count = self._node_counts[owner]
+            self._node_counts[owner] = max(0, count - removed)
+            if self.journal is not None:
+                self.journal.record_quota(
+                    owner, self._node_counts[owner] - count)
 
     # ------------------------------------------------------------------
     # Cost helpers
@@ -206,10 +237,14 @@ class XenStoreDaemon:
         than a single-purpose unikernel.
         """
         self.ambient_clients += weight
+        if self.journal is not None:
+            self.journal.record_register(weight)
 
     def unregister_client(self, weight: float = 1.0) -> None:
         """A guest disconnected (destroyed/suspended)."""
         self.ambient_clients = max(0.0, self.ambient_clients - weight)
+        if self.journal is not None:
+            self.journal.record_unregister(weight)
 
     # ------------------------------------------------------------------
     # Shard routing
@@ -250,6 +285,82 @@ class XenStoreDaemon:
         return tuple(range(self.workers))
 
     # ------------------------------------------------------------------
+    # Crash / restart (the journaled-recovery model)
+    # ------------------------------------------------------------------
+    def attach_journal(self, journal, costs=None) -> None:
+        """Attach a write-ahead journal, enabling the crash model.
+
+        From here on every committed effect is journaled, and the
+        ``xenstore.daemon_crash`` fault point is consulted on each op.
+        Hosts that never call this are byte-identical to pre-recovery
+        builds (the point is never consulted, so existing fault plans
+        keep their schedules)."""
+        from ..recovery.journal import JournalCosts
+        self.journal = journal
+        self.journal_costs = costs or JournalCosts()
+        if self.crash_event is None:
+            self.crash_event = self.sim.event()
+
+    @property
+    def crashed(self) -> bool:
+        """True while the daemon is down awaiting its watchdog restart."""
+        return self._crashed
+
+    def _crash(self) -> None:
+        """The daemon process dies mid-op.
+
+        Bumps the epoch (invalidating open transactions), marks the
+        daemon down and wakes the watchdog.  State reconstruction — the
+        journal replay — happens in :meth:`restart`, driven by the
+        watchdog process so downtime is on the timeline."""
+        self.epoch += 1
+        self._crashed = True
+        self.stats["crashes"] += 1
+        self._resume_event = self.sim.event()
+        event, self.crash_event = self.crash_event, None
+        if event is not None and not event.triggered:
+            event.succeed(self.epoch)
+
+    def restart(self):
+        """Generator: replay the journal and bring the daemon back.
+
+        Driven by the watchdog (:class:`repro.recovery.Watchdog`).
+        Charges the restart downtime plus per-entry replay and per-watch
+        reconciliation latency, rebuilds the tree / quota counts /
+        ambient weights from the journal, then resumes every request
+        that queued while the daemon was down."""
+        costs = self.journal_costs
+        with tracer_of(self.sim).span("recovery.restart",
+                                      entries=len(self.journal),
+                                      epoch=self.epoch):
+            yield self.sim.timeout(costs.restart_downtime_ms)
+            replay_ms = (len(self.journal) * costs.replay_us_per_entry
+                         + len(self.watches) * costs.watch_reconcile_us
+                         ) / 1000.0
+            if replay_ms:
+                yield self.sim.timeout(replay_ms)
+            tree, counts, ambient = self.journal.replay()
+            self.tree = tree
+            self._node_counts = counts
+            self.ambient_clients = ambient
+            self.stats["restarts"] += 1
+            self.stats["replayed"] += len(self.journal)
+            self._crashed = False
+            self.crash_event = self.sim.event()
+            event, self._resume_event = self._resume_event, None
+            if event is not None:
+                event.succeed()
+
+    def _check_tx_epoch(self, tx: Transaction) -> None:
+        """Invalidate transactions opened before the last restart: their
+        snapshot (and their ``tx.tree`` reference) predate the replay."""
+        if self.journal is not None and \
+                getattr(tx, "epoch", self.epoch) != self.epoch:
+            raise DaemonRestarted(
+                "transaction %d predates the daemon restart (epoch %d)"
+                % (tx.tx_id, self.epoch))
+
+    # ------------------------------------------------------------------
     # Internal mutation plumbing
     # ------------------------------------------------------------------
     def _charge(self, extra_us: float = 0.0, path: typing.Optional[str] = None,
@@ -270,7 +381,22 @@ class XenStoreDaemon:
         """
         if shards is None:
             shards = (self._shard_index(path),)
+        if self._crashed:
+            # The daemon is down: this request parks at the (dead)
+            # socket and resumes once the watchdog restarted the daemon.
+            yield self._resume_event
+        if self.queue_cap is not None:
+            depth = max(len(self._shards[i].queue) for i in shards)
+            if depth >= self.queue_cap:
+                # Deterministic load shedding: queue depth is a pure
+                # function of the event timeline, so the same requests
+                # shed on every replay.
+                self.stats["shed"] += 1
+                raise Overloaded(
+                    "xenstore admission queue full (depth %d >= cap %d)"
+                    % (depth, self.queue_cap))
         attempt = 0
+        slept = 0.0
         while True:
             if len(shards) == 1:
                 with self._shards[shards[0]].request() as req:
@@ -279,6 +405,18 @@ class XenStoreDaemon:
             else:
                 yield from self._acquire_shards(shards, extra_us)
             self.stats["ops"] += 1
+            if self.journal is not None:
+                if self.faults.fires("xenstore.daemon_crash") is not None:
+                    self._crash()
+                    raise DaemonRestarted(
+                        "xenstore daemon crashed servicing this request")
+                if self._crashed:
+                    # Another shard's request crashed the daemon while
+                    # this one held its lock: it was in flight, so it
+                    # fails typed rather than parking.
+                    raise DaemonRestarted(
+                        "xenstore daemon crashed while this request "
+                        "was in flight")
             rule = self.faults.fires("xenstore.message")
             if rule is None:
                 return
@@ -290,8 +428,13 @@ class XenStoreDaemon:
                 raise MessageTimeout(
                     "XenStore message unacknowledged after %d resends"
                     % attempt)
-            yield self.sim.timeout(
-                self.retry_policy.backoff_ms(attempt, self.rng))
+            delay = self.retry_policy.backoff_ms(attempt, self.rng)
+            if self.retry_policy.over_budget(slept, delay):
+                raise RetryBudgetExhausted(
+                    "XenStore resend backoff budget (%.1f ms) spent"
+                    % self.retry_policy.budget_ms)
+            slept += delay
+            yield self.sim.timeout(delay)
 
     def _acquire_shards(self, shards: typing.Tuple[int, ...],
                         extra_us: float):
@@ -380,6 +523,8 @@ class XenStoreDaemon:
         self._check_access(domid, path, write=True)
         self._charge_quota(domid, path)
         self.tree.write(path, value, owner_domid=domid)
+        if self.journal is not None:
+            self.journal.record_write(domid, path, value)
         yield from self._fire_watches(path)
         yield from self._log_access()
 
@@ -400,6 +545,8 @@ class XenStoreDaemon:
             raise PermissionError_(
                 "domain %d does not own %s" % (domid, path))
         self.tree.set_perms(path, perms)
+        if self.journal is not None:
+            self.journal.record_perms(domid, path, perms)
         yield from self._log_access()
 
     @_traced("xenstore.mkdir")
@@ -407,6 +554,8 @@ class XenStoreDaemon:
         """Generator: XS_MKDIR."""
         yield from self._charge(path=path)
         self.tree.mkdir(path, owner_domid=domid)
+        if self.journal is not None:
+            self.journal.record_mkdir(domid, path)
         yield from self._fire_watches(path)
         yield from self._log_access()
 
@@ -417,6 +566,8 @@ class XenStoreDaemon:
         try:
             owner = self.tree._walk(path).owner_domid
             removed = self.tree.rm(path)
+            if self.journal is not None:
+                self.journal.record_rm(path)
             self._release_quota(owner, removed)
         except NoEntError:
             removed = 0
@@ -497,6 +648,13 @@ class XenStoreDaemon:
         if not ops:
             return []
         if not self.batch_ops:
+            # Even the degraded (sequential) path validates kinds up
+            # front: a malformed op must reject the whole batch before
+            # any mutation, watch event or quota charge — not fail
+            # mid-way with the earlier ops already applied.
+            for kind, _path, _value in ops:
+                if kind not in _BATCH_KINDS:
+                    raise BatchError("unknown batch op kind %r" % (kind,))
             modified = []
             for kind, path, value in ops:
                 if kind == "write":
@@ -505,11 +663,9 @@ class XenStoreDaemon:
                 elif kind == "mkdir":
                     yield from self.mkdir(domid, path)
                     modified.append(path)
-                elif kind == "rm":
+                else:
                     if (yield from self.rm(domid, path)):
                         modified.append(path)
-                else:
-                    raise BatchError("unknown batch op kind %r" % (kind,))
             return modified
         # --- one coalesced round trip -------------------------------
         shards = self._shards_for(path for _kind, path, _value in ops)
@@ -543,18 +699,26 @@ class XenStoreDaemon:
                     "domain %d exceeded its %d-node XenStore quota"
                     % (domid, self.costs.quota_nodes_per_domain))
             self._node_counts[domid] = count + new_nodes
+            if self.journal is not None:
+                self.journal.record_quota(domid, new_nodes)
         modified = []
         for kind, path, value in ops:
             if kind == "write":
                 self.tree.write(path, value, owner_domid=domid)
+                if self.journal is not None:
+                    self.journal.record_write(domid, path, value)
                 modified.append(path)
             elif kind == "mkdir":
                 self.tree.mkdir(path, owner_domid=domid)
+                if self.journal is not None:
+                    self.journal.record_mkdir(domid, path)
                 modified.append(path)
             else:
                 try:
                     owner = self.tree._walk(path).owner_domid
                     removed = self.tree.rm(path)
+                    if self.journal is not None:
+                        self.journal.record_rm(path)
                     self._release_quota(owner, removed)
                 except NoEntError:
                     removed = 0
@@ -576,6 +740,7 @@ class XenStoreDaemon:
         yield from self._charge(extra_us=self.costs.txn_overhead_us)
         tx = Transaction(self.tree, self._next_tx_id, domid)
         tx.opened_at = self.sim.now
+        tx.epoch = self.epoch
         self._next_tx_id += 1
         return tx
 
@@ -583,6 +748,7 @@ class XenStoreDaemon:
     def txn_read(self, tx: Transaction, path: str):
         """Generator: XS_READ inside a transaction."""
         yield from self._charge(path=path)
+        self._check_tx_epoch(tx)
         yield from self._log_access()
         return tx.read(path)
 
@@ -590,6 +756,7 @@ class XenStoreDaemon:
     def txn_exists(self, tx: Transaction, path: str):
         """Generator: existence check inside a transaction."""
         yield from self._charge(path=path)
+        self._check_tx_epoch(tx)
         yield from self._log_access()
         return tx.exists(path)
 
@@ -597,6 +764,7 @@ class XenStoreDaemon:
     def txn_write(self, tx: Transaction, path: str, value: str):
         """Generator: XS_WRITE inside a transaction (staged)."""
         yield from self._charge(path=path)
+        self._check_tx_epoch(tx)
         tx.write(path, value)
         yield from self._log_access()
 
@@ -604,6 +772,7 @@ class XenStoreDaemon:
     def txn_rm(self, tx: Transaction, path: str):
         """Generator: XS_RM inside a transaction (staged)."""
         yield from self._charge(path=path)
+        self._check_tx_epoch(tx)
         tx.rm(path)
         yield from self._log_access()
 
@@ -620,6 +789,7 @@ class XenStoreDaemon:
         staged = list(staged)
         if not staged:
             return
+        self._check_tx_epoch(tx)
         if not self.batch_ops:
             for kind, path, value in staged:
                 if kind == "write":
@@ -658,6 +828,7 @@ class XenStoreDaemon:
         yield from self._charge(
             extra_us=self.costs.txn_overhead_us + validate_us,
             shards=self._all_shards())
+        self._check_tx_epoch(tx)
         if self.faults.fires("xenstore.commit") is not None:
             tx.abort()
             self.stats["conflicts"] += 1
@@ -677,6 +848,15 @@ class XenStoreDaemon:
             self.stats["conflicts"] += 1
             yield from self._log_access()
             raise
+        if self.journal is not None:
+            # Journal the committed effects in the order tx.commit()
+            # applied them: staged writes first (insertion order), then
+            # the staged removals (replay tolerates already-gone paths
+            # exactly like commit does).
+            for path, value in tx.write_set.items():
+                self.journal.record_write(tx.domid, path, value)
+            for path in tx.rm_set:
+                self.journal.record_rm(path)
         self.stats["commits"] += 1
         for path in modified:
             yield from self._fire_watches(path)

@@ -1,0 +1,100 @@
+"""The chaos campaign: seeded schedules, ddmin shrinking, reproducers.
+
+Covers the acceptance fixture from the issue: a deliberately-broken
+schedule (reap disabled, so a toolstack crash nobody recovers) must
+shrink to at most two fault events, and the emitted reproducer JSON must
+replay to the same violations and the same replay digest.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import FaultRule
+from repro.recovery import campaign
+
+
+#: The deliberately-broken fixture: three rules, only the create crash
+#: matters once nobody reaps.
+BROKEN = (FaultRule(point="toolstack.create", at=(6,), kind="crash"),
+          FaultRule(point="xenstore.message", at=(3,), kind="drop"),
+          FaultRule(point="xenstore.commit", at=(2,), kind="conflict"))
+
+
+def run_broken(schedule, seed=7):
+    return campaign.run_schedule(schedule, seed=seed, reap=False, count=6)
+
+
+class TestShrinking:
+    def test_broken_schedule_shrinks_to_at_most_two_events(self):
+        assert not run_broken(BROKEN).ok
+        minimal = campaign.shrink(
+            BROKEN, lambda subset: not run_broken(subset).ok)
+        assert len(minimal) <= 2
+        assert any(rule.point == "toolstack.create" for rule in minimal)
+
+    def test_shrunk_schedule_is_one_minimal(self):
+        minimal = campaign.shrink(
+            BROKEN, lambda subset: not run_broken(subset).ok)
+        for index in range(len(minimal)):
+            subset = minimal[:index] + minimal[index + 1:]
+            assert subset == () or run_broken(subset).ok
+
+    def test_reproducer_json_replays_to_same_violation(self):
+        minimal = campaign.shrink(
+            BROKEN, lambda subset: not run_broken(subset).ok)
+        final = run_broken(minimal)
+        reproducer = campaign.make_reproducer(
+            final, "boot-storm", "chaos+xs", "daytime", 6, None, False)
+        # Round-trip through JSON text, as the CLI artifact does.
+        reloaded = json.loads(json.dumps(reproducer))
+        replayed = campaign.replay(reloaded)
+        assert replayed.violations == final.violations
+        assert replayed.digest == final.digest
+        assert not replayed.ok
+
+    def test_reaping_the_broken_schedule_passes(self):
+        result = campaign.run_schedule(BROKEN, seed=7, reap=True, count=6)
+        assert result.ok
+        assert result.recovery["reaped"]["create"] == 1
+
+
+class TestCampaign:
+    def test_all_seeds_recover_clean(self):
+        report = campaign.run_campaign(seeds=8, count=4)
+        assert report.ok
+        assert len(report.runs) == 8
+        assert report.failures == []
+
+    def test_churn_scenario_recovers_clean(self):
+        report = campaign.run_campaign(seeds=6, count=6, scenario="churn")
+        assert report.ok
+
+    def test_no_reap_campaign_emits_shrunk_reproducers(self):
+        report = campaign.run_campaign(seeds=8, count=6, reap=False)
+        failing = [run for run in report.runs if not run.ok]
+        assert len(report.failures) == len(failing)
+        assert failing  # at least one seed crashes a create in 8 tries
+        for reproducer in report.failures:
+            assert reproducer["version"] == campaign.REPRODUCER_VERSION
+            assert len(reproducer["schedule"]) <= 2
+            replayed = campaign.replay(reproducer)
+            assert replayed.violations == reproducer["violations"]
+            assert replayed.digest == reproducer["digest"]
+
+    def test_schedules_are_seed_deterministic(self):
+        assert campaign.generate_schedule(3) == campaign.generate_schedule(3)
+        assert campaign.generate_schedule(3) != campaign.generate_schedule(4)
+
+    def test_rule_dict_roundtrip(self):
+        rule = FaultRule(point="toolstack.create", at=(6,), kind="crash",
+                         max_fires=1, delay_ms=2.5)
+        assert campaign.rule_from_dict(campaign.rule_to_dict(rule)) == rule
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            campaign.run_schedule((), scenario="thundering-herd")
+
+    def test_unknown_reproducer_version_rejected(self):
+        with pytest.raises(ValueError):
+            campaign.replay({"version": 99, "schedule": []})

@@ -1,0 +1,182 @@
+"""Daemon crash/restart: op journal, watchdog, parked clients, shedding.
+
+The XenStore daemon side of ``repro.recovery``: a ``daemon_crash`` fault
+kills the daemon mid-op, the watchdog notices and replays the write-ahead
+journal, open transactions are invalidated with ``DaemonRestarted``, and
+a bounded admission queue sheds excess requests with ``Overloaded``.
+"""
+
+import pytest
+
+from repro.core import Host
+from repro.faults import DaemonRestarted, FaultPlan, Overloaded
+from repro.guests import DAYTIME_UNIKERNEL
+from repro.recovery import OpJournal, Watchdog
+from repro.sim import Simulator
+from repro.xenstore import XenStoreDaemon, XsClient
+
+
+def drive(sim, gen):
+    """Run one generator to completion; return its value."""
+    result = []
+
+    def runner():
+        result.append((yield from gen))
+    sim.run(until=sim.process(runner()))
+    return result[0]
+
+
+def crash_host(occurrence=30, seed=0, **kwargs):
+    return Host(variant="chaos+xs", seed=seed,
+                fault_plan=FaultPlan.once("xenstore.daemon_crash",
+                                          occurrence=occurrence,
+                                          kind="crash", seed=seed),
+                recovery=True, **kwargs)
+
+
+class TestCrashRestart:
+    def test_crash_mid_storm_recovers_every_guest(self):
+        host = crash_host()
+        for _ in range(6):
+            host.create_vm(DAYTIME_UNIKERNEL)
+        host.sim.run(until=host.sim.now + 500.0)
+        xs = host.xenstore
+        assert xs.stats["crashes"] == 1
+        assert xs.stats["restarts"] == 1
+        assert xs.stats["replayed"] > 0
+        assert not xs.crashed
+        assert host.running_guests == 6
+        assert host.check_invariants() == []
+
+    def test_watchdog_counts_detections_and_reports_health(self):
+        host = crash_host()
+        for _ in range(6):
+            host.create_vm(DAYTIME_UNIKERNEL)
+        host.sim.run(until=host.sim.now + 500.0)
+        watchdog = host.recovery.watchdog
+        assert watchdog.detections == 1
+        health = watchdog.health()
+        assert health["up"] is True
+        assert health["epoch"] == 1
+        assert health["crashes"] == 1
+        assert health["restarts"] == 1
+        assert health["journal_entries"] > 0
+
+    def test_restart_charges_downtime_on_the_timeline(self):
+        timings = {}
+        for label, occurrence in (("calm", 10 ** 9), ("crashed", 30)):
+            host = crash_host(occurrence=occurrence)
+            for _ in range(6):
+                host.create_vm(DAYTIME_UNIKERNEL)
+            timings[label] = host.sim.now
+        # Detection delay + restart downtime + replay must cost time.
+        assert timings["crashed"] > timings["calm"]
+
+    def test_crash_point_needs_recovery_layer(self):
+        # Digest gating: without recovery=True the daemon_crash point is
+        # never consulted, so a plan naming it changes nothing at all.
+        digests = []
+        for plan in (None, FaultPlan.once("xenstore.daemon_crash",
+                                          occurrence=1)):
+            from repro.analysis.sanitize import EventTrace
+            sim = Simulator()
+            trace = EventTrace().attach(sim)
+            host = Host(variant="chaos+xs", seed=0, sim=sim,
+                        fault_plan=plan)
+            for _ in range(4):
+                host.create_vm(DAYTIME_UNIKERNEL)
+            sim.run(until=sim.now + 500.0)
+            assert host.xenstore.stats["crashes"] == 0
+            digests.append(trace.digest())
+        assert digests[0] == digests[1]
+
+
+class TestJournalReplay:
+    def _daemon(self):
+        sim = Simulator()
+        daemon = XenStoreDaemon(sim, rng=None)
+        daemon.attach_journal(OpJournal())
+        return sim, daemon
+
+    def test_replay_rebuilds_tree_quota_and_ambient(self):
+        sim, daemon = self._daemon()
+        client = XsClient(daemon).for_domain(1)
+        drive(sim, client.write("/local/domain/1/name", "guest"))
+        drive(sim, client.mkdir("/local/domain/1/device"))
+        drive(sim, client.write("/local/domain/1/device/vif", "0"))
+        drive(sim, client.rm("/local/domain/1/device/vif"))
+        daemon.register_client(1.0)
+        daemon.register_client(0.5)
+        daemon.unregister_client(0.5)
+        counts_before = dict(daemon._node_counts)
+        ambient_before = daemon.ambient_clients
+
+        daemon._crash()
+        daemon.tree = None  # replay must not depend on the dead tree
+        drive(sim, daemon.restart())
+
+        assert drive(sim, client.read("/local/domain/1/name")) == "guest"
+        assert not drive(sim, XsClient(daemon).directory(
+            "/local/domain/1/device"))
+        assert daemon._node_counts == counts_before
+        assert daemon.ambient_clients == ambient_before
+        assert not daemon.crashed
+
+    def test_open_transaction_invalidated_by_crash(self):
+        sim, daemon = self._daemon()
+        tx = drive(sim, daemon.transaction_start(0))
+        daemon._crash()
+        drive(sim, daemon.restart())
+        with pytest.raises(DaemonRestarted):
+            drive(sim, daemon.txn_write(tx, "/stale", "x"))
+
+    def test_request_during_downtime_parks_until_restart(self):
+        sim, daemon = self._daemon()
+        client = XsClient(daemon)
+        daemon._crash()
+        watchdog = Watchdog(sim, daemon)
+
+        log = []
+
+        def writer():
+            yield from client.write("/after", "restart")
+            log.append(sim.now)
+
+        sim.process(writer())
+        sim.run(until=sim.now + 1.0)
+        assert log == []  # parked: the daemon is down
+        drive(sim, daemon.restart())
+        sim.run(until=sim.now + 10.0)
+        assert log and drive(sim, client.read("/after")) == "restart"
+        assert watchdog.detections == 0  # armed late: nothing to do
+
+
+class TestAdmissionControl:
+    def test_zero_cap_sheds_with_typed_overloaded(self):
+        sim = Simulator()
+        daemon = XenStoreDaemon(sim, rng=None, queue_cap=0)
+        client = XsClient(daemon)
+        with pytest.raises(Overloaded):
+            drive(sim, client.write("/nope", "1"))
+        assert daemon.stats["shed"] == 1
+
+    def test_transaction_backs_off_then_surfaces_overloaded(self):
+        sim = Simulator()
+        daemon = XenStoreDaemon(sim, rng=None, queue_cap=0)
+        client = XsClient(daemon)
+
+        def body(txn):
+            txn.write("/t", "1")
+            yield from ()
+
+        start = sim.now
+        with pytest.raises(Overloaded):
+            drive(sim, client.transaction(body))
+        assert sim.now > start  # backed off between shed attempts
+        assert daemon.stats["shed"] > 1
+
+    def test_uncapped_daemon_never_sheds(self):
+        host = Host(variant="chaos+xs", seed=0)
+        for _ in range(8):
+            host.create_vm(DAYTIME_UNIKERNEL)
+        assert host.xenstore.stats["shed"] == 0

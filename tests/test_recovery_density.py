@@ -1,0 +1,79 @@
+"""Figure 10 density under failure: 8000 guests, a daemon crash, a cap.
+
+The paper's headline density run (n=8000 unikernels on one host), driven
+in concurrent waves against a *bounded* daemon admission queue with a
+daemon crash injected mid-run.  Acceptance: the run completes with every
+guest accounted for — created, reaped after a toolstack crash, or
+rejected with a typed ``Overloaded`` — and a clean invariant audit.
+"""
+
+from repro.core import Host
+from repro.faults import FaultPlan, FaultRule, Overloaded, ToolstackCrashed
+from repro.guests import DAYTIME_UNIKERNEL
+
+N = 8000
+WAVE = 16
+#: ~17 charged daemon ops per create: occurrence ~N*17/2 is mid-run.
+MID_RUN = N * 17 // 2
+
+
+def drive_density(host, total, wave=WAVE):
+    """Create ``total`` guests in concurrent waves; tally typed outcomes."""
+    tally = {"created": 0, "crashed": 0, "rejected": 0, "other": []}
+
+    def one(config):
+        try:
+            yield from host.toolstack.create_vm(config)
+            tally["created"] += 1
+        except ToolstackCrashed:
+            tally["crashed"] += 1
+        except Overloaded:
+            tally["rejected"] += 1
+        except Exception as exc:  # anything untyped fails the test below
+            tally["other"].append("%s: %s" % (type(exc).__name__, exc))
+
+    launched = 0
+    while launched < total:
+        batch = min(wave, total - launched)
+        procs = [host.sim.process(one(host.config_for(DAYTIME_UNIKERNEL)))
+                 for _ in range(batch)]
+        launched += batch
+        host.sim.run(until=host.sim.all_of(procs))
+    return tally
+
+
+class TestPaperScaleDensityUnderFailure:
+    def test_8000_guests_with_mid_run_daemon_crash(self):
+        plan = FaultPlan(rules=(
+            FaultRule(point="xenstore.daemon_crash", at=(MID_RUN,),
+                      kind="crash"),
+            # And a couple of toolstack kills for the reaper to handle.
+            FaultRule(point="toolstack.create", at=(2001, 12002),
+                      kind="crash"),
+        ))
+        host = Host(variant="chaos+xs+split", seed=0,
+                    pool_target=WAVE * 4, xenstore_queue_cap=3,
+                    fault_plan=plan, recovery=True)
+        host.warmup(2000)
+
+        tally = drive_density(host, N)
+        host.recover()
+        host.sim.run(until=host.sim.now + 1000.0)
+
+        # Every guest has exactly one typed outcome.
+        assert tally["other"] == []
+        assert (tally["created"] + tally["crashed"]
+                + tally["rejected"]) == N
+        # The daemon really died and came back mid-run...
+        assert host.xenstore.stats["crashes"] == 1
+        assert host.xenstore.stats["restarts"] == 1
+        assert not host.xenstore.crashed
+        # ...shedding really happened (absorbed or typed)...
+        assert host.xenstore.stats["shed"] > 0
+        # ...the toolstack kills were reaped...
+        assert tally["crashed"] == 2
+        assert host.recovery.reaper.reaped["create"] == 2
+        assert not host.recovery.intents.open_intents()
+        # ...and the survivors add up, with a clean audit.
+        assert host.running_guests == tally["created"]
+        assert host.check_invariants() == []

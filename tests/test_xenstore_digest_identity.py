@@ -40,6 +40,7 @@ def _frozen_for_host(sim, *args, **kwargs):
     an identity comparison to make sense."""
     assert kwargs.pop("workers", 1) == 1
     assert kwargs.pop("batch_ops", False) is False
+    assert kwargs.pop("queue_cap", None) is None
     return FrozenDaemon(sim, *args, **kwargs)
 
 
