@@ -17,15 +17,31 @@ machine-checked instead of by-convention:
   resource/store waiter audits, RNG stream-collision detection, and the
   dual-run digest checker that proves replay-identity by running a
   scenario twice and diffing a streaming SHA-256 of its event timeline.
+* :mod:`repro.analysis.races` — the lock-order/race analysis
+  (``repro races``): an interprocedural AST pass over every
+  ``sim.Resource`` acquire/release site that builds the global
+  lock-order graph, reports deadlock cycles (``RPR101``), exception-path
+  lock leaks (``RPR102``) and yield-spanning stale read-modify-writes
+  (``RPR103``), and diffs the graph against a committed baseline.
+* :mod:`repro.analysis.witness` — the runtime side of ``races``: an
+  opt-in vector-clock :class:`RaceWitness` threading happens-before
+  through spawn/wake/lock hand-off, which cross-validates the static
+  lock-order graph against orders actually observed in the figure
+  workloads.
 """
 
 from .bench import (BenchResultError, bench_gate, bench_trend,
                     figure_gate, load_results)
-from .lint import (Finding, LintRule, RULES, lint_paths, lint_source,
+from .lint import (DuplicateRuleError, Finding, LintRule, RULES, find_rule,
+                   format_findings, lint_paths, lint_source,
                    render_findings)
+from .races import (LockOrderGraph, RaceReport, analyze_paths,
+                    analyze_source, load_baseline, normalize_lock_name,
+                    save_baseline)
 from .sanitize import (EventTrace, ReplayDivergence, ReplayReport, Sanitizer,
                        SanitizerViolation, assert_replay_identical,
                        canonical, verify_replay)
+from .witness import RaceWitness, WitnessViolation, run_shard_witness
 
 __all__ = [
     "BenchResultError",
@@ -33,18 +49,31 @@ __all__ = [
     "bench_trend",
     "figure_gate",
     "load_results",
+    "DuplicateRuleError",
     "EventTrace",
     "Finding",
     "LintRule",
+    "LockOrderGraph",
     "RULES",
+    "RaceReport",
+    "RaceWitness",
     "ReplayDivergence",
     "ReplayReport",
     "Sanitizer",
     "SanitizerViolation",
+    "WitnessViolation",
+    "analyze_paths",
+    "analyze_source",
     "assert_replay_identical",
     "canonical",
+    "find_rule",
+    "format_findings",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "normalize_lock_name",
     "render_findings",
+    "run_shard_witness",
+    "save_baseline",
     "verify_replay",
 ]

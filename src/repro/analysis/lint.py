@@ -39,6 +39,11 @@ ID          severity   hazard
 ``RPR009``  error      deprecated XenStore surface: a ``.op_*`` /
                        ``.tx_*`` daemon call outside ``repro/xenstore``
                        — go through ``repro.xenstore.client.XsClient``
+``RPR010``  error      real concurrency: ``threading`` /
+                       ``multiprocessing`` / ``asyncio`` /
+                       ``concurrent.futures`` imports in simulation code
+                       (preemption breaks replay determinism; parallelism
+                       belongs in an allowlisted process runner)
 ``RPR000``  error      a ``# noqa: RPRxxx`` suppression without a
                        justification
 ==========  =========  ====================================================
@@ -128,10 +133,34 @@ class LintRule:
 RULES: typing.List[LintRule] = []
 
 
+class DuplicateRuleError(ValueError):
+    """Two rules claimed the same RPR id; the second would silently
+    shadow the first in reports and noqa matching."""
+
+
 def register(cls: typing.Type[LintRule]) -> typing.Type[LintRule]:
-    """Class decorator adding a rule instance to :data:`RULES`."""
-    RULES.append(cls())
+    """Class decorator adding a rule instance to :data:`RULES`.
+
+    Rejects duplicate rule ids loudly: suppression comments and CI
+    baselines key on the id, so a plugin re-using one would silently
+    change what an existing ``# noqa`` means.
+    """
+    rule = cls()
+    for existing in RULES:
+        if existing.id == rule.id:
+            raise DuplicateRuleError(
+                "rule id %s already registered by %s; pick a fresh id"
+                % (rule.id, type(existing).__name__))
+    RULES.append(rule)
     return cls
+
+
+def find_rule(rule_id: str) -> LintRule:
+    """Look up a registered rule by its RPR id; raises ``KeyError``."""
+    for rule in RULES:
+        if rule.id == rule_id:
+            return rule
+    raise KeyError("no registered rule with id %r" % rule_id)
 
 
 # ----------------------------------------------------------------------
@@ -608,6 +637,62 @@ class LegacyXenStoreSurfaceRule(LintRule):
                     "handle (repro.xenstore.client) instead" % func.attr)
 
 
+#: Paths where RPR010 does not apply.  The planned ``repro.cluster``
+#: process runner (parallel per-host engines with deterministic
+#: epoch-barrier exchange, see ROADMAP) will be the one sanctioned user
+#: of real OS concurrency; extend this list from that package rather
+#: than sprinkling noqa comments.
+RPR010_ALLOWED_PATHS: typing.List["re.Pattern"] = [
+    re.compile(r"repro[\\/]cluster[\\/]"),
+]
+
+
+@register
+class RealConcurrencyRule(LintRule):
+    """RPR010: real concurrency primitives are banned in sim code.
+
+    The whole determinism story rests on one scheduler: the DES event
+    heap, with its ``(time, insertion order)`` tie-break.  A thread, an
+    OS process pool, or an asyncio loop introduces a *second* scheduler
+    whose interleavings the replay digest cannot pin — the race tooling
+    in :mod:`repro.analysis.races` reasons about ``sim.Resource`` locks
+    precisely because they are the only legal synchronisation.  Paths in
+    :data:`RPR010_ALLOWED_PATHS` (the future cluster process runner) are
+    exempt; anywhere else, a justified noqa must argue the import never
+    touches the timeline (e.g. tooling that only post-processes
+    artifacts).
+    """
+
+    id = "RPR010"
+    severity = "error"
+    synopsis = ("threading/multiprocessing/asyncio/concurrent.futures "
+                "import in simulation code")
+
+    _BANNED_ROOTS = frozenset({
+        "threading", "multiprocessing", "asyncio", "concurrent",
+        "_thread",
+    })
+
+    def check(self, module: ModuleContext) -> typing.Iterator[Finding]:
+        for pattern in RPR010_ALLOWED_PATHS:
+            if pattern.search(module.path):
+                return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                names = [node.module or ""]
+            else:
+                continue
+            for name in names:
+                if name.split(".")[0] in self._BANNED_ROOTS:
+                    yield self.finding(
+                        module, node,
+                        "import of %r brings a second scheduler into the "
+                        "simulation; all concurrency must go through the "
+                        "DES kernel (sim.process / sim.Resource)" % name)
+
+
 # ----------------------------------------------------------------------
 # Suppression (# noqa: RPRxxx -- justification)
 # ----------------------------------------------------------------------
@@ -718,3 +803,51 @@ def render_findings(findings: typing.Sequence[Finding]) -> str:
     else:
         lines.append("0 findings")
     return "\n".join(lines)
+
+
+#: Formats accepted by ``repro lint --format`` / ``repro races --format``.
+FORMATS = ("text", "json", "github")
+
+
+def findings_to_json(findings: typing.Sequence[Finding]) -> str:
+    """Findings as a JSON array (stable key order, trailing newline)."""
+    import json
+
+    payload = [dataclasses.asdict(finding) for finding in findings]
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _github_escape(text: str) -> str:
+    """Escape a workflow-command message per the Actions spec."""
+    return (text.replace("%", "%25").replace("\r", "%0D")
+            .replace("\n", "%0A"))
+
+
+def findings_to_github(findings: typing.Sequence[Finding]) -> str:
+    """Findings as GitHub workflow-annotation lines.
+
+    ``::error file=...,line=...,col=...,title=RPRxxx::message`` renders
+    inline on the PR diff; warnings map to ``::warning``.
+    """
+    lines = []
+    for finding in findings:
+        level = "warning" if finding.severity == "warning" else "error"
+        lines.append(
+            "::%s file=%s,line=%d,col=%d,title=%s::%s"
+            % (level, finding.path, finding.line, finding.col + 1,
+               finding.rule_id, _github_escape(finding.message)))
+    lines.append("%d finding(s)" % len(findings))
+    return "\n".join(lines)
+
+
+def format_findings(findings: typing.Sequence[Finding],
+                    fmt: str = "text") -> str:
+    """Render findings in one of :data:`FORMATS`."""
+    if fmt == "json":
+        return findings_to_json(findings)
+    if fmt == "github":
+        return findings_to_github(findings)
+    if fmt == "text":
+        return render_findings(findings)
+    raise ValueError("unknown format %r; expected one of %s"
+                     % (fmt, ", ".join(FORMATS)))

@@ -1,0 +1,1398 @@
+"""Whole-program lock-order and sim-race analysis (``repro races``).
+
+The sharded XenStore daemon (PR 5) and the recovery layer (PR 6) rest on
+a lock discipline that was, until this pass, enforced purely by
+convention: *per-subtree shard locks are* ``Resource(capacity=1)``
+*objects, and any op touching more than one shard takes them in
+ascending index order*.  Conventions rot; the cluster-scale roadmap item
+(parallel per-host engines) multiplies the cost of a rotten one.  This
+module turns the convention into a machine-checked contract.
+
+It is an interprocedural static pass over the simulation sources:
+
+1. **Lock discovery** — every ``repro.sim.resources.Resource``
+   construction site becomes a *lock declaration*.  A ``name=`` argument
+   names the lock (format fields like ``%d`` normalise to ``*`` so
+   ``"xenstore.shard[%d]" % i`` declares the *family*
+   ``xenstore.shard[*]``); undeclared locks are labelled from their
+   binding site (``Class.attr`` or ``module.func.var``).
+2. **Per-function summaries** — each function body is flattened into a
+   linear trace of abstract ops (acquire / release / call / yield /
+   shared-state read / shared-state write) with a held-lock stack
+   threaded through ``with lock.request()`` blocks, manual
+   request/release pairs and loop acquires.
+3. **A global lock-order graph** — an edge ``A -> B`` is recorded
+   whenever ``B`` is acquired (directly or via any resolvable callee)
+   while ``A`` is held.  Intra-family multi-acquires are *ascending*
+   when the acquisition index order is provable: a loop over a
+   ``sorted(...)``/``range(...)`` iterable (or a parameter every call
+   site feeds from one — a small orderedness fixpoint over the call
+   graph), or literal indices taken in increasing order.
+4. **Findings** — reported through the lint machinery (same
+   :class:`~repro.analysis.lint.Finding` type, same justified-``noqa``
+   suppression policy):
+
+   ==========  =========  ==================================================
+   ID          severity   hazard
+   ==========  =========  ==================================================
+   ``RPR101``  error      potential deadlock: a cycle in the lock-order
+                          graph, or an intra-family multi-acquire whose
+                          order is not provably ascending
+   ``RPR102``  error      a manual ``.request()`` held across a yield
+                          with no ``with`` block or ``try/finally``
+                          releasing it — an exception unwinding the
+                          process leaks the slot forever
+   ``RPR103``  error      a stale read-modify-write: ``self.*`` state
+                          read before a yield and written after it with
+                          no lock held across, in a function reachable
+                          from a process body — another process can
+                          interleave at the yield and the write clobbers
+                          its update
+   ==========  =========  ==================================================
+
+Why RPR103 is the *DES-correct* race criterion: in this kernel,
+processes interleave **only at yield points** — straight-line code
+between yields is atomic, so an unlocked write is safe as long as the
+value it writes was computed after the last yield (which is why the
+daemon may mutate its tree after releasing the shard lock).  The hazard
+that survives cooperative scheduling — and the one that breaks first
+under the planned parallel cluster runner — is exactly the
+read-*yield*-write shape.  It is scoped to ``self.*`` attribute state
+because that is what outlives one process activation: host and daemon
+objects are shared by every process holding a reference, while locals
+die with the frame.
+
+The committed lock-order baseline (``benchmarks/baseline_lockorder.json``)
+pins the graph — above all the ascending ``xenstore.shard[*]`` family
+self-edge that makes the PR 5 multi-worker dispatch deadlock-free — and
+``repro races --baseline`` fails CI on drift.  The runtime half of the
+contract lives in :mod:`repro.analysis.witness`.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import pathlib
+import re
+import typing
+
+from .lint import Finding, ModuleContext, apply_suppressions
+
+#: Rule ids this pass can emit.
+RACE_RULES = {
+    "RPR101": "lock-order cycle or unordered intra-family multi-acquire",
+    "RPR102": "manual lock acquire leaked on exception paths",
+    "RPR103": "stale read-modify-write across a yield without a lock",
+}
+
+#: Orderedness lattice for iterables feeding loop acquires.
+_ASC = "ascending"
+_UNKNOWN = "unknown"
+
+#: ``name=`` format fields normalised to the family wildcard.
+_FORMAT_FIELD = re.compile(r"%\(?\w*\)?[sdrif]|\{[^{}]*\}")
+
+
+def normalize_lock_name(name: str) -> str:
+    """Collapse format fields in a declared lock name to ``*``:
+    ``"xenstore.shard[%d]"`` and ``"xenstore.shard[3]"`` both belong to
+    the family ``xenstore.shard[*]``."""
+    name = _FORMAT_FIELD.sub("*", name)
+    return re.sub(r"\[\d+\]", "[*]", name)
+
+
+@dataclasses.dataclass(frozen=True)
+class LockDecl:
+    """One ``Resource(...)`` construction site."""
+
+    label: str
+    family: bool
+    path: str
+    line: int
+
+
+@dataclasses.dataclass
+class OrderEdge:
+    """``src`` was held while ``dst`` was acquired.
+
+    ``ascending`` is meaningful on family self-edges (``src == dst``):
+    True means every recorded multi-acquire of the family was in
+    provably ascending index order — the sanctioned pattern.  Cross-lock
+    edges carry ``ascending=False`` (the flag does not apply)."""
+
+    src: str
+    dst: str
+    ascending: bool
+    path: str
+    line: int
+    via: str
+    count: int = 1
+
+    def key(self) -> typing.Tuple[str, str]:
+        return (self.src, self.dst)
+
+    def render(self) -> str:
+        arrow = "=asc=>" if self.src == self.dst and self.ascending \
+            else "->"
+        return "%s %s %s  (%s:%d%s)" % (
+            self.src, arrow, self.dst, self.path, self.line,
+            " via %s" % self.via if self.via else "")
+
+
+class LockOrderGraph:
+    """The global acquired-while-holding graph."""
+
+    def __init__(self):
+        self.nodes: typing.List[str] = []
+        self.edges: typing.Dict[typing.Tuple[str, str], OrderEdge] = {}
+
+    def add_node(self, label: str) -> None:
+        if label not in self.nodes:
+            self.nodes.append(label)
+
+    def add_edge(self, edge: OrderEdge) -> None:
+        self.add_node(edge.src)
+        self.add_node(edge.dst)
+        existing = self.edges.get(edge.key())
+        if existing is None:
+            self.edges[edge.key()] = edge
+        else:
+            existing.count += 1
+            # One non-ascending recording poisons the whole self-edge:
+            # the discipline must hold at every site, not just most.
+            if not edge.ascending and existing.ascending:
+                existing.path, existing.line = edge.path, edge.line
+                existing.via = edge.via
+                existing.ascending = False
+
+    def cycles(self) -> typing.List[typing.List[OrderEdge]]:
+        """Cycles among the order edges, as witness-edge lists.
+
+        Ascending family self-edges are the *sanctioned* multi-acquire
+        and are exempt; a non-ascending self-edge is its own cycle, and
+        every multi-node strongly connected component contributes one.
+        """
+        found: typing.List[typing.List[OrderEdge]] = []
+        adjacency: typing.Dict[str, typing.List[str]] = {}
+        for key in sorted(self.edges):
+            edge = self.edges[key]
+            if edge.src == edge.dst:
+                if not edge.ascending:
+                    found.append([edge])
+                continue
+            adjacency.setdefault(edge.src, []).append(edge.dst)
+        for component in _sccs(sorted(adjacency), adjacency):
+            members = frozenset(component)
+            cycle = []
+            for index, label in enumerate(component):
+                succ = component[(index + 1) % len(component)]
+                edge = self.edges.get((label, succ))
+                if edge is None:
+                    # The SCC is denser than the sampled ring; pick any
+                    # in-component successor so the witness is real.
+                    for candidate in adjacency.get(label, ()):
+                        if candidate in members:
+                            edge = self.edges[(label, candidate)]
+                            break
+                if edge is not None:
+                    cycle.append(edge)
+            found.append(cycle)
+        return found
+
+    # -- baseline ------------------------------------------------------
+    def to_baseline(self) -> dict:
+        return {
+            "version": 1,
+            "nodes": sorted(self.nodes),
+            "edges": [
+                {"src": edge.src, "dst": edge.dst,
+                 "ascending": edge.ascending}
+                for _key, edge in sorted(self.edges.items())
+            ],
+        }
+
+    def diff_baseline(self, baseline: dict) -> typing.List[str]:
+        """Drift messages vs a committed baseline (empty == identical)."""
+        drift: typing.List[str] = []
+        current = {(e["src"], e["dst"]): e["ascending"]
+                   for e in self.to_baseline()["edges"]}
+        committed = {(e["src"], e["dst"]): e.get("ascending", False)
+                     for e in baseline.get("edges", [])}
+        for key in sorted(set(current) - set(committed)):
+            drift.append("new lock-order edge %s -> %s (ascending=%s): "
+                         "not in the committed baseline"
+                         % (key[0], key[1], current[key]))
+        for key in sorted(set(committed) - set(current)):
+            drift.append("lock-order edge %s -> %s vanished from the "
+                         "analysis" % key)
+        for key in sorted(set(current) & set(committed)):
+            if current[key] != committed[key]:
+                drift.append(
+                    "edge %s -> %s changed ascending %s -> %s"
+                    % (key[0], key[1], committed[key], current[key]))
+        baseline_nodes = baseline.get("nodes", [])
+        for node in sorted(set(self.nodes) - set(baseline_nodes)):
+            drift.append("new lock %r not in the committed baseline"
+                         % node)
+        for node in sorted(set(baseline_nodes) - set(self.nodes)):
+            drift.append("lock %r vanished from the analysis" % node)
+        return drift
+
+    def render(self) -> str:
+        lines = ["lock-order graph: %d lock(s), %d edge(s)"
+                 % (len(self.nodes), len(self.edges))]
+        for node in sorted(self.nodes):
+            lines.append("  lock %s" % node)
+        for key in sorted(self.edges):
+            lines.append("  edge %s" % self.edges[key].render())
+        return "\n".join(lines)
+
+
+def _sccs(nodes: typing.Sequence[str],
+          adjacency: typing.Dict[str, typing.List[str]]
+          ) -> typing.List[typing.List[str]]:
+    """Strongly connected components with more than one node (iterative
+    Tarjan, deterministic order)."""
+    index: typing.Dict[str, int] = {}
+    lowlink: typing.Dict[str, int] = {}
+    on_stack: typing.Dict[str, bool] = {}
+    stack: typing.List[str] = []
+    counter = [0]
+    components: typing.List[typing.List[str]] = []
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: typing.List[typing.Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack[node] = True
+            children = adjacency.get(node, [])
+            advanced = False
+            while child_index < len(children):
+                child = children[child_index]
+                child_index += 1
+                if child not in index:
+                    work[-1] = (node, child_index)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if on_stack.get(child):
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    component.reverse()
+                    components.append(component)
+    return components
+
+
+# ----------------------------------------------------------------------
+# Abstract function traces
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class _Acquire:
+    token: int
+    label: str
+    family: bool
+    line: int
+    manual: bool
+    protected: bool
+    loop_ascending: typing.Optional[bool]  # None when not a loop acquire
+    var: typing.Optional[str]
+    const_index: typing.Optional[int] = None
+
+
+@dataclasses.dataclass
+class _Op:
+    kind: str  # acquire | release | call | yield | read | write | leak
+    index: int
+    line: int
+    data: typing.Any = None
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """Everything the global passes need to know about one function."""
+
+    qualname: str
+    name: str
+    path: str
+    line: int
+    class_name: typing.Optional[str]
+    module_key: str
+    ops: typing.List[_Op] = dataclasses.field(default_factory=list)
+    calls: typing.List[typing.Tuple[str, typing.Optional[str], int]] = \
+        dataclasses.field(default_factory=list)
+    spawn_targets: typing.List[str] = dataclasses.field(
+        default_factory=list)
+    return_exprs: typing.List[ast.AST] = dataclasses.field(
+        default_factory=list)
+    call_sites: typing.List[typing.Tuple[str, typing.List[ast.AST],
+                                         typing.Dict[str, ast.AST]]] = \
+        dataclasses.field(default_factory=list)
+    param_names: typing.List[str] = dataclasses.field(default_factory=list)
+    has_yield: bool = False
+    # Filled by the orderedness fixpoint:
+    return_orderedness: str = _UNKNOWN
+    param_orderedness: typing.Dict[str, str] = dataclasses.field(
+        default_factory=dict)
+    local_orderedness: typing.Dict[str, str] = dataclasses.field(
+        default_factory=dict)
+    # Filled by the summary fixpoint:
+    acquired_labels: typing.List[str] = dataclasses.field(
+        default_factory=list)
+
+    def reset_trace(self) -> None:
+        self.ops = []
+        self.calls = []
+        self.spawn_targets = []
+        self.return_exprs = []
+        self.call_sites = []
+        self.has_yield = False
+
+
+def _attr_chain(node: ast.AST) -> typing.Optional[str]:
+    """Textual chain for an attribute/subscript expression, subscripts
+    normalised (constant keys kept, computed keys -> ``[*]``):
+    ``self._node_counts[domid]`` -> ``self._node_counts[*]``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _attr_chain(node.value)
+        return None if base is None else "%s.%s" % (base, node.attr)
+    if isinstance(node, ast.Subscript):
+        base = _attr_chain(node.value)
+        if base is None:
+            return None
+        key = node.slice
+        if isinstance(key, ast.Constant) and isinstance(
+                key.value, (str, int)):
+            return "%s[%r]" % (base, key.value)
+        return "%s[*]" % base
+    return None
+
+
+def _literal_lock_name(node: ast.AST) -> typing.Optional[str]:
+    """Extract a declared lock name from the ``name=`` argument."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return normalize_lock_name(node.value)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+        return _literal_lock_name(node.left)
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for value in node.values:
+            if isinstance(value, ast.Constant):
+                parts.append(str(value.value))
+            else:
+                parts.append("*")
+        return normalize_lock_name("".join(parts))
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+            and node.func.attr == "format":
+        return _literal_lock_name(node.func.value)
+    return None
+
+
+def _is_resource_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None)
+    return name == "Resource"
+
+
+def _resource_name_kwarg(node: ast.Call) -> typing.Optional[str]:
+    for keyword in node.keywords:
+        if keyword.arg == "name":
+            return _literal_lock_name(keyword.value)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Pass A: module indexing (functions + lock declarations)
+# ----------------------------------------------------------------------
+
+class _ModuleIndexer:
+    def __init__(self, program: "Program", module: ModuleContext):
+        self.program = program
+        self.module = module
+        self.module_key = pathlib.Path(module.path).stem
+
+    def run(self) -> None:
+        self._walk_body(self.module.tree.body, class_name=None, prefix="")
+
+    def _walk_body(self, body, class_name, prefix) -> None:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                self._walk_body(node.body, class_name=node.name,
+                                prefix="%s%s." % (prefix, node.name))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = "%s:%s%s" % (self.module_key, prefix, node.name)
+                info = FunctionInfo(
+                    qualname=qualname, name=node.name,
+                    path=self.module.path, line=node.lineno,
+                    class_name=class_name, module_key=self.module_key)
+                info.param_names = [a.arg for a in node.args.args]
+                self.program.add_function(info, node, class_name)
+                self._index_func_lock_decls(node, class_name)
+                self._walk_body(node.body, class_name=None,
+                                prefix="%s%s." % (prefix, node.name))
+            else:
+                self._index_stmt_lock_decls(node, class_name=None,
+                                            scope="<module>")
+
+    def _index_func_lock_decls(self, func_node, class_name) -> None:
+        for stmt in ast.walk(func_node):
+            self._index_stmt_lock_decls(stmt, class_name, func_node.name)
+
+    def _index_stmt_lock_decls(self, stmt, class_name, scope) -> None:
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            return
+        value = getattr(stmt, "value", None)
+        if value is None:
+            return
+        decl = self._decl_from_value(value)
+        if decl is None:
+            return
+        declared_name, family = decl
+        targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                   else [stmt.target])
+        for target in targets:
+            if isinstance(target, ast.Attribute) and \
+                    isinstance(target.value, ast.Name) and \
+                    target.value.id == "self" and class_name:
+                label = declared_name or "%s.%s%s" % (
+                    class_name, target.attr, "[*]" if family else "")
+                self.program.attr_locks[(class_name, target.attr)] = \
+                    LockDecl(label, family, self.module.path, stmt.lineno)
+            elif isinstance(target, ast.Name):
+                label = declared_name or "%s.%s.%s%s" % (
+                    self.module_key, scope, target.id,
+                    "[*]" if family else "")
+                self.program.local_locks[
+                    (self.module.path, scope, target.id)] = \
+                    LockDecl(label, family, self.module.path, stmt.lineno)
+
+    def _decl_from_value(self, value: ast.AST
+                         ) -> typing.Optional[typing.Tuple[
+                             typing.Optional[str], bool]]:
+        """``(declared_name, is_family)`` when ``value`` builds locks."""
+        if _is_resource_call(value):
+            return (_resource_name_kwarg(value), False)
+        if isinstance(value, ast.ListComp) and \
+                _is_resource_call(value.elt):
+            return (_resource_name_kwarg(value.elt), True)
+        if isinstance(value, (ast.List, ast.Tuple)) and value.elts and \
+                all(_is_resource_call(e) for e in value.elts):
+            return (_resource_name_kwarg(value.elts[0]), True)
+        return None
+
+
+# ----------------------------------------------------------------------
+# Pass B: one function body -> a linear abstract-op trace
+# ----------------------------------------------------------------------
+
+class _FunctionWalker:
+    def __init__(self, program: "Program", module: ModuleContext,
+                 info: FunctionInfo, node):
+        self.program = program
+        self.module = module
+        self.info = info
+        self.node = node
+        self._next_token = 0
+        self._held: typing.List[_Acquire] = []
+        self._op_index = 0
+        #: Loop context stack: (target names, iterable expression).
+        self._loops: typing.List[typing.Tuple[typing.Set[str],
+                                              ast.AST]] = []
+        #: Depth of surrounding try blocks whose finally releases locks.
+        self._finally_protected = 0
+
+    # -- emit helpers --------------------------------------------------
+    def _emit(self, kind, line, data=None) -> _Op:
+        op = _Op(kind=kind, index=self._op_index, line=line, data=data)
+        self._op_index += 1
+        self.info.ops.append(op)
+        return op
+
+    def run(self) -> None:
+        self._walk_stmts(self.node.body)
+        # Manual acquires still held at the end, never released and not
+        # escaping (returned / stashed on an object / appended to a
+        # list): the slot leaks on every path, yield or not.
+        escaping = self._escaping_names()
+        for acquire in self._held:
+            if acquire.manual and not acquire.protected and \
+                    (acquire.var is None or acquire.var not in escaping):
+                self._emit("leak", acquire.line, acquire)
+
+    def _escaping_names(self) -> typing.Set[str]:
+        names: typing.Set[str] = set()
+        for stmt in ast.walk(self.node):
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                for sub in ast.walk(stmt.value):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+            if isinstance(stmt, ast.Assign) and \
+                    isinstance(stmt.value, ast.Name):
+                for target in stmt.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        names.add(stmt.value.id)
+            if isinstance(stmt, ast.Call):
+                name = (stmt.func.attr
+                        if isinstance(stmt.func, ast.Attribute) else None)
+                if name == "append":
+                    for arg in stmt.args:
+                        if isinstance(arg, ast.Name):
+                            names.add(arg.id)
+        return names
+
+    # -- statement dispatch --------------------------------------------
+    def _walk_stmts(self, stmts) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt)
+
+    def _walk_stmt(self, stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested defs get their own FunctionInfo
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._walk_with(stmt)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._walk_for(stmt)
+            return
+        if isinstance(stmt, ast.While):
+            self._scan_expr(stmt.test)
+            self._walk_stmts(stmt.body)
+            self._walk_stmts(stmt.orelse)
+            return
+        if isinstance(stmt, ast.If):
+            self._scan_expr(stmt.test)
+            self._walk_stmts(stmt.body)
+            self._walk_stmts(stmt.orelse)
+            return
+        if isinstance(stmt, ast.Try):
+            self._walk_try(stmt)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.info.return_exprs.append(stmt.value)
+                self._scan_expr(stmt.value)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._walk_assign(stmt)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._scan_expr(stmt.value)
+            chain = _attr_chain(stmt.target)
+            if chain is not None and chain.startswith("self."):
+                # Only the write is emitted: an augmented assignment is
+                # atomic between yields, and its implicit read flows
+                # into nothing but its own write — pairing it with a
+                # later write in another branch would be a false
+                # positive.  A *plain* read before a yield followed by
+                # an augassign write after it (check-then-act) still
+                # pairs, as it should.
+                self._emit("write", stmt.lineno, chain)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._scan_expr(stmt.value)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._walk_expr_stmt(stmt)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._scan_expr(child)
+
+    def _walk_with(self, stmt) -> None:
+        acquired: typing.List[_Acquire] = []
+        for item in stmt.items:
+            expr = item.context_expr
+            receiver = self._request_receiver(expr)
+            if receiver is not None:
+                var = None
+                if isinstance(item.optional_vars, ast.Name):
+                    var = item.optional_vars.id
+                acquired.append(self._acquire(receiver, expr.lineno,
+                                              manual=False, var=var))
+            else:
+                self._scan_expr(expr)
+        self._walk_stmts(stmt.body)
+        for acquire in reversed(acquired):
+            self._release_token(acquire)
+
+    def _walk_for(self, stmt) -> None:
+        self._scan_expr(stmt.iter)
+        targets: typing.Set[str] = set()
+        for sub in ast.walk(stmt.target):
+            if isinstance(sub, ast.Name):
+                targets.add(sub.id)
+        self._loops.append((targets, stmt.iter))
+        try:
+            self._walk_stmts(stmt.body)
+        finally:
+            self._loops.pop()
+        self._walk_stmts(stmt.orelse)
+        # Locks acquired per-iteration and not released inside the loop
+        # remain on the held stack (the daemon's _acquire_shards shape)
+        # until their release op or the end of a protecting try.
+
+    def _walk_try(self, stmt: ast.Try) -> None:
+        protects = self._finally_releases(stmt.finalbody)
+        if protects:
+            self._finally_protected += 1
+        depth_before = len(self._held)
+        try:
+            self._walk_stmts(stmt.body)
+        finally:
+            if protects:
+                self._finally_protected -= 1
+        for handler in stmt.handlers:
+            self._walk_stmts(handler.body)
+        self._walk_stmts(stmt.orelse)
+        self._walk_stmts(stmt.finalbody)
+        if protects:
+            # The finally released whatever the try body acquired.
+            while len(self._held) > depth_before:
+                self._release_token(self._held[-1])
+
+    def _finally_releases(self, finalbody) -> bool:
+        for stmt in finalbody:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call) and \
+                        isinstance(node.func, ast.Attribute) and \
+                        node.func.attr == "release":
+                    return True
+        return False
+
+    def _walk_assign(self, stmt: ast.Assign) -> None:
+        receiver = self._request_receiver(stmt.value)
+        if receiver is not None and len(stmt.targets) == 1 and \
+                isinstance(stmt.targets[0], ast.Name):
+            self._acquire(receiver, stmt.lineno, manual=True,
+                          var=stmt.targets[0].id)
+            return
+        self._scan_expr(stmt.value)
+        for target in stmt.targets:
+            chain = _attr_chain(target)
+            if chain is not None and chain.startswith("self."):
+                self._emit("write", stmt.lineno, chain)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    chain = _attr_chain(element)
+                    if chain is not None and chain.startswith("self."):
+                        self._emit("write", stmt.lineno, chain)
+
+    def _walk_expr_stmt(self, stmt: ast.Expr) -> None:
+        value = stmt.value
+        released = self._release_var(value)
+        if released is not None:
+            for acquire in reversed(self._held):
+                if released == "*" or acquire.var == released:
+                    self._release_token(acquire)
+                    break
+            return
+        self._scan_expr(value)
+
+    def _release_var(self, node: ast.AST) -> typing.Optional[str]:
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "release":
+            if node.args and isinstance(node.args[0], ast.Name):
+                return node.args[0].id
+            return "*"
+        return None
+
+    # -- expression scanning (calls, yields, self.* reads) -------------
+    def _scan_expr(self, expr: ast.AST) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Await)):
+                self.info.has_yield = True
+                self._emit("yield", getattr(node, "lineno", 1))
+            elif isinstance(node, ast.Call):
+                self._scan_call(node)
+            elif isinstance(node, (ast.Attribute, ast.Subscript)) and \
+                    isinstance(getattr(node, "ctx", None), ast.Load):
+                chain = _attr_chain(node)
+                if chain is not None and chain.startswith("self.") and \
+                        not self._is_callee(node):
+                    self._emit("read", getattr(node, "lineno", 1), chain)
+
+    def _is_callee(self, node: ast.AST) -> bool:
+        """Is this attribute the callee of a Call (``self.m(...)``)?
+        The bound method object itself is not shared state."""
+        parent = self.module.parents.get(node)
+        return isinstance(parent, ast.Call) and parent.func is node
+
+    def _scan_call(self, node: ast.Call) -> None:
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        if name is None:
+            return
+        if name == "request" and isinstance(func, ast.Attribute):
+            # A .request() in expression position (yield X.request() in
+            # toy code): scoped to the statement, no held-stack change.
+            return
+        if name in ("process", "Process"):
+            for arg in node.args:
+                if isinstance(arg, ast.Call):
+                    target = arg.func
+                    spawned = (target.id if isinstance(target, ast.Name)
+                               else target.attr
+                               if isinstance(target, ast.Attribute)
+                               else None)
+                    if spawned is not None:
+                        self.info.spawn_targets.append(spawned)
+        receiver = None
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name):
+            receiver = func.value.id
+        self.info.calls.append((name, receiver,
+                                getattr(node, "lineno", 1)))
+        self.info.call_sites.append(
+            (name, list(node.args),
+             {kw.arg: kw.value for kw in node.keywords
+              if kw.arg is not None}))
+        self._emit("call", getattr(node, "lineno", 1),
+                   (name, receiver, tuple(a.label for a in self._held)))
+
+    # -- acquires ------------------------------------------------------
+    def _request_receiver(self, expr: ast.AST
+                          ) -> typing.Optional[ast.AST]:
+        """The lock expression of an ``X.request()`` call, else None."""
+        if isinstance(expr, ast.Call) and \
+                isinstance(expr.func, ast.Attribute) and \
+                expr.func.attr == "request" and not expr.args:
+            return expr.func.value
+        return None
+
+    def _acquire(self, receiver: ast.AST, line: int, manual: bool,
+                 var: typing.Optional[str]) -> _Acquire:
+        decl = self._resolve_lock(receiver)
+        loop_ascending: typing.Optional[bool] = None
+        const_index: typing.Optional[int] = None
+        if isinstance(receiver, ast.Subscript):
+            key = receiver.slice
+            if isinstance(key, ast.Constant) and \
+                    isinstance(key.value, int):
+                const_index = key.value
+            index_names = {sub.id for sub in ast.walk(receiver.slice)
+                           if isinstance(sub, ast.Name)}
+            if self._loops and index_names:
+                for loop_targets, iterable in reversed(self._loops):
+                    if index_names & loop_targets:
+                        orderedness = self.program.orderedness_of(
+                            iterable, self.info)
+                        loop_ascending = orderedness == _ASC
+                        break
+        token = self._next_token
+        self._next_token += 1
+        acquire = _Acquire(
+            token=token, label=decl.label, family=decl.family,
+            line=line, manual=manual,
+            protected=self._finally_protected > 0,
+            loop_ascending=loop_ascending, var=var,
+            const_index=const_index)
+        self._emit("acquire", line, acquire)
+        self._held.append(acquire)
+        return acquire
+
+    def _release_token(self, acquire: _Acquire) -> None:
+        if acquire in self._held:
+            self._held.remove(acquire)
+            self._emit("release", acquire.line, acquire)
+
+    def _resolve_lock(self, receiver: ast.AST) -> LockDecl:
+        base = receiver
+        family = False
+        if isinstance(receiver, ast.Subscript):
+            base = receiver.value
+            family = True
+        if isinstance(base, ast.Attribute) and \
+                isinstance(base.value, ast.Name) and \
+                base.value.id == "self" and self.info.class_name:
+            decl = self.program.attr_locks.get(
+                (self.info.class_name, base.attr))
+            if decl is not None:
+                return decl
+            label = "%s.%s%s" % (self.info.class_name, base.attr,
+                                 "[*]" if family else "")
+            return LockDecl(label, family, self.info.path, self.info.line)
+        if isinstance(base, ast.Name):
+            decl = self.program.local_locks.get(
+                (self.info.path, self.info.name, base.id))
+            if decl is None:
+                decl = self.program.local_locks.get(
+                    (self.info.path, "<module>", base.id))
+            if decl is not None:
+                if family and not decl.family:
+                    return LockDecl(decl.label + "[*]", True,
+                                    decl.path, decl.line)
+                return decl
+            label = "%s.%s%s" % (self.info.qualname, base.id,
+                                 "[*]" if family else "")
+            return LockDecl(label, family, self.info.path, self.info.line)
+        chain = _attr_chain(base) or "<lock>"
+        return LockDecl("%s%s" % (chain, "[*]" if family else ""),
+                        family, self.info.path, self.info.line)
+
+
+# ----------------------------------------------------------------------
+# The program-level analysis
+# ----------------------------------------------------------------------
+
+class Program:
+    """Whole-program state: indexes, summaries, the order graph."""
+
+    def __init__(self, modules: typing.Sequence[ModuleContext]):
+        self.modules = list(modules)
+        self.functions: typing.List[FunctionInfo] = []
+        self._nodes: typing.Dict[str, ast.AST] = {}
+        self.by_name: typing.Dict[str, typing.List[FunctionInfo]] = {}
+        self.by_class: typing.Dict[typing.Tuple[str, str],
+                                   FunctionInfo] = {}
+        self.attr_locks: typing.Dict[typing.Tuple[str, str],
+                                     LockDecl] = {}
+        self.local_locks: typing.Dict[typing.Tuple[str, str, str],
+                                      LockDecl] = {}
+        self.graph = LockOrderGraph()
+        self._module_by_path = {m.path: m for m in self.modules}
+
+    def add_function(self, info: FunctionInfo, node, class_name) -> None:
+        self.functions.append(info)
+        self._nodes[info.qualname] = node
+        self.by_name.setdefault(info.name, []).append(info)
+        if class_name:
+            self.by_class[(class_name, info.name)] = info
+
+    # -- call resolution -----------------------------------------------
+    #: Names never resolved through the global index: lock verbs (they
+    #: are modelled as ops, not calls) and container/string plumbing
+    #: whose global namesakes would fabricate edges.
+    _UNRESOLVED = frozenset({"request", "release", "succeed", "fail",
+                             "append", "get", "pop", "items", "keys",
+                             "values", "add", "discard", "remove",
+                             "sort", "join", "split", "format",
+                             "timeout", "event"})
+
+    def resolve_call(self, caller: FunctionInfo, name: str,
+                     receiver: typing.Optional[str]
+                     ) -> typing.List[FunctionInfo]:
+        if name in self._UNRESOLVED:
+            return []
+        if receiver == "self" and caller.class_name:
+            hit = self.by_class.get((caller.class_name, name))
+            if hit is not None:
+                return [hit]
+        candidates = self.by_name.get(name, [])
+        same_module = [c for c in candidates
+                       if c.module_key == caller.module_key]
+        if same_module:
+            return same_module
+        return candidates
+
+    # -- orderedness ---------------------------------------------------
+    def orderedness_of(self, expr: ast.AST,
+                       context: FunctionInfo) -> str:
+        """Is ``expr`` provably an ascending iterable?"""
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None)
+            if name in ("sorted", "range"):
+                return _ASC
+            if name in ("tuple", "list", "enumerate") and expr.args:
+                return self.orderedness_of(expr.args[0], context)
+            receiver = (func.value.id
+                        if isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name) else None)
+            if name is not None and name not in self._UNRESOLVED:
+                for callee in self.resolve_call(context, name, receiver):
+                    if callee.return_orderedness == _ASC:
+                        return _ASC
+            return _UNKNOWN
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            if len(expr.elts) <= 1:
+                return _ASC
+            values = []
+            for element in expr.elts:
+                if not (isinstance(element, ast.Constant)
+                        and isinstance(element.value, (int, float))):
+                    return _UNKNOWN
+                values.append(element.value)
+            return _ASC if values == sorted(values) else _UNKNOWN
+        if isinstance(expr, ast.Constant):
+            return _ASC  # None / scalars: nothing to mis-order
+        if isinstance(expr, ast.Name):
+            local = context.local_orderedness.get(expr.id)
+            if local is not None:
+                return local
+            return context.param_orderedness.get(expr.id, _UNKNOWN)
+        return _UNKNOWN
+
+    def _run_orderedness_fixpoint(self) -> None:
+        """Propagate ASC through local assignments, returns and
+        call-site arguments until stable.  The lattice has two points,
+        so a handful of rounds always suffices."""
+        for _iteration in range(6):
+            changed = False
+            # Local orderedness, recomputed fresh: a reassigned name is
+            # the meet over all its assignments (flow-insensitive).
+            for info in self.functions:
+                table: typing.Dict[str, str] = {}
+                node = self._nodes[info.qualname]
+                for stmt in ast.walk(node):
+                    if isinstance(stmt, ast.Assign) and \
+                            len(stmt.targets) == 1 and \
+                            isinstance(stmt.targets[0], ast.Name):
+                        target = stmt.targets[0].id
+                        self._meet(table, target,
+                                   self.orderedness_of(stmt.value, info))
+                if table != info.local_orderedness:
+                    info.local_orderedness = table
+                    changed = True
+            # Return orderedness.
+            for info in self.functions:
+                if not info.return_exprs:
+                    continue
+                orderedness = _ASC
+                for expr in info.return_exprs:
+                    if self.orderedness_of(expr, info) != _ASC:
+                        orderedness = _UNKNOWN
+                        break
+                if orderedness != info.return_orderedness:
+                    info.return_orderedness = orderedness
+                    changed = True
+            # Parameter orderedness from every resolvable call site.
+            incoming: typing.Dict[typing.Tuple[str, str], str] = {}
+            for caller in self.functions:
+                for name, args, kwargs in caller.call_sites:
+                    for callee in self.resolve_call(caller, name, None):
+                        params = callee.param_names
+                        offset = 1 if params[:1] == ["self"] else 0
+                        for position, arg in enumerate(args):
+                            index = position + offset
+                            if index >= len(params):
+                                break
+                            self._meet(incoming,
+                                       (callee.qualname, params[index]),
+                                       self.orderedness_of(arg, caller))
+                        for keyword in sorted(kwargs):
+                            if keyword in params:
+                                self._meet(
+                                    incoming,
+                                    (callee.qualname, keyword),
+                                    self.orderedness_of(
+                                        kwargs[keyword], caller))
+            for info in self.functions:
+                for param in info.param_names:
+                    value = incoming.get((info.qualname, param))
+                    if value is None:
+                        continue
+                    if info.param_orderedness.get(param) != value:
+                        info.param_orderedness[param] = value
+                        changed = True
+            if not changed:
+                break
+
+    @staticmethod
+    def _meet(table, key, value) -> None:
+        current = table.get(key)
+        if current is None:
+            table[key] = value
+        elif current == _ASC and value != _ASC:
+            table[key] = _UNKNOWN
+
+    # -- summaries and edges -------------------------------------------
+    def _run_acquire_fixpoint(self) -> None:
+        """Transitive acquired-lock sets per function."""
+        for info in self.functions:
+            labels = []
+            for op in info.ops:
+                if op.kind == "acquire" and op.data.label not in labels:
+                    labels.append(op.data.label)
+            info.acquired_labels = labels
+        for _iteration in range(12):
+            changed = False
+            for info in self.functions:
+                for name, receiver, _line in info.calls:
+                    for callee in self.resolve_call(info, name, receiver):
+                        for label in callee.acquired_labels:
+                            if label not in info.acquired_labels:
+                                info.acquired_labels.append(label)
+                                changed = True
+            if not changed:
+                break
+
+    def build_graph(self) -> None:
+        for info in self.functions:
+            held: typing.List[_Acquire] = []
+            for op in info.ops:
+                if op.kind == "acquire":
+                    acquire = op.data
+                    self.graph.add_node(acquire.label)
+                    for holder in held:
+                        if holder.label == acquire.label:
+                            ascending = self._pair_ascending(holder,
+                                                             acquire)
+                        else:
+                            ascending = False
+                        self.graph.add_edge(OrderEdge(
+                            src=holder.label, dst=acquire.label,
+                            ascending=ascending,
+                            path=info.path, line=op.line,
+                            via=info.qualname))
+                    if acquire.loop_ascending is not None and \
+                            acquire.family:
+                        # Per-iteration re-acquire of the same family.
+                        self.graph.add_edge(OrderEdge(
+                            src=acquire.label, dst=acquire.label,
+                            ascending=bool(acquire.loop_ascending),
+                            path=info.path, line=op.line,
+                            via=info.qualname))
+                    held.append(acquire)
+                elif op.kind == "release":
+                    if op.data in held:
+                        held.remove(op.data)
+                elif op.kind == "call":
+                    name, receiver, held_labels = op.data
+                    if not held_labels:
+                        continue
+                    for callee in self.resolve_call(info, name, receiver):
+                        for label in callee.acquired_labels:
+                            for holder_label in held_labels:
+                                self.graph.add_edge(OrderEdge(
+                                    src=holder_label, dst=label,
+                                    ascending=False,
+                                    path=info.path, line=op.line,
+                                    via="%s -> %s" % (info.qualname,
+                                                      callee.qualname)))
+
+    @staticmethod
+    def _pair_ascending(holder: _Acquire, acquire: _Acquire) -> bool:
+        """Is a direct same-family nested acquire provably in ascending
+        index order?"""
+        if acquire.loop_ascending:
+            return True
+        if holder.const_index is not None and \
+                acquire.const_index is not None:
+            return holder.const_index < acquire.const_index
+        return False
+
+    # -- spawn reachability --------------------------------------------
+    def spawn_reachable(self) -> typing.Dict[str, typing.List[str]]:
+        """Map qualname -> witnessing call chain from a process spawn
+        site (root first)."""
+        roots: typing.List[FunctionInfo] = []
+        for info in self.functions:
+            for target in info.spawn_targets:
+                for callee in self.resolve_call(info, target, None):
+                    if callee not in roots:
+                        roots.append(callee)
+        chains: typing.Dict[str, typing.List[str]] = {}
+        frontier: typing.List[FunctionInfo] = []
+        for root in roots:
+            chains[root.qualname] = [root.qualname]
+            frontier.append(root)
+        cursor = 0
+        while cursor < len(frontier):
+            current = frontier[cursor]
+            cursor += 1
+            for name, receiver, _line in current.calls:
+                for callee in self.resolve_call(current, name, receiver):
+                    if callee.qualname in chains:
+                        continue
+                    chains[callee.qualname] = \
+                        chains[current.qualname] + [callee.qualname]
+                    frontier.append(callee)
+        return chains
+
+    # -- findings ------------------------------------------------------
+    def findings(self) -> typing.List[Finding]:
+        found: typing.List[Finding] = []
+        found.extend(self._deadlock_findings())
+        found.extend(self._leak_findings())
+        found.extend(self._stale_rmw_findings())
+        return found
+
+    def _deadlock_findings(self) -> typing.List[Finding]:
+        found = []
+        for cycle in self.graph.cycles():
+            if not cycle:
+                continue
+            first = cycle[0]
+            if len(cycle) == 1 and first.src == first.dst:
+                message = ("unordered multi-acquire within lock family "
+                           "%s: the acquisition order is not provably "
+                           "ascending, so two processes can deadlock "
+                           "taking members in opposite orders (in %s)"
+                           % (first.src, first.via))
+            else:
+                chain = " -> ".join([edge.src for edge in cycle]
+                                    + [cycle[0].src])
+                witnesses = "; ".join(
+                    "%s->%s at %s:%d (%s)" % (e.src, e.dst, e.path,
+                                              e.line, e.via)
+                    for e in cycle)
+                message = ("potential deadlock: lock-order cycle %s "
+                           "[%s]" % (chain, witnesses))
+            found.append(Finding(
+                rule_id="RPR101", severity="error", path=first.path,
+                line=first.line, col=0, message=message))
+        return found
+
+    def _leak_findings(self) -> typing.List[Finding]:
+        found = []
+        for info in self.functions:
+            held: typing.List[_Acquire] = []
+            reported: typing.Set[int] = set()
+            for op in info.ops:
+                if op.kind == "acquire":
+                    held.append(op.data)
+                elif op.kind == "release":
+                    if op.data in held:
+                        held.remove(op.data)
+                elif op.kind == "yield":
+                    for acquire in held:
+                        if acquire.manual and not acquire.protected and \
+                                acquire.token not in reported:
+                            reported.add(acquire.token)
+                            found.append(Finding(
+                                rule_id="RPR102", severity="error",
+                                path=info.path, line=acquire.line, col=0,
+                                message=(
+                                    "lock %s acquired manually and held "
+                                    "across a yield with no with-block "
+                                    "or try/finally release: an "
+                                    "exception at the yield leaks the "
+                                    "slot forever (in %s)"
+                                    % (acquire.label, info.qualname))))
+                elif op.kind == "leak":
+                    acquire = op.data
+                    if acquire.token not in reported:
+                        reported.add(acquire.token)
+                        found.append(Finding(
+                            rule_id="RPR102", severity="error",
+                            path=info.path, line=acquire.line, col=0,
+                            message=(
+                                "lock %s acquired manually but never "
+                                "released in %s (and the request does "
+                                "not escape): the slot leaks on every "
+                                "path" % (acquire.label, info.qualname))))
+        return found
+
+    def _stale_rmw_findings(self) -> typing.List[Finding]:
+        chains = self.spawn_reachable()
+        found = []
+        for info in self.functions:
+            if not info.has_yield or info.qualname not in chains:
+                continue
+            # Lock coverage intervals over op indices.
+            intervals: typing.List[typing.List[int]] = []
+            open_by_token: typing.Dict[int, typing.List[int]] = {}
+            for op in info.ops:
+                if op.kind == "acquire":
+                    span = [op.index, len(info.ops)]
+                    open_by_token[op.data.token] = span
+                    intervals.append(span)
+                elif op.kind == "release":
+                    span = open_by_token.get(op.data.token)
+                    if span is not None:
+                        span[1] = op.index
+            reads: typing.Dict[str, typing.List[int]] = {}
+            yields: typing.List[int] = []
+            reported: typing.Set[typing.Tuple[str, int]] = set()
+            for op in info.ops:
+                if op.kind == "read":
+                    reads.setdefault(op.data, []).append(op.index)
+                elif op.kind == "yield":
+                    yields.append(op.index)
+                elif op.kind == "write":
+                    location = op.data
+                    write_index = op.index
+                    hazard = False
+                    for read_index in reads.get(location, ()):
+                        if read_index >= write_index:
+                            break
+                        if not any(read_index < y < write_index
+                                   for y in yields):
+                            continue
+                        covered = any(start <= read_index
+                                      and end >= write_index
+                                      for start, end in intervals)
+                        if not covered:
+                            hazard = True
+                            break
+                    if not hazard:
+                        continue
+                    key = (location, op.line)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    chain = " -> ".join(chains[info.qualname])
+                    found.append(Finding(
+                        rule_id="RPR103", severity="error",
+                        path=info.path, line=op.line, col=0,
+                        message=(
+                            "stale read-modify-write on shared state "
+                            "%s: read before a yield, written after it "
+                            "with no lock held across — a concurrent "
+                            "process interleaving at the yield is "
+                            "clobbered (process chain: %s)"
+                            % (location, chain))))
+        return found
+
+    # -- driver --------------------------------------------------------
+    def analyze(self) -> None:
+        for module in self.modules:
+            _ModuleIndexer(self, module).run()
+        # The first walk collects call sites; the orderedness fixpoint
+        # needs them; loop-acquire ascending flags need the fixpoint —
+        # so: walk, solve, re-walk with orderedness known.
+        for info in self.functions:
+            module = self._module_by_path[info.path]
+            _FunctionWalker(self, module, info,
+                            self._nodes[info.qualname]).run()
+        self._run_orderedness_fixpoint()
+        for info in self.functions:
+            info.reset_trace()
+            module = self._module_by_path[info.path]
+            _FunctionWalker(self, module, info,
+                            self._nodes[info.qualname]).run()
+        self._run_acquire_fixpoint()
+        self.build_graph()
+
+
+# ----------------------------------------------------------------------
+# Report and drivers
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class RaceReport:
+    """Everything ``repro races`` prints/serialises."""
+
+    findings: typing.List[Finding]
+    graph: LockOrderGraph
+    modules: int
+    functions: int
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        lines.append(self.graph.render())
+        if self.findings:
+            by_rule: typing.Dict[str, int] = {}
+            for finding in self.findings:
+                by_rule[finding.rule_id] = \
+                    by_rule.get(finding.rule_id, 0) + 1
+            summary = ", ".join("%s x%d" % (rule_id, count)
+                                for rule_id, count
+                                in sorted(by_rule.items()))
+            lines.append("%d finding(s): %s" % (len(self.findings),
+                                                summary))
+        else:
+            lines.append("0 findings across %d module(s), "
+                         "%d function(s)" % (self.modules,
+                                             self.functions))
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "findings": [dataclasses.asdict(f) for f in self.findings],
+            "graph": self.graph.to_baseline(),
+            "modules": self.modules,
+            "functions": self.functions,
+        }
+
+
+def analyze_paths(paths: typing.Iterable[typing.Union[str, pathlib.Path]]
+                  ) -> RaceReport:
+    """Run the whole-program analysis over files and directories."""
+    files: typing.List[pathlib.Path] = []
+    for path in paths:
+        path = pathlib.Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    modules: typing.List[ModuleContext] = []
+    findings: typing.List[Finding] = []
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            modules.append(ModuleContext(str(file_path), source))
+        except SyntaxError as exc:
+            findings.append(Finding(
+                rule_id="RPR999", severity="error", path=str(file_path),
+                line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                message="syntax error: %s" % exc.msg))
+    program = Program(modules)
+    program.analyze()
+    raw = program.findings()
+    by_module = {module.path: module for module in modules}
+    grouped: typing.Dict[str, typing.List[Finding]] = {}
+    for finding in raw:
+        grouped.setdefault(finding.path, []).append(finding)
+    for path in sorted(grouped):
+        module = by_module.get(path)
+        if module is None:
+            findings.extend(grouped[path])
+        else:
+            findings.extend(apply_suppressions(module, grouped[path]))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return RaceReport(findings=findings, graph=program.graph,
+                      modules=len(modules),
+                      functions=len(program.functions))
+
+
+def analyze_source(source: str, path: str = "<string>") -> RaceReport:
+    """Single-module convenience wrapper (tests, fixtures)."""
+    try:
+        module = ModuleContext(path, source)
+    except SyntaxError as exc:
+        finding = Finding(
+            rule_id="RPR999", severity="error", path=path,
+            line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+            message="syntax error: %s" % exc.msg)
+        return RaceReport(findings=[finding], graph=LockOrderGraph(),
+                          modules=1, functions=0)
+    program = Program([module])
+    program.analyze()
+    findings = apply_suppressions(module, program.findings())
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return RaceReport(findings=findings, graph=program.graph,
+                      modules=1, functions=len(program.functions))
+
+
+def load_baseline(path: typing.Union[str, pathlib.Path]) -> dict:
+    return json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+
+
+def save_baseline(report: RaceReport,
+                  path: typing.Union[str, pathlib.Path]) -> None:
+    pathlib.Path(path).write_text(
+        json.dumps(report.graph.to_baseline(), indent=2, sort_keys=True)
+        + "\n", encoding="utf-8")

@@ -9,6 +9,9 @@ Gives the library a downstream-usable front end:
 * ``usecase`` — run one of the §7 use cases;
 * ``syscalls`` — print the Fig 1 dataset;
 * ``lint`` — run the determinism linter over Python sources;
+* ``races`` — lock-order & sim-race analysis: deadlock cycles, lock
+  leaks, yield-spanning stale read-modify-writes, baseline drift, and
+  an optional runtime happens-before witness;
 * ``bench-trend`` — wall-clock deltas between two BENCH_*.json sets;
 * ``bench-gate`` — engine microbench vs the committed perf baseline;
 * ``sanitize`` — dual-run replay-digest check with runtime sanitizers;
@@ -226,7 +229,7 @@ def _cmd_lint(args) -> int:
     import pathlib
     import sys
 
-    from .analysis import lint_paths, render_findings
+    from .analysis import format_findings, lint_paths
     paths = args.paths
     if not paths:
         # Default to the installed package itself.
@@ -237,8 +240,67 @@ def _cmd_lint(args) -> int:
               % ", ".join(str(p) for p in missing), file=sys.stderr)
         return 2
     findings = lint_paths(paths)
-    print(render_findings(findings))
+    print(format_findings(findings, args.format))
     return 1 if findings else 0
+
+
+def _cmd_races(args) -> int:
+    import json
+    import pathlib
+    import sys
+
+    from .analysis import (analyze_paths, format_findings, load_baseline,
+                           run_shard_witness, save_baseline)
+    paths = args.paths
+    if not paths:
+        paths = [pathlib.Path(__file__).resolve().parent]
+    missing = [p for p in paths if not pathlib.Path(p).exists()]
+    if missing:
+        print("repro races: error: no such file or directory: %s"
+              % ", ".join(str(p) for p in missing), file=sys.stderr)
+        return 2
+    report = analyze_paths(paths)
+
+    drift: typing.List[str] = []
+    if args.baseline:
+        baseline_path = pathlib.Path(args.baseline)
+        if baseline_path.exists():
+            drift = report.graph.diff_baseline(load_baseline(baseline_path))
+        else:
+            drift = ["baseline %s does not exist (run with "
+                     "--update-baseline to create it)" % baseline_path]
+    if args.update_baseline:
+        save_baseline(report, args.update_baseline)
+        drift = []
+
+    witness = None
+    discrepancies: typing.List[str] = []
+    if args.witness:
+        witness = run_shard_witness(workers=args.witness_workers)
+        discrepancies = witness.validate_static(report.graph)
+
+    if args.format == "json":
+        payload = report.to_json()
+        payload["baseline_drift"] = drift
+        if witness is not None:
+            payload["witness"] = witness.report()
+            payload["witness_discrepancies"] = discrepancies
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.format == "github":
+        print(format_findings(report.findings, "github"))
+        for message in drift:
+            print("::error title=lock-order-drift::%s" % message)
+        for message in discrepancies:
+            print("::error title=witness-discrepancy::%s" % message)
+    else:
+        print(report.render())
+        for message in drift:
+            print("lock-order drift: %s" % message)
+        if witness is not None:
+            print(witness.render())
+            for message in discrepancies:
+                print("witness discrepancy: %s" % message)
+    return 1 if (report.findings or drift or discrepancies) else 0
 
 
 def _cmd_bench_trend(args) -> int:
@@ -500,7 +562,35 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*",
                       help="files/directories to lint (default: the "
                            "installed repro package)")
+    lint.add_argument("--format", choices=("text", "json", "github"),
+                      default="text",
+                      help="report format (github = workflow annotations)")
     lint.set_defaults(fn=_cmd_lint)
+
+    races = sub.add_parser(
+        "races",
+        help="lock-order & sim-race analysis (RPR101-103) with optional "
+             "runtime witness cross-validation")
+    races.add_argument("paths", nargs="*",
+                       help="files/directories to analyze (default: the "
+                            "installed repro package)")
+    races.add_argument("--format", choices=("text", "json", "github"),
+                       default="text",
+                       help="report format (github = workflow annotations)")
+    races.add_argument("--baseline",
+                       help="lock-order baseline JSON to diff against "
+                            "(drift fails the run)")
+    races.add_argument("--update-baseline",
+                       help="write the current lock-order graph to this "
+                            "path and skip the drift check")
+    races.add_argument("--witness", action="store_true",
+                       help="run a sharded boot storm under the "
+                            "RaceWitness and cross-validate observed "
+                            "lock orders against the static graph")
+    races.add_argument("--witness-workers", type=_positive_int, default=4,
+                       help="XenStore shard count for the witness "
+                            "workload (default 4)")
+    races.set_defaults(fn=_cmd_races)
 
     bench_trend = sub.add_parser(
         "bench-trend",

@@ -53,7 +53,7 @@ def run_compute_service(variant: str = "lightvm",
     concurrency: typing.List[typing.Tuple[float, int]] = []
     active = [0]
     #: The Dom0 daemon spawns one VM at a time.
-    spawner = Resource(sim, capacity=1)
+    spawner = Resource(sim, capacity=1, name="compute.spawner")
     t_origin = sim.now
 
     def handle(index: int):

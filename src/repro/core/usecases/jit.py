@@ -57,7 +57,7 @@ def run_jit_service(inter_arrival_ms: float, clients: int = 400,
                 bridge=bridge, pool_target=32,
                 shell_memory_kb=DAYTIME_UNIKERNEL.memory_kb)
     # The service daemon handles one instantiation at a time.
-    spawner = Resource(sim, capacity=1)
+    spawner = Resource(sim, capacity=1, name="jit.spawner")
     host.warmup(2000)
 
     rtts: typing.List[float] = []

@@ -89,6 +89,10 @@ class Simulator:
         #: Like the two above it is timeline-read-only: attaching one
         #: must never change the event schedule.
         self.tracer = None
+        #: Optional :class:`repro.analysis.witness.RaceWitness` hook
+        #: (vector-clock happens-before tracking).  Timeline-read-only
+        #: like the three above.
+        self.witness = None
         #: The :class:`Process` whose generator is currently executing
         #: (``None`` between resumptions).  Maintained by the process
         #: machinery; the tracer keys its open-span stacks on it.

@@ -104,6 +104,9 @@ class Event:
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
+        witness = self.sim.witness
+        if witness is not None:
+            witness.on_trigger(self)
         self.sim._push(self)
         return self
 
@@ -117,6 +120,9 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
+        witness = self.sim.witness
+        if witness is not None:
+            witness.on_trigger(self)
         self.sim._push(self)
         return self
 

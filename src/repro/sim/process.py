@@ -40,6 +40,8 @@ class Process(Event):
         self.daemon = False
         if sim.sanitizer is not None:
             sim.sanitizer.track_process(self)
+        if sim.witness is not None:
+            sim.witness.on_spawn(self)
         # Kick off on the next queue step so creation order is respected.
         bootstrap = Event(sim)
         bootstrap._ok = True
@@ -78,6 +80,9 @@ class Process(Event):
         # The span tracer keys parent/child nesting on it.
         prev = self.sim.active_process
         self.sim.active_process = self
+        witness = self.sim.witness
+        if witness is not None:
+            witness.on_wake(self, event)
         try:
             try:
                 if event._ok:

@@ -42,11 +42,17 @@ class Resource:
             ...  # holding one slot
     """
 
-    def __init__(self, sim: "Simulator", capacity: int = 1):
+    def __init__(self, sim: "Simulator", capacity: int = 1,
+                 name: typing.Optional[str] = None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.sim = sim
         self.capacity = capacity
+        #: Optional lock label for the race tooling: the static pass
+        #: (`repro races`) and the runtime :class:`RaceWitness` key the
+        #: lock-order graph on it.  Indexed families use ``base[%d]``
+        #: concrete names, which normalize to one ``base[*]`` label.
+        self.name = name
         self.users: typing.List[Request] = []
         self.queue: typing.Deque[Request] = collections.deque()
         if sim.sanitizer is not None:
@@ -71,6 +77,9 @@ class Resource:
         """Return a slot.  Releasing an unheld request is a no-op for
         queued requests (they are simply cancelled)."""
         if request in self.users:
+            witness = self.sim.witness
+            if witness is not None:
+                witness.on_release(self, request)
             self.users.remove(request)
             while self.queue and len(self.users) < self.capacity:
                 nxt = self.queue.popleft()

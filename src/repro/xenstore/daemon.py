@@ -131,7 +131,10 @@ class XenStoreDaemon:
         self.log = AccessLog(enabled=log_enabled)
         #: Worker shards; requests serialize per shard.  With one worker
         #: this is exactly the pre-redesign single-threaded daemon.
-        self._shards = [Resource(sim, capacity=1) for _ in range(workers)]
+        self._shards = [
+            Resource(sim, capacity=1, name="xenstore.shard[%d]" % index)
+            for index in range(workers)
+        ]
         self._next_tx_id = 1
         #: Weighted count of connected running guests generating ambient
         #: traffic (see :meth:`register_client`).

@@ -1,0 +1,8 @@
+"""Seeded hazard programs for ``repro races`` (never imported at runtime).
+
+Each module here is a *minimal* program exhibiting exactly one of the
+hazards the static pass hunts; ``tests/test_analysis_races.py`` runs the
+analyzer over these files and asserts the exact finding ids and line
+numbers.  Keep them minimal and stable: the tests pin line numbers, so
+editing a fixture means re-pinning its assertions.
+"""

@@ -1,0 +1,46 @@
+"""Negative fixture: disciplined locking the analyzer must pass clean.
+
+Exercises every shape the real tree uses — an ascending family walk
+under try/finally, scoped single-lock ``with`` blocks, and a
+lock-covered read-modify-write across a yield — so a false positive on
+any of them shows up here before it shows up on ``src/repro``.
+"""
+
+from repro.sim import Simulator
+from repro.sim.resources import Resource
+
+
+class Disciplined:
+    def __init__(self, sim: Simulator, workers: int = 4):
+        self.sim = sim
+        self.shards = [
+            Resource(sim, capacity=1, name="ok.shard[%d]" % index)
+            for index in range(workers)
+        ]
+        self.ops = 0
+
+    def single(self, index: int):
+        with self.shards[index].request() as request:
+            yield request
+            yield self.sim.timeout(1.0)
+
+    def global_op(self):
+        requests = []
+        try:
+            for index in range(len(self.shards)):
+                request = self.shards[index].request()
+                requests.append(request)
+                yield request
+            seen = self.ops
+            yield self.sim.timeout(1.0)
+            self.ops = seen + 1
+        finally:
+            for request in reversed(requests):
+                request.resource.release(request)
+
+
+def run(sim: Simulator) -> None:
+    store = Disciplined(sim)
+    sim.process(store.single(0))
+    sim.process(store.global_op())
+    sim.run()

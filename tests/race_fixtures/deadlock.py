@@ -1,0 +1,32 @@
+"""RPR101 fixture: classic ABBA lock-order cycle across two processes."""
+
+from repro.sim import Simulator
+from repro.sim.resources import Resource
+
+
+class Daemon:
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.tree_lock = Resource(sim, capacity=1, name="fix.tree")
+        self.journal_lock = Resource(sim, capacity=1, name="fix.journal")
+
+    def writer(self):
+        with self.tree_lock.request() as outer:
+            yield outer
+            with self.journal_lock.request() as inner:
+                yield inner
+                yield self.sim.timeout(1.0)
+
+    def checkpointer(self):
+        with self.journal_lock.request() as outer:
+            yield outer
+            with self.tree_lock.request() as inner:
+                yield inner
+                yield self.sim.timeout(1.0)
+
+
+def run(sim: Simulator) -> None:
+    daemon = Daemon(sim)
+    sim.process(daemon.writer())
+    sim.process(daemon.checkpointer())
+    sim.run()

@@ -1,0 +1,34 @@
+"""RPR102 fixture: manual acquire held across an exception-capable path.
+
+``grab_unprotected`` requests a slot by hand and yields (a fault point:
+anything the wait raises, or the later timeout, escapes with the lock
+still held) with no try/finally releasing it.  The ``with``-based
+sibling shows the clean pattern the rule accepts.
+"""
+
+from repro.sim import Simulator
+from repro.sim.resources import Resource
+
+
+class Pool:
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.slot = Resource(sim, capacity=1, name="fix.slot")
+
+    def grab_unprotected(self):
+        request = self.slot.request()
+        yield request
+        yield self.sim.timeout(5.0)
+        self.slot.release(request)
+
+    def grab_scoped(self):
+        with self.slot.request() as request:
+            yield request
+            yield self.sim.timeout(5.0)
+
+
+def run(sim: Simulator) -> None:
+    pool = Pool(sim)
+    sim.process(pool.grab_unprotected())
+    sim.process(pool.grab_scoped())
+    sim.run()

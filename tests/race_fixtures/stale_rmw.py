@@ -1,0 +1,38 @@
+"""RPR103 fixture: a read-modify-write of shared state spanning a yield.
+
+``Host.admit`` reads ``self.booted``, yields (another process body can
+run and bump the counter), then writes back the stale value — the
+classic lost-update shape, reachable from two spawned process bodies
+with no lock covering the read→write window.  ``admit_locked`` shows
+the accepted fix.
+"""
+
+from repro.sim import Simulator
+from repro.sim.resources import Resource
+
+
+class Host:
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.booted = 0
+        self.counter_lock = Resource(sim, capacity=1, name="fix.counter")
+
+    def admit(self):
+        seen = self.booted
+        yield self.sim.timeout(2.0)
+        self.booted = seen + 1
+
+    def admit_locked(self):
+        with self.counter_lock.request() as request:
+            yield request
+            seen = self.booted
+            yield self.sim.timeout(2.0)
+            self.booted = seen + 1
+
+
+def run(sim: Simulator) -> None:
+    host = Host(sim)
+    sim.process(host.admit())
+    sim.process(host.admit())
+    sim.process(host.admit_locked())
+    sim.run()

@@ -1,0 +1,39 @@
+"""RPR101 fixture: a shard family acquired in *descending* index order.
+
+The daemon's contract is "global ops take all shards ascending"; this
+program walks ``reversed(...)`` over the family, so two concurrent
+global ops can meet head-on.  The acquires sit inside a try/finally
+that releases them, so no RPR102 rides along — the only hazard is the
+non-ascending self-edge.
+"""
+
+from repro.sim import Simulator
+from repro.sim.resources import Resource
+
+
+class ShardedStore:
+    def __init__(self, sim: Simulator, workers: int = 4):
+        self.sim = sim
+        self.shards = [
+            Resource(sim, capacity=1, name="fix.shard[%d]" % index)
+            for index in range(workers)
+        ]
+
+    def global_op(self):
+        requests = []
+        try:
+            for index in reversed(range(len(self.shards))):
+                request = self.shards[index].request()
+                requests.append(request)
+                yield request
+            yield self.sim.timeout(1.0)
+        finally:
+            for request in requests:
+                request.resource.release(request)
+
+
+def run(sim: Simulator) -> None:
+    store = ShardedStore(sim)
+    sim.process(store.global_op())
+    sim.process(store.global_op())
+    sim.run()

@@ -276,3 +276,95 @@ class TestDrivers:
         package = pathlib.Path(__file__).resolve().parents[1] / "src" / \
             "repro"
         assert render_findings(lint_paths([package])) == "0 findings"
+
+
+class TestRealConcurrency:
+    def test_import_threading_flagged(self):
+        assert ids("import threading\n") == ["RPR010"]
+
+    def test_from_multiprocessing_flagged(self):
+        assert ids("from multiprocessing import Pool\n") == ["RPR010"]
+
+    def test_asyncio_and_futures_flagged(self):
+        found = ids("import asyncio\nimport concurrent.futures\n")
+        assert found == ["RPR010", "RPR010"]
+
+    def test_cluster_runner_path_exempt(self):
+        # The allowlist hook for the future repro.cluster process runner.
+        assert ids("import multiprocessing\n",
+                   path="src/repro/cluster/runner.py") == []
+
+    def test_justified_noqa_suppresses(self):
+        assert ids("import threading  # noqa: RPR010 -- artifact "
+                   "post-processing only, never touches the timeline\n"
+                   ) == []
+
+    def test_des_primitives_clean(self):
+        assert ids("def f(sim):\n"
+                   "    return sim.process(worker(sim))\n") == []
+
+
+class TestRuleRegistry:
+    def test_find_rule_returns_registered_rule(self):
+        from repro.analysis.lint import find_rule
+        assert find_rule("RPR010").id == "RPR010"
+
+    def test_find_rule_unknown_id_raises(self):
+        import pytest
+
+        from repro.analysis.lint import find_rule
+        with pytest.raises(KeyError):
+            find_rule("RPR404")
+
+    def test_duplicate_id_rejected_loudly(self):
+        import pytest
+
+        from repro.analysis.lint import DuplicateRuleError
+        before = len(RULES)
+        with pytest.raises(DuplicateRuleError):
+            @register
+            class Shadow(LintRule):
+                id = "RPR001"
+
+                def check(self, module):
+                    return iter(())
+        assert len(RULES) == before  # nothing half-registered
+
+
+class TestOutputFormats:
+    def test_json_format_round_trips(self):
+        import json
+
+        from repro.analysis.lint import format_findings
+        findings = lint_source("import random\n", "m.py")
+        payload = json.loads(format_findings(findings, "json"))
+        assert payload[0]["rule_id"] == "RPR001"
+        assert payload[0]["path"] == "m.py"
+        assert payload[0]["line"] == 1
+
+    def test_github_format_annotations(self):
+        from repro.analysis.lint import format_findings
+        findings = lint_source("import random\n", "m.py")
+        text = format_findings(findings, "github")
+        assert text.startswith("::error file=m.py,line=1,col=1,"
+                               "title=RPR001::")
+        assert "1 finding(s)" in text
+
+    def test_github_format_escapes_newlines(self):
+        import dataclasses
+
+        from repro.analysis.lint import Finding, findings_to_github
+        finding = Finding(rule_id="RPR001", severity="error", path="m.py",
+                          line=1, col=0, message="two\nlines")
+        assert "%0A" in findings_to_github([finding])
+
+    def test_text_format_is_default(self):
+        from repro.analysis.lint import format_findings
+        assert format_findings([], "text") == "0 findings"
+
+    def test_unknown_format_rejected(self):
+        import pytest
+
+        from repro.analysis.lint import format_findings
+        with pytest.raises(ValueError):
+            format_findings([], "yaml")

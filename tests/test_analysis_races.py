@@ -1,0 +1,224 @@
+"""Tests for the lock-order & sim-race analysis (repro.analysis.races).
+
+Three layers: the seeded fixture programs must produce *exactly* the
+expected finding ids at the expected lines (no more, no less); the real
+tree under ``src/repro`` must analyze clean with the committed
+lock-order baseline unchanged (including the ascending-shard contract of
+the sharded daemon); and the report/suppression/format plumbing must
+round-trip.
+"""
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis.races import (LockOrderGraph, OrderEdge, analyze_paths,
+                                  analyze_source, load_baseline,
+                                  normalize_lock_name, save_baseline)
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+FIXTURES = pathlib.Path(__file__).resolve().parent / "race_fixtures"
+SRC = REPO / "src" / "repro"
+BASELINE = REPO / "benchmarks" / "baseline_lockorder.json"
+
+
+# ----------------------------------------------------------------------
+# Seeded fixtures: exact ids and lines
+# ----------------------------------------------------------------------
+
+#: fixture module -> [(rule_id, line)] expected, in report order.
+FIXTURE_EXPECTATIONS = {
+    "deadlock": [("RPR101", 23)],
+    "lock_leak": [("RPR102", 19)],
+    "unordered": [("RPR101", 26)],
+    "stale_rmw": [("RPR103", 23)],
+    "clean": [],
+}
+
+
+@pytest.mark.parametrize("name", sorted(FIXTURE_EXPECTATIONS))
+def test_fixture_findings_exact(name):
+    report = analyze_paths([FIXTURES / ("%s.py" % name)])
+    got = [(f.rule_id, f.line) for f in report.findings]
+    assert got == FIXTURE_EXPECTATIONS[name]
+
+
+def test_deadlock_fixture_names_the_cycle():
+    report = analyze_paths([FIXTURES / "deadlock.py"])
+    (finding,) = report.findings
+    assert "fix.tree" in finding.message
+    assert "fix.journal" in finding.message
+
+
+def test_unordered_fixture_names_the_family():
+    report = analyze_paths([FIXTURES / "unordered.py"])
+    (finding,) = report.findings
+    assert "fix.shard[*]" in finding.message
+
+
+def test_stale_rmw_fixture_names_the_location():
+    report = analyze_paths([FIXTURES / "stale_rmw.py"])
+    (finding,) = report.findings
+    assert "self.booted" in finding.message
+
+
+# ----------------------------------------------------------------------
+# The real tree: clean, and the baseline asserts the shard contract
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def tree_report():
+    return analyze_paths([SRC])
+
+
+def test_tree_is_clean(tree_report):
+    rendered = "\n".join(f.render() for f in tree_report.findings)
+    assert tree_report.findings == [], rendered
+    assert tree_report.modules > 90
+    assert tree_report.functions > 700
+
+
+def test_tree_has_ascending_shard_self_edge(tree_report):
+    edge = tree_report.graph.edges[("xenstore.shard[*]",
+                                    "xenstore.shard[*]")]
+    assert edge.ascending, ("the daemon's all-shards walk must be "
+                            "provably ascending")
+
+
+def test_tree_matches_committed_baseline(tree_report):
+    baseline = load_baseline(BASELINE)
+    assert tree_report.graph.diff_baseline(baseline) == []
+    assert tree_report.graph.to_baseline() == baseline
+
+
+def test_committed_baseline_pins_ascending_shards():
+    baseline = load_baseline(BASELINE)
+    shard_edges = [e for e in baseline["edges"]
+                   if e["src"] == "xenstore.shard[*]"
+                   and e["dst"] == "xenstore.shard[*]"]
+    assert shard_edges == [{"src": "xenstore.shard[*]",
+                            "dst": "xenstore.shard[*]",
+                            "ascending": True}]
+
+
+def test_baseline_drift_detected(tree_report, tmp_path):
+    baseline = load_baseline(BASELINE)
+    mutated = json.loads(json.dumps(baseline))
+    for edge in mutated["edges"]:
+        if edge["src"] == edge["dst"]:
+            edge["ascending"] = False
+    mutated["nodes"].append("phantom.lock")
+    drift = tree_report.graph.diff_baseline(mutated)
+    assert any("ascending" in message for message in drift)
+    assert any("phantom.lock" in message for message in drift)
+
+
+def test_save_baseline_round_trips(tree_report, tmp_path):
+    out = tmp_path / "baseline.json"
+    save_baseline(tree_report, out)
+    assert load_baseline(out) == tree_report.graph.to_baseline()
+
+
+# ----------------------------------------------------------------------
+# Mechanics: labels, suppression, report plumbing
+# ----------------------------------------------------------------------
+
+class TestNormalizeLockName:
+    def test_percent_field_wildcards(self):
+        assert normalize_lock_name("xenstore.shard[%d]") == \
+            "xenstore.shard[*]"
+
+    def test_format_field_wildcards(self):
+        assert normalize_lock_name("pool.{}") == "pool.*"
+
+    def test_concrete_index_wildcards(self):
+        assert normalize_lock_name("xenstore.shard[3]") == \
+            "xenstore.shard[*]"
+
+    def test_plain_name_unchanged(self):
+        assert normalize_lock_name("jit.spawner") == "jit.spawner"
+
+
+def _stale_rmw_source(noqa=""):
+    return textwrap.dedent("""
+        class Host:
+            def __init__(self, sim):
+                self.sim = sim
+                self.booted = 0
+
+            def admit(self):
+                seen = self.booted
+                yield self.sim.timeout(1.0)
+                self.booted = seen + 1%s
+
+
+        def run(sim):
+            host = Host(sim)
+            sim.process(host.admit())
+            sim.process(host.admit())
+        """ % noqa)
+
+
+class TestSuppression:
+    def test_justified_noqa_suppresses(self):
+        report = analyze_source(_stale_rmw_source(
+            "  # noqa: RPR103 -- admissions serialize on the queue"))
+        assert report.findings == []
+
+    def test_unjustified_noqa_reports_rpr000(self):
+        report = analyze_source(_stale_rmw_source("  # noqa: RPR103"))
+        assert [f.rule_id for f in report.findings] == ["RPR000"]
+
+    def test_without_noqa_reports_rpr103(self):
+        report = analyze_source(_stale_rmw_source())
+        assert [f.rule_id for f in report.findings] == ["RPR103"]
+
+
+def test_syntax_error_reports_rpr999():
+    report = analyze_source("def broken(:\n")
+    assert [f.rule_id for f in report.findings] == ["RPR999"]
+
+
+def test_report_json_shape(tree_report):
+    payload = tree_report.to_json()
+    assert payload["findings"] == []
+    assert payload["graph"]["version"] == 1
+    assert "xenstore.shard[*]" in payload["graph"]["nodes"]
+    assert payload["modules"] == tree_report.modules
+
+
+def test_graph_render_marks_ascending(tree_report):
+    rendered = tree_report.graph.render()
+    assert "xenstore.shard[*] =asc=> xenstore.shard[*]" in rendered
+
+
+def test_cycle_detection_on_synthetic_graph():
+    graph = LockOrderGraph()
+    graph.add_edge(OrderEdge(src="a", dst="b", ascending=False,
+                             path="x.py", line=1, via="f"))
+    graph.add_edge(OrderEdge(src="b", dst="a", ascending=False,
+                             path="x.py", line=2, via="g"))
+    graph.add_edge(OrderEdge(src="b", dst="c", ascending=False,
+                             path="x.py", line=3, via="h"))
+    cycles = graph.cycles()
+    assert len(cycles) == 1
+    labels = {edge.src for edge in cycles[0]}
+    labels |= {edge.dst for edge in cycles[0]}
+    assert labels >= {"a", "b"}
+
+
+def test_ascending_self_edge_is_not_a_cycle():
+    graph = LockOrderGraph()
+    graph.add_edge(OrderEdge(src="s[*]", dst="s[*]", ascending=True,
+                             path="x.py", line=1, via="f"))
+    assert graph.cycles() == []
+
+
+def test_non_ascending_self_edge_is_a_cycle():
+    graph = LockOrderGraph()
+    graph.add_edge(OrderEdge(src="s[*]", dst="s[*]", ascending=False,
+                             path="x.py", line=1, via="f"))
+    (cycle,) = graph.cycles()
+    assert [edge.src for edge in cycle] == ["s[*]"]

@@ -1,0 +1,253 @@
+"""Tests for the runtime happens-before witness (repro.analysis.witness).
+
+The two properties that make the witness trustworthy:
+
+* **Transparency** — attaching a :class:`RaceWitness` must not perturb
+  the timeline: the fig04/fig09/fig10 dual-kernel slices replay with
+  byte-identical EventTrace digests witness-on vs witness-off.
+* **Soundness on toys** — unlocked, unordered accesses to tracked state
+  are reported; lock-protected or happens-before-ordered ones are not;
+  descending same-family acquisition is an order violation; and the
+  observed lock orders of a real sharded boot storm agree with the
+  static lock-order graph.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.races import analyze_paths
+from repro.analysis.sanitize import EventTrace
+from repro.analysis.witness import (RaceWitness, WitnessViolation,
+                                    run_shard_witness)
+from repro.sim import Simulator
+from repro.sim.resources import Resource
+
+from tests.test_reference_kernel import SCENARIOS, SEEDS
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+# ----------------------------------------------------------------------
+# Transparency: digests byte-identical with the witness attached
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_digest_identical_with_witness(name, seed):
+    digests = []
+    for attach_witness in (False, True):
+        sim = Simulator()
+        trace = EventTrace().attach(sim)
+        if attach_witness:
+            RaceWitness().attach(sim)
+        SCENARIOS[name](sim, seed)
+        digests.append(trace.digest())
+    assert digests[0] == digests[1]
+
+
+# ----------------------------------------------------------------------
+# Soundness on toy programs
+# ----------------------------------------------------------------------
+
+def _two_rmw_processes(sim, witness, lock=None):
+    """Two processes doing a read -> yield -> write of tracked state."""
+    witness.track("host.booted")
+    state = {"value": 0}
+
+    def body(tag):
+        if lock is not None:
+            with lock.request() as request:
+                yield request
+                witness.access("host.booted", write=False,
+                               site="%s:read" % tag)
+                seen = state["value"]
+                yield sim.timeout(1.0)
+                witness.access("host.booted", write=True,
+                               site="%s:write" % tag)
+                state["value"] = seen + 1
+        else:
+            witness.access("host.booted", write=False,
+                           site="%s:read" % tag)
+            seen = state["value"]
+            yield sim.timeout(1.0)
+            witness.access("host.booted", write=True,
+                           site="%s:write" % tag)
+            state["value"] = seen + 1
+
+    sim.process(body("a"))
+    sim.process(body("b"))
+    sim.run()
+
+
+def test_unlocked_rmw_is_a_race():
+    sim = Simulator()
+    witness = RaceWitness().attach(sim)
+    _two_rmw_processes(sim, witness)
+    assert witness.races
+    assert "host.booted" in witness.races[0]
+    with pytest.raises(WitnessViolation):
+        witness.assert_clean()
+
+
+def test_lock_protected_rmw_is_clean():
+    sim = Simulator()
+    witness = RaceWitness().attach(sim)
+    lock = Resource(sim, capacity=1, name="host.lock")
+    _two_rmw_processes(sim, witness, lock=lock)
+    assert witness.races == []
+    witness.assert_clean()
+
+
+def test_spawn_edge_orders_accesses():
+    # Parent writes, then spawns the child that writes: ordered by the
+    # spawn happens-before edge, no lock needed.
+    sim = Simulator()
+    witness = RaceWitness().attach(sim)
+    witness.track("config")
+
+    def child():
+        witness.access("config", write=True, site="child")
+        yield sim.timeout(1.0)
+
+    def parent():
+        witness.access("config", write=True, site="parent")
+        yield sim.timeout(1.0)
+        sim.process(child())
+
+    sim.process(parent())
+    sim.run()
+    assert witness.races == []
+
+
+def test_wake_edge_orders_accesses():
+    # Writer triggers an event the reader waits on: the trigger's clock
+    # snapshot orders writer-before-reader.
+    sim = Simulator()
+    witness = RaceWitness().attach(sim)
+    witness.track("result")
+    ready = sim.event()
+
+    def writer():
+        yield sim.timeout(1.0)
+        witness.access("result", write=True, site="writer")
+        ready.succeed()
+
+    def reader():
+        yield ready
+        witness.access("result", write=False, site="reader")
+
+    sim.process(writer())
+    sim.process(reader())
+    sim.run()
+    assert witness.races == []
+
+
+def test_untracked_labels_are_ignored():
+    sim = Simulator()
+    witness = RaceWitness().attach(sim)
+
+    def body():
+        witness.access("never.tracked", write=True)
+        yield sim.timeout(1.0)
+
+    sim.process(body())
+    sim.process(body())
+    sim.run()
+    assert witness.races == []
+
+
+def test_descending_family_acquisition_is_a_violation():
+    sim = Simulator()
+    witness = RaceWitness().attach(sim)
+    shards = [Resource(sim, capacity=1, name="toy.shard[%d]" % index)
+              for index in range(3)]
+
+    def backwards():
+        requests = []
+        try:
+            for index in reversed(range(3)):
+                request = shards[index].request()
+                requests.append(request)
+                yield request
+            yield sim.timeout(1.0)
+        finally:
+            for request in requests:
+                request.resource.release(request)
+
+    sim.process(backwards())
+    sim.run()
+    assert witness.order_violations
+    assert "toy.shard" in witness.order_violations[0]
+    edges = {(e["src"], e["dst"]): e for e in witness.observed_order()}
+    assert edges[("toy.shard[*]", "toy.shard[*]")]["ascending"] is False
+
+
+def test_ascending_family_acquisition_is_clean():
+    sim = Simulator()
+    witness = RaceWitness().attach(sim)
+    shards = [Resource(sim, capacity=1, name="toy.shard[%d]" % index)
+              for index in range(3)]
+
+    def forwards():
+        requests = []
+        try:
+            for index in range(3):
+                request = shards[index].request()
+                requests.append(request)
+                yield request
+            yield sim.timeout(1.0)
+        finally:
+            for request in reversed(requests):
+                request.resource.release(request)
+
+    sim.process(forwards())
+    sim.run()
+    assert witness.order_violations == []
+    edges = {(e["src"], e["dst"]): e for e in witness.observed_order()}
+    assert edges[("toy.shard[*]", "toy.shard[*]")]["ascending"] is True
+
+
+# ----------------------------------------------------------------------
+# Cross-validation against the static lock-order graph
+# ----------------------------------------------------------------------
+
+def test_shard_storm_matches_static_graph():
+    report = analyze_paths([REPO / "src" / "repro"])
+    witness = run_shard_witness(workers=4, guests=8)
+    assert witness.validate_static(report.graph) == []
+    edges = {(e["src"], e["dst"]): e for e in witness.observed_order()}
+    shard_edge = edges[("xenstore.shard[*]", "xenstore.shard[*]")]
+    assert shard_edge["ascending"] is True
+    assert shard_edge["count"] > 0
+
+
+def test_unpredicted_edge_is_a_discrepancy():
+    report = analyze_paths([REPO / "src" / "repro"])
+    sim = Simulator()
+    witness = RaceWitness().attach(sim)
+    alpha = Resource(sim, capacity=1, name="rogue.alpha")
+    beta = Resource(sim, capacity=1, name="rogue.beta")
+
+    def nested():
+        with alpha.request() as outer:
+            yield outer
+            with beta.request() as inner:
+                yield inner
+                yield sim.timeout(1.0)
+
+    sim.process(nested())
+    sim.run()
+    problems = witness.validate_static(report.graph)
+    assert any("rogue.alpha -> rogue.beta" in p for p in problems)
+
+
+def test_report_shape():
+    witness = run_shard_witness(workers=2, guests=4)
+    payload = witness.report()
+    assert payload["spawns"] > 0
+    assert payload["wakes"] > 0
+    assert payload["order_violations"] == []
+    assert payload["races"] == []
+    rendered = witness.render()
+    assert "observed" in rendered
