@@ -4,22 +4,23 @@ Not a paper figure: this measures the simulator itself, on the event
 shapes the figure benchmarks are made of —
 
 * ``timer_wheel`` — steady-state self-rescheduling ``call_later`` timers
-  (the CPU scheduler's hot path); the **primary, gated** metric, where
-  the pooled/closure-free fast path engages fully;
+  (the CPU scheduler's hot path); where the pooled/closure-free fast
+  path engages fully;
 * ``same_instant`` — many events per simulated instant (creation storms
   hammering the XenStore worker queue); exercises the batch drain;
 * ``process_chain`` — generator processes yielding timeouts (toolstack
-  phase code); dominated by generator sends, so it bounds how much the
-  kernel can matter;
+  phase code); dominated by generator resumes — the shape the
+  trampoline/continuation-slot scheduler exists for;
 * ``allof_fanout`` — wide ``AllOf`` joins (shell-pool prepare), covering
-  the incremental condition collection.
+  spawn, completion and the incremental condition collection.
 
 Each shape runs on the optimized kernel *and* on the frozen seed kernel
 (``tests/reference_kernel.py``), so the reported speedup is a same-host
-ratio — comparable across machines, unlike raw events/sec.  The ratio
-for the primary metric is asserted against ``required_speedup`` in the
-committed ``benchmarks/baseline_engine.json``; ``repro bench-gate``
-applies the same check (plus an absolute tolerance band) in CI.
+ratio — comparable across machines, unlike raw events/sec.  Every shape
+listed in the committed ``benchmarks/baseline_engine.json``'s
+``gated_metrics`` (timer_wheel, process_chain, allof_fanout) is asserted
+against its ``required_speedup``; ``repro bench-gate`` applies the same
+checks (plus an absolute tolerance band) in CI.
 """
 
 import json
@@ -44,14 +45,21 @@ CHAIN_STEPS = 30
 FANOUT_GROUPS = scaled(40, 10)
 FANOUT_WIDTH = 400
 
-#: Best-of-N timing per (shape, kernel) to shave scheduler noise.
-ROUNDS = 3
+#: Best-of-N timing per (shape, kernel) to shave scheduler noise.  Five
+#: rounds, not three: the gate checks a ratio of two best-of maxima, and
+#: on a busy single-core CI box a load spike can poison three consecutive
+#: runs of one kernel but rarely five.
+ROUNDS = 5
 
 
 def _throughput(fn, sim_cls) -> float:
+    import gc
     import time
+    fn(sim_cls())  # untimed warmup: the first run after a cold start is
+    #                reliably the slowest (allocator growth, lazy imports)
     best = 0.0
     for _ in range(ROUNDS):
+        gc.collect()  # start each round from a clean heap
         sim, started = sim_cls(), time.perf_counter()
         fn(sim)
         elapsed = time.perf_counter() - started
@@ -127,28 +135,39 @@ def test_engine_events_per_second(benchmark):
 
     baseline = json.loads(BASELINE_PATH.read_text())
     primary = baseline["metric"]
-    required = baseline["required_speedup"]
+    default_required = baseline["required_speedup"]
+    gated = baseline.get("gated_metrics") or {primary: {}}
 
     rows = ["%-15s %14s %14s %9s" % ("shape", "optimized", "naive ref",
                                      "speedup")]
     for name, _ in SHAPES:
         entry = results[name]
-        rows.append("%-15s %11d/s %11d/s %8.2fx"
+        rows.append("%-15s %11d/s %11d/s %8.2fx %s"
                     % (name, entry["opt_events_per_sec"],
-                       entry["ref_events_per_sec"], entry["speedup"]))
+                       entry["ref_events_per_sec"], entry["speedup"],
+                       "(gated)" if name in gated else ""))
     rows.append("")
-    rows.append("primary metric: %s (required speedup >= %.1fx, committed "
-                "pre-opt baseline %d ev/s)"
-                % (primary, required, baseline["preopt_events_per_sec"]))
+    rows.append("gated metrics: %s (each requires speedup >= %.1fx, "
+                "committed pre-opt baseline %d ev/s on %s)"
+                % (", ".join(sorted(gated)), default_required,
+                   baseline["preopt_events_per_sec"], primary))
     report("ENGINE events/sec microbench (optimized vs naive kernel)",
            "\n".join(rows),
            data=dict(results, primary_metric=primary,
-                     required_speedup=required))
+                     required_speedup=default_required,
+                     gated_metrics=sorted(gated)))
 
-    speedup = results[primary]["speedup"]
-    assert speedup >= required, (
-        "kernel fast path regressed: %s speedup %.2fx < required %.1fx "
-        "(opt %d ev/s vs naive %d ev/s)"
-        % (primary, speedup, required,
-           results[primary]["opt_events_per_sec"],
-           results[primary]["ref_events_per_sec"]))
+    failures = []
+    for name in sorted(gated):
+        required = (gated[name] or {}).get("required_speedup",
+                                           default_required)
+        speedup = results[name]["speedup"]
+        if speedup < required:
+            failures.append(
+                "%s speedup %.2fx < required %.1fx (opt %d ev/s vs naive "
+                "%d ev/s)"
+                % (name, speedup, required,
+                   results[name]["opt_events_per_sec"],
+                   results[name]["ref_events_per_sec"]))
+    assert not failures, (
+        "kernel fast path regressed: " + "; ".join(failures))

@@ -94,37 +94,23 @@ def bench_trend(old: typing.Dict[str, dict],
     return "\n".join(lines)
 
 
-def bench_gate(result: dict, baseline: dict) -> typing.Tuple[bool, str]:
-    """Check an engine-bench result against the committed baseline.
-
-    Returns ``(passed, report)``.  Two checks:
-
-    1. **Speedup** (machine-independent): the optimized/naive ratio on
-       the baseline's primary metric must be >= ``required_speedup``.
-    2. **Absolute band**: optimized events/sec must be >=
-       ``events_per_sec * (1 - tolerance)``.  The band is wide because
-       CI hardware differs from the machine that committed the baseline;
-       the ratio check is the sharp one.
-    """
-    metric = baseline.get("metric")
-    required = baseline.get("required_speedup")
-    committed = baseline.get("events_per_sec")
-    tolerance = baseline.get("tolerance", 0.5)
-    data = result.get("data", {})
-    entry = data.get(metric)
+def _gate_metric(metric: str, entry: typing.Optional[dict],
+                 required: float, committed: typing.Optional[float],
+                 tolerance: float,
+                 lines: typing.List[str]) -> bool:
+    """Check one shape's speedup + absolute band; append report lines."""
     if not isinstance(entry, dict):
-        return False, ("bench-gate: result has no data for primary metric "
-                       "%r (figures present: %s)"
-                       % (metric, ", ".join(sorted(data)) or "none"))
+        lines.append("bench-gate: metric %s" % metric)
+        lines.append("  FAIL: result has no data for this metric")
+        return False
     opt = entry.get("opt_events_per_sec")
     ref = entry.get("ref_events_per_sec")
     speedup = entry.get("speedup")
-    lines = ["bench-gate: metric %s" % metric,
-             "  optimized: %d events/sec" % opt,
-             "  naive ref: %d events/sec" % ref,
-             "  speedup:   %.2fx (required >= %.2fx)" % (speedup, required),
-             "  baseline:  %d events/sec (tolerance %d%%)"
-             % (committed, tolerance * 100)]
+    lines.append("bench-gate: metric %s" % metric)
+    lines.append("  optimized: %d events/sec" % opt)
+    lines.append("  naive ref: %d events/sec" % ref)
+    lines.append("  speedup:   %.2fx (required >= %.2fx)"
+                 % (speedup, required))
     passed = True
     if speedup < required:
         shortfall = (required - speedup) / required * 100.0
@@ -132,16 +118,69 @@ def bench_gate(result: dict, baseline: dict) -> typing.Tuple[bool, str]:
             "  FAIL: speedup regressed %.1f%% below the required %.2fx "
             "(got %.2fx)" % (shortfall, required, speedup))
         passed = False
-    floor = committed * (1.0 - tolerance)
-    if opt < floor:
-        regression = (committed - opt) / committed * 100.0
-        lines.append(
-            "  FAIL: optimized throughput is %.1f%% below the committed "
-            "baseline %d events/sec (floor %d after %d%% tolerance)"
-            % (regression, committed, floor, tolerance * 100))
-        passed = False
+    if isinstance(committed, (int, float)):
+        lines.append("  baseline:  %d events/sec (tolerance %d%%)"
+                     % (committed, tolerance * 100))
+        floor = committed * (1.0 - tolerance)
+        if opt < floor:
+            regression = (committed - opt) / committed * 100.0
+            lines.append(
+                "  FAIL: optimized throughput is %.1f%% below the "
+                "committed baseline %d events/sec (floor %d after %d%% "
+                "tolerance)"
+                % (regression, committed, floor, tolerance * 100))
+            passed = False
     if passed:
         lines.append("  PASS")
+    return passed
+
+
+def bench_gate(result: dict, baseline: dict) -> typing.Tuple[bool, str]:
+    """Check an engine-bench result against the committed baseline.
+
+    Returns ``(passed, report)``.  Two checks per gated metric:
+
+    1. **Speedup** (machine-independent): the optimized/naive ratio must
+       be >= the metric's ``required_speedup``.
+    2. **Absolute band**: optimized events/sec must be >=
+       ``events_per_sec * (1 - tolerance)``.  The band is wide because
+       CI hardware differs from the machine that committed the baseline;
+       the ratio check is the sharp one.
+
+    The baseline may gate **several** shapes via ``gated_metrics``::
+
+        "gated_metrics": {
+            "timer_wheel":   {"required_speedup": 2.0,
+                              "events_per_sec": 1100000},
+            "process_chain": {"required_speedup": 2.0}
+        }
+
+    Per-metric ``required_speedup``/``events_per_sec`` default to the
+    top-level values; ``tolerance`` is shared.  A baseline without
+    ``gated_metrics`` gates only the top-level primary ``metric`` — the
+    pre-trampoline schema keeps working unchanged.
+    """
+    tolerance = baseline.get("tolerance", 0.5)
+    top_required = baseline.get("required_speedup")
+    top_committed = baseline.get("events_per_sec")
+    data = result.get("data", {})
+    gated = baseline.get("gated_metrics")
+    if not isinstance(gated, dict) or not gated:
+        gated = {baseline.get("metric"): {}}
+    lines: typing.List[str] = []
+    passed = True
+    for metric in sorted(gated):
+        spec = gated[metric] or {}
+        required = spec.get("required_speedup", top_required)
+        committed = spec.get("events_per_sec",
+                             top_committed if metric == baseline.get("metric")
+                             else None)
+        entry = data.get(metric)
+        if not _gate_metric(metric, entry, required, committed, tolerance,
+                            lines):
+            passed = False
+    if not lines:  # no metric named at all — malformed baseline
+        return False, "bench-gate: baseline names no metric to gate"
     return passed, "\n".join(lines)
 
 

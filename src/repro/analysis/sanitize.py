@@ -39,6 +39,7 @@ import typing
 import weakref
 
 from ..sim.engine import Simulator
+from ..sim.events import _Cell
 from ..sim.rng import RngStream
 
 
@@ -200,12 +201,18 @@ class Sanitizer:
         stalled.sort(key=lambda p: getattr(p, "name", ""))
         for process in stalled:
             waiting = process._waiting_on
+            # A pooled kernel cell (_Cell) is the bootstrap/kick carrier,
+            # not something the guest chose to wait on; a process parked
+            # on one with the queue drained simply never got resumed.
+            # (Its class __name__ deliberately reads "Event" for digest
+            # reasons, so report it by meaning, not by name.)
+            if waiting is None or waiting.__class__ is _Cell:
+                waited = "nothing (never resumed)"
+            else:
+                waited = type(waiting).__name__
             violations.append(
                 "process %r never finished: waiting on %s (deadlock or "
-                "leaked wakeup)"
-                % (process.name,
-                   "nothing (never resumed)" if waiting is None
-                   else type(waiting).__name__))
+                "leaked wakeup)" % (process.name, waited))
         for resource in self._resources:
             if getattr(resource, "queue", None):
                 violations.append(

@@ -4,7 +4,7 @@ Public surface:
 
 * :class:`Simulator` — event queue + millisecond clock.
 * :class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf`,
-  :class:`Interrupt` — event primitives.
+  :class:`Interrupt`, :class:`PendingInterrupt` — event primitives.
 * :class:`Process` — generator-based processes.
 * :class:`Resource`, :class:`Store` — contended resources and FIFO stores.
 * :class:`PSCore`, :class:`CpuPool` — processor-sharing CPU model.
@@ -12,7 +12,8 @@ Public surface:
 """
 
 from .engine import Simulator
-from .events import AllOf, AnyOf, Event, Interrupt, SimulationError, Timeout
+from .events import (AllOf, AnyOf, Event, Interrupt, PendingInterrupt,
+                     SimulationError, Timeout)
 from .process import Process
 from .resources import Request, Resource, Store
 from .cpu import CpuPool, CpuTask, PSCore
@@ -25,6 +26,7 @@ __all__ = [
     "CpuTask",
     "Event",
     "Interrupt",
+    "PendingInterrupt",
     "Process",
     "PSCore",
     "Request",

@@ -5,39 +5,61 @@ in the library are **milliseconds of simulated time** expressed as floats;
 this matches the units the LightVM paper reports (boot times of 2.3 ms,
 migration times of 60 ms, and so on).
 
-The kernel is a compact SimPy-style design: events are pushed onto a heap
-keyed by (time, insertion order); :meth:`Simulator.run` pops them in order
-and invokes their callbacks.  Processes (see :mod:`repro.sim.process`) are
-generators that yield events and are resumed by callbacks.
+The kernel is a compact SimPy-style design: events are processed in
+(time, insertion order); :meth:`Simulator.run` pops them in order and
+invokes their callbacks.  Processes (see :mod:`repro.sim.process`) are
+generators that yield events and are resumed by the run loop's trampoline.
 
-**Determinism contract.**  The heap key is ``(time, insertion order)``
-and nothing else: events scheduled for the same simulated instant are
-processed in exactly the order they were pushed, every run.  Nothing in
-the kernel may break ties by hash order, object identity (``id()``), or
-any other per-process value — that contract is what makes a ``(seed,
-config)`` pair replay bit-identically, and it is machine-checked by
-:mod:`repro.analysis` (the ``repro lint`` rules and the dual-run digest
-checker).  Two opt-in hooks support that checking: ``sanitizer``
-(runtime hazard detection) and ``trace`` (streaming timeline digest);
-both default to ``None`` and cost one identity check per event when
-unused.
+**Determinism contract.**  Events are ordered by ``(time, insertion
+order)`` and nothing else: events scheduled for the same simulated
+instant are processed in exactly the order they were pushed, every run.
+Nothing in the kernel may break ties by hash order, object identity
+(``id()``), or any other per-process value — that contract is what makes
+a ``(seed, config)`` pair replay bit-identically, and it is
+machine-checked by :mod:`repro.analysis` (the ``repro lint`` rules and
+the dual-run digest checker).  Two opt-in hooks support that checking:
+``sanitizer`` (runtime hazard detection) and ``trace`` (streaming
+timeline digest); both default to ``None`` and cost one identity check
+per event when unused.
+
+**Queue representation.**  The queue is *time-bucketed*: ``_buckets``
+maps each pending simulated time to the FIFO list of events scheduled at
+that instant, and ``_times`` is a heap of the distinct pending times.
+Appending to a bucket preserves insertion order within an instant and the
+times heap orders instants, so the representation realizes exactly the
+``(time, insertion order)`` contract the seed kernel's per-event
+``(time, counter, event)`` heap tuples did — while a push costs one dict
+probe plus a list append instead of an O(log n) sift with tuple
+allocation, and popping a same-instant batch costs list indexing instead
+of n heap pops.  A bucket stays registered while it drains so callbacks
+pushing at the current instant append to it in order; the heap may
+transiently hold a time whose bucket is already gone, and every consumer
+skips such stale entries.
 
 **Fast-path invariants.**  The run loop is tuned (hot attributes bound to
 locals, same-instant events drained in a batch, ``call_later`` timeouts
-pooled) under invariants that ``tests/test_reference_kernel.py`` proves
-against the naive seed kernel via byte-identical replay digests:
+and process bootstrap/kick cells pooled, continuation-slot process
+resumes trampolined inline) under invariants that
+``tests/test_reference_kernel.py`` proves against the naive seed kernel
+via byte-identical replay digests:
 
 * delays are never negative, so a callback can only push events at the
   current instant or later — draining everything at the head timestamp
   before re-checking ``until`` cannot skip a stop point, and same-instant
-  pushes join the batch in insertion order exactly as the one-at-a-time
-  loop would process them;
-* the ``trace``/``sanitizer``/``tracer`` hooks are attached before
-  ``run()`` is entered, never swapped mid-run (they are rebound once per
-  timestamp batch, not per event);
+  pushes join the live bucket in insertion order exactly as the
+  one-at-a-time loop would process them;
+* the ``trace``/``sanitizer``/``tracer``/``witness`` hooks are attached
+  before ``run()`` is entered, never swapped mid-run (they are rebound
+  once per timestamp batch, not per event);
 * pooled timeouts are only ever created by :meth:`call_later`, which
-  returns ``None`` — user code cannot hold a reference to a recycled
-  event, so reuse is unobservable.
+  returns ``None``, and pooled cells only by the process machinery,
+  which never exposes them — user code cannot hold a reference to a
+  recycled event, so reuse is unobservable;
+* the inline trampoline resume is a transcription of
+  :meth:`repro.sim.process.Process._resume`'s hot path, taken only when
+  its staleness/liveness checks pass and no witness is attached; every
+  other wakeup routes through ``_resume`` itself, which remains the
+  definition of the semantics.
 """
 
 from __future__ import annotations
@@ -46,12 +68,19 @@ import heapq
 import itertools
 import typing
 
-from .events import AllOf, AnyOf, Event, SimulationError, Timeout
+from .events import (AllOf, AnyOf, Event, PENDING, SimulationError, Timeout,
+                     _Cell)
 from .process import Process
 
 #: Upper bound on pooled ``call_later`` timeouts kept for reuse; beyond
 #: this the extras are dropped to the garbage collector.
 _TIMEOUT_POOL_CAP = 256
+
+#: Upper bound on pooled bootstrap/kick cells (see ``events._Cell``).
+#: Fan-out workloads spawn thousands of processes at one instant; the
+#: pool only ever fills from the run loop's recycle path, so the cap just
+#: bounds retained garbage, not correctness.
+_CELL_POOL_CAP = 1024
 
 
 class _StopFlag:
@@ -76,9 +105,17 @@ class Simulator:
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
+        #: Bucketed event queue; see the module docstring.
+        self._buckets: dict = {}
+        self._times: list = []
+        #: Legacy heap fields.  The optimized queue no longer touches
+        #: them, but the frozen naive reference kernel
+        #: (``tests/reference_kernel.py``) subclasses this class and keeps
+        #: its seed-state ``(time, counter, event)`` heap here.
         self._queue: list = []
         self._order = itertools.count()
         self._timeout_pool: list = []
+        self._cell_pool: list = []
         #: Number of events processed so far (for diagnostics/tests).
         self.processed_events = 0
         #: Optional :class:`repro.analysis.sanitize.Sanitizer` hook.
@@ -91,7 +128,9 @@ class Simulator:
         self.tracer = None
         #: Optional :class:`repro.analysis.witness.RaceWitness` hook
         #: (vector-clock happens-before tracking).  Timeline-read-only
-        #: like the three above.
+        #: like the three above.  When attached, the run loop disables
+        #: the inline trampoline so every wakeup flows through
+        #: ``Process._resume`` and its ``on_wake`` hook.
         self.witness = None
         #: The :class:`Process` whose generator is currently executing
         #: (``None`` between resumptions).  Maintained by the process
@@ -153,14 +192,21 @@ class Simulator:
             event = pool.pop()
             # A recycled timeout's state is known-clean: tuple-form
             # callbacks never expose the event object, so nothing could
-            # have touched _ok (True), _value (None) or defused (False)
-            # since the run loop dispatched it.  Only the callback pair,
-            # the recycle flag and the queue entry need refreshing.
+            # have touched _ok (True), _value (None), defused (False) or
+            # _cont (None) since the run loop dispatched it.  Only the
+            # callback pair, the recycle flag and the queue entry need
+            # refreshing.
             event.delay = delay
             event.callbacks = (callback, args)
             event.recycle = True
-            heapq.heappush(self._queue, (self._now + delay,
-                                         next(self._order), event))
+            when = self._now + delay
+            buckets = self._buckets
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = [event]
+                heapq.heappush(self._times, when)
+            else:
+                bucket.append(event)
         else:
             event = Timeout(self, delay)
             event.recycle = True
@@ -171,42 +217,76 @@ class Simulator:
     # ------------------------------------------------------------------
     def _push(self, event: Event, delay: float = 0.0) -> None:
         # (time, insertion order) is the *entire* ordering contract; see
-        # the module docstring.  The counter both breaks ties FIFO and
-        # keeps Event objects out of heap comparisons entirely.
-        heapq.heappush(self._queue, (self._now + delay, next(self._order),
-                                     event))
+        # the module docstring.  Bucket append order realizes the
+        # insertion-order tie-break; the times heap orders instants.
+        when = self._now + delay
+        buckets = self._buckets
+        bucket = buckets.get(when)
+        if bucket is None:
+            buckets[when] = [event]
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        times = self._times
+        buckets = self._buckets
+        while times:
+            head = times[0]
+            if head in buckets:
+                return head
+            heapq.heappop(times)  # stale entry; see module docstring
+        return float("inf")
 
     def step(self) -> None:
         """Process exactly one event.
 
         Kept for manual stepping (tests, debuggers); :meth:`run` drains
         the queue with an inlined copy of this dispatch.  ``step`` does
-        not recycle pooled timeouts — only the run loop does.
+        not recycle pooled events — only the run loop does.
         """
-        if not self._queue:
+        times = self._times
+        buckets = self._buckets
+        bucket = None
+        head = 0.0
+        while times:
+            head = times[0]
+            bucket = buckets.get(head)
+            if bucket is not None:
+                break
+            heapq.heappop(times)  # stale entry; see module docstring
+        if bucket is None:
             raise SimulationError("no more events to process")
-        when, _order, event = heapq.heappop(self._queue)
-        if when < self._now:
+        if head < self._now:
             raise SimulationError(
-                "clock would run backwards (%r -> %r): the heap ordering "
-                "contract was violated" % (self._now, when))
-        self._now = when
+                "clock would run backwards (%r -> %r): the queue ordering "
+                "contract was violated" % (self._now, head))
+        self._now = head
+        event = bucket.pop(0)
+        if not bucket:
+            del buckets[head]
+            heapq.heappop(times)
         self.processed_events += 1
         if self.trace is not None:
-            self.trace.record(when, event)
-        callbacks, event.callbacks = event.callbacks, None
-        if callbacks.__class__ is tuple:
-            callbacks[0](*callbacks[1])
-        else:
-            for callback in callbacks:
-                if callback.__class__ is tuple:
-                    callback[0](*callback[1])
-                else:
-                    callback(event)
+            self.trace.record(head, event)
+        callbacks = event.callbacks
+        event.callbacks = None
+        cont = event._cont
+        if cont is not None:
+            # Continuation slot first: the parked process was the event's
+            # first subscriber, so it wakes before any listed callbacks.
+            event._cont = None
+            cont._resume(event)
+        if callbacks:
+            if callbacks.__class__ is tuple:
+                callbacks[0](*callbacks[1])
+            else:
+                for callback in callbacks:
+                    if callback.__class__ is tuple:
+                        callback[0](*callback[1])
+                    else:
+                        callback(event)
         if not event._ok and not event.defused:
             # A failure nobody handled: escalate to the run() caller so
             # broken models do not fail silently.
@@ -236,56 +316,139 @@ class Simulator:
                 raise ValueError("until=%r is in the past (now=%r)"
                                  % (until, self._now))
 
-        queue = self._queue
-        pool = self._timeout_pool
+        buckets = self._buckets
+        times = self._times
+        tpool = self._timeout_pool
+        cpool = self._cell_pool
         heappop = heapq.heappop
         processed = 0
         try:
-            while queue:
+            while times:
                 if stop_flag is not None and stop_flag.hit:
                     break
-                head = queue[0][0]
+                head = heappop(times)
+                bucket = buckets.get(head)
+                if bucket is None:
+                    continue  # stale entry; see module docstring
                 if head > stop_time:
+                    heapq.heappush(times, head)
                     self._now = stop_time
                     return None
                 if head < self._now:
+                    heapq.heappush(times, head)
                     raise SimulationError(
-                        "clock would run backwards (%r -> %r): the heap "
+                        "clock would run backwards (%r -> %r): the queue "
                         "ordering contract was violated" % (self._now, head))
                 trace = self.trace
+                witness = self.witness
                 self._now = head
-                # Drain every event scheduled at this instant.  Delays
-                # are never negative, so callbacks can only append to
-                # this batch (same time, later insertion order) or push
-                # later — the stop-time check above stays valid for the
-                # whole batch.
-                while True:
-                    event = heappop(queue)[2]
-                    processed += 1
-                    if trace is not None:
-                        trace.record(head, event)
-                    callbacks, event.callbacks = event.callbacks, None
-                    if callbacks.__class__ is tuple:
-                        callbacks[0](*callbacks[1])
-                    else:
-                        for callback in callbacks:
-                            if callback.__class__ is tuple:
-                                callback[0](*callback[1])
+                # Drain every event scheduled at this instant.  Delays are
+                # never negative, so callbacks can only append to the live
+                # bucket (same time, later insertion order) or push later
+                # — the stop-time check above stays valid for the whole
+                # batch, and ``len(bucket)`` is re-read every iteration to
+                # pick up same-instant appends.
+                i = 0
+                try:
+                    while i < len(bucket):
+                        event = bucket[i]
+                        i += 1
+                        processed += 1
+                        if trace is not None:
+                            trace.record(head, event)
+                        callbacks = event.callbacks
+                        event.callbacks = None
+                        cont = event._cont
+                        if cont is not None:
+                            event._cont = None
+                            if (witness is None and cont._value is PENDING
+                                    and cont._waiting_on is event):
+                                # Inline trampoline: transcription of
+                                # Process._resume's hot path (see the
+                                # module docstring invariant).  Dispatching
+                                # here saves a bound-method call, the
+                                # staleness re-checks, and the try/finally
+                                # frame per wake — which is the bulk of
+                                # the per-resume host cost in
+                                # process-shaped workloads.
+                                cont._waiting_on = None
+                                self.active_process = cont
+                                try:
+                                    if event._ok:
+                                        target = cont._generator.send(
+                                            event._value)
+                                    else:
+                                        event.defused = True
+                                        target = cont._generator.throw(
+                                            typing.cast(BaseException,
+                                                        event._value))
+                                except StopIteration as stop:
+                                    self.active_process = None
+                                    if cont._value is PENDING:
+                                        # Inlined succeed(): no witness is
+                                        # attached on this path, and the
+                                        # completion lands at the current
+                                        # instant — i.e. on the live
+                                        # bucket being drained.
+                                        cont._ok = True
+                                        cont._value = stop.value
+                                        bucket.append(cont)
+                                    else:
+                                        cont.succeed(stop.value)
+                                except BaseException as exc:
+                                    self.active_process = None
+                                    cont.fail(exc)
+                                else:
+                                    self.active_process = None
+                                    if (target.__class__ is Timeout
+                                            and target.sim is self
+                                            and target._cont is None
+                                            and not target.callbacks):
+                                        # Fresh same-simulator timeout
+                                        # with no subscribers: intern the
+                                        # wait without re-entering
+                                        # _wait_for.
+                                        target._cont = cont
+                                        cont._waiting_on = target
+                                    else:
+                                        cont._wait_for(target)
                             else:
-                                callback(event)
-                    if not event._ok and not event.defused:
-                        # A failure nobody handled: escalate to the
-                        # run() caller so broken models do not fail
-                        # silently.
-                        raise typing.cast(BaseException, event._value)
-                    if event.__class__ is Timeout and event.recycle:
-                        event.recycle = False
-                        if len(pool) < _TIMEOUT_POOL_CAP:
-                            pool.append(event)
-                    if stop_flag is not None and stop_flag.hit:
-                        break
-                    if not queue or queue[0][0] != head:
-                        break
+                                cont._resume(event)
+                        if callbacks:
+                            if callbacks.__class__ is tuple:
+                                callbacks[0](*callbacks[1])
+                            else:
+                                for callback in callbacks:
+                                    if callback.__class__ is tuple:
+                                        callback[0](*callback[1])
+                                    else:
+                                        callback(event)
+                        if not event._ok and not event.defused:
+                            # A failure nobody handled: escalate to the
+                            # run() caller so broken models do not fail
+                            # silently.
+                            raise typing.cast(BaseException, event._value)
+                        cls = event.__class__
+                        if cls is Timeout:
+                            if event.recycle:
+                                event.recycle = False
+                                if len(tpool) < _TIMEOUT_POOL_CAP:
+                                    tpool.append(event)
+                        elif cls is _Cell:
+                            if len(cpool) < _CELL_POOL_CAP:
+                                cpool.append(event)
+                        if stop_flag is not None and stop_flag.hit:
+                            break
+                finally:
+                    # Reached on batch completion, a mid-batch stop, or
+                    # an escalated failure: keep any unprocessed tail
+                    # queued so the queue stays consistent for callers
+                    # that catch the failure and continue stepping.
+                    if i < len(bucket):
+                        del bucket[:i]
+                        heapq.heappush(times, head)
+                    else:
+                        del buckets[head]
         finally:
             # Flushed once per run, not per event; exact again by the
             # time run() returns or an escalated failure escapes.

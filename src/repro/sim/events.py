@@ -8,7 +8,7 @@ reaches it.  The design intentionally mirrors the well-known SimPy kernel so
 that toolstack code reads like straight-line prose with ``yield`` points.
 
 Fast-path notes (the invariants are spelled out in DESIGN.md under
-"Modeled cost vs host cost"):
+"Modeled cost vs host cost" and "The continuation-table resume model"):
 
 * Every kernel event type uses ``__slots__``.  ``Event`` keeps a
   ``__weakref__`` slot because the runtime sanitizer tracks processes
@@ -22,14 +22,28 @@ Fast-path notes (the invariants are spelled out in DESIGN.md under
   ``call_later`` events.  The dispatch lives in the simulator loop;
   :meth:`Event.add_callback` promotes a bare pair to a list if a
   subscriber ever shows up.
+* ``Event._cont`` is the **continuation slot**: when exactly one
+  :class:`~repro.sim.process.Process` waits on the event and no other
+  subscriber got there first, the process is parked in the slot instead
+  of appending a bound ``_resume`` method to ``callbacks``.  The run
+  loop resumes the slot *before* any listed callbacks, which is exactly
+  the subscription order the callback list would have preserved, so the
+  timeline is unchanged — a blocked process just costs one pointer
+  store instead of a bound-method allocation plus a list append.
+  ``interrupt()`` detaches by clearing the slot, so an abandoned wait
+  leaves nothing behind (no dead-callback accumulation).
 * ``Timeout`` carries a ``recycle`` flag so the simulator can pool
   fire-and-forget timeouts created by ``call_later`` (never ones handed
-  to user code).
+  to user code).  :class:`_Cell` is the same idea for the kernel's own
+  bootstrap/kick events: a pooled, never-user-visible event whose class
+  ``__name__`` deliberately reads "Event" so replay digests hash the
+  same type name the seed kernel's plain bootstrap ``Event`` produced.
 """
 
 from __future__ import annotations
 
 import typing
+from heapq import heappush
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .engine import Simulator
@@ -53,6 +67,19 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class PendingInterrupt(SimulationError):
+    """A second ``interrupt()`` raced an undelivered first one.
+
+    An interrupt is delivered as a kick event on the simulator queue; until
+    that kick is processed the target has not yet observed the first
+    :class:`Interrupt`.  The seed kernel silently *replaced* the pending
+    kick in this window, dropping the first interrupt's cause on the floor.
+    The defined semantics are now: the first interrupt wins, and a second
+    call before delivery raises this error so the caller knows its cause
+    was not (and will never be) delivered.
+    """
+
+
 class Event:
     """A one-shot occurrence in simulated time.
 
@@ -60,7 +87,7 @@ class Event:
     them, after which ``value`` holds the result (or the exception).
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "defused",
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "defused", "_cont",
                  "__weakref__")
 
     def __init__(self, sim: "Simulator"):
@@ -71,6 +98,11 @@ class Event:
         #: Set to True by a handler to mark a failure as dealt with, which
         #: stops the simulator from escalating it to the caller of ``run``.
         self.defused = False
+        #: Continuation slot: the single Process parked on this event, or
+        #: None.  Filled only when the process would have been the first
+        #: (and so far only) subscriber; the run loop resumes it before the
+        #: ``callbacks`` list, preserving subscription order exactly.
+        self._cont = None
 
     @property
     def triggered(self) -> bool:
@@ -138,7 +170,8 @@ class Event:
         elif cbs.__class__ is tuple:
             # A bare (callback, args) pair from the fire-and-forget fast
             # path; promote it to a regular list to take the subscriber.
-            self.callbacks = [cbs, callback]
+            # (An empty tuple — a fresh pooled _Cell — holds no pair.)
+            self.callbacks = [cbs, callback] if cbs else [callback]
         else:
             cbs.append(callback)
 
@@ -154,16 +187,74 @@ class Timeout(Event):
     __slots__ = ("delay", "recycle")
 
     def __init__(self, sim: "Simulator", delay: float, value: object = None):
+        # Flattened constructor (no super() chain): a timeout per blocked
+        # process is the single hottest allocation in process-shaped
+        # workloads, and the one-dict-lookup super() dispatch plus the
+        # second function frame are measurable there.
         if delay < 0:
             raise ValueError("timeout delay must be >= 0, got %r" % delay)
-        super().__init__(sim)
+        self.sim = sim
+        self.callbacks = []
+        self.defused = False
+        self._cont = None
         self.delay = delay
         #: Pool eligibility: only ``Simulator.call_later`` timeouts — which
         #: are never visible to user code — are recycled by the run loop.
         self.recycle = False
         self._ok = True
         self._value = value
-        sim._push(self, delay=delay)
+        # Inlined ``sim._push(self, delay=delay)``: one dict probe plus a
+        # list append, without the extra method frame (see the engine
+        # module docstring, "Queue representation").
+        when = sim._now + delay
+        buckets = sim._buckets
+        bucket = buckets.get(when)
+        if bucket is None:
+            buckets[when] = [self]
+            heappush(sim._times, when)
+        else:
+            bucket.append(self)
+
+
+class _Cell(Event):
+    """A pooled kernel-internal event: process bootstrap and interrupt kicks.
+
+    The seed kernel allocated a fresh pre-triggered ``Event`` for every
+    process start ("bootstrap") and every ``interrupt()`` ("kick").  Cells
+    replace both: they live on ``Simulator._cell_pool``, are recognized by
+    the run loop (``event.__class__ is _Cell``) and recycled after
+    dispatch, and are *never* visible to user code — a process's
+    ``_waiting_on`` points at one only until the first resume delivers it.
+
+    Cells never go through ``succeed``/``fail``; their ``_ok``/``_value``
+    fields are assigned directly, exactly as the seed kernel assigned its
+    bootstrap events, so neither the sanitizer's double-trigger check nor
+    the RaceWitness ``on_trigger`` hook ever observes one.
+
+    The class ``__name__`` is reassigned to ``"Event"`` below so that
+    replay digests — which hash ``type(event).__name__`` per processed
+    event — stay byte-identical to the frozen reference kernel's plain
+    bootstrap/kick ``Event`` records.  The reference kernel uses the same
+    documented shadowing trick for its own subclasses.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        # Empty tuple, not a list: cells normally take no subscribers, and
+        # the immutable singleton lets pool reuse skip reallocating it.
+        # add_callback() promotes to a list if user code ever joins one
+        # mid-flight (it cannot today; belt and braces).
+        self.callbacks = ()
+        self._value = None
+        self._ok = True
+        self.defused = False
+        self._cont = None
+
+
+_Cell.__name__ = "Event"
+_Cell.__qualname__ = "Event"
 
 
 class Condition(Event):
@@ -187,8 +278,19 @@ class Condition(Event):
         if self._incremental:
             self._values = dict.fromkeys(self.events, PENDING)
         self._remaining = len(self.events)
+        # Inlined add_callback with the bound method hoisted: subscribing
+        # to N children otherwise allocates N bound ``_check`` methods and
+        # pays N method-call frames.  Semantics are identical — already
+        # processed children run immediately, bare pairs are promoted.
+        check = self._check
         for event in self.events:
-            event.add_callback(self._check)
+            cbs = event.callbacks
+            if cbs is None:
+                check(event)
+            elif cbs.__class__ is list:
+                cbs.append(check)
+            else:
+                event.callbacks = [cbs, check] if cbs else [check]
 
     def _collect(self) -> dict:
         """Map each finished child event to its value."""

@@ -120,6 +120,62 @@ class TestBenchGate:
         assert "timer_wheel" in report
 
 
+MULTI_BASELINE = {
+    "metric": "timer_wheel", "required_speedup": 2.0,
+    "events_per_sec": 800_000, "tolerance": 0.5,
+    "gated_metrics": {
+        "timer_wheel": {},
+        "process_chain": {"required_speedup": 2.0,
+                          "events_per_sec": 900_000},
+    },
+}
+
+
+def multi_result(wheel_opt, chain_opt, ref=400_000):
+    return {"figure": "engine",
+            "data": {name: {"opt_events_per_sec": opt,
+                            "ref_events_per_sec": ref,
+                            "speedup": opt / ref}
+                     for name, opt in (("timer_wheel", wheel_opt),
+                                       ("process_chain", chain_opt))}}
+
+
+class TestBenchGateMultiMetric:
+    def test_all_gated_metrics_pass(self):
+        passed, report = bench_gate(multi_result(900_000, 950_000),
+                                    MULTI_BASELINE)
+        assert passed
+        assert report.count("PASS") == 2
+        assert "timer_wheel" in report and "process_chain" in report
+
+    def test_one_shape_regressing_fails_the_gate(self):
+        # timer_wheel is fine (2.25x); process_chain sits at 1.5x.
+        passed, report = bench_gate(multi_result(900_000, 600_000),
+                                    MULTI_BASELINE)
+        assert not passed
+        assert "process_chain" in report
+        assert "25.0%" in report  # 1.5x vs required 2.0x
+
+    def test_per_metric_absolute_floor_applies(self):
+        # Both speedups pass but process_chain collapsed below its own
+        # committed band (900k * 0.5 = 450k floor).
+        passed, report = bench_gate(multi_result(900_000, 440_000,
+                                                 ref=200_000),
+                                    MULTI_BASELINE)
+        assert not passed
+        assert "below the committed" in report
+
+    def test_gated_metric_missing_from_result_fails(self):
+        result = {"figure": "engine",
+                  "data": {"timer_wheel": {"opt_events_per_sec": 900_000,
+                                           "ref_events_per_sec": 400_000,
+                                           "speedup": 2.25}}}
+        passed, report = bench_gate(result, MULTI_BASELINE)
+        assert not passed
+        assert "process_chain" in report
+        assert "no data" in report
+
+
 class TestCommittedBaseline:
     def test_baseline_file_is_wellformed(self):
         import pathlib
@@ -131,6 +187,18 @@ class TestCommittedBaseline:
         assert 0.0 < baseline["tolerance"] < 1.0
         assert baseline["events_per_sec"] > \
             baseline["preopt_events_per_sec"]
+
+    def test_baseline_gates_the_trampoline_shapes(self):
+        import pathlib
+        path = pathlib.Path(__file__).resolve().parents[1] / \
+            "benchmarks" / "baseline_engine.json"
+        baseline = json.loads(path.read_text())
+        gated = baseline["gated_metrics"]
+        for shape in ("timer_wheel", "process_chain", "allof_fanout"):
+            assert shape in gated
+            required = gated[shape].get("required_speedup",
+                                        baseline["required_speedup"])
+            assert required >= 2.0
 
 
 FIGURE_BASELINE = {

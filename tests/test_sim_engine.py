@@ -1,5 +1,7 @@
 """Tests for the discrete-event simulation engine."""
 
+import heapq
+
 import pytest
 
 from repro.sim import Event, SimulationError, Simulator
@@ -80,9 +82,14 @@ def test_clock_never_runs_backwards():
     stale = Event(sim)
     stale._ok = True
     stale._value = None
-    sim._queue.append((5.0, -1, stale))  # forge a past-dated entry
+    # Forge a past-dated entry directly into the bucketed queue.
+    sim._buckets[5.0] = [stale]
+    heapq.heappush(sim._times, 5.0)
     with pytest.raises(SimulationError, match="backwards"):
         sim.step()
+    # run() enforces the same contract.
+    with pytest.raises(SimulationError, match="backwards"):
+        sim.run()
 
 
 def test_run_until_time_stops_clock_exactly():

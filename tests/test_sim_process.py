@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Interrupt, Simulator
+from repro.sim import Interrupt, PendingInterrupt, Simulator
 
 
 def test_process_runs_and_returns_value():
@@ -184,3 +184,155 @@ def test_two_processes_interleave():
     # vs t=2.0), so FIFO order within the timestamp puts b first.
     assert order == [("a", 1.0), ("b", 1.5), ("a", 2.0), ("b", 3.0),
                      ("a", 3.0), ("b", 4.5)]
+
+
+# ---------------------------------------------------------------------------
+# Process-lifecycle regression tests
+# ---------------------------------------------------------------------------
+
+def test_cross_simulator_yield_closes_generator():
+    """Yielding an event from another simulator fails the process AND
+    closes its generator, so ``finally`` cleanup in the guest body runs
+    (the seed kernel failed the process with the generator left open)."""
+    sim = Simulator()
+    other = Simulator()
+    cleaned = []
+
+    def worker():
+        try:
+            yield other.timeout(1.0)
+        finally:
+            cleaned.append("cleanup ran")
+
+    proc = sim.process(worker())
+    with pytest.raises(ValueError, match="another simulator"):
+        sim.run(until=proc)
+    assert cleaned == ["cleanup ran"]
+    assert not proc.is_alive
+
+
+def test_interrupt_detaches_interned_continuation():
+    """Interrupting a process parked in an event's continuation slot
+    clears the slot; re-waiting re-interns it.  Nothing accumulates."""
+    sim = Simulator()
+    gate = sim.event()
+    interrupts = []
+
+    def sleeper():
+        while True:
+            try:
+                yield gate
+            except Interrupt:
+                interrupts.append(sim.now)
+
+    proc = sim.process(sleeper())
+    sim.run()
+    assert gate._cont is proc
+    for _ in range(50):
+        proc.interrupt()
+        sim.run()
+    assert len(interrupts) == 50
+    # Still exactly one parked waiter, and no dead callbacks left behind.
+    assert gate._cont is proc
+    assert gate.callbacks == []
+
+
+def test_interrupt_detaches_stale_resume_callback():
+    """When the process sits on the callback *list* (another subscriber
+    got there first), interrupt removes its resume hook: a long-lived
+    shared event repeatedly waited-on and interrupted must not accumulate
+    dead callbacks (the seed kernel leaked one per interrupt)."""
+    sim = Simulator()
+    gate = sim.event()
+    gate.add_callback(lambda _event: None)  # occupy the first slot
+
+    def sleeper():
+        while True:
+            try:
+                yield gate
+            except Interrupt:
+                pass
+
+    proc = sim.process(sleeper())
+    sim.run()
+    assert gate._cont is None
+    assert len(gate.callbacks) == 2  # the sink + the parked process
+    for _ in range(50):
+        proc.interrupt()
+        sim.run()
+    assert len(gate.callbacks) == 2
+
+
+def test_second_interrupt_before_delivery_is_rejected():
+    """Two interrupts before the first kick fires: the first wins, the
+    second raises PendingInterrupt instead of silently replacing it."""
+    sim = Simulator()
+    causes = []
+
+    def sleeper():
+        try:
+            yield 100.0
+        except Interrupt as intr:
+            causes.append(intr.cause)
+
+    proc = sim.process(sleeper())
+    sim.run(until=1.0)  # parked on its timeout now
+    proc.interrupt("first")
+    with pytest.raises(PendingInterrupt):
+        proc.interrupt("second")
+    sim.run()
+    assert causes == ["first"]
+
+
+def test_interrupt_before_first_resume_kills_process():
+    """An interrupt landing before the bootstrap delivers detaches the
+    bootstrap and throws into the never-started generator, failing the
+    process with the Interrupt."""
+    sim = Simulator()
+
+    def worker():
+        yield 1.0  # never reached
+
+    proc = sim.process(worker())
+    proc.interrupt("early")
+    with pytest.raises(Interrupt):
+        sim.run(until=proc)
+    assert not proc.is_alive
+
+
+def test_double_interrupt_before_first_resume_rejected():
+    sim = Simulator()
+
+    def worker():
+        yield 1.0  # never reached
+
+    proc = sim.process(worker())
+    proc.interrupt("early")
+    with pytest.raises(PendingInterrupt):
+        proc.interrupt("late")
+
+
+def test_interrupt_after_delivery_is_accepted_again():
+    """PendingInterrupt only guards the undelivered window: once the
+    first interrupt has been thrown in, a new interrupt is fine."""
+    sim = Simulator()
+    causes = []
+
+    def sleeper():
+        while True:
+            try:
+                yield 100.0
+            except Interrupt as intr:
+                causes.append(intr.cause)
+
+    proc = sim.process(sleeper())
+
+    def interrupter():
+        yield 10.0
+        proc.interrupt("one")
+        yield 10.0
+        proc.interrupt("two")
+
+    sim.process(interrupter())
+    sim.run(until=50.0)
+    assert causes == ["one", "two"]
