@@ -40,7 +40,7 @@ from .races import (LockOrderGraph, RaceReport, analyze_paths,
                     save_baseline)
 from .sanitize import (EventTrace, ReplayDivergence, ReplayReport, Sanitizer,
                        SanitizerViolation, assert_replay_identical,
-                       canonical, verify_replay)
+                       canonical, combine_digests, verify_replay)
 from .witness import RaceWitness, WitnessViolation, run_shard_witness
 
 __all__ = [
@@ -66,6 +66,7 @@ __all__ = [
     "analyze_source",
     "assert_replay_identical",
     "canonical",
+    "combine_digests",
     "find_rule",
     "format_findings",
     "lint_paths",

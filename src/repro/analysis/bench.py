@@ -91,7 +91,58 @@ def bench_trend(old: typing.Dict[str, dict],
         lines.append("%-12s %10s %10s %10s   %s"
                      % (figure, _fmt_seconds(old_s), _fmt_seconds(new_s),
                         delta, scales))
+    detail = _data_metric_trend(old, new)
+    if detail:
+        lines.append("")
+        lines.append("data metrics (per-figure):")
+        lines.extend(detail)
     return "\n".join(lines)
+
+
+def _metric_scalar(entry: object) -> typing.Optional[float]:
+    """A comparable number for one ``data`` entry, if it has one.
+
+    Engine-shaped entries (``{"opt_events_per_sec": ..., ...}``) compare
+    by optimized throughput; plain numbers compare directly; anything
+    else (lists, descriptive strings) has no scalar and is only tracked
+    for presence.
+    """
+    if isinstance(entry, dict):
+        value = entry.get("opt_events_per_sec")
+        return value if isinstance(value, (int, float)) else None
+    if isinstance(entry, (int, float)) and not isinstance(entry, bool):
+        return float(entry)
+    return None
+
+
+def _data_metric_trend(old: typing.Dict[str, dict],
+                       new: typing.Dict[str, dict]) -> typing.List[str]:
+    """Diff the per-figure ``data`` metrics between two result sets.
+
+    Total by construction: a shape or metric present on only one side is
+    reported as ``added`` / ``removed``, never raised on — a brand-new
+    BENCH_*.json (or a retired one) must not break the perf-smoke diff.
+    """
+    lines: typing.List[str] = []
+    for figure in sorted(set(old) | set(new)):
+        before = old.get(figure, {}).get("data")
+        after = new.get(figure, {}).get("data")
+        before = before if isinstance(before, dict) else {}
+        after = after if isinstance(after, dict) else {}
+        for metric in sorted(set(before) | set(after)):
+            label = "%s/%s" % (figure, metric)
+            if metric not in before:
+                lines.append("  %-28s added" % label)
+            elif metric not in after:
+                lines.append("  %-28s removed" % label)
+            else:
+                old_v = _metric_scalar(before[metric])
+                new_v = _metric_scalar(after[metric])
+                if old_v is not None and new_v is not None and old_v != 0:
+                    lines.append("  %-28s %+.1f%%"
+                                 % (label,
+                                    (new_v - old_v) / old_v * 100.0))
+    return lines
 
 
 def _gate_metric(metric: str, entry: typing.Optional[dict],

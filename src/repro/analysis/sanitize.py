@@ -117,6 +117,22 @@ class EventTrace:
         return self._hash.hexdigest()
 
 
+def combine_digests(digests: typing.Sequence[str]) -> str:
+    """Fold per-component digests into one canonical cluster digest.
+
+    Position-sensitive: component ``i``'s digest is hashed with its index,
+    so the combination is a pure function of the ordered sequence — for a
+    cluster, per-host :class:`EventTrace` digests in host-index order.
+    Two backends that produce byte-identical per-host timelines therefore
+    produce the same combined digest regardless of how hosts were
+    partitioned across OS processes.
+    """
+    rollup = hashlib.sha256()
+    for index, digest in enumerate(digests):
+        rollup.update(("%d:%s\n" % (index, digest)).encode("ascii"))
+    return rollup.hexdigest()
+
+
 # ----------------------------------------------------------------------
 # Sanitizer
 # ----------------------------------------------------------------------

@@ -495,6 +495,68 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_cluster(args) -> int:
+    import json
+    import time  # noqa: RPR002 -- wall-clock only annotates the CLI report; it is read outside the simulated timeline
+
+    from .cluster import SCENARIOS, Cluster, ClusterConfig, replay_reproducer
+
+    if args.replay:
+        with open(args.replay) as handle:
+            payload = json.load(handle)
+        same, result = replay_reproducer(payload)
+        print("scenario %s seed %d: %d epoch(s), digest %s — %s"
+              % (result.config.scenario, result.config.seed,
+                 result.epochs, result.digest[:12],
+                 "reproduced" if same else "DIVERGED from record"))
+        return 0 if same else 1
+
+    build = SCENARIOS[args.scenario]
+    overrides: typing.Dict[str, object] = {}
+    if args.epoch_ms is not None:
+        overrides["epoch_ms"] = args.epoch_ms
+        overrides["net_latency_ms"] = max(args.epoch_ms,
+                                          args.net_latency_ms or 0.0)
+    elif args.net_latency_ms is not None:
+        overrides["net_latency_ms"] = args.net_latency_ms
+    config: ClusterConfig = build(
+        hosts=args.hosts, seed=args.seed, guests=args.guests,
+        requests=args.requests, variant=args.variant,
+        fault_rate=args.fault_rate, recovery=args.recovery,
+        placement=args.placement, **overrides)
+    if args.scenario != "boot-storm" and args.migrations is not None:
+        config.migrations = args.migrations
+    start = time.perf_counter()  # noqa: RPR002 -- wall-clock annotates the CLI report only, outside the timeline
+    result = Cluster(config, backend=args.backend,
+                     workers=args.workers).run()
+    wall_s = time.perf_counter() - start  # noqa: RPR002 -- same wall-clock annotation as above
+
+    if args.json:
+        payload = result.to_dict()
+        payload["wall_s"] = wall_s
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    stats = result.stats
+    print("cluster %s: %d host(s), backend=%s (%d worker(s)), seed %d"
+          % (config.scenario, config.hosts, result.backend,
+             result.workers, config.seed))
+    print("  %d epoch(s), %.1f ms simulated, %d events, %.2f s wall"
+          % (result.epochs, result.sim_ms, result.events, wall_s))
+    print("  booted %d guest(s) (%d failed), %d migration(s) "
+          "(%d failed), %d request(s) served (%d missed, %d unrouted)"
+          % (stats.get("booted", 0), stats.get("create_failed", 0),
+             stats.get("migrations_done", 0),
+             stats.get("migrations_failed", 0), stats.get("served", 0),
+             stats.get("missed", 0), stats.get("unrouted", 0)))
+    responses = stats.get("responses", 0)
+    if responses:
+        print("  request latency: %.2f ms mean, %.2f ms max"
+              % (stats.get("latency_ms_sum", 0.0) / responses,
+                 stats.get("latency_ms_max", 0.0)))
+    print("  cluster digest %s" % result.digest)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -656,6 +718,45 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--json", action="store_true",
                          help="emit the registry as JSON")
     metrics.set_defaults(fn=_cmd_metrics)
+
+    cluster = sub.add_parser(
+        "cluster", help="parallel multi-host simulation with "
+                        "deterministic epoch barriers")
+    cluster.add_argument("--scenario", choices=("boot-storm",
+                                                "migration-churn",
+                                                "churn"),
+                         default="boot-storm")
+    cluster.add_argument("--hosts", type=_positive_int, default=8)
+    cluster.add_argument("--workers", type=_positive_int, default=None,
+                         help="OS processes for the procs backend "
+                              "(default: one per host)")
+    cluster.add_argument("--backend", choices=("inline", "procs"),
+                         default="inline")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--guests", type=_positive_int, default=32,
+                         help="guests created cluster-wide")
+    cluster.add_argument("--requests", type=int, default=0,
+                         help="open-loop requests cluster-wide")
+    cluster.add_argument("--migrations", type=int, default=None,
+                         help="cross-host migrations (churn scenario)")
+    cluster.add_argument("--variant", choices=VARIANTS,
+                         default="lightvm")
+    cluster.add_argument("--placement", choices=("least-loaded",
+                                                 "first-fit"),
+                         default="least-loaded")
+    cluster.add_argument("--epoch-ms", type=float, default=None,
+                         help="epoch window length (the lookahead)")
+    cluster.add_argument("--net-latency-ms", type=float, default=None,
+                         help="minimum cross-host message latency")
+    cluster.add_argument("--fault-rate", type=float, default=0.0)
+    cluster.add_argument("--recovery", action="store_true",
+                         help="attach the recovery layer to every host")
+    cluster.add_argument("--json", action="store_true",
+                         help="print the replayable reproducer JSON")
+    cluster.add_argument("--replay", metavar="FILE",
+                         help="re-run a reproducer JSON on the inline "
+                              "backend and verify its digest")
+    cluster.set_defaults(fn=_cmd_cluster)
 
     chaos = sub.add_parser(
         "chaos", help="seeded fault campaigns with shrinking reproducers")

@@ -1,0 +1,55 @@
+"""repro.cluster — parallel multi-host simulation with epoch barriers.
+
+The cluster layer scales the single-host reproduction out to N simulated
+hosts whose DES engines advance independently between deterministic
+epoch barriers (conservative parallel DES: the epoch length is the
+lookahead, bounded by the minimum cross-host message latency).  Two
+execution backends sit behind one API — ``backend="inline"`` (single
+process, the semantic reference) and ``backend="procs"`` (one OS process
+per worker) — and are required to produce byte-identical cluster
+digests; DESIGN.md's "Epoch-barrier determinism contract" section holds
+the full argument.
+
+Quickstart::
+
+    from repro.cluster import run_cluster
+
+    result = run_cluster("boot-storm", hosts=8, guests=64,
+                         requests=2000, seed=1, backend="procs",
+                         workers=4)
+    print(result.digest, result.stats["booted"])
+"""
+
+from .cluster import (BACKENDS, Cluster, ClusterError, ClusterResult,
+                      InlineBackend, REPRODUCER_VERSION,
+                      replay_reproducer, run_cluster)
+from .config import (ClusterConfig, ClusterConfigError, SCENARIOS,
+                     boot_storm, host_seed, migration_churn)
+from .controller import Controller
+from .messages import CONTROLLER, ClusterMessage, sort_canonical
+from .node import HostNode
+from .placement import Placement, PlacementError
+
+__all__ = [
+    "BACKENDS",
+    "CONTROLLER",
+    "Cluster",
+    "ClusterConfig",
+    "ClusterConfigError",
+    "ClusterError",
+    "ClusterMessage",
+    "ClusterResult",
+    "Controller",
+    "HostNode",
+    "InlineBackend",
+    "Placement",
+    "PlacementError",
+    "REPRODUCER_VERSION",
+    "SCENARIOS",
+    "boot_storm",
+    "host_seed",
+    "migration_churn",
+    "replay_reproducer",
+    "run_cluster",
+    "sort_canonical",
+]

@@ -1,0 +1,86 @@
+"""Cross-host messages and the canonical epoch-barrier ordering.
+
+A :class:`ClusterMessage` is the only thing that crosses a host boundary.
+Each one is a flat record of scalars — picklable for the process backend,
+hashable into replay digests via :func:`repro.analysis.canonical` — and
+carries the coordinates of the determinism contract:
+
+* ``epoch`` — the epoch window in which the sender emitted it;
+* ``src`` — the sending host index (:data:`CONTROLLER` for the
+  coordinator-side placement controller);
+* ``seq`` — the sender's own monotonic counter.
+
+``(epoch, src, seq)`` is a total order over every message in the system,
+and it is a pure function of the per-host timelines (which are
+deterministic) plus the controller's decisions (which are deterministic).
+Delivering each window's messages sorted by that key — no matter which
+OS process produced them, or in what order worker pipes were drained —
+is what makes the merged cluster timeline independent of the worker
+count.  DESIGN.md ("Epoch-barrier determinism contract") spells out the
+full argument.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+#: Pseudo host index of the coordinator-side controller.  Sorts before
+#: every real host in the canonical order, so controller commands for a
+#: window are injected ahead of host-to-host traffic arriving in the
+#: same window — identically on every backend.
+CONTROLLER = -1
+
+
+@dataclasses.dataclass
+class ClusterMessage:
+    """One cross-host message (command, migration stream, request, ...).
+
+    ``payload`` is a tuple of scalars (or nested tuples of scalars) so
+    the message pickles cheaply and digests canonically.
+    """
+
+    kind: str
+    src: int
+    dst: int
+    epoch: int
+    seq: int
+    send_ms: float
+    arrive_ms: float
+    payload: tuple = ()
+
+    def key(self) -> typing.Tuple[int, int, int]:
+        """The canonical (epoch, src, seq) sort key."""
+        return (self.epoch, self.src, self.seq)
+
+    def token(self) -> tuple:
+        """The scalar tuple hashed into the receiver's replay digest."""
+        return (self.kind, self.epoch, self.src, self.seq, self.payload)
+
+    def to_wire(self) -> tuple:
+        """Flatten to a plain tuple for the pipe protocol.
+
+        Pickling bare tuples is several times cheaper than pickling
+        dataclass instances, and the coordinator (de)serializes every
+        cross-host message once per barrier — this is the procs
+        backend's scaling hot path.
+        """
+        return (self.kind, self.src, self.dst, self.epoch, self.seq,
+                self.send_ms, self.arrive_ms, self.payload)
+
+
+def from_wire(wire: tuple) -> ClusterMessage:
+    """Rebuild a :class:`ClusterMessage` from :meth:`to_wire` output."""
+    return ClusterMessage(*wire)
+
+
+def sort_canonical(
+        messages: typing.Iterable[ClusterMessage]
+) -> typing.List[ClusterMessage]:
+    """Order ``messages`` by the canonical (epoch, src, seq) key.
+
+    The key is unique per message (each sender numbers its own ``seq``),
+    so the result is a total order with no tie-break left to list order —
+    concatenation order across worker pipes cannot leak in.
+    """
+    return sorted(messages, key=ClusterMessage.key)

@@ -1,0 +1,69 @@
+"""Deterministic guest placement over controller-side host models.
+
+The controller never inspects host internals — it plans against its own
+load model (intended placements in, completion/failure reports out).
+Both policies break ties by the lowest host index, so a placement
+decision is a pure function of the decision history, never of dict or
+set iteration order.
+"""
+
+from __future__ import annotations
+
+import typing
+
+#: The supported policies.
+POLICIES = ("least-loaded", "first-fit")
+
+
+class PlacementError(ValueError):
+    """An unknown policy or an inconsistent release."""
+
+
+class Placement:
+    """Track intended per-host load and pick targets deterministically."""
+
+    def __init__(self, hosts: int, capacity: int,
+                 policy: str = "least-loaded"):
+        if policy not in POLICIES:
+            raise PlacementError("unknown policy %r; expected one of %s"
+                                 % (policy, ", ".join(POLICIES)))
+        if hosts < 1:
+            raise PlacementError("hosts must be >= 1, got %r" % hosts)
+        if capacity < 1:
+            raise PlacementError("capacity must be >= 1, got %r" % capacity)
+        self.policy = policy
+        self.capacity = capacity
+        self.load: typing.List[int] = [0] * hosts
+
+    def place(self) -> typing.Optional[int]:
+        """Pick a host for one new guest, or ``None`` if all are full.
+
+        ``first-fit`` packs: the lowest-index host with headroom.
+        ``least-loaded`` spreads: the minimum load, lowest index on ties.
+        """
+        load = self.load
+        if self.policy == "first-fit":
+            for host in range(len(load)):
+                if load[host] < self.capacity:
+                    load[host] += 1
+                    return host
+            return None
+        best = None
+        for host in range(len(load)):
+            if load[host] < self.capacity and (
+                    best is None or load[host] < load[best]):
+                best = host
+        if best is not None:
+            load[best] += 1
+        return best
+
+    def release(self, host: int) -> None:
+        """Give a slot back (failed create, lost guest)."""
+        if self.load[host] <= 0:
+            raise PlacementError("release on host %d with zero load" % host)
+        self.load[host] -= 1
+
+    def move(self, src: int, dst: int) -> None:
+        """Account a migration from ``src`` to ``dst``."""
+        self.release(src)
+        self.load[dst] += 1

@@ -136,6 +136,16 @@ class Simulator:
         #: (``None`` between resumptions).  Maintained by the process
         #: machinery; the tracer keys its open-span stacks on it.
         self.active_process = None
+        #: Callables invoked (with the simulator) every time :meth:`run`
+        #: completes normally — at a numeric stop time, when an awaited
+        #: event triggers, or when the queue drains.  Epoch drivers (the
+        #: ``repro.cluster`` barrier scheduler) register hooks here to
+        #: close out a bounded window: flush cross-host message batches,
+        #: snapshot outstanding-work counters.  Hooks run after the loop
+        #: has exited; events they schedule stay queued for the next
+        #: ``run()`` call.  Empty (and costing one truthiness check per
+        #: run) everywhere outside the cluster layer.
+        self.drain_hooks: list = []
 
     @property
     def now(self) -> float:
@@ -174,6 +184,38 @@ class Simulator:
         """
         event = Timeout(self, delay)
         event.callbacks.append((callback, args))
+        return event
+
+    def schedule_at(self, when: float, callback, *args,
+                    value: object = None) -> Event:
+        """Run ``callback(*args)`` at the *absolute* instant ``when``.
+
+        Unlike :meth:`schedule` — which buckets at ``now + delay`` — this
+        buckets at exactly ``when``.  Epoch drivers injecting cross-host
+        messages at pre-agreed arrival times must not round-trip through
+        a delay subtraction: ``now + (when - now)`` is not guaranteed to
+        equal ``when`` in floating point, and a one-ULP split would land
+        one agreed instant in two buckets, diverging the replay digest
+        between backends.  ``value`` is carried as the event's payload so
+        the digest pins *what* arrived, not just when.
+        """
+        when = float(when)
+        if when < self._now:
+            raise ValueError("schedule_at(%r) is in the past (now=%r)"
+                             % (when, self._now))
+        event = Event(self)
+        event._ok = True
+        event._value = value
+        # Bare (callback, args) pair — the closure-free fast path the run
+        # loop dispatches directly (see events.Event.callbacks).
+        event.callbacks = (callback, args)
+        buckets = self._buckets
+        bucket = buckets.get(when)
+        if bucket is None:
+            buckets[when] = [event]
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append(event)
         return event
 
     def call_later(self, delay: float, callback, *args) -> None:
@@ -292,7 +334,8 @@ class Simulator:
             # broken models do not fail silently.
             raise typing.cast(BaseException, event._value)
 
-    def run(self, until: typing.Union[float, Event, None] = None) -> object:
+    def run(self, until: typing.Union[float, Event, None] = None,
+            inclusive: bool = True) -> object:
         """Run the simulation.
 
         ``until`` may be:
@@ -301,6 +344,20 @@ class Simulator:
         * a number — run until the clock reaches that time;
         * an :class:`Event` — run until it triggers, returning its value
           (re-raising its exception if it failed).
+
+        ``inclusive`` (numeric ``until`` only) picks the boundary
+        semantics: ``True`` (the default, the historical behaviour)
+        processes events scheduled exactly *at* the stop time before
+        stopping; ``False`` is the epoch-bounded entry — events at the
+        boundary stay queued, the clock still advances to the stop time,
+        and a later ``run()`` picks them up.  Strict windows are what
+        make epoch barriers composable: every event in ``[t0, t1)`` runs
+        in the ``until=t1`` window and none leaks across, so N hosts
+        advanced window-by-window partition their timelines identically
+        no matter how the windows interleave across OS processes.
+
+        On every normal completion (numeric stop, event stop, or queue
+        drain) the registered ``drain_hooks`` run, in order.
         """
         stop_event: typing.Optional[Event] = None
         stop_flag: typing.Optional[_StopFlag] = None
@@ -330,10 +387,10 @@ class Simulator:
                 bucket = buckets.get(head)
                 if bucket is None:
                     continue  # stale entry; see module docstring
-                if head > stop_time:
+                if head > stop_time or (head == stop_time
+                                        and not inclusive):
                     heapq.heappush(times, head)
-                    self._now = stop_time
-                    return None
+                    break
                 if head < self._now:
                     heapq.heappush(times, head)
                     raise SimulationError(
@@ -461,7 +518,13 @@ class Simulator:
                     "triggered")
             if not stop_event.ok:
                 raise typing.cast(BaseException, stop_event.value)
+            if self.drain_hooks:
+                for hook in self.drain_hooks:
+                    hook(self)
             return stop_event.value
         if stop_time != float("inf"):
             self._now = stop_time
+        if self.drain_hooks:
+            for hook in self.drain_hooks:
+                hook(self)
         return None

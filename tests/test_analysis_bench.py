@@ -78,6 +78,49 @@ class TestBenchTrend:
         text = bench_trend(old, new)
         assert text.splitlines()[1].split()[1] == "-"
 
+    def test_one_sided_metric_reported_as_added(self):
+        old = {"eng": {"figure": "eng", "wall_clock_s": 1.0, "data": {}}}
+        new = {"eng": {"figure": "eng", "wall_clock_s": 1.0,
+                       "data": {"cluster_scaling":
+                                {"opt_events_per_sec": 100.0}}}}
+        text = bench_trend(old, new)
+        assert "eng/cluster_scaling" in text
+        assert "added" in text
+
+    def test_one_sided_metric_reported_as_removed(self):
+        old = {"eng": {"figure": "eng", "wall_clock_s": 1.0,
+                       "data": {"timer_wheel": 3.0}}}
+        new = {"eng": {"figure": "eng", "wall_clock_s": 1.0, "data": {}}}
+        text = bench_trend(old, new)
+        assert "eng/timer_wheel" in text
+        assert "removed" in text
+
+    def test_shared_metric_reports_delta(self):
+        old = {"eng": {"figure": "eng", "wall_clock_s": 1.0,
+                       "data": {"m": {"opt_events_per_sec": 100.0}}}}
+        new = {"eng": {"figure": "eng", "wall_clock_s": 1.0,
+                       "data": {"m": {"opt_events_per_sec": 150.0}}}}
+        text = bench_trend(old, new)
+        assert "+50.0%" in text
+
+    def test_one_sided_shapes_never_raise(self):
+        # Regression pin: a brand-new BENCH_*.json with metrics the
+        # baseline set has never seen (or a retired one) must diff, not
+        # crash the perf-smoke job.
+        old = {"a": {"figure": "a", "wall_clock_s": 1.0,
+                     "data": {"only_old": 1.0,
+                              "odd_shape": ["not", "a", "scalar"]}}}
+        new = {"b": {"figure": "b", "wall_clock_s": 2.0,
+                     "data": {"only_new": {"weird": True}}}}
+        text = bench_trend(old, new)
+        assert "a/only_old" in text and "removed" in text
+        assert "b/only_new" in text and "added" in text
+
+    def test_no_data_metrics_omits_section(self):
+        old = {"fig04": {"figure": "fig04", "wall_clock_s": 1.0}}
+        new = {"fig04": {"figure": "fig04", "wall_clock_s": 1.0}}
+        assert "data metrics" not in bench_trend(old, new)
+
 
 BASELINE = {"metric": "timer_wheel", "required_speedup": 2.0,
             "events_per_sec": 800_000, "tolerance": 0.5}

@@ -289,10 +289,26 @@ class TestRealConcurrency:
         found = ids("import asyncio\nimport concurrent.futures\n")
         assert found == ["RPR010", "RPR010"]
 
-    def test_cluster_runner_path_exempt(self):
-        # The allowlist hook for the future repro.cluster process runner.
+    def test_cluster_procs_backend_exempt(self):
+        # The one sanctioned real-concurrency site: the procs backend.
         assert ids("import multiprocessing\n",
-                   path="src/repro/cluster/runner.py") == []
+                   path="src/repro/cluster/procs.py") == []
+
+    def test_cluster_scenario_modules_still_banned(self):
+        # The exemption is the runner alone — cluster coordination and
+        # scenario code stays inside the deterministic timeline.
+        for path in ("src/repro/cluster/node.py",
+                     "src/repro/cluster/cluster.py",
+                     "src/repro/cluster/controller.py"):
+            assert ids("import multiprocessing\n", path=path) == \
+                ["RPR010"], path
+
+    def test_sim_modules_still_banned(self):
+        # Regression pin for the allowlist narrowing: the DES kernel must
+        # never regain access to real concurrency.
+        for path in ("src/repro/sim/engine.py",
+                     "src/repro/sim/process.py"):
+            assert ids("import threading\n", path=path) == ["RPR010"], path
 
     def test_justified_noqa_suppresses(self):
         assert ids("import threading  # noqa: RPR010 -- artifact "

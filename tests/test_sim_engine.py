@@ -246,3 +246,70 @@ def test_condition_failure_defuses_child():
     # No unhandled-failure escalation afterwards.
     sim.timeout(1.0)
     sim.run()
+
+
+# ----------------------------------------------------------------------
+# Epoch-driver surface: schedule_at, exclusive bounds, drain hooks
+# ----------------------------------------------------------------------
+
+def test_schedule_at_fires_at_exact_instant():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(7.5, seen.append, "x")
+    sim.run()
+    assert seen == ["x"]
+    assert sim.now == 7.5
+
+
+def test_schedule_at_exact_float_no_ulp_split():
+    """schedule_at(t) and a relative path landing on t share one bucket.
+
+    0.1 + 0.2 != 0.3 in floats; the absolute-time API must not reproduce
+    that split, or cross-backend delivery order would diverge."""
+    sim = Simulator()
+    seen = []
+    when = 0.1 + 0.2  # 0.30000000000000004
+    sim.schedule_at(when, seen.append, "absolute")
+    sim.schedule(when, seen.append, "relative")
+    sim.run()
+    assert seen == ["absolute", "relative"]
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.timeout(5.0)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(4.0, lambda: None)
+
+
+def test_run_until_exclusive_leaves_boundary_event():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, seen.append, "boundary")
+    sim.run(until=5.0, inclusive=False)
+    assert seen == []
+    assert sim.now == 5.0
+    sim.run()
+    assert seen == ["boundary"]
+
+
+def test_run_until_exclusive_windows_partition_timeline():
+    """Strict windows [kL, (k+1)L) process every event exactly once."""
+    sim = Simulator()
+    seen = []
+    for t in (0.0, 4.9, 5.0, 9.9, 10.0, 12.0):
+        sim.schedule(t, seen.append, t)
+    for k in (1, 2, 3):
+        sim.run(until=5.0 * k, inclusive=False)
+    assert seen == [0.0, 4.9, 5.0, 9.9, 10.0, 12.0]
+
+
+def test_drain_hooks_fire_after_every_run():
+    sim = Simulator()
+    calls = []
+    sim.drain_hooks.append(lambda s: calls.append(s.now))
+    sim.timeout(3.0)
+    sim.run(until=2.0)
+    sim.run()
+    assert calls == [2.0, 3.0]
