@@ -95,3 +95,46 @@ def paper_vs_measured(rows: typing.Sequence[typing.Tuple[str, object,
 def fmt(value: float, digits: int = 1) -> str:
     """Compact float formatting for report rows."""
     return ("%." + str(digits) + "f") % value
+
+
+def bench_main(path: str,
+               argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    """Run one figure benchmark as a script.
+
+    Every ``bench_*.py`` exposes this as its ``__main__``, so the flag
+    surface is identical across all of them::
+
+        PYTHONPATH=src python benchmarks/bench_fig10_density.py \\
+            [--json] [--scale quick|full] [-k EXPR]
+
+    ``--json`` matches the pytest spelling conftest.py registers; the
+    scale override is applied before pytest re-imports the benchmark
+    module, so module-level ``scaled(...)`` constants see it.
+    """
+    import argparse
+
+    global FULL
+    parser = argparse.ArgumentParser(
+        prog=pathlib.Path(path).name,
+        description="run this figure benchmark")
+    parser.add_argument("--json", action="store_true",
+                        help="also write BENCH_<fig>.json at the "
+                             "repository root")
+    parser.add_argument("--scale", choices=("quick", "full"),
+                        default=None,
+                        help="experiment scale (default: "
+                             "$REPRO_BENCH_SCALE, else quick)")
+    parser.add_argument("-k", dest="expr", default=None, metavar="EXPR",
+                        help="only run benchmark tests matching EXPR")
+    args = parser.parse_args(argv)
+    if args.scale is not None:
+        os.environ["REPRO_BENCH_SCALE"] = args.scale
+        FULL = args.scale == "full"
+
+    import pytest
+    pytest_args = [str(path), "-x", "-q"]
+    if args.json:
+        pytest_args.append("--json")
+    if args.expr:
+        pytest_args.extend(["-k", args.expr])
+    return pytest.main(pytest_args)

@@ -124,3 +124,10 @@ def test_ablation_faults_replay_identity():
     report = assert_replay_identical(scenario)
     assert report.identical
     assert report.event_counts[0] > 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

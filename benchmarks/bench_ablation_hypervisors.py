@@ -89,3 +89,10 @@ def test_ablation_hypervisor_landscape(benchmark):
     assert 6.0 <= mean(ukvm) <= 16.0
     # Dedup recovers roughly the shareable fraction of the footprint.
     assert dedup_gb < plain_gb * 0.6
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

@@ -86,3 +86,10 @@ def test_ablation_mechanisms(benchmark):
     assert split["split"] < split["inline"] / 2
     # An undersized pool degrades bursts toward the prepare rate.
     assert pools["small-pool"] > pools["big-pool"] * 1.5
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

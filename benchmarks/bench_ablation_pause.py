@@ -48,3 +48,10 @@ def test_ablation_pause_density(benchmark):
     # Near the contention knee the effect must be visible, not epsilon.
     if result.boot_before_ms > 200:
         assert result.boot_after_ms < result.boot_before_ms * 0.9
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

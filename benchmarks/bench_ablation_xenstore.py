@@ -77,3 +77,10 @@ def test_ablation_xenstore(benchmark):
     assert max(results["no-log"]) <= max(base)
     # Watch registry growth is the main superlinear term.
     assert results["watchless-guests"][-1] < base[-1] * 0.6
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

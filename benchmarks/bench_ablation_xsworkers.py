@@ -106,3 +106,10 @@ def test_ablation_xsworkers(benchmark):
     # workers=1 is the paper-faithful oxenstored: it must still show the
     # paper's collapse shape (the knee exists well before the end).
     assert knees[label(1, False)] < COUNT // 2
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

@@ -98,3 +98,10 @@ def test_cluster_scaling(benchmark):
     ]
     report("CLUSTER epoch-barrier scaling (procs vs inline)",
            "\n".join(rows), data=results)
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

@@ -171,3 +171,10 @@ def test_engine_events_per_second(benchmark):
                    results[name]["ref_events_per_sec"]))
     assert not failures, (
         "kernel fast path regressed: " + "; ".join(failures))
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

@@ -31,3 +31,10 @@ def test_fig01_syscall_growth(benchmark):
     assert counts == sorted(counts)
     assert years[0] == 2002
     assert counts[-1] - counts[0] > 100
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

@@ -46,3 +46,10 @@ def test_fig02_boot_vs_image_size(benchmark):
               for i in range(1, len(results) - 1)]
     assert max(slopes) / min(slopes) < 1.3
     assert 700 <= deltas[-1][1] <= 1500
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

@@ -13,10 +13,12 @@ the 1000th; Tinyx 360 ms / 180 ms, 10 s at the 1000th; unikernel
 from repro.containers import DockerEngine, ProcessSpawner
 from repro.core import Host
 from repro.core.metrics import mean, sample_indices
-from repro.guests import DAYTIME_UNIKERNEL, DEBIAN, TINYX
-from repro.sim import RngStream, Simulator
+from repro.guests import DAYTIME_UNIKERNEL
+from repro.sim import RngStream
+from repro.stdlib import run_scenario, storm_spec
 
-from _support import fmt, paper_vs_measured, report, run_once, scaled
+from _support import (bench_main, fmt, paper_vs_measured, report,
+                      run_once, scaled)
 
 COUNTS = {
     "debian": scaled(1000, 200),
@@ -24,52 +26,32 @@ COUNTS = {
     "daytime": scaled(1000, 1000),
 }
 
+#: Stock Xen with its stock defaults — no shell pool, no pre-warm
+#: (unlike Fig 9, which warms every toolstack the same way).
+STOCK_XL = {"ref": "xl@1", "pooled": False}
 
-def vm_storm(image, count):
-    host = Host(variant="xl")
-    creates, boots = [], []
-    for _ in range(count):
-        record = host.create_vm(image)
-        creates.append(record.create_ms)
-        boots.append(record.boot_ms)
-    return creates, boots
+
+def vm_storm(image_name, count):
+    spec = storm_spec("fig04-%s" % image_name, STOCK_XL,
+                      "%s@1" % image_name, count)
+    series = run_scenario(spec, seed=0).series
+    return series["create_ms"], series["boot_ms"]
 
 
 def docker_storm(count):
-    sim = Simulator()
-    engine = DockerEngine(sim, RngStream(0, "docker"), 128 * 1024)
-    times = []
-    for _ in range(count):
-        before = sim.now
-
-        def one():
-            yield from engine.start_container()
-        proc = sim.process(one())
-        sim.run(until=proc)
-        times.append(sim.now - before)
-    return times
+    spec = storm_spec("fig04-docker", "xl@1", "docker@1", count)
+    return run_scenario(spec, seed=0).series["start_ms"]
 
 
 def process_storm(count):
-    sim = Simulator()
-    spawner = ProcessSpawner(sim, RngStream(0, "proc"))
-    times = []
-    for _ in range(count):
-        before = sim.now
-
-        def one():
-            yield from spawner.spawn()
-        proc = sim.process(one())
-        sim.run(until=proc)
-        times.append(sim.now - before)
-    return times
+    spec = storm_spec("fig04-process", "xl@1", "process@1", count)
+    return run_scenario(spec, seed=0).series["start_ms"]
 
 
 def run_experiment():
     out = {}
-    for name, image in (("debian", DEBIAN), ("tinyx", TINYX),
-                        ("daytime", DAYTIME_UNIKERNEL)):
-        out[name] = vm_storm(image, COUNTS[name])
+    for name in ("debian", "tinyx", "daytime"):
+        out[name] = vm_storm(name, COUNTS[name])
     out["docker"] = (docker_storm(scaled(1000, 500)), None)
     out["process"] = (process_storm(1000), None)
     return out
@@ -155,3 +137,9 @@ def test_fig04_replay_identity():
     report = assert_replay_identical(scenario)
     assert report.identical
     assert report.event_counts[0] > 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(bench_main(__file__))

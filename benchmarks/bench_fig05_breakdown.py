@@ -87,3 +87,10 @@ def test_fig05_creation_breakdown(benchmark):
     # At low counts device creation dominates.
     assert first["devices"] == max(first.values())
     assert xs_stats["rotation_stalls"] > 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

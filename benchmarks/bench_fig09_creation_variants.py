@@ -7,11 +7,12 @@ LightVM (chaos + noxs + split).  Paper anchors: xl ≈100 ms → just under
 LightVM ~4 ms flat (creation+boot), 2.3 ms floor for a no-device noop.
 """
 
-from repro.core import Host, VARIANTS
+from repro.core import VARIANTS
 from repro.core.metrics import sample_indices
-from repro.guests import DAYTIME_UNIKERNEL, NOOP_UNIKERNEL
+from repro.stdlib import run_scenario, storm_spec
 
-from _support import fmt, paper_vs_measured, report, run_once, scaled
+from _support import (bench_main, fmt, paper_vs_measured, report,
+                      run_once, scaled)
 
 COUNT = scaled(1000, 500)
 
@@ -24,21 +25,19 @@ PAPER_ANCHORS = {
 }
 
 
-def storm(variant, count=COUNT, image=DAYTIME_UNIKERNEL):
-    host = Host(variant=variant, pool_target=count + 64,
-                shell_memory_kb=image.memory_kb)
-    host.warmup(20.0 * (count + 64))
-    creates, totals = [], []
-    for _ in range(count):
-        record = host.create_vm(image)
-        creates.append(record.create_ms)
-        totals.append(record.total_ms)
-    return creates, totals
+def storm(variant, count=COUNT, image="daytime"):
+    # Every toolstack variant is a stdlib host component at version 1,
+    # all with the same pool/warmup discipline (pool_slack 64, 20 ms of
+    # simulated pre-fill per shell).
+    spec = storm_spec("fig09-%s" % variant, "%s@1" % variant,
+                      "%s@1" % image, count)
+    result = run_scenario(spec, seed=0)
+    return result.series["create_ms"], result.series["total_ms"]
 
 
 def run_experiment():
     results = {variant: storm(variant) for variant in VARIANTS}
-    noop = storm("lightvm", count=10, image=NOOP_UNIKERNEL)
+    noop = storm("lightvm", count=10, image="noop")
     return results, noop
 
 
@@ -87,3 +86,9 @@ def test_fig09_toolstack_variants(benchmark):
         assert max(creates) < min(creates) * 1.6, variant  # flat
     assert tail["xl"] / tail["lightvm"] > 50
     assert noop[1][-1] < 3.0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(bench_main(__file__))

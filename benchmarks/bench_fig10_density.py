@@ -6,13 +6,11 @@ container, shows latency spikes coinciding with large memory-allocation
 jumps, and dies when the next large allocation exhausts host memory.
 """
 
-from repro.containers import DockerEngine, DockerOOMError
-from repro.core import AMD_OPTERON_64, Host
 from repro.core.metrics import sample_indices
-from repro.guests import NOOP_UNIKERNEL
-from repro.sim import RngStream, Simulator
+from repro.stdlib import run_scenario, storm_spec
 
-from _support import fmt, paper_vs_measured, report, run_once, scaled
+from _support import (bench_main, fmt, paper_vs_measured, report,
+                      run_once, scaled)
 
 # Full paper scale even at quick CI: PR 5's indexed store + client API
 # keep the 8000-guest storm inside the quick budget (a few seconds).
@@ -21,35 +19,20 @@ DOCKER_LIMIT = scaled(8000, 4000)
 
 
 def lightvm_storm():
-    host = Host(spec=AMD_OPTERON_64, variant="lightvm",
-                pool_target=LIGHTVM_COUNT + 64,
-                shell_memory_kb=NOOP_UNIKERNEL.memory_kb)
-    host.warmup(12.0 * (LIGHTVM_COUNT + 64))
-    totals = []
-    for _ in range(LIGHTVM_COUNT):
-        totals.append(host.create_vm(NOOP_UNIKERNEL).total_ms)
-    return totals, host
+    # The same experiment as examples/fig10_density.yaml;
+    # tests/test_stdlib_runner.py pins the two digests identical.
+    spec = storm_spec("fig10-density", "lightvm-64core@1", "noop@1",
+                      LIGHTVM_COUNT)
+    result = run_scenario(spec, seed=0, keep_host=True)
+    return result.series["total_ms"], result.host
 
 
 def docker_storm():
-    sim = Simulator()
-    engine = DockerEngine(sim, RngStream(0, "docker"),
-                          AMD_OPTERON_64.memory_gb * 1024)
-    times = []
-    died_at = None
-    for index in range(DOCKER_LIMIT):
-        before = sim.now
-
-        def one():
-            yield from engine.start_container()
-        try:
-            proc = sim.process(one())
-            sim.run(until=proc)
-        except DockerOOMError:
-            died_at = index
-            break
-        times.append(sim.now - before)
-    return times, died_at
+    spec = storm_spec("fig10-docker", "lightvm-64core@1", "docker@1",
+                      DOCKER_LIMIT)
+    result = run_scenario(spec, seed=0)
+    died_at = int(result.stats["died_at"])
+    return result.series["start_ms"], (None if died_at < 0 else died_at)
 
 
 def test_fig10_density(benchmark):
@@ -96,3 +79,9 @@ def test_fig10_density(benchmark):
     assert died_at is not None
     assert 2500 <= died_at <= 4000
     assert docker[-1] > docker[0] * 2  # the ramp
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(bench_main(__file__))

@@ -84,3 +84,10 @@ def test_fig11_boot_times(benchmark):
     # Tinyx starts in Docker's neighbourhood, then overtakes it.
     assert tinyx[0] < docker[0] * 2
     assert tinyx[-1] > docker[-1]
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

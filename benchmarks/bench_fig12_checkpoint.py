@@ -89,3 +89,10 @@ def test_fig12_save_restore(benchmark):
     # chaos+xs sits between xl and LightVM.
     cx_save, _cx_restore = results["chaos+xs"]
     assert mean(lv_save) <= mean(cx_save) <= mean(xl_save)
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

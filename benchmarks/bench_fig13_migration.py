@@ -89,3 +89,10 @@ def test_fig13_migration(benchmark):
     assert results["chaos+xs"][-1] > lightvm[-1]  # XS catches up with N
     assert results["xl"][0] > lightvm[0] * 2
     assert results["xl"][-1] > results["xl"][0]
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

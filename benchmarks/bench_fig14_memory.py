@@ -89,3 +89,10 @@ def test_fig14_memory_scalability(benchmark):
     assert usage["minipython"] / usage["docker"] < 3
     assert abs(usage["debian"] - 114 * scale) / (114 * scale) < 0.15
     assert abs(usage["tinyx"] - 27 * scale) / (27 * scale) < 0.5
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

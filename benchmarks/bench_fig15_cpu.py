@@ -62,3 +62,10 @@ def test_fig15_cpu_usage(benchmark):
     assert util["unikernel"] - util["docker"] < 0.5
     assert abs(util["debian"] - 25 * scale) / (25 * scale) < 0.3
     assert util["tinyx"] < 2.5 * scale
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

@@ -54,3 +54,10 @@ def test_fig16a_personal_firewalls(benchmark):
     assert by_n[100].rtt_ms < 5
     # One machine handles an LTE cell sector (3.3 Gb/s theoretical max).
     assert by_n[1000].total_gbps > 3.3
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

@@ -68,3 +68,10 @@ def test_fig16b_jit_instantiation(benchmark):
     assert percentile(r10.rtts, 99) > 500
     # Most pings still complete promptly even under overload.
     assert median(r10.rtts) < 40
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

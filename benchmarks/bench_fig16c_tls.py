@@ -51,3 +51,10 @@ def test_fig16c_tls_termination(benchmark):
     assert 1100 <= tinyx[-1].requests_per_s <= 1700
     assert result.unikernel_boot_ms < 10
     assert 150 <= result.tinyx_boot_ms <= 230
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

@@ -76,3 +76,10 @@ def test_fig17_compute_service(benchmark):
     assert (mean(chaos_xs.service_ms[REQUESTS // 2:])
             >= mean(lightvm.service_ms[REQUESTS // 2:]) * 0.99)
     assert mean(chaos_xs.create_ms) > mean(lightvm.create_ms) * 2
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

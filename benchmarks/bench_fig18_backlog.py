@@ -68,3 +68,10 @@ def test_fig18_concurrent_vms(benchmark):
     assert peaks["chaos+xs"] >= peaks["lightvm"]
     assert all(_at(chaos_xs, t) >= _at(lightvm, t) * 0.9 for t in times)
     assert peaks["chaos+xs"] > 3  # genuinely beyond core count
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _support import bench_main
+    sys.exit(bench_main(__file__))

@@ -637,16 +637,20 @@ class LegacyXenStoreSurfaceRule(LintRule):
                     "handle (repro.xenstore.client) instead" % func.attr)
 
 
-#: Paths where RPR010 does not apply.  Exactly one module is sanctioned:
-#: ``repro/cluster/procs.py``, the process-pool runner that fans per-host
-#: engines out over OS processes with deterministic epoch-barrier message
-#: exchange.  Scenario and coordination code in ``repro/cluster/`` (node,
-#: controller, placement, the inline backend) runs *inside* the DES
-#: timeline and stays banned like any other sim code — widening this list
-#: beyond the runner would let a second scheduler leak into code the
+#: Paths where RPR010 does not apply.  Exactly two modules are
+#: sanctioned, both *runners* that fan whole, independent DES timelines
+#: out over OS processes and exchange nothing mid-timeline:
+#: ``repro/cluster/procs.py`` (per-host engines under deterministic
+#: epoch-barrier message exchange) and ``repro/stdlib/sweep.py`` (whole
+#: (spec, seed) scenario runs, one digest each, merged seed-ordered).
+#: Scenario and coordination code — ``repro/cluster/`` node/controller/
+#: placement, the stdlib spec/runner modules — runs *inside* the DES
+#: timeline and stays banned like any other sim code; widening this list
+#: beyond the runners would let a second scheduler leak into code the
 #: replay digest is supposed to pin.
 RPR010_ALLOWED_PATHS: typing.List["re.Pattern"] = [
     re.compile(r"repro[\\/]cluster[\\/]procs\.py$"),
+    re.compile(r"repro[\\/]stdlib[\\/]sweep\.py$"),
 ]
 
 

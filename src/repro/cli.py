@@ -20,7 +20,17 @@ Gives the library a downstream-usable front end:
 * ``metrics`` — boot storm, then print the scraped metrics registry;
 * ``chaos`` — N seeded fault campaigns against a scenario, invariants
   audited after every recovery, failing schedules delta-debugged down to
-  minimal replayable JSON reproducers.
+  minimal replayable JSON reproducers;
+* ``run`` — execute a declarative scenario spec (YAML/JSON) from the
+  scenario standard library across a seed set, in parallel, producing a
+  replayable sweep manifest;
+* ``components`` — list the stdlib component catalogue.
+
+Flag conventions are shared across ``run``/``cluster``/``chaos`` (see
+:mod:`repro.cli_flags`): ``--seed N`` for one seed, ``--seeds A..B`` for
+a set, ``--workers`` for parallelism, ``--json``/``--replay`` for
+machine-readable output and bit-for-bit replay.  Deprecated spellings
+warn once and keep working.
 """
 
 from __future__ import annotations
@@ -29,6 +39,8 @@ import argparse
 import sys
 import typing
 
+from .cli_flags import (contiguous_range, parse_seed_set, seed_set,
+                        warn_once)
 from .core import Host, VARIANTS
 from .core.metrics import mean, median, percentile, sample_indices
 from .data import counts_by_year
@@ -477,8 +489,37 @@ def _cmd_chaos(args) -> int:
         return 0 if reproduced else 1
 
     _lookup_or_exit(args.parser_error, args.image)
+    text = str(args.seeds).strip()
+    if ".." not in text and "," not in text:
+        # A bare integer: the pre-stdlib "count of seeds" spelling.
+        try:
+            count = int(text)
+        except ValueError:
+            args.parser_error("argument --seeds: expected 'A..B', "
+                              "'A,B,C', or an integer count, got %r"
+                              % text)
+        if count < 1:
+            args.parser_error("argument --seeds: count must be >= 1")
+        warn_once(
+            "chaos:--seeds-count",
+            "'repro chaos --seeds %d' (a count) is deprecated; write "
+            "'--seeds %d..%d' — the canonical seed-set spelling shared "
+            "with 'repro run' and 'repro cluster'"
+            % (count, args.seed, args.seed + count - 1))
+        base_seed = args.seed
+    else:
+        try:
+            seeds = parse_seed_set(text)
+        except ValueError as exc:
+            args.parser_error("argument --seeds: %s" % exc)
+        span = contiguous_range(seeds)
+        if span is None:
+            args.parser_error(
+                "argument --seeds: chaos campaigns need a contiguous "
+                "range (run i replays seed base+i), got %r" % text)
+        base_seed, count = span
     report = campaign.run_campaign(
-        seeds=args.seeds, base_seed=args.seed, scenario=args.scenario,
+        seeds=count, base_seed=base_seed, scenario=args.scenario,
         variant=args.variant, image=args.image, count=args.count,
         queue_cap=args.queue_cap, reap=not args.no_reap,
         do_shrink=not args.no_shrink, max_rules=args.rules,
@@ -503,15 +544,26 @@ def _cmd_cluster(args) -> int:
 
     if args.replay:
         with open(args.replay) as handle:
-            payload = json.load(handle)
-        same, result = replay_reproducer(payload)
-        print("scenario %s seed %d: %d epoch(s), digest %s — %s"
-              % (result.config.scenario, result.config.seed,
-                 result.epochs, result.digest[:12],
-                 "reproduced" if same else "DIVERGED from record"))
-        return 0 if same else 1
+            data = json.load(handle)
+        documents = data if isinstance(data, list) else [data]
+        reproduced = True
+        for payload in documents:
+            same, result = replay_reproducer(payload)
+            reproduced = reproduced and same
+            print("scenario %s seed %d: %d epoch(s), digest %s — %s"
+                  % (result.config.scenario, result.config.seed,
+                     result.epochs, result.digest[:12],
+                     "reproduced" if same else "DIVERGED from record"))
+        return 0 if reproduced else 1
 
-    build = SCENARIOS[args.scenario]
+    scenario = args.scenario
+    if scenario == "churn":
+        warn_once(
+            "cluster:--scenario-churn",
+            "'repro cluster --scenario churn' is deprecated; use "
+            "'--scenario migration-churn'")
+        scenario = "migration-churn"
+    build = SCENARIOS[scenario]
     overrides: typing.Dict[str, object] = {}
     if args.epoch_ms is not None:
         overrides["epoch_ms"] = args.epoch_ms
@@ -519,41 +571,129 @@ def _cmd_cluster(args) -> int:
                                           args.net_latency_ms or 0.0)
     elif args.net_latency_ms is not None:
         overrides["net_latency_ms"] = args.net_latency_ms
-    config: ClusterConfig = build(
-        hosts=args.hosts, seed=args.seed, guests=args.guests,
-        requests=args.requests, variant=args.variant,
-        fault_rate=args.fault_rate, recovery=args.recovery,
-        placement=args.placement, **overrides)
-    if args.scenario != "boot-storm" and args.migrations is not None:
-        config.migrations = args.migrations
+
+    seeds = args.seeds if args.seeds is not None else [args.seed]
+    payloads = []
+    for seed in seeds:
+        config: ClusterConfig = build(
+            hosts=args.hosts, seed=seed, guests=args.guests,
+            requests=args.requests, variant=args.variant,
+            fault_rate=args.fault_rate, recovery=args.recovery,
+            placement=args.placement, **overrides)
+        if scenario != "boot-storm" and args.migrations is not None:
+            config.migrations = args.migrations
+        start = time.perf_counter()  # noqa: RPR002 -- wall-clock annotates the CLI report only, outside the timeline
+        result = Cluster(config, backend=args.backend,
+                         workers=args.workers).run()
+        wall_s = time.perf_counter() - start  # noqa: RPR002 -- same wall-clock annotation as above
+
+        if args.json:
+            payload = result.to_dict()
+            payload["wall_s"] = wall_s
+            payloads.append(payload)
+            continue
+        stats = result.stats
+        print("cluster %s: %d host(s), backend=%s (%d worker(s)), seed %d"
+              % (config.scenario, config.hosts, result.backend,
+                 result.workers, config.seed))
+        print("  %d epoch(s), %.1f ms simulated, %d events, %.2f s wall"
+              % (result.epochs, result.sim_ms, result.events, wall_s))
+        print("  booted %d guest(s) (%d failed), %d migration(s) "
+              "(%d failed), %d request(s) served (%d missed, %d unrouted)"
+              % (stats.get("booted", 0), stats.get("create_failed", 0),
+                 stats.get("migrations_done", 0),
+                 stats.get("migrations_failed", 0), stats.get("served", 0),
+                 stats.get("missed", 0), stats.get("unrouted", 0)))
+        responses = stats.get("responses", 0)
+        if responses:
+            print("  request latency: %.2f ms mean, %.2f ms max"
+                  % (stats.get("latency_ms_sum", 0.0) / responses,
+                     stats.get("latency_ms_max", 0.0)))
+        print("  cluster digest %s" % result.digest)
+    if args.json:
+        # One seed: the bare replayable reproducer (the pre-stdlib
+        # shape); a seed set: a list of them (still --replay-able).
+        out = payloads[0] if len(payloads) == 1 else payloads
+        print(json.dumps(out, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    import json
+    import time  # noqa: RPR002 -- wall-clock only annotates the CLI report; it is read outside the simulated timeline
+
+    from .stdlib import (ComponentError, SpecError, load_spec,
+                         replay_manifest, run_sweep, write_bench_json)
+
+    if args.replay:
+        with open(args.replay) as handle:
+            payload = json.load(handle)
+        same, result = replay_manifest(payload, workers=args.workers)
+        print("scenario %s: %d seed(s), manifest digest %s — %s"
+              % (result["scenario"], len(result["runs"]),
+                 result["manifest_digest"][:12],
+                 "reproduced" if same else "DIVERGED from record"))
+        return 0 if same else 1
+
+    if args.spec is None:
+        args.parser_error("repro run needs a scenario spec file "
+                          "(or --replay FILE)")
+    try:
+        spec = load_spec(args.spec)
+    except FileNotFoundError:
+        print("repro run: error: no such file: %s" % args.spec,
+              file=sys.stderr)
+        return 2
+    except (SpecError, ComponentError) as exc:
+        print("repro run: error: %s: %s" % (args.spec, exc),
+              file=sys.stderr)
+        return 2
+
+    seeds = args.seeds if args.seeds is not None else [args.seed]
     start = time.perf_counter()  # noqa: RPR002 -- wall-clock annotates the CLI report only, outside the timeline
-    result = Cluster(config, backend=args.backend,
-                     workers=args.workers).run()
+    manifest = run_sweep(spec, seeds, workers=args.workers)
     wall_s = time.perf_counter() - start  # noqa: RPR002 -- same wall-clock annotation as above
 
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.bench_out:
+        write_bench_json(manifest, args.bench_out, wall_s=wall_s)
+
     if args.json:
-        payload = result.to_dict()
-        payload["wall_s"] = wall_s
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        print(json.dumps(manifest, indent=2, sort_keys=True))
         return 0
-    stats = result.stats
-    print("cluster %s: %d host(s), backend=%s (%d worker(s)), seed %d"
-          % (config.scenario, config.hosts, result.backend,
-             result.workers, config.seed))
-    print("  %d epoch(s), %.1f ms simulated, %d events, %.2f s wall"
-          % (result.epochs, result.sim_ms, result.events, wall_s))
-    print("  booted %d guest(s) (%d failed), %d migration(s) "
-          "(%d failed), %d request(s) served (%d missed, %d unrouted)"
-          % (stats.get("booted", 0), stats.get("create_failed", 0),
-             stats.get("migrations_done", 0),
-             stats.get("migrations_failed", 0), stats.get("served", 0),
-             stats.get("missed", 0), stats.get("unrouted", 0)))
-    responses = stats.get("responses", 0)
-    if responses:
-        print("  request latency: %.2f ms mean, %.2f ms max"
-              % (stats.get("latency_ms_sum", 0.0) / responses,
-                 stats.get("latency_ms_max", 0.0)))
-    print("  cluster digest %s" % result.digest)
+    print("scenario %s (mode %s): %d seed(s), %d worker(s), %.2f s wall"
+          % (manifest["scenario"], manifest["mode"],
+             len(manifest["runs"]),
+             min(max(1, args.workers), len(seeds)), wall_s))
+    for record in manifest["runs"]:
+        print("  seed %-4d %7d event(s) %10.1f ms  digest %s"
+              % (record["seed"], record["events"], record["sim_ms"],
+                 record["digest"][:12]))
+    for key in sorted(manifest["stats"]):
+        print("  %-24s %12.2f" % (key, manifest["stats"][key]))
+    print("  spec digest     %s" % manifest["spec_digest"])
+    print("  manifest digest %s" % manifest["manifest_digest"])
+    if args.out:
+        print("  wrote sweep manifest to %s" % args.out)
+    if args.bench_out:
+        print("  wrote BENCH-style JSON to %s" % args.bench_out)
+    return 0
+
+
+def _cmd_components(args) -> int:
+    from .stdlib import catalogue
+    print("%-10s %-22s %s" % ("kind", "ref", "parameters"))
+    for component in catalogue():
+        if args.kind and component.kind != args.kind:
+            continue
+        params = component.params()
+        rendered = ", ".join("%s=%r" % (key, params[key])
+                             for key in sorted(params))
+        print("%-10s %-22s %s" % (component.kind, component.ref(),
+                                  rendered))
     return 0
 
 
@@ -733,6 +873,10 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--backend", choices=("inline", "procs"),
                          default="inline")
     cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--seeds", type=seed_set, default=None,
+                         metavar="A..B",
+                         help="run a whole seed set ('0..7' or '0,3,9'; "
+                              "overrides --seed)")
     cluster.add_argument("--guests", type=_positive_int, default=32,
                          help="guests created cluster-wide")
     cluster.add_argument("--requests", type=int, default=0,
@@ -764,8 +908,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--image", default="daytime")
     chaos.add_argument("--scenario", choices=("boot-storm", "churn"),
                        default="boot-storm")
-    chaos.add_argument("--seeds", type=_positive_int, default=16,
-                       help="number of independent seeded schedules")
+    chaos.add_argument("--seeds", default="16", metavar="A..B",
+                       help="seed range to campaign over ('0..15'; a "
+                            "bare count N is the deprecated spelling "
+                            "for '--seed base' + N consecutive seeds)")
     chaos.add_argument("--seed", type=int, default=0,
                        help="base seed (run i uses seed base+i)")
     chaos.add_argument("--count", type=_positive_int, default=8,
@@ -787,6 +933,42 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--replay", metavar="FILE",
                        help="re-run reproducer JSON instead of a campaign")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    run = sub.add_parser(
+        "run", help="execute a declarative scenario spec (YAML/JSON) "
+                    "across a seed set; emits a replayable sweep "
+                    "manifest")
+    run.add_argument("spec", nargs="?", default=None,
+                     help="scenario spec file (.yaml/.yml/.json)")
+    run.add_argument("--seed", type=int, default=0,
+                     help="single seed to run (default 0)")
+    run.add_argument("--seeds", type=seed_set, default=None,
+                     metavar="A..B",
+                     help="run a whole seed set ('0..31' or '0,3,9'; "
+                          "overrides --seed)")
+    run.add_argument("--workers", type=_positive_int, default=1,
+                     help="OS processes for the sweep (default 1; the "
+                          "manifest is worker-count invariant)")
+    run.add_argument("--json", action="store_true",
+                     help="print the sweep manifest JSON")
+    run.add_argument("--out", metavar="FILE",
+                     help="write the sweep manifest JSON to FILE")
+    run.add_argument("--bench-out", metavar="FILE",
+                     help="write BENCH-style JSON (bench-trend/"
+                          "bench-gate compatible) to FILE")
+    run.add_argument("--replay", metavar="FILE",
+                     help="re-run a sweep manifest and verify its "
+                          "digest instead of reading a spec")
+    run.set_defaults(fn=_cmd_run)
+
+    components = sub.add_parser(
+        "components", help="list the scenario stdlib component "
+                           "catalogue")
+    components.add_argument("--kind", default=None,
+                            choices=("host", "guest", "traffic",
+                                     "faults", "placement", "topology"),
+                            help="restrict the listing to one kind")
+    components.set_defaults(fn=_cmd_components)
     return parser
 
 

@@ -191,21 +191,40 @@ def host_seed(seed: int, host_index: int) -> int:
 # Scenario presets
 # ----------------------------------------------------------------------
 
+def _from_preset(name: str, seed: int, overrides: dict, *,
+                 hosts: int, guests: int, requests: int,
+                 migrations: int = 0) -> ClusterConfig:
+    """Lower a stdlib preset to a ClusterConfig, then apply raw
+    ClusterConfig field overrides (the pre-stdlib builder surface)."""
+    from ..stdlib.presets import preset
+    config = preset(name, hosts=hosts, guests=guests, requests=requests,
+                    migrations=migrations).to_cluster_config(seed)
+    return dataclasses.replace(config, **overrides) if overrides \
+        else config
+
+
 def boot_storm(hosts: int = 8, seed: int = 0, guests: int = 32,
                requests: int = 0, **overrides) -> ClusterConfig:
-    """The generalized Fig 10 shape: a create ramp across N hosts."""
-    return ClusterConfig(hosts=hosts, seed=seed, scenario="boot-storm",
-                         guests=guests, requests=requests, **overrides)
+    """The generalized Fig 10 shape: a create ramp across N hosts.
+
+    A shim over :data:`repro.stdlib.presets.BOOT_STORM` — the spec path
+    (``repro run``) and this builder produce identical configs.
+    """
+    return _from_preset("boot-storm", seed, overrides, hosts=hosts,
+                        guests=guests, requests=requests)
 
 
 def migration_churn(hosts: int = 4, seed: int = 0, guests: int = 16,
                     migrations: int = 8, requests: int = 0,
                     **overrides) -> ClusterConfig:
     """Boot a fleet, then churn guests between hosts (the Fig 13 path
-    generalized to cluster placement)."""
-    return ClusterConfig(hosts=hosts, seed=seed, scenario="migration-churn",
-                         guests=guests, migrations=migrations,
-                         requests=requests, **overrides)
+    generalized to cluster placement).
+
+    A shim over :data:`repro.stdlib.presets.MIGRATION_CHURN`.
+    """
+    return _from_preset("migration-churn", seed, overrides, hosts=hosts,
+                        guests=guests, requests=requests,
+                        migrations=migrations)
 
 
 #: CLI-addressable scenario builders.

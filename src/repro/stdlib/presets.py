@@ -1,0 +1,82 @@
+"""Named scenario presets: the repo's standing experiments as specs.
+
+These are the declarative equivalents of the hand-coded entry points
+that predate the stdlib: the two cluster scenarios behind ``repro
+cluster`` (whose old builders in :mod:`repro.cluster.config` are now
+thin shims over :func:`preset`), and a helper for the single-host storm
+shape the figure benchmarks use.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .spec import ScenarioSpec
+
+#: ``repro cluster --scenario boot-storm`` — a create ramp across N
+#: LightVM hosts (the generalized Fig 10 shape).
+BOOT_STORM: typing.Dict[str, object] = {
+    "name": "boot-storm",
+    "mode": "cluster",
+    "host": "lightvm-64core@1",
+    "guest": "noop@1",
+    "traffic": "boot-storm@1",
+    "faults": "none@1",
+    "placement": "least-loaded@1",
+    "topology": "lan@1",
+    "hosts": 8,
+    "guests": 32,
+    "requests": 0,
+    "migrations": 0,
+}
+
+#: ``repro cluster --scenario migration-churn`` — boot a fleet, then
+#: churn guests between hosts (Fig 13 generalized to cluster placement).
+MIGRATION_CHURN: typing.Dict[str, object] = {
+    "name": "migration-churn",
+    "mode": "cluster",
+    "host": "lightvm-64core@1",
+    "guest": "noop@1",
+    "traffic": "churn@1",
+    "faults": "none@1",
+    "placement": "least-loaded@1",
+    "topology": "lan@1",
+    "hosts": 4,
+    "guests": 16,
+    "requests": 0,
+    "migrations": 8,
+}
+
+PRESETS: typing.Dict[str, typing.Dict[str, object]] = {
+    "boot-storm": BOOT_STORM,
+    "migration-churn": MIGRATION_CHURN,
+}
+
+
+def preset(name: str, **workload) -> ScenarioSpec:
+    """The named preset, with workload scalars optionally overridden.
+
+    ``workload`` keys are spec keys (``hosts``, ``guests``,
+    ``requests``, ``migrations``, or even component references) — they
+    go through the same strict validation as a spec file.
+    """
+    if name not in PRESETS:
+        raise KeyError("unknown preset %r (have: %s)"
+                       % (name, ", ".join(sorted(PRESETS))))
+    payload = dict(PRESETS[name])
+    payload.update(workload)
+    return ScenarioSpec.from_dict(payload)
+
+
+def storm_spec(name: str, host: object, guest: object, guests: int,
+               traffic: object = "boot-storm@1",
+               faults: object = "none@1") -> ScenarioSpec:
+    """A single-host storm spec — the shape every figure benchmark is.
+
+    ``host``/``guest``/``traffic``/``faults`` take anything a spec file
+    accepts: a pinned ``name@version`` string or a ``{"ref": ...}``
+    mapping with parameter overrides.
+    """
+    return ScenarioSpec.from_dict({
+        "name": name, "mode": "host", "host": host, "guest": guest,
+        "traffic": traffic, "faults": faults, "guests": guests})

@@ -290,9 +290,15 @@ class TestRealConcurrency:
         assert found == ["RPR010", "RPR010"]
 
     def test_cluster_procs_backend_exempt(self):
-        # The one sanctioned real-concurrency site: the procs backend.
+        # A sanctioned real-concurrency site: the procs backend.
         assert ids("import multiprocessing\n",
                    path="src/repro/cluster/procs.py") == []
+
+    def test_stdlib_sweep_runner_exempt(self):
+        # The other sanctioned site: the multi-seed sweep runner, which
+        # fans whole (spec, seed) scenario runs out over OS processes.
+        assert ids("import multiprocessing\n",
+                   path="src/repro/stdlib/sweep.py") == []
 
     def test_cluster_scenario_modules_still_banned(self):
         # The exemption is the runner alone — cluster coordination and
@@ -301,6 +307,15 @@ class TestRealConcurrency:
                      "src/repro/cluster/cluster.py",
                      "src/repro/cluster/controller.py"):
             assert ids("import multiprocessing\n", path=path) == \
+                ["RPR010"], path
+
+    def test_stdlib_scenario_modules_still_banned(self):
+        # Same narrowing for the stdlib: spec resolution and the
+        # scenario runner execute inside the DES timeline.
+        for path in ("src/repro/stdlib/spec.py",
+                     "src/repro/stdlib/runner.py",
+                     "src/repro/stdlib/library.py"):
+            assert ids("import threading\n", path=path) == \
                 ["RPR010"], path
 
     def test_sim_modules_still_banned(self):

@@ -1,0 +1,139 @@
+"""Shared CLI flag conventions: seed sets, one-shot deprecation warnings."""
+
+import argparse
+import io
+
+import pytest
+
+from repro import cli_flags
+from repro.cli_flags import (contiguous_range, parse_seed_set, seed_set,
+                             warn_once)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warnings():
+    cli_flags.reset_warnings()
+    yield
+    cli_flags.reset_warnings()
+
+
+class TestParseSeedSet:
+    def test_inclusive_range(self):
+        assert parse_seed_set("0..31") == list(range(32))
+
+    def test_explicit_list(self):
+        assert parse_seed_set("0, 4, 9") == [0, 4, 9]
+
+    def test_single_seed(self):
+        assert parse_seed_set("7") == [7]
+
+    def test_negative_seeds_allowed(self):
+        assert parse_seed_set("-2..1") == [-2, -1, 0, 1]
+
+    def test_backwards_range_rejected(self):
+        with pytest.raises(ValueError) as err:
+            parse_seed_set("9..3")
+        assert "backwards" in str(err.value)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError) as err:
+            parse_seed_set("1,2,1")
+        assert "repeats" in str(err.value)
+
+    def test_garbage_rejected_with_expected_shapes(self):
+        with pytest.raises(ValueError) as err:
+            parse_seed_set("all of them")
+        assert "expected 'A..B'" in str(err.value)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_seed_set("  ")
+
+    def test_argparse_adapter_raises_argument_type_error(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            seed_set("9..3")
+        assert seed_set("0..2") == [0, 1, 2]
+
+
+class TestContiguousRange:
+    def test_contiguous_in_any_order(self):
+        assert contiguous_range([3, 1, 2]) == (1, 3)
+        assert contiguous_range([5]) == (5, 1)
+
+    def test_gaps_are_not_contiguous(self):
+        assert contiguous_range([0, 2]) is None
+
+    def test_empty_is_not_contiguous(self):
+        assert contiguous_range([]) is None
+
+
+class TestWarnOnce:
+    def test_warns_exactly_once_per_key(self):
+        stream = io.StringIO()
+        assert warn_once("k", "old spelling", stream=stream) is True
+        assert warn_once("k", "old spelling", stream=stream) is False
+        assert stream.getvalue().count("old spelling") == 1
+        assert stream.getvalue().startswith("repro: warning:")
+
+    def test_distinct_keys_each_warn(self):
+        stream = io.StringIO()
+        warn_once("a", "first", stream=stream)
+        warn_once("b", "second", stream=stream)
+        assert "first" in stream.getvalue()
+        assert "second" in stream.getvalue()
+
+    def test_reset_allows_rewarning(self):
+        stream = io.StringIO()
+        warn_once("k", "again", stream=stream)
+        cli_flags.reset_warnings()
+        assert warn_once("k", "again", stream=stream) is True
+
+
+class TestCliIntegration:
+    def test_run_and_cluster_share_the_seeds_spelling(self):
+        from repro.cli import build_parser
+        parser = build_parser()
+        run_args = parser.parse_args(["run", "x.yaml", "--seeds", "0..3"])
+        cluster_args = parser.parse_args(["cluster", "--seeds", "0..3"])
+        assert run_args.seeds == cluster_args.seeds == [0, 1, 2, 3]
+
+    def test_chaos_deprecated_count_spelling_warns_once(self, capsys):
+        from repro.cli import main
+        # Campaign over 2 consecutive seeds, the old spelling.
+        code = main(["chaos", "--seeds", "2", "--count", "2",
+                     "--occurrences", "4", "--rules", "1"])
+        err = capsys.readouterr().err
+        assert code in (0, 1)
+        assert "deprecated" in err
+        assert "--seeds 0..1" in err
+
+    def test_chaos_canonical_range_does_not_warn(self, capsys):
+        from repro.cli import main
+        code = main(["chaos", "--seeds", "0..1", "--count", "2",
+                     "--occurrences", "4", "--rules", "1"])
+        assert code in (0, 1)
+        assert "deprecated" not in capsys.readouterr().err
+
+    def test_chaos_non_contiguous_seed_set_rejected(self, capsys):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["chaos", "--seeds", "0,2,7"])
+        assert "contiguous" in capsys.readouterr().err
+
+    def test_cluster_churn_scenario_warns_once(self, capsys):
+        from repro.cli import main
+        code = main(["cluster", "--scenario", "churn", "--hosts", "2",
+                     "--guests", "4"])
+        assert code == 0
+        out = capsys.readouterr()
+        assert "deprecated" in out.err
+        assert "migration-churn" in out.out  # ran the canonical scenario
+
+    def test_cluster_seed_set_runs_every_seed(self, capsys):
+        from repro.cli import main
+        code = main(["cluster", "--hosts", "2", "--guests", "4",
+                     "--seeds", "0..1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seed 0" in out
+        assert "seed 1" in out
